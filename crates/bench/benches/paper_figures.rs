@@ -1,0 +1,174 @@
+//! Criterion benchmarks mirroring the paper's evaluation (Section 5).
+//!
+//! One benchmark group per figure:
+//!
+//! * `fig5_advisor_of_student` / `fig6_students_of_advisor` — online query
+//!   evaluation through the MV-index vs the per-query OBDD baseline vs the
+//!   MC-SAT (Alchemy stand-in) baseline;
+//! * `fig8_obdd_construction` — ConOBDD (concatenation) vs synthesis-only
+//!   (CUDD stand-in) construction of the V2 OBDD;
+//! * `fig9_intersection` — MVIntersect vs CC-MVIntersect on the worst-case
+//!   query;
+//! * `fig10_students_full` / `fig11_affiliation_full` — per-query evaluation
+//!   on the "full" corpus.
+//!
+//! The absolute scale is reduced compared to the `figures` binary so that
+//! `cargo bench` completes in minutes; run the binary for the full sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mv_bench::*;
+use mv_core::EngineBackend;
+use mv_index::augmented::AugmentedObdd;
+use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+use mv_index::IntersectAlgorithm;
+use mv_mln::McSatSampler;
+use mv_obdd::{ConObddBuilder, SynthesisBuilder};
+use mv_pdb::TupleId;
+use mv_query::lineage::lineage;
+
+const SCALES: [usize; 2] = [1000, 2000];
+const FULL_SCALE: usize = 4000;
+const NUM_QUERIES: usize = 3;
+
+fn method_comparison(c: &mut Criterion, name: &str, students_of_advisor: bool) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for &n in &SCALES {
+        let data = dataset_v1v2(n);
+        let queries = if students_of_advisor {
+            data.students_of_advisor_workload(NUM_QUERIES).unwrap()
+        } else {
+            data.advisor_of_student_workload(NUM_QUERIES).unwrap()
+        };
+        let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
+
+        group.bench_with_input(BenchmarkId::new("mv_index", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    engine.answers(q).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("augmented_obdd", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    engine
+                        .probability_with_backend(&q.boolean(), EngineBackend::ObddPerQuery)
+                        .unwrap();
+                }
+            })
+        });
+        // MC-SAT sampling only (the "Alchemy-sampling" line); grounding is
+        // done once outside the measurement, as the paper does.
+        let ground = data.mvdb.to_ground_mln().unwrap();
+        let lineages: Vec<_> = queries
+            .iter()
+            .map(|q| lineage(&q.boolean(), data.mvdb.base()).unwrap())
+            .collect();
+        let sampler = McSatSampler::new(&ground, baseline_mcsat_config());
+        group.bench_with_input(BenchmarkId::new("mcsat_sampling", n), &n, |b, _| {
+            b.iter(|| sampler.run(&lineages).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig5_bench(c: &mut Criterion) {
+    method_comparison(c, "fig5_advisor_of_student", false);
+}
+
+fn fig6_bench(c: &mut Criterion) {
+    method_comparison(c, "fig6_students_of_advisor", true);
+}
+
+fn fig8_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_obdd_construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for &n in &SCALES {
+        let data = dataset_v1v2(n);
+        let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
+        let indb = engine.translated().indb();
+        let w2 = v2_query();
+        group.bench_with_input(BenchmarkId::new("conobdd_concatenation", n), &n, |b, _| {
+            b.iter(|| {
+                let mut builder = ConObddBuilder::for_query(indb, &w2);
+                builder.build(&w2).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("synthesis_cudd_style", n), &n, |b, _| {
+            let builder = ConObddBuilder::for_query(indb, &w2);
+            let order = builder.order();
+            b.iter(|| SynthesisBuilder::new(order.clone()).from_query(&w2, indb).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig9_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_intersection");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    for &n in &SCALES {
+        let data = dataset_v1v2(n);
+        let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
+        let indb = engine.translated().indb();
+        let w2 = v2_query();
+        let mut builder = ConObddBuilder::for_query(indb, &w2);
+        let obdd_w = builder.build(&w2).unwrap();
+        let prob_of = |t: TupleId| indb.probability(t);
+        let negated = AugmentedObdd::new(obdd_w.negate(), prob_of);
+        let layout = CcLayout::new(&negated, prob_of);
+        let order = builder.order();
+        let lin_q = worst_case_lineage(indb, order.as_ref(), 20);
+        let q_obdd = SynthesisBuilder::new(builder.order()).from_lineage(&lin_q).unwrap();
+        let q_probs = q_obdd.node_probabilities(prob_of);
+
+        group.bench_with_input(BenchmarkId::new("mv_intersect", n), &n, |b, _| {
+            b.iter(|| mv_intersect(&negated, &q_obdd, &q_probs, prob_of))
+        });
+        group.bench_with_input(BenchmarkId::new("cc_mv_intersect", n), &n, |b, _| {
+            b.iter(|| cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of))
+        });
+    }
+    group.finish();
+}
+
+fn full_dataset_bench(c: &mut Criterion, name: &str, affiliation: bool) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let data = dataset_full(FULL_SCALE);
+    let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
+    let queries = if affiliation {
+        data.affiliation_workload(10).unwrap()
+    } else {
+        data.students_of_advisor_workload(10).unwrap()
+    };
+    check_workload(&engine, &queries);
+    for (i, q) in queries.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("query", i + 1), q, |b, q| {
+            b.iter(|| engine.answers(q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig10_bench(c: &mut Criterion) {
+    full_dataset_bench(c, "fig10_students_full", false);
+}
+
+fn fig11_bench(c: &mut Criterion) {
+    full_dataset_bench(c, "fig11_affiliation_full", true);
+}
+
+criterion_group!(
+    benches,
+    fig5_bench,
+    fig6_bench,
+    fig8_bench,
+    fig9_bench,
+    fig10_bench,
+    fig11_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Regenerates the tables and figures of the paper's evaluation (Section 5).
+//!
+//! ```text
+//! cargo run --release -p mv-bench --bin figures -- all --quick
+//! cargo run --release -p mv-bench --bin figures -- fig5
+//! cargo run --release -p mv-bench --bin figures -- fig10 --authors 20000
+//! ```
+//!
+//! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
+//! `fig10`, `fig11`, `ablation`, `all`. Options: `--quick` (3 scaling points
+//! instead of 10, fewer queries), `--authors N` (size of the "full" dataset
+//! for fig1/fig10/fig11; default 10000).
+
+use mv_bench::*;
+
+struct Options {
+    quick: bool,
+    full_authors: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut opts = Options {
+        quick: false,
+        full_authors: 10_000,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--authors" => {
+                i += 1;
+                opts.full_authors = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .expect("--authors needs a number");
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+
+    if wants("fig1") {
+        fig1(&opts);
+    }
+    if wants("fig4") {
+        fig4(&opts);
+    }
+    if wants("fig5") {
+        fig5(&opts);
+    }
+    if wants("fig6") {
+        fig6(&opts);
+    }
+    if wants("fig7") || wants("fig8") {
+        fig7_fig8(&opts);
+    }
+    if wants("fig9") {
+        fig9(&opts);
+    }
+    if wants("fig10") {
+        fig10_fig11(&opts, false);
+    }
+    if wants("fig11") {
+        fig10_fig11(&opts, true);
+    }
+    if wants("ablation") {
+        ablations(&opts);
+    }
+}
+
+fn ablations(opts: &Options) {
+    println!("== Ablation A: block-partitioned MV-index vs monolithic ¬W OBDD ==");
+    println!(
+        "{:>10} {:>8} {:>18} {:>18}",
+        "aid domain", "blocks", "partitioned (s)", "monolithic (s)"
+    );
+    let queries = if opts.quick { 3 } else { 10 };
+    for n in scales(opts.quick) {
+        let p = ablation_block_index(n, queries);
+        println!(
+            "{:>10} {:>8} {:>18.6} {:>18.6}",
+            p.num_authors,
+            p.num_blocks,
+            secs(p.partitioned),
+            secs(p.monolithic)
+        );
+    }
+    println!();
+    println!("== Ablation B: inferred separator-first π vs identity π ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "aid domain", "inferred (s)", "identity (s)", "syn(inf)", "syn(id)", "size(inf)", "size(id)"
+    );
+    for n in scales(opts.quick) {
+        let p = ablation_pi_order(n);
+        println!(
+            "{:>10} {:>14.4} {:>14.4} {:>12} {:>12} {:>10} {:>10}",
+            p.num_authors,
+            secs(p.inferred.0),
+            secs(p.identity.0),
+            p.inferred.1,
+            p.identity.1,
+            p.sizes.0,
+            p.sizes.1
+        );
+    }
+    println!();
+}
+
+fn fig1(opts: &Options) {
+    let n = if opts.quick { 2000 } else { opts.full_authors };
+    println!("== Figure 1: dataset and MV-index inventory (synthetic DBLP, {n} authors) ==");
+    let r = fig1_inventory(n);
+    let s = r.stats;
+    println!("  deterministic tables:");
+    println!("    Author                    {:>10}", s.author);
+    println!("    Wrote                     {:>10}", s.wrote);
+    println!("    Pub                       {:>10}", s.publication);
+    println!("    HomePage                  {:>10}", s.homepage);
+    println!("    FirstPub                  {:>10}", s.first_pub);
+    println!("    DBLPAffiliation           {:>10}", s.dblp_affiliation);
+    println!("    CoPubRecent               {:>10}", s.co_pub_recent);
+    println!("  probabilistic tables:");
+    println!("    Student^p                 {:>10}", s.student);
+    println!("    Advisor^p                 {:>10}", s.advisor);
+    println!("    Affiliation^p             {:>10}", s.affiliation);
+    println!("  MarkoView outputs:");
+    println!("    V1                        {:>10}", s.v1);
+    println!("    V2                        {:>10}", s.v2);
+    println!("    V3                        {:>10}", s.v3);
+    println!("  MV-index (Section 5.4):");
+    println!("    blocks                    {:>10}", r.index.num_blocks);
+    println!("    OBDD nodes                {:>10}", r.index.total_nodes);
+    println!("    constrained tuples        {:>10}", r.index.num_variables);
+    println!("    construction time         {:>10.3} s", secs(r.compile_time));
+    println!("    consistent                {:>10}", r.consistent);
+    println!();
+}
+
+fn fig4(opts: &Options) {
+    println!("== Figure 4: lineage size of W per dataset ==");
+    println!("{:>10} {:>14} {:>14}", "aid domain", "lineage size", "groundings");
+    for n in scales(opts.quick) {
+        let p = fig4_lineage_size(n);
+        println!("{:>10} {:>14} {:>14}", p.num_authors, p.lineage_size, p.num_clauses);
+    }
+    println!();
+}
+
+fn print_method_header() {
+    println!(
+        "{:>10} {:>16} {:>18} {:>16} {:>14} {:>12}",
+        "aid domain", "Alchemy-total(s)", "Alchemy-sampling(s)", "augOBDD(s)", "MVIndex(s)", "compile(s)"
+    );
+}
+
+fn print_method_row(t: &MethodTimings) {
+    println!(
+        "{:>10} {:>16.4} {:>18.4} {:>16.4} {:>14.6} {:>12.4}",
+        t.num_authors,
+        secs(t.alchemy_total),
+        secs(t.alchemy_sampling),
+        secs(t.augmented_obdd),
+        secs(t.mv_index),
+        secs(t.index_compile),
+    );
+}
+
+fn fig5(opts: &Options) {
+    let queries = if opts.quick { 2 } else { 5 };
+    println!("== Figure 5: querying the advisor of a student ({queries} queries per point) ==");
+    print_method_header();
+    for n in scales(opts.quick) {
+        print_method_row(&fig5_advisor_of_student(n, queries));
+    }
+    println!();
+}
+
+fn fig6(opts: &Options) {
+    let queries = if opts.quick { 2 } else { 5 };
+    println!("== Figure 6: querying all students of an advisor ({queries} queries per point) ==");
+    print_method_header();
+    for n in scales(opts.quick) {
+        print_method_row(&fig6_students_of_advisor(n, queries));
+    }
+    println!();
+}
+
+fn fig7_fig8(opts: &Options) {
+    println!("== Figures 7 and 8: V2 OBDD size and construction time ==");
+    println!(
+        "{:>10} {:>12} {:>18} {:>18} {:>10}",
+        "aid domain", "OBDD size", "MV construction(s)", "Cudd-style(s)", "speedup"
+    );
+    for n in scales(opts.quick) {
+        let p = fig7_fig8_obdd_construction(n);
+        assert!(p.sizes_match, "both constructions must build the same OBDD");
+        let speedup = secs(p.synthesis_time) / secs(p.conobdd_time).max(1e-9);
+        println!(
+            "{:>10} {:>12} {:>18.4} {:>18.4} {:>9.1}x",
+            p.num_authors,
+            p.obdd_size,
+            secs(p.conobdd_time),
+            secs(p.synthesis_time),
+            speedup
+        );
+    }
+    println!();
+}
+
+fn fig9(opts: &Options) {
+    let reps = if opts.quick { 5 } else { 20 };
+    println!("== Figure 9: MVIntersect vs CC-MVIntersect (worst-case 20-tuple query) ==");
+    println!(
+        "{:>10} {:>12} {:>18} {:>20} {:>10}",
+        "aid domain", "index size", "MVIntersect(s)", "CC-MVIntersect(s)", "speedup"
+    );
+    for n in scales(opts.quick) {
+        let p = fig9_intersection(n, reps);
+        let speedup = secs(p.mv_intersect) / secs(p.cc_mv_intersect).max(1e-12);
+        println!(
+            "{:>10} {:>12} {:>18.6} {:>20.6} {:>9.2}x",
+            p.num_authors,
+            p.index_size,
+            secs(p.mv_intersect),
+            secs(p.cc_mv_intersect),
+            speedup
+        );
+    }
+    println!();
+}
+
+fn fig10_fig11(opts: &Options, affiliation: bool) {
+    let n = if opts.quick { 2000 } else { opts.full_authors };
+    let label = if affiliation {
+        "Figure 11: querying affiliations of an author"
+    } else {
+        "Figure 10: querying students of an advisor"
+    };
+    println!("== {label} (full dataset, {n} authors) ==");
+    let r = fig10_fig11_full_dataset(n, 10, affiliation);
+    println!(
+        "  index: {} nodes in {} blocks, compiled in {:.2} s",
+        r.index_size,
+        r.num_blocks,
+        secs(r.compile_time)
+    );
+    println!("{:>6} {:>10} {:>14}", "query", "answers", "time (ms)");
+    for q in &r.queries {
+        println!(
+            "{:>6} {:>10} {:>14.3}",
+            q.label,
+            q.num_answers,
+            secs(q.time) * 1000.0
+        );
+    }
+    let avg: f64 = r.queries.iter().map(|q| secs(q.time)).sum::<f64>() / r.queries.len() as f64;
+    println!("  average per-query time: {:.3} ms", avg * 1000.0);
+    println!();
+}

@@ -1,0 +1,620 @@
+//! # `mv-bench` — the experiment harness of Section 5
+//!
+//! This crate regenerates every figure of the paper's evaluation on the
+//! synthetic DBLP corpus:
+//!
+//! | figure | experiment | harness entry point |
+//! |--------|------------|---------------------|
+//! | Fig. 1 | dataset / index inventory | [`fig1_inventory`] |
+//! | Fig. 4 | lineage size of `W` vs `aid` domain | [`fig4_lineage_size`] |
+//! | Fig. 5 | Alchemy (MC-SAT) vs augmented OBDD vs MV-index, *advisor of a student* | [`fig5_advisor_of_student`] |
+//! | Fig. 6 | same comparison, *students of an advisor* | [`fig6_students_of_advisor`] |
+//! | Fig. 7 | OBDD size of V2 vs `aid1` domain | [`fig7_obdd_size`] |
+//! | Fig. 8 | OBDD construction: synthesis (CUDD stand-in) vs concatenation | [`fig8_obdd_construction`] |
+//! | Fig. 9 | MVIntersect vs CC-MVIntersect, worst-case query | [`fig9_intersection`] |
+//! | Fig. 10 | per-query time, *students of an advisor*, full dataset | [`fig10_students_full`] |
+//! | Fig. 11 | per-query time, *affiliations of an author*, full dataset | [`fig11_affiliation_full`] |
+//!
+//! The same routines back both the `figures` binary (which prints the series
+//! the paper plots) and the Criterion benches under `benches/`.
+//!
+//! Substitutions with respect to the paper's setup (documented in
+//! `DESIGN.md`): the DBLP dump is replaced by the seeded synthetic generator
+//! of `mv-dblp`; Alchemy is replaced by our own grounded MLN plus MC-SAT
+//! sampler; native CUDD is replaced by the synthesis-only OBDD builder; and
+//! Postgres lineage retrieval is replaced by the in-memory evaluator of
+//! `mv-query`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use mv_core::{EngineBackend, MvdbEngine};
+use mv_dblp::{DblpConfig, DblpDataset};
+use mv_index::{IntersectAlgorithm, MvIndex};
+use mv_mln::{McSatConfig, McSatSampler};
+use mv_obdd::{ConObddBuilder, Obdd, SynthesisBuilder};
+use mv_pdb::{InDb, TupleId};
+use mv_query::lineage::{lineage, Lineage};
+use mv_query::{parse_ucq, Ucq};
+
+/// The `aid` domains used by the scaling experiments (Figures 4–9).
+pub fn scales(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1000, 2000, 3000]
+    } else {
+        (1..=10).map(|i| i * 1000).collect()
+    }
+}
+
+/// Generates the Section 5.1 corpus (V1 and V2 only, as in the Alchemy
+/// comparison) at the given scale.
+pub fn dataset_v1v2(num_authors: usize) -> DblpDataset {
+    DblpDataset::generate(DblpConfig {
+        with_affiliation_view: false,
+        ..DblpConfig::with_authors(num_authors)
+    })
+    .expect("dataset generation succeeds")
+}
+
+/// Generates the full corpus (V1, V2 and V3) at the given scale
+/// (Sections 5.4 / Figures 10–11).
+pub fn dataset_full(num_authors: usize) -> DblpDataset {
+    DblpDataset::generate(DblpConfig::with_authors(num_authors)).expect("dataset generation succeeds")
+}
+
+/// The denial view V2 written directly over the translated schema
+/// (Sections 5.2 / 5.3 compile only this view).
+pub fn v2_query() -> Ucq {
+    parse_ucq("W() :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3")
+        .expect("V2 parses")
+}
+
+/// One row of the Figure 4 series.
+#[derive(Debug, Clone, Copy)]
+pub struct LineageSizePoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Number of distinct probabilistic tuples in the lineage of `W`
+    /// (the paper's "lineage size").
+    pub lineage_size: usize,
+    /// Number of clauses (groundings) in the lineage of `W`.
+    pub num_clauses: usize,
+}
+
+/// Figure 4: the lineage size of `W` for each dataset scale.
+pub fn fig4_lineage_size(num_authors: usize) -> LineageSizePoint {
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let translated = engine.translated();
+    let w = translated.w().expect("W exists");
+    let lin = lineage(w, translated.indb()).expect("lineage");
+    LineageSizePoint {
+        num_authors,
+        lineage_size: lin.variables().len(),
+        num_clauses: lin.num_clauses(),
+    }
+}
+
+/// Timings of one Figure 5 / Figure 6 point.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodTimings {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Grounding + sampling time of the MC-SAT baseline ("Alchemy-total").
+    pub alchemy_total: Duration,
+    /// Sampling-only time of the MC-SAT baseline ("Alchemy-sampling").
+    pub alchemy_sampling: Duration,
+    /// Per-query OBDD construction and evaluation ("augmented OBDD").
+    pub augmented_obdd: Duration,
+    /// Offline MV-index compilation time (reported for context).
+    pub index_compile: Duration,
+    /// Online evaluation through the MV-index ("MVIndex").
+    pub mv_index: Duration,
+}
+
+/// Configuration of the MC-SAT baseline used by Figures 5–6.
+pub fn baseline_mcsat_config() -> McSatConfig {
+    McSatConfig {
+        num_samples: 100,
+        burn_in: 20,
+        sample_sat_flips: 100,
+        ..McSatConfig::default()
+    }
+}
+
+/// Runs one scaling point of Figure 5 (`advisor of a student X`) or
+/// Figure 6 (`students of an advisor Y`), depending on `queries`.
+pub fn run_method_comparison(
+    data: &DblpDataset,
+    queries: &[Ucq],
+) -> MethodTimings {
+    // --- MC-SAT baseline (Alchemy stand-in) --------------------------------
+    let t0 = Instant::now();
+    let ground = data.mvdb.to_ground_mln().expect("grounding succeeds");
+    let lineages: Vec<Lineage> = queries
+        .iter()
+        .map(|q| lineage(&q.boolean(), data.mvdb.base()).expect("lineage"))
+        .collect();
+    let grounding_time = t0.elapsed();
+    let sampler = McSatSampler::new(&ground, baseline_mcsat_config());
+    let t1 = Instant::now();
+    let _ = sampler.run(&lineages).expect("MC-SAT runs");
+    let alchemy_sampling = t1.elapsed();
+    let alchemy_total = grounding_time + alchemy_sampling;
+
+    // --- augmented OBDD (per-query construction, no index) -----------------
+    let t2 = Instant::now();
+    let engine_no_index = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    // Compilation of the engine is *not* charged to the augmented-OBDD
+    // baseline: it re-builds the OBDD of Q ∨ W for every query.
+    let _ = t2.elapsed();
+    let t3 = Instant::now();
+    for q in queries {
+        engine_no_index
+            .probability_with_backend(&q.boolean(), EngineBackend::ObddPerQuery)
+            .expect("OBDD backend succeeds");
+    }
+    let augmented_obdd = t3.elapsed();
+
+    // --- MV-index -----------------------------------------------------------
+    let t4 = Instant::now();
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let index_compile = t4.elapsed();
+    let t5 = Instant::now();
+    for q in queries {
+        engine.answers(q).expect("answers");
+    }
+    let mv_index = t5.elapsed();
+
+    MethodTimings {
+        num_authors: data.config.num_authors,
+        alchemy_total,
+        alchemy_sampling,
+        augmented_obdd,
+        index_compile,
+        mv_index,
+    }
+}
+
+/// Figure 5: *find the advisor of a student X*.
+pub fn fig5_advisor_of_student(num_authors: usize, num_queries: usize) -> MethodTimings {
+    let data = dataset_v1v2(num_authors);
+    let queries = data
+        .advisor_of_student_workload(num_queries)
+        .expect("workload");
+    run_method_comparison(&data, &queries)
+}
+
+/// Figure 6: *find all students of an advisor Y*.
+pub fn fig6_students_of_advisor(num_authors: usize, num_queries: usize) -> MethodTimings {
+    let data = dataset_v1v2(num_authors);
+    let queries = data
+        .students_of_advisor_workload(num_queries)
+        .expect("workload");
+    run_method_comparison(&data, &queries)
+}
+
+/// One row of the Figures 7–8 series.
+#[derive(Debug, Clone, Copy)]
+pub struct ObddConstructionPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Size (internal nodes) of the V2 OBDD.
+    pub obdd_size: usize,
+    /// Construction time with the concatenation-based ConOBDD builder.
+    pub conobdd_time: Duration,
+    /// Construction time with the synthesis-only builder (CUDD stand-in).
+    pub synthesis_time: Duration,
+    /// `true` when both constructions produced diagrams of the same size
+    /// (canonicity check, as in Section 5.2).
+    pub sizes_match: bool,
+}
+
+/// Figures 7 and 8: size and construction time of the V2 OBDD.
+pub fn fig7_fig8_obdd_construction(num_authors: usize) -> ObddConstructionPoint {
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let indb = engine.translated().indb();
+    let w2 = v2_query();
+
+    let t0 = Instant::now();
+    let mut builder = ConObddBuilder::for_query(indb, &w2);
+    let fast = builder.build(&w2).expect("ConOBDD builds");
+    let conobdd_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let slow = SynthesisBuilder::new(builder.order())
+        .from_query(&w2, indb)
+        .expect("synthesis builds");
+    let synthesis_time = t1.elapsed();
+
+    ObddConstructionPoint {
+        num_authors,
+        obdd_size: fast.size(),
+        conobdd_time,
+        synthesis_time,
+        sizes_match: fast.size() == slow.size(),
+    }
+}
+
+/// One row of the Figure 9 series.
+#[derive(Debug, Clone, Copy)]
+pub struct IntersectionPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Size of the compiled (single-block) index diagram.
+    pub index_size: usize,
+    /// Time of the pointer-based MVIntersect.
+    pub mv_intersect: Duration,
+    /// Time of the cache-conscious CC-MVIntersect.
+    pub cc_mv_intersect: Duration,
+}
+
+/// Builds the worst-case query lineage of Section 5.3: `k` tuples spread from
+/// the first to the last variable of the index order, forcing the
+/// intersection to traverse the entire diagram.
+pub fn worst_case_lineage(indb: &InDb, order: &mv_obdd::VarOrder, k: usize) -> Lineage {
+    let n = order.len();
+    let clauses: Vec<Vec<TupleId>> = (0..k)
+        .map(|i| vec![order.tuple_at((i * (n - 1) / (k - 1).max(1)) as u32)])
+        .collect();
+    let _ = indb;
+    Lineage::from_clauses(clauses)
+}
+
+/// Figure 9: MVIntersect vs CC-MVIntersect on the worst-case query.
+pub fn fig9_intersection(num_authors: usize, repetitions: usize) -> IntersectionPoint {
+    use mv_index::augmented::AugmentedObdd;
+    use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let indb = engine.translated().indb();
+    let w2 = v2_query();
+
+    // Compile W2 into a single augmented OBDD (no block splitting), exactly
+    // the Section 5.2/5.3 setting.
+    let mut builder = ConObddBuilder::for_query(indb, &w2);
+    let obdd_w = builder.build(&w2).expect("ConOBDD builds");
+    let prob_of = |t: TupleId| indb.probability(t);
+    let negated = AugmentedObdd::new(obdd_w.negate(), prob_of);
+    let layout = CcLayout::new(&negated, prob_of);
+
+    let order = builder.order();
+    let lin_q = worst_case_lineage(indb, order.as_ref(), 20);
+    let q_obdd: Obdd = SynthesisBuilder::new(builder.order())
+        .from_lineage(&lin_q)
+        .expect("query OBDD");
+    let q_probs = q_obdd.node_probabilities(prob_of);
+
+    let t0 = Instant::now();
+    let mut p1 = 0.0;
+    for _ in 0..repetitions {
+        p1 = mv_intersect(&negated, &q_obdd, &q_probs, prob_of);
+    }
+    let mv_time = t0.elapsed() / repetitions as u32;
+
+    let t1 = Instant::now();
+    let mut p2 = 0.0;
+    for _ in 0..repetitions {
+        p2 = cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of);
+    }
+    let cc_time = t1.elapsed() / repetitions as u32;
+    assert!(
+        (p1 - p2).abs() < 1e-9,
+        "the two intersection algorithms disagree: {p1} vs {p2}"
+    );
+
+    IntersectionPoint {
+        num_authors,
+        index_size: negated.size(),
+        mv_intersect: mv_time,
+        cc_mv_intersect: cc_time,
+    }
+}
+
+/// One per-query timing row of Figures 10–11.
+#[derive(Debug, Clone)]
+pub struct PerQueryPoint {
+    /// Query label (`q1` … `q10`).
+    pub label: String,
+    /// Number of answers returned.
+    pub num_answers: usize,
+    /// Evaluation time (lineage retrieval plus MV-index intersection).
+    pub time: Duration,
+}
+
+/// Summary of the full-dataset experiment (Section 5.4).
+#[derive(Debug, Clone)]
+pub struct FullDatasetReport {
+    /// Number of authors of the "full" corpus.
+    pub num_authors: usize,
+    /// Offline compilation time of the MV-index.
+    pub compile_time: Duration,
+    /// Total number of OBDD nodes in the index.
+    pub index_size: usize,
+    /// Number of blocks.
+    pub num_blocks: usize,
+    /// Per-query timings.
+    pub queries: Vec<PerQueryPoint>,
+}
+
+/// Figures 10 / 11: per-query evaluation times on the full dataset.
+/// `affiliation = false` runs the *students of an advisor* workload
+/// (Figure 10), `true` the *affiliations of an author* workload (Figure 11).
+pub fn fig10_fig11_full_dataset(
+    num_authors: usize,
+    num_queries: usize,
+    affiliation: bool,
+) -> FullDatasetReport {
+    let data = dataset_full(num_authors);
+    let t0 = Instant::now();
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let compile_time = t0.elapsed();
+    let queries = if affiliation {
+        data.affiliation_workload(num_queries).expect("workload")
+    } else {
+        data.students_of_advisor_workload(num_queries).expect("workload")
+    };
+    let mut rows = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let t = Instant::now();
+        let answers = engine.answers(q).expect("answers");
+        rows.push(PerQueryPoint {
+            label: format!("q{}", i + 1),
+            num_answers: answers.len(),
+            time: t.elapsed(),
+        });
+    }
+    FullDatasetReport {
+        num_authors,
+        compile_time,
+        index_size: engine.index().size(),
+        num_blocks: engine.index().num_blocks(),
+        queries: rows,
+    }
+}
+
+/// The Figure 1 inventory: dataset statistics plus compiled index statistics.
+#[derive(Debug, Clone)]
+pub struct InventoryReport {
+    /// Dataset table sizes.
+    pub stats: mv_dblp::DatasetStats,
+    /// Index statistics.
+    pub index: mv_index::IndexStats,
+    /// Offline compilation time.
+    pub compile_time: Duration,
+    /// `P0(W)` is not a probability on translated databases; report the
+    /// consistency flag instead.
+    pub consistent: bool,
+}
+
+/// Figure 1: generate the corpus and compile its index, reporting all sizes.
+pub fn fig1_inventory(num_authors: usize) -> InventoryReport {
+    let data = dataset_full(num_authors);
+    let t0 = Instant::now();
+    let translated = mv_core::TranslatedIndb::new(&data.mvdb).expect("translates");
+    let index = match translated.w() {
+        Some(w) => MvIndex::compile(translated.indb(), w).expect("index compiles"),
+        None => MvIndex::empty(translated.indb()),
+    };
+    let compile_time = t0.elapsed();
+    InventoryReport {
+        stats: data.stats,
+        index: index.stats(),
+        compile_time,
+        consistent: index.is_consistent(),
+    }
+}
+
+/// Result of the block-partitioning ablation: per-query time with the
+/// block-partitioned MV-index (the design described in Section 4.1, one
+/// augmented OBDD per key) versus a single monolithic augmented OBDD for the
+/// whole of `W`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockAblationPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Number of blocks of the partitioned index.
+    pub num_blocks: usize,
+    /// Total time for the workload with the partitioned index.
+    pub partitioned: Duration,
+    /// Total time for the workload against the monolithic diagram.
+    pub monolithic: Duration,
+}
+
+/// Ablation: does splitting the MV-index into per-key blocks matter?
+///
+/// Both variants compute exactly the same probabilities; the partitioned
+/// index only has to touch the blocks mentioned by each query, while the
+/// monolithic diagram must be traversed from its first to its last
+/// query-relevant level (Proposition 3), which grows with the database.
+pub fn ablation_block_index(num_authors: usize, num_queries: usize) -> BlockAblationPoint {
+    use mv_index::augmented::AugmentedObdd;
+    use mv_index::intersect::mv_intersect;
+
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let translated = engine.translated();
+    let indb = translated.indb();
+    let queries = data
+        .students_of_advisor_workload(num_queries)
+        .expect("workload");
+
+    // Partitioned (the production path).
+    let t0 = Instant::now();
+    for q in &queries {
+        engine.answers(q).expect("answers");
+    }
+    let partitioned = t0.elapsed();
+
+    // Monolithic: one augmented OBDD for all of W, intersected per answer.
+    let w = translated.w().expect("W exists");
+    let mut builder = ConObddBuilder::for_query(indb, w);
+    let obdd_w = builder.build(w).expect("builds");
+    let prob_of = |t: TupleId| indb.probability(t);
+    let negated = AugmentedObdd::new(obdd_w.negate(), prob_of);
+    let not_w = negated.probability();
+    let synth = SynthesisBuilder::new(builder.order());
+    let t1 = Instant::now();
+    for q in &queries {
+        let per_answer =
+            mv_query::lineage::answer_lineages(q, indb).expect("lineages");
+        for (_row, lin) in per_answer {
+            let q_obdd = synth.from_lineage(&lin).expect("query OBDD");
+            let q_probs = q_obdd.node_probabilities(prob_of);
+            let joint = mv_intersect(&negated, &q_obdd, &q_probs, prob_of);
+            let _p = joint / not_w;
+        }
+    }
+    let monolithic = t1.elapsed();
+
+    BlockAblationPoint {
+        num_authors,
+        num_blocks: engine.index().num_blocks(),
+        partitioned,
+        monolithic,
+    }
+}
+
+/// Result of the `π`-order ablation: compiling the MV-index with the inferred
+/// separator-first attribute permutations versus the identity permutations.
+#[derive(Debug, Clone, Copy)]
+pub struct PiAblationPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Compilation time and synthesis-step count with the inferred `π`.
+    pub inferred: (Duration, usize),
+    /// Compilation time and synthesis-step count with the identity `π`.
+    pub identity: (Duration, usize),
+    /// Index sizes (total OBDD nodes) for the two orders.
+    pub sizes: (usize, usize),
+}
+
+/// Ablation: does the separator-first attribute permutation heuristic of
+/// Section 4.2 matter? The probe query is a variant of V2 whose separator is
+/// the *second* attribute of `Advisor` ("an advisor has at most one
+/// student"): with the inferred `π` that attribute is moved to the front and
+/// the per-value groundings stay level-contiguous (pure concatenation); with
+/// the identity `π` they interleave, so the builder must fall back to
+/// synthesis and the diagram loses its narrow structure.
+pub fn ablation_pi_order(num_authors: usize) -> PiAblationPoint {
+    let data = dataset_v1v2(num_authors);
+    let translated = mv_core::TranslatedIndb::new(&data.mvdb).expect("translates");
+    let indb = translated.indb();
+    let probe = parse_ucq("W() :- Advisor(aid1, aid2), Advisor(aid3, aid2), aid1 <> aid3")
+        .expect("probe parses");
+
+    let t0 = Instant::now();
+    let mut inferred_builder = ConObddBuilder::for_query(indb, &probe);
+    let inferred_obdd = inferred_builder.build(&probe).expect("builds");
+    let inferred_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut identity_builder = ConObddBuilder::new(indb, &mv_obdd::PiOrder::identity());
+    let identity_obdd = identity_builder.build(&probe).expect("builds");
+    let identity_time = t1.elapsed();
+
+    PiAblationPoint {
+        num_authors,
+        inferred: (inferred_time, inferred_builder.stats().syntheses),
+        identity: (identity_time, identity_builder.stats().syntheses),
+        sizes: (inferred_obdd.size(), identity_obdd.size()),
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision (the unit of the
+/// paper's plots).
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Sanity helper used by benches: checks an engine answers a workload with
+/// probabilities in `[0, 1]`.
+pub fn check_workload(engine: &MvdbEngine, queries: &[Ucq]) {
+    for q in queries {
+        for (_, p) in engine.answers(q).expect("answers") {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability {p} out of range");
+        }
+    }
+}
+
+/// Convenience used by benches: compile an engine with a specific
+/// intersection algorithm.
+pub fn compile_engine(data: &DblpDataset, algo: IntersectAlgorithm) -> MvdbEngine {
+    MvdbEngine::compile_with(&data.mvdb, algo).expect("compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_point_reports_nonzero_lineage() {
+        let p = fig4_lineage_size(200);
+        assert!(p.lineage_size > 0);
+        assert!(p.num_clauses > 0);
+        assert_eq!(p.num_authors, 200);
+    }
+
+    #[test]
+    fn fig7_fig8_point_reports_matching_sizes() {
+        let p = fig7_fig8_obdd_construction(200);
+        assert!(p.obdd_size > 0);
+        assert!(p.sizes_match, "ConOBDD and synthesis must build the same reduced OBDD");
+    }
+
+    #[test]
+    fn fig9_point_produces_positive_times() {
+        let p = fig9_intersection(200, 3);
+        assert!(p.index_size > 0);
+        assert!(p.mv_intersect.as_nanos() > 0);
+        assert!(p.cc_mv_intersect.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fig10_report_contains_one_row_per_query() {
+        let r = fig10_fig11_full_dataset(300, 5, false);
+        assert_eq!(r.queries.len(), 5);
+        assert!(r.index_size > 0);
+        let r = fig10_fig11_full_dataset(300, 3, true);
+        assert_eq!(r.queries.len(), 3);
+    }
+
+    #[test]
+    fn fig1_inventory_reports_consistent_index() {
+        let r = fig1_inventory(200);
+        assert!(r.consistent);
+        assert!(r.stats.student > 0);
+        assert!(r.index.num_blocks > 0);
+    }
+
+    #[test]
+    fn block_ablation_reports_both_variants() {
+        let p = ablation_block_index(200, 2);
+        assert!(p.num_blocks > 1);
+        assert!(p.partitioned.as_nanos() > 0);
+        assert!(p.monolithic.as_nanos() > 0);
+    }
+
+    #[test]
+    fn pi_ablation_reports_both_orders() {
+        let p = ablation_pi_order(200);
+        // Both orders build a correct index; the inferred order needs no more
+        // synthesis steps than the identity order.
+        assert!(p.inferred.1 <= p.identity.1);
+        assert!(p.sizes.0 > 0 && p.sizes.1 > 0);
+    }
+
+    #[test]
+    fn method_comparison_runs_all_baselines() {
+        let t = fig5_advisor_of_student(150, 2);
+        assert!(t.alchemy_total >= t.alchemy_sampling);
+        assert!(t.mv_index.as_nanos() > 0);
+        assert!(t.augmented_obdd.as_nanos() > 0);
+        let t = fig6_students_of_advisor(150, 2);
+        assert!(t.alchemy_total.as_nanos() > 0);
+    }
+}

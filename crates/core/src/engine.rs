@@ -1,0 +1,445 @@
+//! End-to-end query evaluation on MVDBs.
+//!
+//! [`MvdbEngine::compile`] performs the offline phase: it translates the MVDB
+//! into a tuple-independent database (Definition 5) and compiles the helper
+//! query `W` into an MV-index (Section 4). Online, [`MvdbEngine::probability`]
+//! evaluates a Boolean query `Q` through Theorem 1,
+//!
+//! ```text
+//! P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W)) = P0(Q ∧ ¬W) / P0(¬W)
+//! ```
+//!
+//! computing `P0(Q ∧ ¬W)` by intersecting the (small) query OBDD with the
+//! compiled index. [`MvdbEngine::answers`] does the same for every answer of
+//! a non-Boolean query. Alternative back-ends ([`EngineBackend`]) evaluate
+//! the same formula without the index — by building the OBDD of `Q ∨ W` per
+//! query, by Shannon expansion of the lineage, or by a safe plan — and exist
+//! for validation and for the benchmark comparisons of Section 5.
+
+use mv_index::{IntersectAlgorithm, MvIndex};
+use mv_obdd::ConObddBuilder;
+use mv_pdb::Row;
+use mv_query::eval::EvalContext;
+use mv_query::lineage::{answer_lineages, lineage_with};
+use mv_query::Ucq;
+
+use crate::error::CoreError;
+use crate::mvdb::Mvdb;
+use crate::translate::TranslatedIndb;
+use crate::Result;
+
+/// How the probabilities `P0(Q ∨ W)` and `P0(W)` are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineBackend {
+    /// Use the precompiled MV-index (the paper's proposal).
+    MvIndex(IntersectAlgorithm),
+    /// Build an OBDD for `Q ∨ W` from scratch for every query (the
+    /// "augmented OBDD" baseline of Figures 5–6).
+    ObddPerQuery,
+    /// Shannon expansion on the lineage of `Q ∨ W` (generic exact inference).
+    Shannon,
+    /// Lifted inference (safe plans); fails on unsafe queries.
+    SafePlan,
+}
+
+/// Smallest `P0(¬W)` treated as consistent.
+const MIN_NOT_W: f64 = 1e-300;
+
+/// A compiled MVDB ready for query answering.
+#[derive(Debug, Clone)]
+pub struct MvdbEngine {
+    translated: TranslatedIndb,
+    index: MvIndex,
+    algorithm: IntersectAlgorithm,
+}
+
+impl MvdbEngine {
+    /// Translates the MVDB and compiles its MV-index, using the
+    /// cache-conscious intersection by default.
+    pub fn compile(mvdb: &Mvdb) -> Result<Self> {
+        Self::compile_with(mvdb, IntersectAlgorithm::CcMvIntersect)
+    }
+
+    /// Like [`MvdbEngine::compile`] with an explicit intersection algorithm.
+    pub fn compile_with(mvdb: &Mvdb, algorithm: IntersectAlgorithm) -> Result<Self> {
+        let translated = TranslatedIndb::new(mvdb)?;
+        let index = match translated.w() {
+            Some(w) => MvIndex::compile(translated.indb(), w)?,
+            None => MvIndex::empty(translated.indb()),
+        };
+        if !index.is_consistent() {
+            return Err(CoreError::InconsistentViews);
+        }
+        Ok(MvdbEngine {
+            translated,
+            index,
+            algorithm,
+        })
+    }
+
+    /// The translated tuple-independent database.
+    pub fn translated(&self) -> &TranslatedIndb {
+        &self.translated
+    }
+
+    /// The compiled MV-index.
+    pub fn index(&self) -> &MvIndex {
+        &self.index
+    }
+
+    /// `P0(W)` on the translated database.
+    pub fn prob_w(&self) -> f64 {
+        self.index.prob_w()
+    }
+
+    /// The probability of a Boolean query under the MVDB semantics, via the
+    /// MV-index.
+    pub fn probability(&self, query: &Ucq) -> Result<f64> {
+        self.probability_with_backend(query, EngineBackend::MvIndex(self.algorithm))
+    }
+
+    /// The probability of a Boolean query using an explicit back-end.
+    pub fn probability_with_backend(&self, query: &Ucq, backend: EngineBackend) -> Result<f64> {
+        if !query.is_boolean() {
+            return Err(CoreError::NotBoolean(query.name.clone()));
+        }
+        let indb = self.translated.indb();
+        let ctx = EvalContext::new(indb.database());
+        let lin_q = lineage_with(query, indb, &ctx)?;
+        match backend {
+            EngineBackend::MvIndex(algo) => {
+                let p = self.index.conditional_probability(&lin_q, indb, algo)?;
+                Ok(p)
+            }
+            EngineBackend::ObddPerQuery => {
+                let (p_q_or_w, p_w) = match self.translated.w() {
+                    Some(w) => {
+                        let q_or_w = query.boolean().union(w);
+                        let mut builder = ConObddBuilder::for_query(indb, &q_or_w);
+                        let obdd_q_or_w = builder.build(&q_or_w)?;
+                        let obdd_w = builder.build(w)?;
+                        (
+                            obdd_q_or_w.probability(|t| indb.probability(t)),
+                            obdd_w.probability(|t| indb.probability(t)),
+                        )
+                    }
+                    None => {
+                        let mut builder = ConObddBuilder::for_query(indb, query);
+                        let obdd_q = builder.build(query)?;
+                        (obdd_q.probability(|t| indb.probability(t)), 0.0)
+                    }
+                };
+                theorem1(p_q_or_w, p_w)
+            }
+            EngineBackend::Shannon => {
+                let (p_q_or_w, p_w) = match self.translated.w() {
+                    Some(w) => {
+                        let lin_w = lineage_with(w, indb, &ctx)?;
+                        (
+                            mv_query::shannon_probability(&lin_q.or(&lin_w), indb),
+                            mv_query::shannon_probability(&lin_w, indb),
+                        )
+                    }
+                    None => (mv_query::shannon_probability(&lin_q, indb), 0.0),
+                };
+                theorem1(p_q_or_w, p_w)
+            }
+            EngineBackend::SafePlan => {
+                let (p_q_or_w, p_w) = match self.translated.w() {
+                    Some(w) => {
+                        let q_or_w = query.boolean().union(w);
+                        (
+                            mv_query::safe_probability(&q_or_w, indb)
+                                .map_err(|e| CoreError::Query(to_query_error(e)))?,
+                            mv_query::safe_probability(w, indb)
+                                .map_err(|e| CoreError::Query(to_query_error(e)))?,
+                        )
+                    }
+                    None => (
+                        mv_query::safe_probability(&query.boolean(), indb)
+                            .map_err(|e| CoreError::Query(to_query_error(e)))?,
+                        0.0,
+                    ),
+                };
+                theorem1(p_q_or_w, p_w)
+            }
+        }
+    }
+
+    /// Evaluates a non-Boolean query: returns every answer tuple together
+    /// with its probability under the MVDB semantics.
+    pub fn answers(&self, query: &Ucq) -> Result<Vec<(Row, f64)>> {
+        let indb = self.translated.indb();
+        let per_answer = answer_lineages(query, indb)?;
+        let mut out = Vec::with_capacity(per_answer.len());
+        for (row, lin) in per_answer {
+            let p = self
+                .index
+                .conditional_probability(&lin, indb, self.algorithm)?;
+            out.push((row, p));
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a non-Boolean query and returns the `k` most probable
+    /// answers, sorted by decreasing probability (ties broken by the answer
+    /// tuple, so the result is deterministic).
+    pub fn top_answers(&self, query: &Ucq, k: usize) -> Result<Vec<(Row, f64)>> {
+        let mut answers = self.answers(query)?;
+        answers.sort_by(|(row_a, p_a), (row_b, p_b)| {
+            p_b.partial_cmp(p_a)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| row_a.cmp(row_b))
+        });
+        answers.truncate(k);
+        Ok(answers)
+    }
+}
+
+/// Applies the right-hand side of Theorem 1.
+fn theorem1(p_q_or_w: f64, p_w: f64) -> Result<f64> {
+    let not_w = 1.0 - p_w;
+    if not_w.abs() < MIN_NOT_W {
+        return Err(CoreError::InconsistentViews);
+    }
+    Ok((p_q_or_w - p_w) / not_w)
+}
+
+/// Converts a safe-plan failure into a query error preserving the message.
+fn to_query_error(e: mv_query::SafePlanError) -> mv_query::QueryError {
+    match e {
+        mv_query::SafePlanError::Query(q) => q,
+        mv_query::SafePlanError::Unsafe(msg) => mv_query::QueryError::Parse {
+            message: format!("query has no safe plan: {msg}"),
+            position: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvdb::MvdbBuilder;
+    use crate::view::MarkoView;
+    use mv_pdb::Value;
+    use mv_query::parse_ucq;
+
+    fn example1(view_weight: f64) -> Mvdb {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 3.0).unwrap();
+        b.weighted_tuple("S", &["a"], 4.0).unwrap();
+        b.marko_view(&format!("V(x)[{view_weight}] :- R(x), S(x)")).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A richer MVDB exercising several views, a denial constraint and a
+    /// parameterised weight.
+    fn advisors() -> Mvdb {
+        let mut b = MvdbBuilder::new();
+        b.deterministic_relation("Author", &["aid", "name"]).unwrap();
+        b.relation("Student", &["aid"]).unwrap();
+        b.relation("Advisor", &["aid", "aid2"]).unwrap();
+        b.fact("Author", &[Value::int(1), Value::str("alice")]).unwrap();
+        b.fact("Author", &[Value::int(2), Value::str("bob the advisor")]).unwrap();
+        b.fact("Author", &[Value::int(3), Value::str("carol the advisor")]).unwrap();
+        b.weighted_tuple("Student", &[Value::int(1)], 2.0).unwrap();
+        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(2)], 1.0).unwrap();
+        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(3)], 0.5).unwrap();
+        // The more likely someone is a student, the more likely they have an
+        // advisor (positive correlation), cf. V1.
+        b.marko_view("V1(x, y)[3] :- Student(x), Advisor(x, y)").unwrap();
+        // A person has at most one advisor, cf. V2.
+        b.marko_view("V2(x, y, z)[0] :- Advisor(x, y), Advisor(x, z), y <> z").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example1_matches_the_mln_semantics_for_all_backends() {
+        for w in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let mvdb = example1(w);
+            let engine = MvdbEngine::compile(&mvdb).unwrap();
+            for q_text in ["Q() :- R(x), S(x)", "Q() :- R(x)", "Q() :- R(x) ; Q() :- S(x)"] {
+                let q = parse_ucq(q_text).unwrap();
+                let expected = mvdb.exact_probability(&q).unwrap();
+                for backend in [
+                    EngineBackend::MvIndex(IntersectAlgorithm::MvIntersect),
+                    EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
+                    EngineBackend::ObddPerQuery,
+                    EngineBackend::Shannon,
+                ] {
+                    let p = engine.probability_with_backend(&q, backend).unwrap();
+                    assert!(
+                        (p - expected).abs() < 1e-9,
+                        "w = {w}, {q_text}, {backend:?}: {p} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quickstart_numbers_from_the_crate_docs() {
+        let mvdb = example1(0.5);
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let p = engine.probability(&q).unwrap();
+        assert!((p - 0.5 * 12.0 / (1.0 + 3.0 + 4.0 + 0.5 * 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advisors_mvdb_matches_exact_semantics() {
+        let mvdb = advisors();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        for q_text in [
+            "Q() :- Advisor(1, 2)",
+            "Q() :- Advisor(1, 3)",
+            "Q() :- Student(1), Advisor(1, y)",
+            "Q() :- Advisor(1, 2), Advisor(1, 3)",
+            "Q() :- Student(1)",
+        ] {
+            let q = parse_ucq(q_text).unwrap();
+            let expected = mvdb.exact_probability(&q).unwrap();
+            let p = engine.probability(&q).unwrap();
+            assert!(
+                (p - expected).abs() < 1e-9,
+                "{q_text}: engine {p} vs exact {expected}"
+            );
+        }
+        // The denial view makes two simultaneous advisors impossible.
+        let both = parse_ucq("Q() :- Advisor(1, 2), Advisor(1, 3)").unwrap();
+        assert!(engine.probability(&both).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn answers_return_per_tuple_probabilities() {
+        let mvdb = advisors();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq(
+            "Q(y) :- Student(x), Advisor(x, y), Author(y, n), n like '%advisor%'",
+        )
+        .unwrap();
+        let answers = engine.answers(&q).unwrap();
+        assert_eq!(answers.len(), 2);
+        for (row, p) in &answers {
+            let bound = q.bind_head(std::slice::from_ref(&row[0]));
+            let expected = mvdb.exact_probability(&bound).unwrap();
+            assert!((p - expected).abs() < 1e-9, "answer {row:?}");
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn safe_plan_backend_works_on_safe_translations() {
+        // A single-view MVDB whose W is safe.
+        let mvdb = example1(0.5);
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        let expected = mvdb.exact_probability(&q).unwrap();
+        let p = engine
+            .probability_with_backend(&q, EngineBackend::SafePlan)
+            .unwrap();
+        assert!((p - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_with_head_variables_are_rejected_by_probability() {
+        let mvdb = example1(0.5);
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q(x) :- R(x)").unwrap();
+        assert!(matches!(
+            engine.probability(&q),
+            Err(CoreError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_hard_constraints_are_detected() {
+        let mut b = MvdbBuilder::new();
+        b.deterministic_relation("D", &["x"]).unwrap();
+        b.relation("R", &["x"]).unwrap();
+        b.fact("D", &["a"]).unwrap();
+        b.weighted_tuple("R", &["a"], 1.0).unwrap();
+        // Denial view over a deterministic fact: no world satisfies ¬W.
+        b.marko_view("V(x)[0] :- D(x)").unwrap();
+        let mvdb = b.build().unwrap();
+        assert!(matches!(
+            MvdbEngine::compile(&mvdb),
+            Err(CoreError::InconsistentViews)
+        ));
+    }
+
+    #[test]
+    fn mvdb_without_views_behaves_like_a_tuple_independent_database() {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 3.0).unwrap();
+        b.weighted_tuple("R", &["b"], 1.0).unwrap();
+        let mvdb = b.build().unwrap();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        assert_eq!(engine.prob_w(), 0.0);
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        let p = engine.probability(&q).unwrap();
+        assert!((p - (1.0 - 0.25 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_answers_are_sorted_and_truncated() {
+        let mvdb = advisors();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q(y) :- Advisor(1, y)").unwrap();
+        let all = engine.answers(&q).unwrap();
+        let top1 = engine.top_answers(&q, 1).unwrap();
+        assert_eq!(top1.len(), 1);
+        let max = all.iter().map(|(_, p)| *p).fold(f64::NEG_INFINITY, f64::max);
+        assert!((top1[0].1 - max).abs() < 1e-12);
+        let top_all = engine.top_answers(&q, 10).unwrap();
+        assert_eq!(top_all.len(), all.len());
+        for pair in top_all.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn map_state_respects_the_denial_view() {
+        let mvdb = advisors();
+        let map = mvdb.map_tuples().unwrap();
+        // The most likely world never contains two advisors for the same
+        // student (the denial view gives such worlds weight 0).
+        let advisors_of_1: Vec<_> = map
+            .iter()
+            .filter(|(rel, row)| rel == "Advisor" && row[0] == Value::int(1))
+            .collect();
+        assert!(advisors_of_1.len() <= 1);
+        // MAP weight is positive (the MVDB is consistent).
+        assert!(mvdb.map_state().unwrap().weight > 0.0);
+    }
+
+    #[test]
+    fn per_tuple_weight_views_flow_through_the_engine() {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 1.0).unwrap();
+        b.weighted_tuple("R", &["b"], 1.0).unwrap();
+        b.weighted_tuple("S", &["a"], 1.0).unwrap();
+        b.weighted_tuple("S", &["b"], 1.0).unwrap();
+        let q = parse_ucq("V(x) :- R(x), S(x)").unwrap();
+        b.add_view(MarkoView::with_weight_fn("V", q, |row| {
+            if row[0] == Value::str("a") {
+                4.0
+            } else {
+                0.25
+            }
+        }));
+        let mvdb = b.build().unwrap();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        for q_text in ["Q() :- R('a'), S('a')", "Q() :- R('b'), S('b')"] {
+            let q = parse_ucq(q_text).unwrap();
+            let expected = mvdb.exact_probability(&q).unwrap();
+            let p = engine.probability(&q).unwrap();
+            assert!((p - expected).abs() < 1e-9, "{q_text}");
+        }
+    }
+}

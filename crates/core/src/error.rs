@@ -1,0 +1,115 @@
+//! Error type of the MVDB core.
+
+use std::fmt;
+
+/// Errors raised while building, translating or querying an MVDB.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A database-level error.
+    Pdb(mv_pdb::PdbError),
+    /// A query-level error.
+    Query(mv_query::QueryError),
+    /// An OBDD-level error.
+    Obdd(mv_obdd::ObddError),
+    /// An MV-index error.
+    Index(mv_index::MvIndexError),
+    /// An MLN error.
+    Mln(mv_mln::MlnError),
+    /// A MarkoView weight annotation could not be interpreted.
+    InvalidViewWeight {
+        /// Name of the view.
+        view: String,
+        /// The offending annotation text.
+        annotation: String,
+    },
+    /// A MarkoView produced a negative or NaN weight for one of its tuples.
+    InvalidTupleWeight {
+        /// Name of the view.
+        view: String,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The MVDB is inconsistent: the hard constraints exclude every world
+    /// (`P0(¬W) = 0`), so conditional probabilities are undefined.
+    InconsistentViews,
+    /// The query passed to the engine was not Boolean where a Boolean query
+    /// was required.
+    NotBoolean(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Pdb(e) => write!(f, "database error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Obdd(e) => write!(f, "OBDD error: {e}"),
+            CoreError::Index(e) => write!(f, "MV-index error: {e}"),
+            CoreError::Mln(e) => write!(f, "MLN error: {e}"),
+            CoreError::InvalidViewWeight { view, annotation } => write!(
+                f,
+                "cannot interpret the weight annotation `[{annotation}]` of MarkoView `{view}`: \
+                 expected a non-negative constant; use `MarkoView::with_weight_fn` for computed weights"
+            ),
+            CoreError::InvalidTupleWeight { view, weight } => write!(
+                f,
+                "MarkoView `{view}` produced the invalid tuple weight {weight}: weights must be in [0, +inf]"
+            ),
+            CoreError::InconsistentViews => write!(
+                f,
+                "the MarkoViews are inconsistent: every possible world violates a hard constraint"
+            ),
+            CoreError::NotBoolean(name) => {
+                write!(f, "query `{name}` has head variables; bind them or use `answers`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mv_pdb::PdbError> for CoreError {
+    fn from(e: mv_pdb::PdbError) -> Self {
+        CoreError::Pdb(e)
+    }
+}
+
+impl From<mv_query::QueryError> for CoreError {
+    fn from(e: mv_query::QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<mv_obdd::ObddError> for CoreError {
+    fn from(e: mv_obdd::ObddError) -> Self {
+        CoreError::Obdd(e)
+    }
+}
+
+impl From<mv_index::MvIndexError> for CoreError {
+    fn from(e: mv_index::MvIndexError) -> Self {
+        CoreError::Index(e)
+    }
+}
+
+impl From<mv_mln::MlnError> for CoreError {
+    fn from(e: mv_mln::MlnError) -> Self {
+        CoreError::Mln(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = mv_pdb::PdbError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        let e = CoreError::InvalidViewWeight {
+            view: "V1".into(),
+            annotation: "count(pid)/2".into(),
+        };
+        assert!(e.to_string().contains("V1"));
+        assert!(CoreError::InconsistentViews.to_string().contains("inconsistent"));
+    }
+}

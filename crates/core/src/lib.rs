@@ -1,0 +1,40 @@
+//! # `mv-core` — MarkoViews and MVDBs
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`view`] — [`MarkoView`]: a weighted view over the probabilistic tables
+//!   (Definition 3). Weights can be constants (parsed from the
+//!   `V(x̄)[w] :- …` syntax) or arbitrary per-output-tuple functions (the
+//!   parameterised weights of Figure 1, e.g. `exp(0.25·count(pid))`,
+//!   computed against the deterministic data).
+//! * [`mvdb`] — [`Mvdb`] and [`MvdbBuilder`]: a probabilistic database with
+//!   MarkoViews (Definition 3/4), its MLN semantics
+//!   ([`Mvdb::to_ground_mln`]), and exact reference inference for small
+//!   instances ([`Mvdb::exact_probability`]).
+//! * [`translate`] — [`TranslatedIndb`]: the translation of Definition 5 and
+//!   Theorem 1 from an MVDB to a tuple-independent database with the new
+//!   `NV` relations (whose weights `(1 − w)/w` may be negative) and the
+//!   helper query `W`.
+//! * [`engine`] — [`MvdbEngine`]: the end-to-end query processor. It
+//!   compiles `W` into an MV-index offline and answers queries online via
+//!   `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`, with alternative back-ends
+//!   (Shannon expansion on the lineage, safe plans, or the exact MLN
+//!   semantics) for validation and benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod mvdb;
+pub mod translate;
+pub mod view;
+
+pub use engine::{EngineBackend, MvdbEngine};
+pub use error::CoreError;
+pub use mvdb::{Mvdb, MvdbBuilder};
+pub use translate::TranslatedIndb;
+pub use view::{MarkoView, WeightExpr};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,61 @@
+//! Error type of the MLN layer.
+
+use std::fmt;
+
+/// Errors raised while grounding or running inference on an MLN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlnError {
+    /// Exact inference was requested for a network with too many ground atoms.
+    TooManyAtoms {
+        /// Number of ground atoms.
+        count: usize,
+        /// Maximum supported by exact enumeration.
+        limit: usize,
+    },
+    /// A feature carries an invalid weight (negative or NaN).
+    InvalidWeight(f64),
+    /// The hard constraints of the network are unsatisfiable (or SampleSAT
+    /// failed to find a satisfying state within its flip budget).
+    HardConstraintsUnsatisfied,
+    /// A query-level error (parsing, unknown relation, …).
+    Query(mv_query::QueryError),
+}
+
+impl fmt::Display for MlnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlnError::TooManyAtoms { count, limit } => write!(
+                f,
+                "exact MLN inference over {count} ground atoms exceeds the limit of {limit}"
+            ),
+            MlnError::InvalidWeight(w) => {
+                write!(f, "invalid feature weight {w}: weights must be in [0, +inf]")
+            }
+            MlnError::HardConstraintsUnsatisfied => {
+                write!(f, "the hard constraints of the MLN could not be satisfied")
+            }
+            MlnError::Query(e) => write!(f, "query error while grounding: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlnError {}
+
+impl From<mv_query::QueryError> for MlnError {
+    fn from(e: mv_query::QueryError) -> Self {
+        MlnError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlnError::TooManyAtoms { count: 30, limit: 24 }.to_string().contains("30"));
+        assert!(MlnError::InvalidWeight(-1.0).to_string().contains("-1"));
+        let e: MlnError = mv_query::QueryError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+    }
+}

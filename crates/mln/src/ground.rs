@@ -1,0 +1,259 @@
+//! Grounded Markov Logic Networks and exact inference.
+//!
+//! A [`GroundMln`] is a Markov Network over the Boolean tuple variables
+//! `X_0 … X_{n-1}`: a set of [`GroundFeature`]s, each a positive Boolean
+//! formula in DNF (a [`Lineage`]) with a multiplicative weight in `[0, +inf]`.
+//! The weight of a world is the product of the weights of the satisfied
+//! features (Equation 1); probabilities are obtained by dividing by the
+//! partition function `Z` (Equation 2).
+//!
+//! Exact inference enumerates all `2^n` worlds and is therefore limited to
+//! small networks — it is the ground-truth oracle for Definition 4 of the
+//! paper and for the MC-SAT sampler.
+
+use mv_pdb::TupleId;
+use mv_query::Lineage;
+
+use crate::error::MlnError;
+use crate::Result;
+
+/// One ground feature: a Boolean formula with a multiplicative weight.
+#[derive(Debug, Clone)]
+pub struct GroundFeature {
+    /// The formula, in DNF over tuple variables.
+    pub formula: Lineage,
+    /// The multiplicative weight: `0` makes the formula a denial constraint,
+    /// `+inf` makes it a hard requirement, `1` is indifference.
+    pub weight: f64,
+}
+
+impl GroundFeature {
+    /// `true` when the feature is a hard constraint (weight `0` or `+inf`).
+    pub fn is_hard(&self) -> bool {
+        self.weight == 0.0 || self.weight.is_infinite()
+    }
+
+    /// Evaluates the formula under a truth assignment.
+    pub fn satisfied_by(&self, truth: impl Fn(TupleId) -> bool) -> bool {
+        self.formula.eval_with(truth)
+    }
+}
+
+/// A grounded Markov Logic Network.
+#[derive(Debug, Clone, Default)]
+pub struct GroundMln {
+    num_vars: usize,
+    features: Vec<GroundFeature>,
+}
+
+impl GroundMln {
+    /// Maximum number of ground atoms supported by exact enumeration.
+    pub const MAX_EXACT_ATOMS: usize = 24;
+
+    /// Creates a network over `num_vars` ground atoms (tuple variables
+    /// `X_0 … X_{num_vars-1}`) with no features.
+    pub fn new(num_vars: usize) -> Self {
+        GroundMln {
+            num_vars,
+            features: Vec::new(),
+        }
+    }
+
+    /// Number of ground atoms.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The ground features.
+    pub fn features(&self) -> &[GroundFeature] {
+        &self.features
+    }
+
+    /// Number of ground features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Adds a weighted formula. Weights must be in `[0, +inf]` (NaN and
+    /// negative weights are rejected).
+    pub fn add_feature(&mut self, formula: Lineage, weight: f64) -> Result<()> {
+        if weight.is_nan() || weight < 0.0 {
+            return Err(MlnError::InvalidWeight(weight));
+        }
+        self.features.push(GroundFeature { formula, weight });
+        Ok(())
+    }
+
+    /// Adds the single-atom feature `(X_t, weight)` — the per-tuple features
+    /// of Definition 4.
+    pub fn add_atom_feature(&mut self, tuple: TupleId, weight: f64) -> Result<()> {
+        self.add_feature(Lineage::from_clauses(vec![vec![tuple]]), weight)
+    }
+
+    /// The un-normalised weight `Φ(I)` of the world described by `mask`
+    /// (bit `i` = atom `X_i` is true).
+    pub fn world_weight(&self, mask: u64) -> f64 {
+        let mut w = 1.0;
+        for f in &self.features {
+            if f.formula.eval(mask) {
+                if f.weight.is_infinite() {
+                    // Hard "must hold" features contribute factor 1 when
+                    // satisfied (the limit semantics of w → ∞).
+                    continue;
+                }
+                w *= f.weight;
+                if w == 0.0 {
+                    return 0.0;
+                }
+            } else if f.weight.is_infinite() {
+                // Unsatisfied hard feature: the world is impossible.
+                return 0.0;
+            }
+        }
+        w
+    }
+
+    fn check_exact(&self) -> Result<()> {
+        if self.num_vars > Self::MAX_EXACT_ATOMS {
+            return Err(MlnError::TooManyAtoms {
+                count: self.num_vars,
+                limit: Self::MAX_EXACT_ATOMS,
+            });
+        }
+        Ok(())
+    }
+
+    /// The partition function `Z = Σ_I Φ(I)` by exhaustive enumeration.
+    pub fn partition_function(&self) -> Result<f64> {
+        self.check_exact()?;
+        let mut z = 0.0;
+        for mask in 0u64..(1u64 << self.num_vars) {
+            z += self.world_weight(mask);
+        }
+        Ok(z)
+    }
+
+    /// Exact probability of a Boolean query given by its lineage:
+    /// `P(Q) = Σ_{I ⊨ Q} Φ(I) / Z`.
+    pub fn exact_probability(&self, query: &Lineage) -> Result<f64> {
+        self.check_exact()?;
+        let mut z = 0.0;
+        let mut sat = 0.0;
+        for mask in 0u64..(1u64 << self.num_vars) {
+            let w = self.world_weight(mask);
+            z += w;
+            if query.eval(mask) {
+                sat += w;
+            }
+        }
+        Ok(sat / z)
+    }
+
+    /// Exact marginal probability of a single ground atom.
+    pub fn exact_marginal(&self, tuple: TupleId) -> Result<f64> {
+        self.exact_probability(&Lineage::from_clauses(vec![vec![tuple]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    /// The two-tuple MLN of Section 2.3: features (R(a1), w1), (R(a2), w2).
+    fn independent_mln(w1: f64, w2: f64) -> GroundMln {
+        let mut mln = GroundMln::new(2);
+        mln.add_atom_feature(t(0), w1).unwrap();
+        mln.add_atom_feature(t(1), w2).unwrap();
+        mln
+    }
+
+    #[test]
+    fn two_independent_tuples_recover_tuple_probabilities() {
+        let mln = independent_mln(3.0, 1.0);
+        // Z = (1 + w1)(1 + w2) = 8.
+        assert!((mln.partition_function().unwrap() - 8.0).abs() < 1e-12);
+        // Marginals are w/(1+w).
+        assert!((mln.exact_marginal(t(0)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((mln.exact_marginal(t(1)).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_correlated_tuples() {
+        // Example 1 of the paper: R(a), S(a) with weights w1, w2 and a
+        // MarkoView of weight w over their conjunction. Worlds have weights
+        // 1, w1, w2, w·w1·w2.
+        let (w1, w2, w) = (3.0, 4.0, 0.5);
+        let mut mln = independent_mln(w1, w2);
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), w).unwrap();
+        let z = mln.partition_function().unwrap();
+        assert!((z - (1.0 + w1 + w2 + w * w1 * w2)).abs() < 1e-12);
+        let p_both = mln
+            .exact_probability(&Lineage::from_clauses(vec![vec![t(0), t(1)]]))
+            .unwrap();
+        assert!((p_both - w * w1 * w2 / z).abs() < 1e-12);
+        // P(R(a) ∨ S(a)) = (w1 + w2 + w w1 w2)/Z as computed in Section 3.1.
+        let p_or = mln
+            .exact_probability(&Lineage::from_clauses(vec![vec![t(0)], vec![t(1)]]))
+            .unwrap();
+        assert!((p_or - (w1 + w2 + w * w1 * w2) / z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_extremes_mean_exclusion_and_certainty() {
+        // w = 0 makes the two tuples exclusive.
+        let mut mln = independent_mln(1.0, 1.0);
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), 0.0).unwrap();
+        let p_both = mln
+            .exact_probability(&Lineage::from_clauses(vec![vec![t(0), t(1)]]))
+            .unwrap();
+        assert_eq!(p_both, 0.0);
+        // w = ∞ makes both tuples certain.
+        let mut mln = independent_mln(1.0, 1.0);
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), f64::INFINITY)
+            .unwrap();
+        let p_both = mln
+            .exact_probability(&Lineage::from_clauses(vec![vec![t(0), t(1)]]))
+            .unwrap();
+        assert!((p_both - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let mut mln = GroundMln::new(1);
+        assert!(matches!(
+            mln.add_atom_feature(t(0), -1.0),
+            Err(MlnError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            mln.add_atom_feature(t(0), f64::NAN),
+            Err(MlnError::InvalidWeight(_))
+        ));
+    }
+
+    #[test]
+    fn exact_inference_rejects_large_networks() {
+        let mln = GroundMln::new(40);
+        assert!(matches!(
+            mln.partition_function(),
+            Err(MlnError::TooManyAtoms { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_accessors() {
+        let mut mln = GroundMln::new(3);
+        mln.add_atom_feature(t(1), 2.0).unwrap();
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(2)]]), f64::INFINITY)
+            .unwrap();
+        assert_eq!(mln.num_vars(), 3);
+        assert_eq!(mln.num_features(), 2);
+        assert!(!mln.features()[0].is_hard());
+        assert!(mln.features()[1].is_hard());
+        assert!(mln.features()[1].satisfied_by(|_| true));
+        assert!(!mln.features()[1].satisfied_by(|_| false));
+    }
+}

@@ -1,0 +1,247 @@
+//! MAP (maximum a posteriori) inference.
+//!
+//! Section 2.3 of the paper distinguishes two inference tasks over MLNs:
+//! *marginal* inference (the subject of the paper) and *MAP* inference — the
+//! most likely possible world. The paper notes that its solutions "easily
+//! generalize to solve the MAP inference problem as well"; this module
+//! provides that generalisation for the grounded networks used here:
+//!
+//! * [`GroundMln::exact_map`] — exhaustive search over all worlds (the
+//!   ground-truth oracle, limited to small networks);
+//! * [`simulated_annealing_map`] — a MaxWalkSAT-style annealed local search
+//!   for larger networks, the standard approximate MAP technique.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ground::GroundMln;
+use crate::error::MlnError;
+use crate::Result;
+
+/// The result of a MAP computation: the state of every ground atom and the
+/// (un-normalised) weight of that world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapState {
+    /// Truth value of every ground atom.
+    pub state: Vec<bool>,
+    /// The world weight `Φ(I)` of the state.
+    pub weight: f64,
+}
+
+impl GroundMln {
+    /// Exact MAP inference by enumerating all worlds. Limited to
+    /// [`GroundMln::MAX_EXACT_ATOMS`] ground atoms.
+    pub fn exact_map(&self) -> Result<MapState> {
+        if self.num_vars() > Self::MAX_EXACT_ATOMS {
+            return Err(MlnError::TooManyAtoms {
+                count: self.num_vars(),
+                limit: Self::MAX_EXACT_ATOMS,
+            });
+        }
+        let mut best_mask = 0u64;
+        let mut best_weight = f64::NEG_INFINITY;
+        for mask in 0u64..(1u64 << self.num_vars()) {
+            let w = self.world_weight(mask);
+            if w > best_weight {
+                best_weight = w;
+                best_mask = mask;
+            }
+        }
+        Ok(MapState {
+            state: (0..self.num_vars()).map(|i| best_mask & (1 << i) != 0).collect(),
+            weight: best_weight,
+        })
+    }
+
+    /// The world weight of an arbitrary-size state vector.
+    pub fn state_weight(&self, state: &[bool]) -> f64 {
+        let mut w = 1.0;
+        for f in self.features() {
+            let sat = f.formula.eval_with(|t| state[t.index()]);
+            if sat {
+                if f.weight.is_infinite() {
+                    continue;
+                }
+                w *= f.weight;
+                if w == 0.0 {
+                    return 0.0;
+                }
+            } else if f.weight.is_infinite() {
+                return 0.0;
+            }
+        }
+        w
+    }
+}
+
+/// Configuration of the annealed MAP search.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealingConfig {
+    /// Number of flip attempts.
+    pub steps: usize,
+    /// Initial temperature (in log-weight units).
+    pub initial_temperature: f64,
+    /// Final temperature.
+    pub final_temperature: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            steps: 20_000,
+            initial_temperature: 2.0,
+            final_temperature: 0.05,
+            seed: 0xa11e,
+        }
+    }
+}
+
+/// Approximate MAP inference by simulated annealing over the log-weight
+/// landscape. Hard constraints are honoured by treating violating worlds as
+/// having log-weight `−∞` (moves into them are always rejected once the
+/// search has found a feasible state).
+pub fn simulated_annealing_map(mln: &GroundMln, config: AnnealingConfig) -> MapState {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = mln.num_vars();
+    let mut state = vec![false; n];
+    let mut best = state.clone();
+    let mut current_log = log_weight(mln, &state);
+    let mut best_log = current_log;
+
+    for step in 0..config.steps.max(1) {
+        if n == 0 {
+            break;
+        }
+        let progress = step as f64 / config.steps.max(1) as f64;
+        let temperature = config.initial_temperature
+            * (config.final_temperature / config.initial_temperature).powf(progress);
+        let flip = rng.gen_range(0..n);
+        state[flip] = !state[flip];
+        let proposed_log = log_weight(mln, &state);
+        let delta = proposed_log - current_log;
+        let accept = delta >= 0.0
+            || (delta.is_finite() && rng.gen::<f64>() < (delta / temperature).exp());
+        if accept {
+            current_log = proposed_log;
+            if proposed_log > best_log {
+                best_log = proposed_log;
+                best.copy_from_slice(&state);
+            }
+        } else {
+            state[flip] = !state[flip];
+        }
+    }
+    MapState {
+        weight: mln.state_weight(&best),
+        state: best,
+    }
+}
+
+/// Natural logarithm of the world weight, with `−∞` for impossible worlds.
+fn log_weight(mln: &GroundMln, state: &[bool]) -> f64 {
+    let w = mln.state_weight(state);
+    if w == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        w.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_pdb::TupleId;
+    use mv_query::Lineage;
+
+    fn t(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    fn clause(vars: &[u32]) -> Lineage {
+        Lineage::from_clauses(vec![vars.iter().map(|&i| t(i)).collect()])
+    }
+
+    #[test]
+    fn exact_map_picks_the_heaviest_world() {
+        // Weights 3 and 0.25: the most likely world has X0 true, X1 false.
+        let mut mln = GroundMln::new(2);
+        mln.add_atom_feature(t(0), 3.0).unwrap();
+        mln.add_atom_feature(t(1), 0.25).unwrap();
+        let map = mln.exact_map().unwrap();
+        assert_eq!(map.state, vec![true, false]);
+        assert!((map.weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_constraints_steer_the_map_state() {
+        // Both atoms prefer to be true, but they are mutually exclusive.
+        let mut mln = GroundMln::new(2);
+        mln.add_atom_feature(t(0), 4.0).unwrap();
+        mln.add_atom_feature(t(1), 3.0).unwrap();
+        mln.add_feature(clause(&[0, 1]), 0.0).unwrap();
+        let map = mln.exact_map().unwrap();
+        assert_eq!(map.state, vec![true, false]);
+    }
+
+    #[test]
+    fn correlations_can_flip_the_map_state() {
+        // Individually unlikely, but a strong positive correlation makes the
+        // joint world the heaviest.
+        let mut mln = GroundMln::new(2);
+        mln.add_atom_feature(t(0), 0.8).unwrap();
+        mln.add_atom_feature(t(1), 0.8).unwrap();
+        mln.add_feature(clause(&[0, 1]), 10.0).unwrap();
+        let map = mln.exact_map().unwrap();
+        assert_eq!(map.state, vec![true, true]);
+    }
+
+    #[test]
+    fn annealing_matches_exact_map_on_small_networks() {
+        let mut mln = GroundMln::new(4);
+        for (i, w) in [(0u32, 3.0), (1, 0.2), (2, 1.5), (3, 0.9)] {
+            mln.add_atom_feature(t(i), w).unwrap();
+        }
+        mln.add_feature(clause(&[1, 2]), 6.0).unwrap();
+        mln.add_feature(clause(&[0, 3]), 0.0).unwrap();
+        let exact = mln.exact_map().unwrap();
+        let annealed = simulated_annealing_map(&mln, AnnealingConfig::default());
+        assert!(
+            (exact.weight - annealed.weight).abs() < 1e-9,
+            "annealed weight {} vs exact {}",
+            annealed.weight,
+            exact.weight
+        );
+    }
+
+    #[test]
+    fn exact_map_rejects_large_networks_and_annealing_handles_them() {
+        let mut mln = GroundMln::new(40);
+        for i in 0..40u32 {
+            mln.add_atom_feature(t(i), if i % 2 == 0 { 2.0 } else { 0.5 }).unwrap();
+        }
+        assert!(mln.exact_map().is_err());
+        let annealed = simulated_annealing_map(
+            &mln,
+            AnnealingConfig {
+                steps: 5000,
+                ..AnnealingConfig::default()
+            },
+        );
+        // The optimum sets exactly the even atoms to true.
+        let expected: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        assert_eq!(annealed.state, expected);
+    }
+
+    #[test]
+    fn state_weight_agrees_with_world_weight_on_masks() {
+        let mut mln = GroundMln::new(3);
+        mln.add_atom_feature(t(0), 2.0).unwrap();
+        mln.add_feature(clause(&[0, 2]), 0.5).unwrap();
+        for mask in 0u64..8 {
+            let state: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            assert!((mln.world_weight(mask) - mln.state_weight(&state)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! First-order MLN features and grounding.
+//!
+//! A [`Feature`] is a UCQ whose head variables are the feature's free
+//! variables, together with a multiplicative weight. Grounding a feature
+//! against a database instantiates the free variables with every answer of
+//! the query over the instance of possible tuples; each answer contributes
+//! one ground feature whose formula is the answer's lineage (this is exactly
+//! how Definition 4 of the paper associates MLN features to MarkoView output
+//! tuples).
+
+use mv_pdb::InDb;
+use mv_query::lineage::answer_lineages;
+use mv_query::Ucq;
+
+use crate::ground::GroundMln;
+use crate::error::MlnError;
+use crate::Result;
+
+/// One first-order feature: a query with free (head) variables and a weight.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// The feature formula, as a UCQ; head variables are the free variables.
+    pub query: Ucq,
+    /// The multiplicative weight applied to every grounding.
+    pub weight: f64,
+}
+
+/// A Markov Logic Network: a set of weighted first-order features.
+#[derive(Debug, Clone, Default)]
+pub struct Mln {
+    features: Vec<Feature>,
+}
+
+impl Mln {
+    /// Creates an empty MLN.
+    pub fn new() -> Self {
+        Mln::default()
+    }
+
+    /// Adds a feature. The weight must be in `[0, +inf]`.
+    pub fn add_feature(&mut self, query: Ucq, weight: f64) -> Result<()> {
+        if weight.is_nan() || weight < 0.0 {
+            return Err(MlnError::InvalidWeight(weight));
+        }
+        self.features.push(Feature { query, weight });
+        Ok(())
+    }
+
+    /// The features of the network.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Grounds the network against a database: the base probabilistic tuples
+    /// contribute one single-atom feature each (with their tuple weight), and
+    /// every answer of every feature query contributes one ground feature
+    /// with the feature's weight.
+    pub fn ground(&self, indb: &InDb) -> Result<GroundMln> {
+        let mut ground = GroundMln::new(indb.num_tuples());
+        for (id, t) in indb.tuples() {
+            ground.add_atom_feature(id, t.weight.value())?;
+        }
+        for feature in &self.features {
+            for (_answer, lineage) in answer_lineages(&feature.query, indb)? {
+                if lineage.is_false() {
+                    continue;
+                }
+                ground.add_feature(lineage, feature.weight)?;
+            }
+        }
+        Ok(ground)
+    }
+
+    /// Grounds only the feature formulas (no per-tuple atom features); used
+    /// when the caller manages tuple weights itself.
+    pub fn ground_features_only(&self, indb: &InDb) -> Result<GroundMln> {
+        let mut ground = GroundMln::new(indb.num_tuples());
+        for feature in &self.features {
+            for (_answer, lineage) in answer_lineages(&feature.query, indb)? {
+                if lineage.is_false() {
+                    continue;
+                }
+                ground.add_feature(lineage, feature.weight)?;
+            }
+        }
+        Ok(ground)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_pdb::value::row;
+    use mv_pdb::{InDbBuilder, TupleId, Weight};
+    use mv_query::parse_ucq;
+
+    /// Two people, a friendship, and "smokes" atoms: the classic MLN example.
+    fn smokers_db() -> InDb {
+        let mut b = InDbBuilder::new();
+        let friends = b.deterministic_relation("Friends", &["x", "y"]).unwrap();
+        let smokes = b.probabilistic_relation("Smokes", &["x"]).unwrap();
+        b.insert_fact(friends, row(["anna", "bob"])).unwrap();
+        b.insert_weighted(smokes, row(["anna"]), Weight::new(2.0)).unwrap();
+        b.insert_weighted(smokes, row(["bob"]), Weight::new(1.0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn grounding_produces_one_feature_per_answer() {
+        let indb = smokers_db();
+        let mut mln = Mln::new();
+        // Friends smoke together: one grounding per Friends pair.
+        mln.add_feature(
+            parse_ucq("F(x, y) :- Friends(x, y), Smokes(x), Smokes(y)").unwrap(),
+            4.0,
+        )
+        .unwrap();
+        let ground = mln.ground(&indb).unwrap();
+        // 2 atom features + 1 grounded formula.
+        assert_eq!(ground.num_features(), 3);
+        assert_eq!(ground.num_vars(), 2);
+        // The joint probability is boosted by the correlation.
+        let p_both = ground
+            .exact_probability(&mv_query::Lineage::from_clauses(vec![vec![
+                TupleId(0),
+                TupleId(1),
+            ]]))
+            .unwrap();
+        let z = 1.0 + 2.0 + 1.0 + 4.0 * 2.0 * 1.0;
+        assert!((p_both - 8.0 / z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn features_with_no_answers_are_skipped() {
+        let indb = smokers_db();
+        let mut mln = Mln::new();
+        mln.add_feature(
+            parse_ucq("F(x) :- Friends(x, x), Smokes(x)").unwrap(),
+            2.0,
+        )
+        .unwrap();
+        let ground = mln.ground(&indb).unwrap();
+        assert_eq!(ground.num_features(), 2); // only the atom features
+        assert_eq!(mln.features().len(), 1);
+    }
+
+    #[test]
+    fn ground_features_only_omits_atom_features() {
+        let indb = smokers_db();
+        let mut mln = Mln::new();
+        mln.add_feature(
+            parse_ucq("F(x, y) :- Friends(x, y), Smokes(x), Smokes(y)").unwrap(),
+            4.0,
+        )
+        .unwrap();
+        let ground = mln.ground_features_only(&indb).unwrap();
+        assert_eq!(ground.num_features(), 1);
+    }
+
+    #[test]
+    fn invalid_feature_weights_are_rejected() {
+        let mut mln = Mln::new();
+        let q = parse_ucq("F(x) :- Smokes(x)").unwrap();
+        assert!(matches!(
+            mln.add_feature(q, -0.5),
+            Err(MlnError::InvalidWeight(_))
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type of the MV-index layer.
+
+use std::fmt;
+
+/// Errors raised while compiling or querying an MV-index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvIndexError {
+    /// An OBDD-level error (order mismatch, unknown variable, …).
+    Obdd(mv_obdd::ObddError),
+    /// A query-level error (parse, unknown relation, …).
+    Query(mv_query::QueryError),
+    /// The index and the query were built over different databases /
+    /// variable orders.
+    OrderMismatch,
+}
+
+impl fmt::Display for MvIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvIndexError::Obdd(e) => write!(f, "OBDD error: {e}"),
+            MvIndexError::Query(e) => write!(f, "query error: {e}"),
+            MvIndexError::OrderMismatch =>
+
+                write!(f, "the query OBDD and the MV-index use different variable orders"),
+        }
+    }
+}
+
+impl std::error::Error for MvIndexError {}
+
+impl From<mv_obdd::ObddError> for MvIndexError {
+    fn from(e: mv_obdd::ObddError) -> Self {
+        MvIndexError::Obdd(e)
+    }
+}
+
+impl From<mv_query::QueryError> for MvIndexError {
+    fn from(e: mv_query::QueryError) -> Self {
+        MvIndexError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MvIndexError = mv_obdd::ObddError::OrderMismatch.into();
+        assert!(e.to_string().contains("OBDD"));
+        let e: MvIndexError = mv_query::QueryError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        assert!(MvIndexError::OrderMismatch.to_string().contains("variable orders"));
+    }
+}

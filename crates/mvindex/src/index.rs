@@ -1,0 +1,644 @@
+//! The MV-index: offline compilation of `W` and online query evaluation.
+//!
+//! An [`MvIndex`] is compiled once from the helper query `W` (the union of
+//! the MarkoView queries joined with their `NV` relations, Theorem 1). It
+//! stores one augmented OBDD per independent *block* of `W` — typically one
+//! per separator value, exactly the "set of augmented OBDDs, each associated
+//! with a particular key" of Section 4.1 — plus
+//!
+//! * the `InterBddIndex`: a map from tuple variable to the block containing
+//!   it, and
+//! * per block, the `IntraBddIndex` (inside [`AugmentedObdd`]).
+//!
+//! At query time, only the blocks mentioned by the query lineage are
+//! intersected with the query OBDD; all other blocks contribute their
+//! precomputed `P0(¬W_k)` as a constant factor. This is what keeps the
+//! running times of Figures 10–11 in the millisecond range regardless of the
+//! total index size.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use mv_obdd::conobdd::{ConObddBuilder, ConstructionStats};
+use mv_obdd::obdd::FALSE;
+use mv_obdd::{Obdd, PiOrder, SynthesisBuilder, VarOrder};
+use mv_pdb::{InDb, TupleId, Value};
+use mv_query::analysis::find_separator_over;
+use mv_query::lineage::Lineage;
+use mv_query::rewrite::separator_domain;
+use mv_query::{ConjunctiveQuery, Ucq};
+
+use crate::augmented::AugmentedObdd;
+use crate::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+use crate::Result;
+
+/// Which intersection algorithm to use at query time (Section 4.3 / Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectAlgorithm {
+    /// Pointer-based guided traversal with hash-map memoisation.
+    MvIntersect,
+    /// Cache-conscious traversal over a flattened, DFS-ordered node vector.
+    CcMvIntersect,
+}
+
+/// Summary statistics of a compiled index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of independent blocks.
+    pub num_blocks: usize,
+    /// Total number of OBDD nodes across all blocks.
+    pub total_nodes: usize,
+    /// Size of the largest block.
+    pub max_block_nodes: usize,
+    /// Number of distinct tuple variables constrained by `W`.
+    pub num_variables: usize,
+    /// Counters from the ConOBDD construction.
+    pub construction: ConstructionStats,
+}
+
+/// An un-negated, un-augmented part of `W` produced during compilation:
+/// its key, its (positive) OBDD and the tuple variables it mentions.
+type RawBlock = (Value, Obdd, BTreeSet<TupleId>);
+
+/// One independent block of the compiled index.
+#[derive(Debug, Clone)]
+struct Block {
+    /// The key associated with the block (the separator value, or a synthetic
+    /// key when `W` has no separator).
+    key: Value,
+    /// The augmented OBDD of `¬W_k`.
+    negated: AugmentedObdd,
+    /// Cache-conscious layout of the same diagram.
+    layout: CcLayout,
+    /// `P0(¬W_k)`.
+    prob_not_w: f64,
+    /// Tuple variables appearing in the block.
+    variables: BTreeSet<TupleId>,
+}
+
+/// The compiled MV-index for a helper query `W`.
+#[derive(Debug, Clone)]
+pub struct MvIndex {
+    order: Arc<VarOrder>,
+    blocks: Vec<Block>,
+    inter: HashMap<TupleId, usize>,
+    prob_not_w: f64,
+    stats: IndexStats,
+}
+
+impl MvIndex {
+    /// Compiles the index for `W`, inferring the attribute permutations `π`
+    /// from the query (separator attributes first).
+    pub fn compile(indb: &InDb, w: &Ucq) -> Result<MvIndex> {
+        let pi = ConObddBuilder::infer_pi(w, indb);
+        Self::compile_with_pi(indb, w, &pi)
+    }
+
+    /// Compiles the index for `W` under an explicit `π`.
+    pub fn compile_with_pi(indb: &InDb, w: &Ucq, pi: &PiOrder) -> Result<MvIndex> {
+        let mut builder = ConObddBuilder::new(indb, pi);
+        let order = builder.order();
+        let prob_of = |t: TupleId| indb.probability(t);
+        let boolean_w = w.boolean();
+
+        // Split W into per-separator-value parts when possible.
+        let is_prob = |name: &str| {
+            indb.schema()
+                .relation_id(name)
+                .map(|r| !indb.is_deterministic(r))
+                .unwrap_or(false)
+        };
+        let parts: Vec<(Value, Vec<ConjunctiveQuery>)> = match find_separator_over(&boolean_w, &is_prob) {
+            Some(sep) => {
+                let domain = separator_domain(&boolean_w, &sep.per_disjunct, indb);
+                domain
+                    .into_iter()
+                    .map(|value| {
+                        let grounded: Vec<ConjunctiveQuery> = boolean_w
+                            .disjuncts
+                            .iter()
+                            .zip(&sep.per_disjunct)
+                            .map(|(d, v)| d.substitute(v, &value))
+                            .collect();
+                        (value, grounded)
+                    })
+                    .collect()
+            }
+            None => vec![(Value::str("W"), boolean_w.disjuncts.clone())],
+        };
+
+        // Build the (positive) OBDD of every part.
+        let mut raw: Vec<RawBlock> = Vec::new();
+        for (key, disjuncts) in parts {
+            let ucq = Ucq::new("w_part", disjuncts);
+            let obdd = builder.build(&ucq)?;
+            if obdd.root() == FALSE {
+                continue; // W_k is unsatisfiable: ¬W_k is vacuous.
+            }
+            let variables: BTreeSet<TupleId> = obdd
+                .reachable_ids()
+                .into_iter()
+                .filter_map(|id| obdd.tuple_of(id))
+                .collect();
+            raw.push((key, obdd, variables));
+        }
+
+        // Merge parts that (unexpectedly) share variables, so that blocks are
+        // guaranteed independent.
+        let merged = merge_overlapping(raw, &order)?;
+
+        let mut blocks = Vec::with_capacity(merged.len());
+        let mut inter = HashMap::new();
+        let mut prob_not_w = 1.0;
+        for (key, w_obdd, variables) in merged {
+            let negated = AugmentedObdd::new(w_obdd.negate(), prob_of);
+            let layout = CcLayout::new(&negated, prob_of);
+            let p = negated.probability();
+            prob_not_w *= p;
+            let block_index = blocks.len();
+            for &v in &variables {
+                inter.insert(v, block_index);
+            }
+            blocks.push(Block {
+                key,
+                negated,
+                layout,
+                prob_not_w: p,
+                variables,
+            });
+        }
+
+        let stats = IndexStats {
+            num_blocks: blocks.len(),
+            total_nodes: blocks.iter().map(|b| b.negated.size()).sum(),
+            max_block_nodes: blocks.iter().map(|b| b.negated.size()).max().unwrap_or(0),
+            num_variables: inter.len(),
+            construction: builder.stats(),
+        };
+        Ok(MvIndex {
+            order,
+            blocks,
+            inter,
+            prob_not_w,
+            stats,
+        })
+    }
+
+    /// Compiles an index for a database without MarkoViews (`W = false`).
+    pub fn empty(indb: &InDb) -> MvIndex {
+        let order = Arc::new(PiOrder::identity().tuple_order(indb));
+        MvIndex {
+            order,
+            blocks: Vec::new(),
+            inter: HashMap::new(),
+            prob_not_w: 1.0,
+            stats: IndexStats {
+                num_blocks: 0,
+                total_nodes: 0,
+                max_block_nodes: 0,
+                num_variables: 0,
+                construction: ConstructionStats::default(),
+            },
+        }
+    }
+
+    /// The variable order shared by the index and by query OBDDs.
+    pub fn order(&self) -> Arc<VarOrder> {
+        Arc::clone(&self.order)
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// `P0(W)`.
+    pub fn prob_w(&self) -> f64 {
+        1.0 - self.prob_not_w
+    }
+
+    /// `P0(¬W)`.
+    ///
+    /// Note that on translated databases this is a product of per-block
+    /// values that are not genuine probabilities, so its magnitude can be
+    /// arbitrarily large (or underflow); use [`MvIndex::is_consistent`] to
+    /// test for consistency instead of comparing this value with zero.
+    pub fn prob_not_w(&self) -> f64 {
+        self.prob_not_w
+    }
+
+    /// `true` when no block makes `¬W` impossible. Since blocks constrain
+    /// disjoint sets of tuples, `P0(¬W) = 0` exactly when some block has
+    /// `P0(¬W_k) = 0`, so this is the numerically robust consistency test.
+    pub fn is_consistent(&self) -> bool {
+        self.blocks.iter().all(|b| b.prob_not_w != 0.0)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of OBDD nodes in the index.
+    pub fn size(&self) -> usize {
+        self.stats.total_nodes
+    }
+
+    /// The block containing a tuple variable, if any (the `InterBddIndex`).
+    pub fn block_of(&self, tuple: TupleId) -> Option<usize> {
+        self.inter.get(&tuple).copied()
+    }
+
+    /// The key associated with a block.
+    pub fn block_key(&self, block: usize) -> &Value {
+        &self.blocks[block].key
+    }
+
+    /// The tuple variables constrained by a block.
+    pub fn block_variables(&self, block: usize) -> impl Iterator<Item = TupleId> + '_ {
+        self.blocks[block].variables.iter().copied()
+    }
+
+    /// Builds the query-side OBDD for a lineage, in the index's order.
+    pub fn query_obdd(&self, lineage: &Lineage) -> Result<Obdd> {
+        Ok(SynthesisBuilder::new(Arc::clone(&self.order)).from_lineage(lineage)?)
+    }
+
+    /// Computes `P0(Q ∧ ⋀_{k ∈ touched} ¬W_k)` restricted to the blocks the
+    /// query lineage actually mentions, and returns it together with the set
+    /// of touched block indices. Untouched blocks are not included in the
+    /// product (their contribution is handled by the callers).
+    fn intersect_touched(
+        &self,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<(f64, BTreeSet<usize>)> {
+        let prob_of = |t: TupleId| indb.probability(t);
+        let q_obdd = self.query_obdd(lineage)?;
+        let q_probs = q_obdd.node_probabilities(prob_of);
+
+        // Which blocks does the query touch?
+        let touched: BTreeSet<usize> = lineage
+            .variables()
+            .into_iter()
+            .filter_map(|t| self.block_of(t))
+            .collect();
+
+        if touched.is_empty() {
+            return Ok((q_probs[q_obdd.root() as usize], touched));
+        }
+
+        if touched.len() == 1 {
+            let block = &self.blocks[*touched.iter().next().unwrap()];
+            let p = match algo {
+                IntersectAlgorithm::MvIntersect => {
+                    mv_intersect(&block.negated, &q_obdd, &q_probs, prob_of)
+                }
+                IntersectAlgorithm::CcMvIntersect => {
+                    cc_mv_intersect(&block.layout, &q_obdd, &q_probs, prob_of)
+                }
+            };
+            return Ok((p, touched));
+        }
+
+        // Several blocks are touched: combine their ¬W_k diagrams into one
+        // slice (blocks are variable-disjoint, and usually level-disjoint so
+        // the combination is a linear concatenation).
+        let mut slice: Option<Obdd> = None;
+        let mut indices: Vec<usize> = touched.iter().copied().collect();
+        indices.sort_by_key(|&i| {
+            self.blocks[i]
+                .negated
+                .obdd()
+                .level_range()
+                .map(|(lo, _)| lo)
+                .unwrap_or(u32::MAX)
+        });
+        for i in indices {
+            let next = self.blocks[i].negated.obdd().clone();
+            slice = Some(match slice {
+                None => next,
+                Some(acc) => match acc.concat_and(&next) {
+                    Ok(r) => r,
+                    Err(_) => acc.apply_and(&next).map_err(crate::MvIndexError::from)?,
+                },
+            });
+        }
+        let slice = slice.expect("touched is non-empty");
+        let slice_aug = AugmentedObdd::new(slice, prob_of);
+        let p = match algo {
+            IntersectAlgorithm::MvIntersect => {
+                mv_intersect(&slice_aug, &q_obdd, &q_probs, prob_of)
+            }
+            IntersectAlgorithm::CcMvIntersect => {
+                let layout = CcLayout::new(&slice_aug, prob_of);
+                cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of)
+            }
+        };
+        Ok((p, touched))
+    }
+
+    /// `P0(Q ∧ ¬W)` for a Boolean query given by its lineage.
+    ///
+    /// On translated databases with many blocks this value can have a very
+    /// large magnitude (it is a product of per-block values that are not
+    /// genuine probabilities, Section 3.3); prefer
+    /// [`MvIndex::conditional_probability`], where the untouched blocks
+    /// cancel analytically.
+    pub fn prob_q_and_not_w(
+        &self,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<f64> {
+        if lineage.is_false() {
+            return Ok(0.0);
+        }
+        let (intersected, touched) = self.intersect_touched(lineage, indb, algo)?;
+        let mut p = intersected;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if !touched.contains(&i) {
+                p *= block.prob_not_w;
+            }
+        }
+        Ok(p)
+    }
+
+    /// `P0(Q ∨ W) = P0(W) + P0(Q ∧ ¬W)`.
+    pub fn prob_q_or_w(
+        &self,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<f64> {
+        Ok(self.prob_w() + self.prob_q_and_not_w(lineage, indb, algo)?)
+    }
+
+    /// The conditional probability `P0(Q | ¬W) = P0(Q ∧ ¬W) / P0(¬W)`, which
+    /// by Theorem 1 equals the MVDB probability of `Q`.
+    ///
+    /// The blocks not mentioned by the query cancel between the numerator and
+    /// the denominator, so only the touched blocks are evaluated — this keeps
+    /// the computation numerically stable even when the per-block values have
+    /// large magnitudes (negative probabilities, Section 3.3).
+    pub fn conditional_probability(
+        &self,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<f64> {
+        if lineage.is_false() {
+            return Ok(0.0);
+        }
+        let (intersected, touched) = self.intersect_touched(lineage, indb, algo)?;
+        let mut denominator = 1.0;
+        for &i in &touched {
+            denominator *= self.blocks[i].prob_not_w;
+        }
+        Ok(intersected / denominator)
+    }
+}
+
+/// Merges parts that share tuple variables, so that the final blocks are
+/// pairwise independent.
+fn merge_overlapping(
+    raw: Vec<RawBlock>,
+    order: &Arc<VarOrder>,
+) -> Result<Vec<RawBlock>> {
+    let n = raw.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<TupleId, usize> = HashMap::new();
+    for (i, (_, _, vars)) in raw.iter().enumerate() {
+        for &v in vars {
+            match owner.get(&v) {
+                Some(&j) => {
+                    let a = find(&mut parent, i);
+                    let b = find(&mut parent, j);
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut singles: Vec<(usize, RawBlock)> = Vec::new();
+    let mut merged_groups: Vec<Vec<usize>> = Vec::new();
+    let mut raw_opt: Vec<Option<RawBlock>> =
+        raw.into_iter().map(Some).collect();
+    for (_, members) in groups {
+        if members.len() == 1 {
+            let i = members[0];
+            singles.push((i, raw_opt[i].take().expect("present")));
+        } else {
+            merged_groups.push(members);
+        }
+    }
+    let mut out: Vec<(usize, RawBlock)> = singles;
+    for members in merged_groups {
+        let mut acc: Option<Obdd> = None;
+        let mut vars = BTreeSet::new();
+        let mut key = None;
+        let first = *members.iter().min().expect("non-empty group");
+        for i in members {
+            let (k, obdd, v) = raw_opt[i].take().expect("present");
+            vars.extend(v);
+            key.get_or_insert(k);
+            acc = Some(match acc {
+                None => obdd,
+                Some(a) => match a.concat_or(&obdd) {
+                    Ok(r) => r,
+                    Err(_) => a.apply_or(&obdd).map_err(crate::MvIndexError::from)?,
+                },
+            });
+        }
+        out.push((first, (key.expect("at least one member"), acc.expect("at least one member"), vars)));
+    }
+    // Keep a deterministic order (by original position of the first member).
+    out.sort_by_key(|(i, _)| *i);
+    let _ = order;
+    Ok(out.into_iter().map(|(_, b)| b).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_pdb::value::row;
+    use mv_pdb::{InDbBuilder, Weight};
+    use mv_query::brute::brute_force_lineage_probability;
+    use mv_query::lineage::lineage;
+    use mv_query::parse_ucq;
+
+    /// A small translated-style database: R, S are base probabilistic tables,
+    /// NV is the translated view table with a negative weight.
+    fn translated_db() -> InDb {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let s = b.probabilistic_relation("S", &["x", "y"]).unwrap();
+        let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
+        b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap();
+        b.insert_weighted(r, row(["a2"]), Weight::new(1.0)).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0)).unwrap();
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(0.5)).unwrap();
+        // View weight 4 translates to (1-4)/4 = -0.75.
+        b.insert_translated(nv, row(["a1"]), Weight::new(-0.75)).unwrap();
+        // View weight 0.5 translates to (1-0.5)/0.5 = 1.
+        b.insert_translated(nv, row(["a2"]), Weight::new(1.0)).unwrap();
+        b.build()
+    }
+
+    fn w_query() -> Ucq {
+        parse_ucq("W() :- NV(x), R(x), S(x, y)").unwrap()
+    }
+
+    /// Reference value for P0(Q ∧ ¬W) computed as P0(Q ∨ W) − P0(W) by brute
+    /// force over the lineages.
+    fn reference_q_and_not_w(q: &Ucq, w: &Ucq, indb: &InDb) -> f64 {
+        let lin_q = lineage(q, indb).unwrap();
+        let lin_w = lineage(w, indb).unwrap();
+        let p_q_or_w = brute_force_lineage_probability(&lin_q.or(&lin_w), indb);
+        let p_w = brute_force_lineage_probability(&lin_w, indb);
+        p_q_or_w - p_w
+    }
+
+    #[test]
+    fn prob_w_matches_brute_force() {
+        let indb = translated_db();
+        let w = w_query();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        let lin_w = lineage(&w, &indb).unwrap();
+        let expected = brute_force_lineage_probability(&lin_w, &indb);
+        assert!((index.prob_w() - expected).abs() < 1e-9);
+        assert!(index.num_blocks() >= 1);
+        assert!(index.size() > 0);
+    }
+
+    #[test]
+    fn both_intersection_algorithms_match_the_reference() {
+        let indb = translated_db();
+        let w = w_query();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        for q_text in [
+            "Q() :- R('a1'), S('a1', y)",
+            "Q() :- R(x), S(x, y)",
+            "Q() :- S(x, y)",
+            "Q() :- R('a2')",
+            "Q() :- S('a1', 'b2')",
+        ] {
+            let q = parse_ucq(q_text).unwrap();
+            let lin_q = lineage(&q, &indb).unwrap();
+            let expected = reference_q_and_not_w(&q, &w, &indb);
+            let via_mv = index
+                .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::MvIntersect)
+                .unwrap();
+            let via_cc = index
+                .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::CcMvIntersect)
+                .unwrap();
+            assert!((via_mv - expected).abs() < 1e-9, "{q_text}: {via_mv} vs {expected}");
+            assert!((via_cc - expected).abs() < 1e-9, "{q_text}: {via_cc} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn queries_untouched_by_w_use_the_closed_form() {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let t = b.probabilistic_relation("T", &["x"]).unwrap();
+        let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
+        b.insert_weighted(r, row(["a"]), Weight::new(1.0)).unwrap();
+        b.insert_weighted(t, row(["a"]), Weight::new(3.0)).unwrap();
+        b.insert_translated(nv, row(["a"]), Weight::new(1.0)).unwrap();
+        let indb = b.build();
+        let w = parse_ucq("W() :- NV(x), R(x)").unwrap();
+        let q = parse_ucq("Q() :- T(x)").unwrap();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        let lin_q = lineage(&q, &indb).unwrap();
+        let expected = reference_q_and_not_w(&q, &w, &indb);
+        let got = index
+            .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::MvIntersect)
+            .unwrap();
+        assert!((got - expected).abs() < 1e-12);
+        // The query touches no block.
+        assert!(lin_q.variables().iter().all(|&t| index.block_of(t).is_none()));
+    }
+
+    #[test]
+    fn empty_index_means_w_is_false() {
+        let indb = translated_db();
+        let index = MvIndex::empty(&indb);
+        assert_eq!(index.prob_w(), 0.0);
+        assert_eq!(index.num_blocks(), 0);
+        let q = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
+        let lin_q = lineage(&q, &indb).unwrap();
+        let p = index
+            .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::CcMvIntersect)
+            .unwrap();
+        let expected = brute_force_lineage_probability(&lin_q, &indb);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_probability_implements_theorem_1_quotient() {
+        let indb = translated_db();
+        let w = w_query();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        let q = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
+        let lin_q = lineage(&q, &indb).unwrap();
+        let joint = index
+            .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::MvIntersect)
+            .unwrap();
+        let cond = index
+            .conditional_probability(&lin_q, &indb, IntersectAlgorithm::MvIntersect)
+            .unwrap();
+        assert!((cond - joint / index.prob_not_w()).abs() < 1e-12);
+        // The conditional probability is a genuine probability even though
+        // the NV tuples carry negative weights.
+        assert!((0.0..=1.0).contains(&cond));
+    }
+
+    #[test]
+    fn false_queries_have_zero_probability() {
+        let indb = translated_db();
+        let w = w_query();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        let p = index
+            .prob_q_and_not_w(&Lineage::constant_false(), &indb, IntersectAlgorithm::MvIntersect)
+            .unwrap();
+        assert_eq!(p, 0.0);
+        let p_or = index
+            .prob_q_or_w(&Lineage::constant_false(), &indb, IntersectAlgorithm::MvIntersect)
+            .unwrap();
+        assert!((p_or - index.prob_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_keys_and_inter_index_are_consistent() {
+        let indb = translated_db();
+        let w = w_query();
+        let index = MvIndex::compile(&indb, &w).unwrap();
+        for t in 0..indb.num_tuples() as u32 {
+            if let Some(b) = index.block_of(TupleId(t)) {
+                assert!(b < index.num_blocks());
+                let _ = index.block_key(b);
+            }
+        }
+        let stats = index.stats();
+        assert_eq!(stats.num_blocks, index.num_blocks());
+        assert!(stats.total_nodes >= stats.max_block_nodes);
+        assert!(stats.num_variables > 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The intersection algorithms of Section 4.3.
+//!
+//! Both algorithms compute `P0(Φ_W' ∧ Φ_Q)` where `Φ_W'` is (part of) the
+//! compiled `¬W` diagram and `Φ_Q` is the (small) query diagram, built over
+//! the same variable order:
+//!
+//! * [`mv_intersect`] — **MVIntersect**: a guided traversal of the index
+//!   diagram, memoised on `(index node, query node)` pairs, with the
+//!   `probUnder` shortcut: as soon as the query side reaches its `1`-sink the
+//!   precomputed probability of the remaining index sub-diagram is used, so
+//!   only the slice of the index between the first and last query variable is
+//!   visited (Proposition 3).
+//! * [`cc_mv_intersect`] — **CC-MVIntersect**: the same computation over a
+//!   cache-conscious layout: the index nodes are flattened into a DFS-ordered
+//!   vector and the memo table is a dense array indexed by
+//!   `(flat index position, query node)`, avoiding hash-map lookups and
+//!   pointer chasing.
+
+use std::collections::HashMap;
+
+use mv_obdd::obdd::{FALSE, TRUE};
+use mv_obdd::{NodeId, Obdd};
+use mv_pdb::TupleId;
+
+use crate::augmented::AugmentedObdd;
+
+/// Computes `P0(index ∧ query)` by guided traversal with hash-map
+/// memoisation (the MVIntersect algorithm).
+///
+/// `query_probs` must contain, for every node id of `query`, the probability
+/// of the sub-diagram rooted there (as produced by
+/// [`Obdd::node_probabilities`]).
+pub fn mv_intersect(
+    index: &AugmentedObdd,
+    query: &Obdd,
+    query_probs: &[f64],
+    prob_of: impl Fn(TupleId) -> f64 + Copy,
+) -> f64 {
+    let w = index.obdd();
+    let mut memo: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+
+    // Iterative two-phase traversal (expand / combine) to support very deep
+    // index diagrams without recursion.
+    enum Frame {
+        Expand(NodeId, NodeId),
+        Combine(NodeId, NodeId, f64),
+    }
+    let mut stack = vec![Frame::Expand(w.root(), query.root())];
+    let mut results: Vec<f64> = Vec::new();
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Expand(u, v) => {
+                if let Some(&p) = memo.get(&(u, v)) {
+                    results.push(p);
+                    continue;
+                }
+                // Terminal shortcuts.
+                if v == FALSE || u == FALSE {
+                    memo.insert((u, v), 0.0);
+                    results.push(0.0);
+                    continue;
+                }
+                if v == TRUE {
+                    let p = index.prob_under(u);
+                    memo.insert((u, v), p);
+                    results.push(p);
+                    continue;
+                }
+                if u == TRUE {
+                    let p = query_probs[v as usize];
+                    memo.insert((u, v), p);
+                    results.push(p);
+                    continue;
+                }
+                let un = w.node(u);
+                let vn = query.node(v);
+                let m = un.level.min(vn.level);
+                let (u0, u1) = if un.level == m { (un.lo, un.hi) } else { (u, u) };
+                let (v0, v1) = if vn.level == m { (vn.lo, vn.hi) } else { (v, v) };
+                let tuple = w
+                    .order()
+                    .tuple_at(m);
+                let p_var = prob_of(tuple);
+                stack.push(Frame::Combine(u, v, p_var));
+                stack.push(Frame::Expand(u1, v1));
+                stack.push(Frame::Expand(u0, v0));
+            }
+            Frame::Combine(u, v, p_var) => {
+                let p1 = results.pop().expect("hi probability available");
+                let p0 = results.pop().expect("lo probability available");
+                let p = (1.0 - p_var) * p0 + p_var * p1;
+                memo.insert((u, v), p);
+                results.push(p);
+            }
+        }
+    }
+    results.pop().expect("intersection produces a probability")
+}
+
+/// A node of the cache-conscious flattened index.
+#[derive(Debug, Clone, Copy)]
+struct CcNode {
+    /// Level of the node's variable.
+    level: u32,
+    /// Flat position of the 0-child, or the sink markers below.
+    lo: u32,
+    /// Flat position of the 1-child, or the sink markers below.
+    hi: u32,
+    /// `probUnder` of the node.
+    prob_under: f64,
+    /// Probability of the node's variable.
+    p_var: f64,
+}
+
+const CC_FALSE: u32 = u32::MAX;
+const CC_TRUE: u32 = u32::MAX - 1;
+
+/// A flattened, DFS-ordered copy of an augmented OBDD, ready for
+/// cache-conscious intersection. Build it once per index slice and reuse it
+/// across queries.
+#[derive(Debug, Clone)]
+pub struct CcLayout {
+    nodes: Vec<CcNode>,
+    root: u32,
+}
+
+impl CcLayout {
+    /// Flattens the reachable part of the augmented diagram in DFS pre-order.
+    pub fn new(index: &AugmentedObdd, prob_of: impl Fn(TupleId) -> f64 + Copy) -> Self {
+        let w = index.obdd();
+        if w.root() == TRUE || w.root() == FALSE {
+            return CcLayout {
+                nodes: Vec::new(),
+                root: if w.root() == TRUE { CC_TRUE } else { CC_FALSE },
+            };
+        }
+        // First pass: assign DFS pre-order positions.
+        let mut position: HashMap<NodeId, u32> = HashMap::new();
+        let mut order_of_visit: Vec<NodeId> = Vec::new();
+        let mut stack = vec![w.root()];
+        while let Some(id) = stack.pop() {
+            if id == TRUE || id == FALSE || position.contains_key(&id) {
+                continue;
+            }
+            position.insert(id, order_of_visit.len() as u32);
+            order_of_visit.push(id);
+            let node = w.node(id);
+            // Push hi first so that lo is visited first (pre-order, 0-edge first).
+            stack.push(node.hi);
+            stack.push(node.lo);
+        }
+        let translate = |id: NodeId, position: &HashMap<NodeId, u32>| -> u32 {
+            match id {
+                TRUE => CC_TRUE,
+                FALSE => CC_FALSE,
+                other => position[&other],
+            }
+        };
+        let nodes = order_of_visit
+            .iter()
+            .map(|&id| {
+                let node = w.node(id);
+                let tuple = w.tuple_of(id).expect("internal node");
+                CcNode {
+                    level: node.level,
+                    lo: translate(node.lo, &position),
+                    hi: translate(node.hi, &position),
+                    prob_under: index.prob_under(id),
+                    p_var: prob_of(tuple),
+                }
+            })
+            .collect();
+        CcLayout {
+            nodes,
+            root: position[&w.root()],
+        }
+    }
+
+    /// Number of flattened nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the layout holds no internal nodes (constant diagram).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Computes `P0(index ∧ query)` over a cache-conscious layout
+/// (the CC-MVIntersect algorithm).
+pub fn cc_mv_intersect(
+    layout: &CcLayout,
+    query: &Obdd,
+    query_probs: &[f64],
+    prob_of: impl Fn(TupleId) -> f64 + Copy,
+) -> f64 {
+    // Constant index diagrams.
+    if layout.is_empty() {
+        return if layout.root == CC_TRUE {
+            query_probs[query.root() as usize]
+        } else {
+            0.0
+        };
+    }
+    let q_size = query.store_size();
+    // Dense memo: rows are flattened index positions, columns query node ids.
+    let mut memo = vec![f64::NAN; layout.len() * q_size];
+
+    enum Frame {
+        Expand(u32, NodeId),
+        Combine(u32, NodeId, f64),
+    }
+    let mut stack = vec![Frame::Expand(layout.root, query.root())];
+    let mut results: Vec<f64> = Vec::new();
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Expand(u, v) => {
+                if v == FALSE || u == CC_FALSE {
+                    results.push(0.0);
+                    continue;
+                }
+                if u == CC_TRUE {
+                    results.push(query_probs[v as usize]);
+                    continue;
+                }
+                let un = layout.nodes[u as usize];
+                if v == TRUE {
+                    results.push(un.prob_under);
+                    continue;
+                }
+                let slot = u as usize * q_size + v as usize;
+                let cached = memo[slot];
+                if !cached.is_nan() {
+                    results.push(cached);
+                    continue;
+                }
+                let vn = query.node(v);
+                let m = un.level.min(vn.level);
+                let (u0, u1) = if un.level == m { (un.lo, un.hi) } else { (u, u) };
+                let (v0, v1) = if vn.level == m { (vn.lo, vn.hi) } else { (v, v) };
+                // The branching variable's probability is stored on the flat
+                // index node when it owns the level; when only the query
+                // tests this level, look it up through the shared order.
+                let p_var = if un.level == m {
+                    un.p_var
+                } else {
+                    prob_of(query.order().tuple_at(m))
+                };
+                stack.push(Frame::Combine(u, v, p_var));
+                stack.push(Frame::Expand(u1, v1));
+                stack.push(Frame::Expand(u0, v0));
+            }
+            Frame::Combine(u, v, p_var) => {
+                let p1 = results.pop().expect("hi probability available");
+                let p0 = results.pop().expect("lo probability available");
+                let p = (1.0 - p_var) * p0 + p_var * p1;
+                memo[u as usize * q_size + v as usize] = p;
+                results.push(p);
+            }
+        }
+    }
+    results.pop().expect("intersection produces a probability")
+}

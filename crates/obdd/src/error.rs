@@ -1,0 +1,47 @@
+//! Error type of the OBDD layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or combining OBDDs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObddError {
+    /// Two diagrams built over different variable orders were combined.
+    OrderMismatch,
+    /// A tuple variable is missing from the variable order.
+    UnknownVariable(String),
+    /// A query-level error surfaced during construction.
+    Query(mv_query::QueryError),
+}
+
+impl fmt::Display for ObddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObddError::OrderMismatch => {
+                write!(f, "cannot combine OBDDs built over different variable orders")
+            }
+            ObddError::UnknownVariable(v) => {
+                write!(f, "tuple variable {v} is not part of the variable order")
+            }
+            ObddError::Query(e) => write!(f, "query error during OBDD construction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObddError {}
+
+impl From<mv_query::QueryError> for ObddError {
+    fn from(e: mv_query::QueryError) -> Self {
+        ObddError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ObddError::OrderMismatch.to_string().contains("variable orders"));
+        assert!(ObddError::UnknownVariable("X7".into()).to_string().contains("X7"));
+    }
+}

@@ -1,0 +1,709 @@
+//! The OBDD data structure.
+//!
+//! An [`Obdd`] is a reduced, ordered binary decision diagram over the tuple
+//! variables of a probabilistic database, together with the [`VarOrder`] that
+//! fixes the variable order `Π`. Each diagram owns its node store; nodes are
+//! hash-consed so that structurally identical sub-diagrams are shared.
+//!
+//! Operations:
+//!
+//! * [`Obdd::apply_or`] / [`Obdd::apply_and`] — classical synthesis, running
+//!   in `O(|G1| · |G2|)`;
+//! * [`Obdd::concat_or`] / [`Obdd::concat_and`] and the n-ary
+//!   [`Obdd::concat_many_or`] — the *concatenation* operation of Section 4.2
+//!   for diagrams over disjoint, level-separated variable ranges: the
+//!   `0`-sink (resp. `1`-sink) of the first diagram is redirected to the root
+//!   of the second. Linear in the total size;
+//! * [`Obdd::negate`] — swaps the sinks;
+//! * [`Obdd::probability`] — Shannon-expansion probability, computed
+//!   bottom-up without recursion so that very deep (concatenated) diagrams do
+//!   not overflow the stack; correct for negative probabilities.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mv_pdb::TupleId;
+
+use crate::error::ObddError;
+use crate::order::VarOrder;
+use crate::Result;
+
+/// Index of a node inside an [`Obdd`] store.
+pub type NodeId = u32;
+
+/// The `false` sink.
+pub const FALSE: NodeId = 0;
+/// The `true` sink.
+pub const TRUE: NodeId = 1;
+
+/// Level value used for the two sink nodes.
+pub const SINK_LEVEL: u32 = u32::MAX;
+
+/// One internal node (or sink) of an OBDD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObddNode {
+    /// The level (position in the variable order) of the node's variable;
+    /// [`SINK_LEVEL`] for sinks.
+    pub level: u32,
+    /// Child followed when the variable is `false`.
+    pub lo: NodeId,
+    /// Child followed when the variable is `true`.
+    pub hi: NodeId,
+}
+
+/// A reduced ordered binary decision diagram.
+#[derive(Debug, Clone)]
+pub struct Obdd {
+    order: Arc<VarOrder>,
+    nodes: Vec<ObddNode>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    root: NodeId,
+}
+
+impl Obdd {
+    fn empty(order: Arc<VarOrder>) -> Self {
+        let nodes = vec![
+            ObddNode {
+                level: SINK_LEVEL,
+                lo: FALSE,
+                hi: FALSE,
+            },
+            ObddNode {
+                level: SINK_LEVEL,
+                lo: TRUE,
+                hi: TRUE,
+            },
+        ];
+        Obdd {
+            order,
+            nodes,
+            unique: HashMap::new(),
+            root: FALSE,
+        }
+    }
+
+    /// The constant diagram `true` or `false`.
+    pub fn constant(order: Arc<VarOrder>, value: bool) -> Self {
+        let mut o = Obdd::empty(order);
+        o.root = if value { TRUE } else { FALSE };
+        o
+    }
+
+    /// The diagram of a single positive literal.
+    pub fn literal(order: Arc<VarOrder>, tuple: TupleId) -> Result<Self> {
+        let level = order
+            .level_of(tuple)
+            .ok_or_else(|| ObddError::UnknownVariable(tuple.to_string()))?;
+        let mut o = Obdd::empty(order);
+        let root = o.mk(level, FALSE, TRUE);
+        o.root = root;
+        Ok(o)
+    }
+
+    /// The diagram of a conjunction of positive literals (one DNF clause).
+    pub fn clause(order: Arc<VarOrder>, clause: &[TupleId]) -> Result<Self> {
+        let mut levels: Vec<u32> = clause
+            .iter()
+            .map(|&t| {
+                order
+                    .level_of(t)
+                    .ok_or_else(|| ObddError::UnknownVariable(t.to_string()))
+            })
+            .collect::<Result<_>>()?;
+        levels.sort_unstable();
+        levels.dedup();
+        let mut o = Obdd::empty(order);
+        // Build bottom-up: the deepest literal points to TRUE.
+        let mut child = TRUE;
+        for &level in levels.iter().rev() {
+            child = o.mk(level, FALSE, child);
+        }
+        o.root = child;
+        Ok(o)
+    }
+
+    /// The shared variable order.
+    pub fn order(&self) -> &Arc<VarOrder> {
+        &self.order
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> ObddNode {
+        self.nodes[id as usize]
+    }
+
+    /// `true` when the id denotes a sink.
+    pub fn is_sink(&self, id: NodeId) -> bool {
+        id == TRUE || id == FALSE
+    }
+
+    /// The tuple variable labelling a node.
+    pub fn tuple_of(&self, id: NodeId) -> Option<TupleId> {
+        let node = self.node(id);
+        if node.level == SINK_LEVEL {
+            None
+        } else {
+            Some(self.order.tuple_at(node.level))
+        }
+    }
+
+    /// Total number of nodes in the store (including the two sinks and any
+    /// unreachable intermediate nodes).
+    pub fn store_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of internal nodes reachable from the root ("the size of the
+    /// OBDD" in the paper's terminology).
+    pub fn size(&self) -> usize {
+        self.reachable_ids()
+            .into_iter()
+            .filter(|&id| !self.is_sink(id))
+            .count()
+    }
+
+    /// The width of the diagram: the maximum number of reachable nodes
+    /// labelled with the same variable.
+    pub fn width(&self) -> usize {
+        let mut per_level: HashMap<u32, usize> = HashMap::new();
+        for id in self.reachable_ids() {
+            let node = self.node(id);
+            if node.level != SINK_LEVEL {
+                *per_level.entry(node.level).or_default() += 1;
+            }
+        }
+        per_level.values().copied().max().unwrap_or(0)
+    }
+
+    /// Ids of all nodes reachable from the root (iterative DFS).
+    pub fn reachable_ids(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id as usize] {
+                continue;
+            }
+            seen[id as usize] = true;
+            out.push(id);
+            if !self.is_sink(id) {
+                let node = self.node(id);
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        out
+    }
+
+    /// The smallest and largest levels of reachable internal nodes, if any.
+    pub fn level_range(&self) -> Option<(u32, u32)> {
+        let mut min = None;
+        let mut max = None;
+        for id in self.reachable_ids() {
+            let node = self.node(id);
+            if node.level == SINK_LEVEL {
+                continue;
+            }
+            min = Some(min.map_or(node.level, |m: u32| m.min(node.level)));
+            max = Some(max.map_or(node.level, |m: u32| m.max(node.level)));
+        }
+        Some((min?, max?))
+    }
+
+    /// Creates (or reuses) a node, applying the standard reduction rules.
+    pub(crate) fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(ObddNode { level, lo, hi });
+        self.unique.insert((level, lo, hi), id);
+        id
+    }
+
+    fn check_same_order(&self, other: &Obdd) -> Result<()> {
+        if Arc::ptr_eq(&self.order, &other.order) || self.order == other.order {
+            Ok(())
+        } else {
+            Err(ObddError::OrderMismatch)
+        }
+    }
+
+    fn level(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].level
+    }
+
+    /// Generic binary synthesis (`apply`).
+    fn apply(&self, other: &Obdd, op: impl Fn(bool, bool) -> bool + Copy) -> Result<Obdd> {
+        self.check_same_order(other)?;
+        let mut result = Obdd::empty(Arc::clone(&self.order));
+        let mut memo: HashMap<(NodeId, NodeId), NodeId> = HashMap::new();
+
+        // Iterative two-phase (expand / combine) traversal to avoid deep
+        // recursion on long chains.
+        enum Frame {
+            Expand(NodeId, NodeId),
+            Combine(NodeId, NodeId, u32),
+        }
+        let mut stack = vec![Frame::Expand(self.root, other.root)];
+        let mut results: Vec<NodeId> = Vec::new();
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Expand(u, v) => {
+                    if let Some(&r) = memo.get(&(u, v)) {
+                        results.push(r);
+                        continue;
+                    }
+                    let u_sink = self.is_sink(u);
+                    let v_sink = other.is_sink(v);
+                    if u_sink && v_sink {
+                        let r = if op(u == TRUE, v == TRUE) { TRUE } else { FALSE };
+                        memo.insert((u, v), r);
+                        results.push(r);
+                        continue;
+                    }
+                    let lu = self.level(u);
+                    let lv = other.level(v);
+                    let m = lu.min(lv);
+                    let (u0, u1) = if lu == m {
+                        (self.node(u).lo, self.node(u).hi)
+                    } else {
+                        (u, u)
+                    };
+                    let (v0, v1) = if lv == m {
+                        (other.node(v).lo, other.node(v).hi)
+                    } else {
+                        (v, v)
+                    };
+                    stack.push(Frame::Combine(u, v, m));
+                    stack.push(Frame::Expand(u1, v1));
+                    stack.push(Frame::Expand(u0, v0));
+                }
+                Frame::Combine(u, v, m) => {
+                    let r1 = results.pop().expect("hi result available");
+                    let r0 = results.pop().expect("lo result available");
+                    let r = result.mk(m, r0, r1);
+                    memo.insert((u, v), r);
+                    results.push(r);
+                }
+            }
+        }
+        result.root = results.pop().expect("apply produces a root");
+        Ok(result)
+    }
+
+    /// Synthesis of the disjunction `self ∨ other`.
+    pub fn apply_or(&self, other: &Obdd) -> Result<Obdd> {
+        self.apply(other, |a, b| a || b)
+    }
+
+    /// Synthesis of the conjunction `self ∧ other`.
+    pub fn apply_and(&self, other: &Obdd) -> Result<Obdd> {
+        self.apply(other, |a, b| a && b)
+    }
+
+    /// The negation of the diagram (the two sinks are swapped).
+    pub fn negate(&self) -> Obdd {
+        let mut result = Obdd::empty(Arc::clone(&self.order));
+        if self.root == TRUE {
+            result.root = FALSE;
+            return result;
+        }
+        if self.root == FALSE {
+            result.root = TRUE;
+            return result;
+        }
+        // Rebuild bottom-up (children have strictly larger levels, so
+        // processing ids in decreasing level order is safe).
+        let mut ids = self.reachable_ids();
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        map.insert(FALSE, TRUE);
+        map.insert(TRUE, FALSE);
+        for id in ids {
+            if self.is_sink(id) {
+                continue;
+            }
+            let node = self.node(id);
+            let lo = map[&node.lo];
+            let hi = map[&node.hi];
+            let new_id = result.mk(node.level, lo, hi);
+            map.insert(id, new_id);
+        }
+        result.root = map[&self.root];
+        result
+    }
+
+    /// Concatenation for disjunction (Section 4.2): every edge to the
+    /// `0`-sink of `self` is redirected to the root of `other`, computing
+    /// `self ∨ other` in time linear in the two diagrams.
+    ///
+    /// Requires the two diagrams to live on disjoint level ranges with every
+    /// level of `self` smaller than every level of `other`; otherwise the
+    /// result would violate the variable order and an [`ObddError`] is
+    /// returned. Use [`Obdd::apply_or`] in that case.
+    pub fn concat_or(&self, other: &Obdd) -> Result<Obdd> {
+        self.concat(other, false)
+    }
+
+    /// Concatenation for conjunction: every edge to the `1`-sink of `self` is
+    /// redirected to the root of `other`, computing `self ∧ other`.
+    pub fn concat_and(&self, other: &Obdd) -> Result<Obdd> {
+        self.concat(other, true)
+    }
+
+    fn concat(&self, other: &Obdd, and: bool) -> Result<Obdd> {
+        self.check_same_order(other)?;
+        if !self.levels_precede(other) {
+            return Err(ObddError::OrderMismatch);
+        }
+        // Trivial cases.
+        match (and, self.root) {
+            (false, FALSE) | (true, TRUE) => return Ok(other.clone()),
+            (false, TRUE) | (true, FALSE) => return Ok(self.clone()),
+            _ => {}
+        }
+        let mut result = Obdd::empty(Arc::clone(&self.order));
+        // Copy `other` first.
+        let other_root = copy_into(other, &mut result, &HashMap::new());
+        // Copy `self`, redirecting the appropriate sink to `other_root`.
+        let mut redirect = HashMap::new();
+        if and {
+            redirect.insert(TRUE, other_root);
+        } else {
+            redirect.insert(FALSE, other_root);
+        }
+        let self_root = copy_into(self, &mut result, &redirect);
+        result.root = self_root;
+        Ok(result)
+    }
+
+    /// `true` when every reachable internal level of `self` is strictly less
+    /// than every reachable internal level of `other` (or either diagram is
+    /// constant).
+    pub fn levels_precede(&self, other: &Obdd) -> bool {
+        match (self.level_range(), other.level_range()) {
+            (Some((_, max_a)), Some((min_b, _))) => max_a < min_b,
+            _ => true,
+        }
+    }
+
+    /// n-ary disjunctive concatenation: combines `parts` (ordered by level
+    /// range) into a single diagram in one pass. Parts are connected by
+    /// redirecting `0`-sinks of each part to the root of the next, so the
+    /// total cost is linear in the sum of the part sizes.
+    pub fn concat_many_or(order: Arc<VarOrder>, parts: &[Obdd]) -> Result<Obdd> {
+        let mut result = Obdd::empty(Arc::clone(&order));
+        let mut tail = FALSE;
+        // Verify level separation pairwise (adjacent suffices since parts are
+        // processed in order) and build from the last part backwards.
+        for pair in parts.windows(2) {
+            if !pair[0].levels_precede(&pair[1]) {
+                return Err(ObddError::OrderMismatch);
+            }
+        }
+        for part in parts.iter().rev() {
+            if Arc::ptr_eq(&part.order, &order) || part.order == order {
+                if part.root == TRUE {
+                    tail = TRUE;
+                    continue;
+                }
+                if part.root == FALSE {
+                    continue;
+                }
+                let mut redirect = HashMap::new();
+                redirect.insert(FALSE, tail);
+                tail = copy_into(part, &mut result, &redirect);
+            } else {
+                return Err(ObddError::OrderMismatch);
+            }
+        }
+        result.root = tail;
+        Ok(result)
+    }
+
+    /// Evaluates the diagram under a truth assignment of the tuple variables.
+    pub fn eval(&self, assignment: impl Fn(TupleId) -> bool) -> bool {
+        let mut id = self.root;
+        while !self.is_sink(id) {
+            let node = self.node(id);
+            let tuple = self.order.tuple_at(node.level);
+            id = if assignment(tuple) { node.hi } else { node.lo };
+        }
+        id == TRUE
+    }
+
+    /// The probability of the Boolean function represented by the diagram,
+    /// under the given per-tuple probabilities (Shannon expansion,
+    /// Section 4.1). Valid for negative probabilities.
+    pub fn probability(&self, prob_of: impl Fn(TupleId) -> f64) -> f64 {
+        self.node_probabilities(prob_of)[self.root as usize]
+    }
+
+    /// The probability of the sub-diagram rooted at every node
+    /// (`probUnder` in the paper's terminology). Index `i` of the returned
+    /// vector is the probability of node `i`; unreachable nodes get correct
+    /// values too (they are simply never used).
+    pub fn node_probabilities(&self, prob_of: impl Fn(TupleId) -> f64) -> Vec<f64> {
+        let mut prob = vec![0.0; self.nodes.len()];
+        prob[TRUE as usize] = 1.0;
+        prob[FALSE as usize] = 0.0;
+        // Children always have strictly larger levels, so processing nodes by
+        // decreasing level is a valid bottom-up order.
+        let mut ids: Vec<NodeId> = (2..self.nodes.len() as NodeId).collect();
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        for id in ids {
+            let node = self.node(id);
+            let p = prob_of(self.order.tuple_at(node.level));
+            prob[id as usize] =
+                (1.0 - p) * prob[node.lo as usize] + p * prob[node.hi as usize];
+        }
+        prob
+    }
+}
+
+/// Copies the reachable part of `src` into `dst`, mapping sink ids through
+/// `redirect` (entries default to the identity), and returns the id of the
+/// copied root.
+fn copy_into(src: &Obdd, dst: &mut Obdd, redirect: &HashMap<NodeId, NodeId>) -> NodeId {
+    let map_sink = |id: NodeId, map: &HashMap<NodeId, NodeId>| -> NodeId {
+        *map.get(&id).unwrap_or(&id)
+    };
+    if src.is_sink(src.root) {
+        return map_sink(src.root, redirect);
+    }
+    let mut ids = src.reachable_ids();
+    ids.sort_by_key(|&id| std::cmp::Reverse(src.level(id)));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    map.insert(FALSE, map_sink(FALSE, redirect));
+    map.insert(TRUE, map_sink(TRUE, redirect));
+    for id in ids {
+        if src.is_sink(id) {
+            continue;
+        }
+        let node = src.node(id);
+        let lo = map[&node.lo];
+        let hi = map[&node.hi];
+        let new_id = dst.mk(node.level, lo, hi);
+        map.insert(id, new_id);
+    }
+    map[&src.root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(n: u32) -> Arc<VarOrder> {
+        Arc::new(VarOrder::from_tuples((0..n).map(TupleId)))
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let ord = order(3);
+        let t = Obdd::constant(Arc::clone(&ord), true);
+        let f = Obdd::constant(Arc::clone(&ord), false);
+        assert_eq!(t.root(), TRUE);
+        assert_eq!(f.root(), FALSE);
+        assert_eq!(t.size(), 0);
+        let x1 = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
+        assert_eq!(x1.size(), 1);
+        assert!(x1.eval(|t| t == TupleId(1)));
+        assert!(!x1.eval(|_| false));
+        assert!(Obdd::literal(ord, TupleId(9)).is_err());
+    }
+
+    #[test]
+    fn clause_builds_an_and_chain() {
+        let ord = order(4);
+        let c = Obdd::clause(Arc::clone(&ord), &[TupleId(2), TupleId(0)]).unwrap();
+        assert_eq!(c.size(), 2);
+        assert!(c.eval(|t| t == TupleId(0) || t == TupleId(2)));
+        assert!(!c.eval(|t| t == TupleId(0)));
+        let p = c.probability(|_| 0.5);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_or_and_match_truth_tables() {
+        let ord = order(2);
+        let x0 = Obdd::literal(Arc::clone(&ord), TupleId(0)).unwrap();
+        let x1 = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
+        let or = x0.apply_or(&x1).unwrap();
+        let and = x0.apply_and(&x1).unwrap();
+        for mask in 0..4u8 {
+            let assign = |t: TupleId| mask & (1 << t.0) != 0;
+            assert_eq!(or.eval(assign), assign(TupleId(0)) || assign(TupleId(1)));
+            assert_eq!(and.eval(assign), assign(TupleId(0)) && assign(TupleId(1)));
+        }
+        assert!((or.probability(|_| 0.5) - 0.75).abs() < 1e-12);
+        assert!((and.probability(|_| 0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_shares_nodes_and_collapses_redundant_tests() {
+        let ord = order(2);
+        // x0 ∨ ¬x0 should reduce to the constant true.
+        let x0 = Obdd::literal(Arc::clone(&ord), TupleId(0)).unwrap();
+        let not_x0 = x0.negate();
+        let taut = x0.apply_or(&not_x0).unwrap();
+        assert_eq!(taut.root(), TRUE);
+        assert_eq!(taut.size(), 0);
+    }
+
+    #[test]
+    fn negate_swaps_semantics_and_probability() {
+        let ord = order(3);
+        let c = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(1)]).unwrap();
+        let n = c.negate();
+        for mask in 0..8u8 {
+            let assign = |t: TupleId| mask & (1 << t.0) != 0;
+            assert_eq!(n.eval(assign), !c.eval(assign));
+        }
+        let p = c.probability(|_| 0.3);
+        let np = n.probability(|_| 0.3);
+        assert!((p + np - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concatenation_matches_synthesis_on_disjoint_blocks() {
+        let ord = order(4);
+        let a = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(1)]).unwrap();
+        let b = Obdd::clause(Arc::clone(&ord), &[TupleId(2), TupleId(3)]).unwrap();
+        let by_concat = a.concat_or(&b).unwrap();
+        let by_apply = a.apply_or(&b).unwrap();
+        for mask in 0..16u8 {
+            let assign = |t: TupleId| mask & (1 << t.0) != 0;
+            assert_eq!(by_concat.eval(assign), by_apply.eval(assign));
+        }
+        assert!((by_concat.probability(|_| 0.5) - by_apply.probability(|_| 0.5)).abs() < 1e-12);
+        // Size of a concatenation is the sum of the parts.
+        assert_eq!(by_concat.size(), a.size() + b.size());
+    }
+
+    #[test]
+    fn concat_and_matches_apply_and() {
+        let ord = order(4);
+        let a = Obdd::clause(Arc::clone(&ord), &[TupleId(0)]).unwrap();
+        let b = Obdd::clause(Arc::clone(&ord), &[TupleId(3)]).unwrap();
+        let c = a.concat_and(&b).unwrap();
+        let d = a.apply_and(&b).unwrap();
+        for mask in 0..16u8 {
+            let assign = |t: TupleId| mask & (1 << t.0) != 0;
+            assert_eq!(c.eval(assign), d.eval(assign));
+        }
+    }
+
+    #[test]
+    fn concatenation_rejects_interleaved_levels() {
+        let ord = order(4);
+        let a = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(2)]).unwrap();
+        let b = Obdd::clause(Arc::clone(&ord), &[TupleId(1), TupleId(3)]).unwrap();
+        assert!(matches!(a.concat_or(&b), Err(ObddError::OrderMismatch)));
+    }
+
+    #[test]
+    fn concat_many_or_combines_blocks_linearly() {
+        let ord = order(6);
+        let parts: Vec<Obdd> = (0..3)
+            .map(|i| {
+                Obdd::clause(
+                    Arc::clone(&ord),
+                    &[TupleId(2 * i), TupleId(2 * i + 1)],
+                )
+                .unwrap()
+            })
+            .collect();
+        let combined = Obdd::concat_many_or(Arc::clone(&ord), &parts).unwrap();
+        assert_eq!(combined.size(), 6);
+        // P = 1 - (1 - 0.25)^3 with p = 0.5 everywhere.
+        let p = combined.probability(|_| 0.5);
+        assert!((p - (1.0 - 0.75f64.powi(3))).abs() < 1e-12);
+        // Width stays 1: this is the hallmark of inversion-free concatenation.
+        assert_eq!(combined.width(), 1);
+    }
+
+    #[test]
+    fn concat_many_or_handles_constants() {
+        let ord = order(2);
+        let parts = vec![
+            Obdd::constant(Arc::clone(&ord), false),
+            Obdd::clause(Arc::clone(&ord), &[TupleId(1)]).unwrap(),
+        ];
+        let combined = Obdd::concat_many_or(Arc::clone(&ord), &parts).unwrap();
+        assert_eq!(combined.size(), 1);
+        let parts = vec![
+            Obdd::constant(Arc::clone(&ord), true),
+            Obdd::clause(Arc::clone(&ord), &[TupleId(1)]).unwrap(),
+        ];
+        let combined = Obdd::concat_many_or(Arc::clone(&ord), &parts).unwrap();
+        assert_eq!(combined.root(), TRUE);
+    }
+
+    #[test]
+    fn order_mismatch_is_detected() {
+        let a = Obdd::literal(order(2), TupleId(0)).unwrap();
+        let b = Obdd::literal(order(3), TupleId(0)).unwrap();
+        assert!(matches!(a.apply_or(&b), Err(ObddError::OrderMismatch)));
+    }
+
+    #[test]
+    fn figure3_obdd_probability() {
+        // Lineage X1Y1 ∨ X1Y2 ∨ X2Y3 ∨ X2Y4 in the order X1,Y1,Y2,X2,Y3,Y4.
+        let ord = order(6);
+        let x1 = 0u32;
+        let y1 = 1u32;
+        let y2 = 2u32;
+        let x2 = 3u32;
+        let y3 = 4u32;
+        let y4 = 5u32;
+        let clauses = [
+            vec![TupleId(x1), TupleId(y1)],
+            vec![TupleId(x1), TupleId(y2)],
+            vec![TupleId(x2), TupleId(y3)],
+            vec![TupleId(x2), TupleId(y4)],
+        ];
+        let mut acc = Obdd::constant(Arc::clone(&ord), false);
+        for c in &clauses {
+            let clause = Obdd::clause(Arc::clone(&ord), c).unwrap();
+            acc = acc.apply_or(&clause).unwrap();
+        }
+        // P = 1 - (1 - p(1-(1-p)^2))^2 with p = 0.5.
+        let inner = 0.5 * (1.0 - 0.25);
+        let expected = 1.0 - (1.0 - inner) * (1.0 - inner);
+        assert!((acc.probability(|_| 0.5) - expected).abs() < 1e-12);
+        // The OBDD of Figure 3 has 6 internal nodes.
+        assert_eq!(acc.size(), 6);
+        assert_eq!(acc.width(), 1);
+    }
+
+    #[test]
+    fn negative_probabilities_propagate_through_shannon_expansion() {
+        let ord = order(2);
+        let x0 = Obdd::literal(Arc::clone(&ord), TupleId(0)).unwrap();
+        let x1 = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
+        let both = x0.apply_and(&x1).unwrap();
+        let p = both.probability(|t| if t == TupleId(0) { -2.0 } else { 0.5 });
+        assert!((p - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_probabilities_expose_prob_under() {
+        let ord = order(2);
+        let x0 = Obdd::literal(Arc::clone(&ord), TupleId(0)).unwrap();
+        let x1 = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
+        let or = x0.apply_or(&x1).unwrap();
+        let probs = or.node_probabilities(|_| 0.5);
+        assert_eq!(probs[TRUE as usize], 1.0);
+        assert_eq!(probs[FALSE as usize], 0.0);
+        assert!((probs[or.root() as usize] - 0.75).abs() < 1e-12);
+    }
+}

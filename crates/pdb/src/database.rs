@@ -1,0 +1,193 @@
+//! Deterministic database instances.
+//!
+//! A [`Database`] pairs a [`Schema`] with one [`Relation`] instance per
+//! relation. It plays two roles in the workspace:
+//!
+//! * the deterministic tables of an MVDB (Author, Wrote, Pub, … in Fig. 1);
+//! * the instance `I_poss` of *all possible tuples* against which MarkoViews
+//!   are materialised and query lineage is computed (Section 2.4).
+
+use crate::relation::Relation;
+use crate::schema::{RelId, Schema};
+use crate::value::{Row, Value};
+use crate::{PdbError, Result};
+
+/// A deterministic database: a schema plus an instance for every relation.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    schema: Schema,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database with an empty schema.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a database over an existing schema, with empty instances.
+    pub fn with_schema(schema: Schema) -> Self {
+        let relations = schema
+            .relations()
+            .map(|(id, _)| Relation::new(id))
+            .collect();
+        Database { schema, relations }
+    }
+
+    /// The schema of this database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds a relation to the schema and returns its id.
+    pub fn add_relation(&mut self, name: &str, attributes: &[&str]) -> Result<RelId> {
+        let id = self.schema.add_relation(name, attributes)?;
+        self.relations.push(Relation::new(id));
+        Ok(id)
+    }
+
+    /// Looks up a relation id by name, failing if it does not exist.
+    pub fn relation_id(&self, name: &str) -> Result<RelId> {
+        self.schema.require(name)
+    }
+
+    /// Inserts a row into a relation identified by id, returning its dense
+    /// row index within that relation.
+    pub fn insert(&mut self, rel: RelId, row: Row) -> Result<usize> {
+        let arity = self.schema.relation(rel).arity();
+        if row.len() != arity {
+            return Err(PdbError::ArityMismatch {
+                relation: self.schema.relation(rel).name().to_string(),
+                expected: arity,
+                actual: row.len(),
+            });
+        }
+        Ok(self.relations[rel.index()].insert(row))
+    }
+
+    /// Inserts a row into a relation identified by name.
+    pub fn insert_by_name(&mut self, name: &str, row: Row) -> Result<usize> {
+        let rel = self.relation_id(name)?;
+        self.insert(rel, row)
+    }
+
+    /// The instance of a relation.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// The instance of a relation, by name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&Relation> {
+        Ok(self.relation(self.relation_id(name)?))
+    }
+
+    /// All rows of a relation.
+    pub fn rows(&self, rel: RelId) -> &[Row] {
+        self.relations[rel.index()].rows()
+    }
+
+    /// `true` when the relation contains the given row.
+    pub fn contains(&self, rel: RelId, row: &[Value]) -> bool {
+        self.relations[rel.index()].contains(row)
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// The *ordered active domain*: every constant appearing anywhere in the
+    /// database, sorted and de-duplicated. This is the domain used by the
+    /// OBDD variable order of Section 4.2 and by MLN grounding.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut domain: Vec<Value> = self
+            .relations
+            .iter()
+            .flat_map(|r| r.rows().iter().flatten().cloned())
+            .collect();
+        domain.sort();
+        domain.dedup();
+        domain
+    }
+
+    /// The active domain restricted to the given column of the given relation.
+    pub fn column_domain(&self, rel: RelId, column: usize) -> Vec<Value> {
+        let mut vals = self.relations[rel.index()].column_values(column);
+        vals.sort();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a"]).unwrap();
+        let s = db.add_relation("S", &["a", "b"]).unwrap();
+        db.insert(r, row([1i64])).unwrap();
+        db.insert(r, row([2i64])).unwrap();
+        db.insert(s, row([1i64, 10])).unwrap();
+        db.insert(s, row([2i64, 20])).unwrap();
+        db.insert(s, row([2i64, 30])).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let db = sample();
+        let s = db.relation_id("S").unwrap();
+        assert_eq!(db.rows(s).len(), 3);
+        assert!(db.contains(s, &row([2i64, 20])));
+        assert!(!db.contains(s, &row([2i64, 99])));
+        assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut db = sample();
+        let r = db.relation_id("R").unwrap();
+        let err = db.insert(r, row([1i64, 2])).unwrap_err();
+        assert!(matches!(err, PdbError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn active_domain_is_sorted_and_unique() {
+        let db = sample();
+        let dom = db.active_domain();
+        assert_eq!(
+            dom,
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::int(10),
+                Value::int(20),
+                Value::int(30)
+            ]
+        );
+    }
+
+    #[test]
+    fn column_domain_restricts_to_one_column() {
+        let db = sample();
+        let s = db.relation_id("S").unwrap();
+        assert_eq!(db.column_domain(s, 0), vec![Value::int(1), Value::int(2)]);
+    }
+
+    #[test]
+    fn with_schema_creates_empty_instances() {
+        let mut schema = Schema::new();
+        schema.add_relation("T", &["x"]).unwrap();
+        let db = Database::with_schema(schema);
+        let t = db.relation_id("T").unwrap();
+        assert!(db.rows(t).is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let db = sample();
+        assert!(db.relation_by_name("Nope").is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building or querying databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdbError {
+    /// A relation name was used that is not part of the schema.
+    UnknownRelation(String),
+    /// A relation was declared twice with the same name.
+    DuplicateRelation(String),
+    /// A row was inserted whose arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation the row was inserted into.
+        relation: String,
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the row carried.
+        actual: usize,
+    },
+    /// A weight outside the valid range `[0, +inf]` was supplied for a base
+    /// tuple (negative weights only ever arise from the MarkoView
+    /// translation, never from user input).
+    InvalidWeight(f64),
+    /// Possible-world enumeration was requested for a database with too many
+    /// uncertain tuples to enumerate exhaustively.
+    TooManyUncertainTuples {
+        /// Number of uncertain tuples in the database.
+        count: usize,
+        /// Maximum supported by exhaustive enumeration.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdbError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            PdbError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is declared more than once")
+            }
+            PdbError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: expected {expected} values, got {actual}"
+            ),
+            PdbError::InvalidWeight(w) => {
+                write!(f, "invalid tuple weight {w}: base weights must be in [0, +inf]")
+            }
+            PdbError::TooManyUncertainTuples { count, limit } => write!(
+                f,
+                "cannot enumerate possible worlds: {count} uncertain tuples exceeds the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_relevant_pieces() {
+        let err = PdbError::UnknownRelation("R".into());
+        assert!(err.to_string().contains('R'));
+        let err = PdbError::ArityMismatch {
+            relation: "S".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('S') && msg.contains('2') && msg.contains('3'));
+        let err = PdbError::TooManyUncertainTuples { count: 40, limit: 24 };
+        assert!(err.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PdbError>();
+    }
+}

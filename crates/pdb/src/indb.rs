@@ -1,0 +1,366 @@
+//! Tuple-independent probabilistic databases (INDBs).
+//!
+//! An [`InDb`] is the pair `(Tup, w)` of Definition 2: a set of possible
+//! tuples together with a weight for each tuple. Relations may be declared
+//! *deterministic* (their tuples are certain and carry no Boolean variable) or
+//! *probabilistic* (each row becomes an independent Boolean random variable
+//! identified by a [`TupleId`]).
+//!
+//! Negative weights — and hence negative marginal probabilities — are
+//! permitted because the MarkoView translation of Section 3 produces them;
+//! they are only accepted through [`InDbBuilder::insert_translated`], never
+//! through the ordinary [`InDbBuilder::insert_weighted`] entry point.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::database::Database;
+use crate::schema::RelId;
+use crate::value::{Row, Value};
+use crate::weight::Weight;
+use crate::worlds::WorldIter;
+use crate::{PdbError, Result};
+
+/// Identifier of a possible (probabilistic) tuple: the index of its Boolean
+/// random variable `X_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The tuple id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// One possible tuple of the INDB: which relation and row it is, and its weight.
+#[derive(Debug, Clone)]
+pub struct PossibleTuple {
+    /// Relation the tuple belongs to.
+    pub rel: RelId,
+    /// Dense row index within that relation's instance of possible tuples.
+    pub row_index: usize,
+    /// The tuple's weight (odds).
+    pub weight: Weight,
+}
+
+/// A tuple-independent probabilistic database.
+#[derive(Debug, Clone)]
+pub struct InDb {
+    database: Database,
+    deterministic: Vec<bool>,
+    tuples: Vec<PossibleTuple>,
+    by_row: HashMap<(RelId, usize), TupleId>,
+}
+
+impl InDb {
+    /// The deterministic instance `I_poss` containing every possible tuple.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Shorthand for the schema.
+    pub fn schema(&self) -> &crate::schema::Schema {
+        self.database.schema()
+    }
+
+    /// `true` when the relation was declared deterministic.
+    pub fn is_deterministic(&self, rel: RelId) -> bool {
+        self.deterministic[rel.index()]
+    }
+
+    /// Number of probabilistic (possible) tuples, i.e. Boolean variables.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The possible tuple behind a [`TupleId`].
+    pub fn tuple(&self, id: TupleId) -> &PossibleTuple {
+        &self.tuples[id.index()]
+    }
+
+    /// The row of values behind a [`TupleId`].
+    pub fn tuple_row(&self, id: TupleId) -> &Row {
+        let t = self.tuple(id);
+        self.database.relation(t.rel).row(t.row_index)
+    }
+
+    /// The weight of a possible tuple.
+    pub fn weight(&self, id: TupleId) -> Weight {
+        self.tuples[id.index()].weight
+    }
+
+    /// The marginal probability `w / (1 + w)` of a possible tuple. May be
+    /// negative for translated `NV` tuples.
+    pub fn probability(&self, id: TupleId) -> f64 {
+        self.weight(id).probability()
+    }
+
+    /// The tuple id of a probabilistic row, identified by relation and dense
+    /// row index within that relation. Deterministic rows have no id.
+    pub fn tuple_id(&self, rel: RelId, row_index: usize) -> Option<TupleId> {
+        self.by_row.get(&(rel, row_index)).copied()
+    }
+
+    /// The tuple id of a probabilistic row identified by its values.
+    pub fn tuple_id_by_values(&self, rel: RelId, row: &[Value]) -> Option<TupleId> {
+        let idx = self.database.relation(rel).position(row)?;
+        self.tuple_id(rel, idx)
+    }
+
+    /// Iterates over all possible tuples with their ids.
+    pub fn tuples(&self) -> impl Iterator<Item = (TupleId, &PossibleTuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// Enumerates all possible worlds. Fails when there are more than
+    /// [`WorldIter::MAX_TUPLES`] probabilistic tuples.
+    pub fn possible_worlds(&self) -> Result<WorldIter<'_>> {
+        WorldIter::new(self)
+    }
+
+    /// Materialises one possible world as a deterministic [`Database`]:
+    /// all deterministic rows plus the probabilistic rows present in `mask`
+    /// (bit `i` of the mask corresponds to `TupleId(i)`).
+    pub fn materialize_world(&self, mask: u64) -> Database {
+        let mut world = Database::with_schema(self.schema().clone());
+        for (rel_id, _) in self.schema().relations() {
+            if self.is_deterministic(rel_id) {
+                for row in self.database.rows(rel_id) {
+                    world
+                        .insert(rel_id, row.clone())
+                        .expect("schema is shared, arity must match");
+                }
+            }
+        }
+        for (id, t) in self.tuples() {
+            if mask & (1u64 << id.0) != 0 {
+                let row = self.database.relation(t.rel).row(t.row_index).clone();
+                world
+                    .insert(t.rel, row)
+                    .expect("schema is shared, arity must match");
+            }
+        }
+        world
+    }
+
+    /// The probability of the world described by `mask`, i.e.
+    /// `prod_{t in world} p(t) * prod_{t not in world} (1 - p(t))`.
+    ///
+    /// Valid for negative probabilities as well (the products are simply
+    /// signed numbers; Section 3.3).
+    pub fn world_probability(&self, mask: u64) -> f64 {
+        let mut p = 1.0;
+        for (id, t) in self.tuples() {
+            let pt = t.weight.probability();
+            if mask & (1u64 << id.0) != 0 {
+                p *= pt;
+            } else {
+                p *= 1.0 - pt;
+            }
+        }
+        p
+    }
+}
+
+/// Builder for [`InDb`].
+#[derive(Debug, Clone, Default)]
+pub struct InDbBuilder {
+    database: Database,
+    deterministic: Vec<bool>,
+    tuples: Vec<PossibleTuple>,
+    by_row: HashMap<(RelId, usize), TupleId>,
+}
+
+impl InDbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        InDbBuilder::default()
+    }
+
+    /// Declares a deterministic relation.
+    pub fn deterministic_relation(&mut self, name: &str, attributes: &[&str]) -> Result<RelId> {
+        let id = self.database.add_relation(name, attributes)?;
+        self.deterministic.push(true);
+        Ok(id)
+    }
+
+    /// Declares a probabilistic relation.
+    pub fn probabilistic_relation(&mut self, name: &str, attributes: &[&str]) -> Result<RelId> {
+        let id = self.database.add_relation(name, attributes)?;
+        self.deterministic.push(false);
+        Ok(id)
+    }
+
+    /// Inserts a certain fact into a deterministic relation.
+    pub fn insert_fact(&mut self, rel: RelId, row: Row) -> Result<usize> {
+        assert!(
+            self.deterministic[rel.index()],
+            "insert_fact must target a deterministic relation"
+        );
+        self.database.insert(rel, row)
+    }
+
+    /// Inserts a possible tuple with the given *base* weight (must be in
+    /// `[0, +inf]`) into a probabilistic relation, returning its [`TupleId`].
+    ///
+    /// Re-inserting the same row keeps the first weight and returns the
+    /// existing id.
+    pub fn insert_weighted(&mut self, rel: RelId, row: Row, weight: Weight) -> Result<TupleId> {
+        if !weight.is_valid_base_weight() {
+            return Err(PdbError::InvalidWeight(weight.value()));
+        }
+        self.insert_translated(rel, row, weight)
+    }
+
+    /// Inserts a possible tuple allowing *any* (possibly negative) weight.
+    ///
+    /// This entry point exists for the MarkoView translation of Definition 5,
+    /// which assigns weight `(1 - w) / w` to the `NV` tuples.
+    pub fn insert_translated(&mut self, rel: RelId, row: Row, weight: Weight) -> Result<TupleId> {
+        assert!(
+            !self.deterministic[rel.index()],
+            "weighted tuples must target a probabilistic relation"
+        );
+        let row_index = self.database.insert(rel, row)?;
+        if let Some(&id) = self.by_row.get(&(rel, row_index)) {
+            return Ok(id);
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuples.push(PossibleTuple {
+            rel,
+            row_index,
+            weight,
+        });
+        self.by_row.insert((rel, row_index), id);
+        Ok(id)
+    }
+
+    /// Inserts a possible tuple given its marginal probability.
+    pub fn insert_probabilistic(&mut self, rel: RelId, row: Row, probability: f64) -> Result<TupleId> {
+        self.insert_weighted(rel, row, Weight::from_probability(probability))
+    }
+
+    /// Convenience: look up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Result<RelId> {
+        self.database.relation_id(name)
+    }
+
+    /// Access to the partially-built database (e.g. for derived views).
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> InDb {
+        InDb {
+            database: self.database,
+            deterministic: self.deterministic,
+            tuples: self.tuples,
+            by_row: self.by_row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+
+    fn two_tuple_db() -> InDb {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let s = b.probabilistic_relation("S", &["x"]).unwrap();
+        b.insert_weighted(r, row(["a"]), Weight::new(3.0)).unwrap();
+        b.insert_weighted(s, row(["a"]), Weight::new(1.0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_dense_tuple_ids() {
+        let db = two_tuple_db();
+        assert_eq!(db.num_tuples(), 2);
+        let r = db.schema().relation_id("R").unwrap();
+        let s = db.schema().relation_id("S").unwrap();
+        assert_eq!(db.tuple_id(r, 0), Some(TupleId(0)));
+        assert_eq!(db.tuple_id(s, 0), Some(TupleId(1)));
+        assert_eq!(db.tuple_id_by_values(r, &row(["a"])), Some(TupleId(0)));
+        assert_eq!(db.tuple_id_by_values(r, &row(["b"])), None);
+        assert_eq!(db.tuple_row(TupleId(0)), &row(["a"]));
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_weight() {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let id1 = b.insert_weighted(r, row(["a"]), Weight::new(3.0)).unwrap();
+        let id2 = b.insert_weighted(r, row(["a"]), Weight::new(9.0)).unwrap();
+        assert_eq!(id1, id2);
+        let db = b.build();
+        assert_eq!(db.weight(id1).value(), 3.0);
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn negative_weights_rejected_for_base_tuples_but_allowed_for_translation() {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("NV", &["x"]).unwrap();
+        assert!(matches!(
+            b.insert_weighted(r, row(["a"]), Weight::new(-0.5)),
+            Err(PdbError::InvalidWeight(_))
+        ));
+        let id = b.insert_translated(r, row(["a"]), Weight::new(-0.5)).unwrap();
+        let db = b.build();
+        assert_eq!(db.weight(id).value(), -0.5);
+        assert!((db.probability(id) - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_probability_multiplies_marginals() {
+        let db = two_tuple_db();
+        // p(R(a)) = 3/4, p(S(a)) = 1/2.
+        let p_both = db.world_probability(0b11);
+        let p_none = db.world_probability(0b00);
+        let p_r_only = db.world_probability(0b01);
+        assert!((p_both - 0.375).abs() < 1e-12);
+        assert!((p_none - 0.125).abs() < 1e-12);
+        assert!((p_r_only - 0.375).abs() < 1e-12);
+        // All four worlds sum to one.
+        let total: f64 = (0..4u64).map(|m| db.world_probability(m)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialize_world_includes_deterministic_rows() {
+        let mut b = InDbBuilder::new();
+        let d = b.deterministic_relation("D", &["x"]).unwrap();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        b.insert_fact(d, row(["c"])).unwrap();
+        b.insert_weighted(r, row(["a"]), Weight::ONE).unwrap();
+        let db = b.build();
+        let w_empty = db.materialize_world(0);
+        assert_eq!(w_empty.rows(d).len(), 1);
+        assert_eq!(w_empty.rows(r).len(), 0);
+        let w_full = db.materialize_world(1);
+        assert_eq!(w_full.rows(r).len(), 1);
+        assert!(db.is_deterministic(d));
+        assert!(!db.is_deterministic(r));
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic")]
+    fn insert_fact_into_probabilistic_relation_panics() {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let _ = b.insert_fact(r, row(["a"]));
+    }
+}

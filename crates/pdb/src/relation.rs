@@ -1,0 +1,135 @@
+//! Deterministic relation instances.
+//!
+//! A [`Relation`] stores the rows of one relation with set semantics
+//! (duplicate elimination), preserving insertion order so that other crates
+//! can assign stable, dense row indices — the per-relation row index is what
+//! the tuple-independent layer uses to identify possible tuples.
+
+use std::collections::HashMap;
+
+use crate::schema::RelId;
+use crate::value::{Row, Value};
+
+/// One relation instance: an ordered, duplicate-free multiset of rows.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    rel: Option<RelId>,
+    rows: Vec<Row>,
+    index: HashMap<Row, usize>,
+}
+
+impl Relation {
+    /// Creates an empty relation instance for the given relation id.
+    pub fn new(rel: RelId) -> Self {
+        Relation {
+            rel: Some(rel),
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The relation id this instance belongs to, if it was created through
+    /// [`Relation::new`].
+    pub fn rel_id(&self) -> Option<RelId> {
+        self.rel
+    }
+
+    /// Inserts a row, returning its dense index. Inserting a duplicate row
+    /// returns the index of the existing copy.
+    pub fn insert(&mut self, row: Row) -> usize {
+        if let Some(&i) = self.index.get(&row) {
+            return i;
+        }
+        let i = self.rows.len();
+        self.index.insert(row.clone(), i);
+        self.rows.push(row);
+        i
+    }
+
+    /// `true` when the relation contains the row.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains_key(row)
+    }
+
+    /// The dense index of a row, if present.
+    pub fn position(&self, row: &[Value]) -> Option<usize> {
+        self.index.get(row).copied()
+    }
+
+    /// The row stored at a dense index.
+    pub fn row(&self, index: usize) -> &Row {
+        &self.rows[index]
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over `(row_index, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// All distinct values appearing in the given column, in row order.
+    pub fn column_values(&self, column: usize) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.rows {
+            if seen.insert(r[column].clone()) {
+                out.push(r[column].clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+
+    #[test]
+    fn insert_deduplicates_and_assigns_dense_indices() {
+        let mut rel = Relation::new(RelId(0));
+        let a = rel.insert(row([1i64, 2]));
+        let b = rel.insert(row([3i64, 4]));
+        let a_again = rel.insert(row([1i64, 2]));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a_again, 0);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&row([3i64, 4])));
+        assert!(!rel.contains(&row([9i64, 9])));
+        assert_eq!(rel.position(&row([3i64, 4])), Some(1));
+        assert_eq!(rel.row(1), &row([3i64, 4]));
+    }
+
+    #[test]
+    fn column_values_returns_distinct_values_in_order() {
+        let mut rel = Relation::new(RelId(0));
+        rel.insert(row([1i64, 10]));
+        rel.insert(row([2i64, 10]));
+        rel.insert(row([1i64, 20]));
+        assert_eq!(rel.column_values(0), vec![Value::int(1), Value::int(2)]);
+        assert_eq!(rel.column_values(1), vec![Value::int(10), Value::int(20)]);
+    }
+
+    #[test]
+    fn empty_relation_reports_empty() {
+        let rel = Relation::new(RelId(3));
+        assert!(rel.is_empty());
+        assert_eq!(rel.rel_id(), Some(RelId(3)));
+        assert_eq!(rel.iter().count(), 0);
+    }
+}

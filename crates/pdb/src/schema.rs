@@ -1,0 +1,167 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] is the relational vocabulary **R** of Section 2: an ordered
+//! collection of relation names, each with a list of named attributes. Every
+//! relation is identified by a dense [`RelId`] so the rest of the workspace
+//! can index into vectors instead of hashing names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{PdbError, Result};
+
+/// A dense identifier for a relation within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The relation id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The declaration of a single relation: its name and attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a new relation schema.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: attributes.iter().map(|a| (*a).to_string()).collect(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute names, in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of attributes (the arity of the relation).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the attribute with the given name.
+    pub fn attribute_position(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// A collection of relation schemas, indexable by name and by [`RelId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a relation and returns its id. Fails if the name already exists.
+    pub fn add_relation(&mut self, name: impl Into<String>, attributes: &[&str]) -> Result<RelId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(PdbError::DuplicateRelation(name));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.relations.push(RelationSchema::new(name, attributes));
+        Ok(id)
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name, reporting an error if it is missing.
+    pub fn require(&self, name: &str) -> Result<RelId> {
+        self.relation_id(name)
+            .ok_or_else(|| PdbError::UnknownRelation(name.to_string()))
+    }
+
+    /// The declaration of a relation.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// All relations in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Number of relations in the schema.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` when the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_relations() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["a"]).unwrap();
+        let s = schema.add_relation("S", &["a", "b"]).unwrap();
+        assert_eq!(schema.relation_id("R"), Some(r));
+        assert_eq!(schema.relation_id("S"), Some(s));
+        assert_eq!(schema.relation_id("T"), None);
+        assert_eq!(schema.relation(s).arity(), 2);
+        assert_eq!(schema.relation(s).attribute_position("b"), Some(1));
+        assert_eq!(schema.len(), 2);
+        assert!(!schema.is_empty());
+    }
+
+    #[test]
+    fn duplicate_relation_is_rejected() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["a"]).unwrap();
+        let err = schema.add_relation("R", &["b"]).unwrap_err();
+        assert_eq!(err, PdbError::DuplicateRelation("R".into()));
+    }
+
+    #[test]
+    fn require_reports_unknown_relation() {
+        let schema = Schema::new();
+        assert_eq!(
+            schema.require("Missing").unwrap_err(),
+            PdbError::UnknownRelation("Missing".into())
+        );
+    }
+
+    #[test]
+    fn display_shows_name_and_attributes() {
+        let rs = RelationSchema::new("Wrote", &["aid", "pid"]);
+        assert_eq!(rs.to_string(), "Wrote(aid, pid)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Constants stored in relations.
+//!
+//! The paper's databases only need integers (identifiers, years, counts) and
+//! strings (names, titles, URLs, institutions), so [`Value`] supports exactly
+//! those two kinds. Values are totally ordered — integers before strings —
+//! because the OBDD variable order Π of Section 4.2 is defined with respect to
+//! an *ordered active domain*.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant appearing in a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer constant (identifiers, years, counts, …).
+    Int(i64),
+    /// A string constant (names, titles, institutions, …). Stored behind an
+    /// [`Arc`] so that rows can be cloned cheaply during joins.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// `true` when the string representation of this value contains `needle`.
+    ///
+    /// This is the `LIKE '%...%'` predicate used by the running example
+    /// (`n1 like '%Madden%'`).
+    pub fn contains(&self, needle: &str) -> bool {
+        match self {
+            Value::Int(i) => i.to_string().contains(needle),
+            Value::Str(s) => s.contains(needle),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            // Integers sort before strings so that the ordered active domain
+            // is well-defined for mixed-type attributes.
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+/// A tuple of constants (one row of a relation).
+pub type Row = Vec<Value>;
+
+/// Convenience constructor for a [`Row`] from anything convertible to values.
+pub fn row<V: Into<Value>, I: IntoIterator<Item = V>>(values: I) -> Row {
+    values.into_iter().map(Into::into).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_ints_sort_before_strings() {
+        let mut values = vec![
+            Value::str("b"),
+            Value::int(10),
+            Value::str("a"),
+            Value::int(-3),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![Value::int(-3), Value::int(10), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn contains_matches_substrings() {
+        assert!(Value::str("Sam Madden").contains("Madden"));
+        assert!(!Value::str("Dan Suciu").contains("Madden"));
+        assert!(Value::int(12345).contains("234"));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(7i64).as_str(), None);
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_matches_payload() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("dblp").to_string(), "dblp");
+    }
+
+    #[test]
+    fn row_helper_builds_mixed_rows() {
+        let r = row(vec![Value::int(1), Value::str("a")]);
+        assert_eq!(r.len(), 2);
+    }
+}

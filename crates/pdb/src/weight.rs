@@ -1,0 +1,192 @@
+//! Tuple weights (odds) and their probability interpretation.
+//!
+//! Following Definition 2 of the paper, a tuple-independent database is given
+//! by *weights* rather than probabilities: a weight `w` represents the odds
+//! `w = p / (1 - p)`, so weights `0`, `1`, `+inf` correspond to probabilities
+//! `0`, `1/2`, `1`.
+//!
+//! The MarkoView translation (Definition 5) assigns the new `NV` relations the
+//! weight `(1 - w) / w`, which is **negative** whenever the view weight is
+//! `> 1`; the corresponding "probability" `w / (1 + w)` is then also negative.
+//! Section 3.3 argues this is sound for every exact inference method, so
+//! [`Weight`] supports negative values and only the *builder* APIs for base
+//! tuples reject them.
+
+use std::fmt;
+
+/// The weight (odds) of a possible tuple.
+///
+/// Invariants: the payload is never NaN. `+inf` encodes a hard (certain)
+/// tuple; finite negative values arise only from the MarkoView translation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Weight(f64);
+
+impl Weight {
+    /// Weight `1`, i.e. probability `1/2` (indifference in MLN terms).
+    pub const ONE: Weight = Weight(1.0);
+    /// Weight `0`, i.e. probability `0`.
+    pub const ZERO: Weight = Weight(0.0);
+    /// A hard constraint / certain tuple (probability `1`).
+    pub const HARD: Weight = Weight(f64::INFINITY);
+
+    /// Creates a weight from a raw odds value. Panics on NaN.
+    pub fn new(w: f64) -> Self {
+        assert!(!w.is_nan(), "tuple weights must not be NaN");
+        Weight(w)
+    }
+
+    /// Creates a weight from a probability `p`, using `w = p / (1 - p)`.
+    ///
+    /// `p = 1` maps to [`Weight::HARD`]. Values outside `[0, 1]` are accepted
+    /// because the translated database may carry negative probabilities.
+    pub fn from_probability(p: f64) -> Self {
+        assert!(!p.is_nan(), "probabilities must not be NaN");
+        if (p - 1.0).abs() < f64::EPSILON {
+            Weight::HARD
+        } else {
+            Weight(p / (1.0 - p))
+        }
+    }
+
+    /// The probability encoded by this weight, `p = w / (1 + w)`.
+    ///
+    /// Hard weights map to probability `1`. The result may be negative for
+    /// the translated `NV` tuples (Section 3.3).
+    pub fn probability(self) -> f64 {
+        if self.0.is_infinite() {
+            1.0
+        } else {
+            self.0 / (1.0 + self.0)
+        }
+    }
+
+    /// The raw odds value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `true` for a hard (infinite) weight, i.e. a deterministic tuple.
+    pub fn is_hard(self) -> bool {
+        self.0.is_infinite() && self.0 > 0.0
+    }
+
+    /// `true` for weight `0`, i.e. an impossible tuple / denial view weight.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// `true` when the weight is a valid *base* weight, i.e. in `[0, +inf]`.
+    pub fn is_valid_base_weight(self) -> bool {
+        self.0 >= 0.0
+    }
+
+    /// The translated weight `(1 - w) / w` of Definition 5, i.e. the weight of
+    /// the `NV` tuple associated with a MarkoView output tuple of weight `w`.
+    ///
+    /// A weight of `0` (denial view) yields [`Weight::HARD`] — the `NV` tuple
+    /// becomes deterministic, matching the remark at the end of Section 3.2.
+    pub fn negated_view_weight(self) -> Weight {
+        if self.is_zero() {
+            Weight::HARD
+        } else if self.is_hard() {
+            // w = inf means the view tuple is certain; (1 - w)/w -> -1,
+            // i.e. the NV tuple has probability -inf ... in the limit the
+            // factor (1 + w0) -> 0. We take the limit value -1 exactly.
+            Weight(-1.0)
+        } else {
+            Weight((1.0 - self.0) / self.0)
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_hard() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<f64> for Weight {
+    fn from(w: f64) -> Self {
+        Weight::new(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn weight_probability_correspondence() {
+        assert!(close(Weight::ZERO.probability(), 0.0));
+        assert!(close(Weight::ONE.probability(), 0.5));
+        assert!(close(Weight::HARD.probability(), 1.0));
+        assert!(close(Weight::new(3.0).probability(), 0.75));
+    }
+
+    #[test]
+    fn probability_round_trips_through_odds() {
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9] {
+            let w = Weight::from_probability(p);
+            assert!(close(w.probability(), p), "p = {p}");
+        }
+        assert!(Weight::from_probability(1.0).is_hard());
+    }
+
+    #[test]
+    fn negative_weights_give_negative_probabilities() {
+        // w = 3 (> 1) view weight translates to w0 = (1-3)/3 = -2/3 and the
+        // probability w0/(1+w0) = -2.
+        let w0 = Weight::new(3.0).negated_view_weight();
+        assert!(close(w0.value(), -2.0 / 3.0));
+        assert!(close(w0.probability(), -2.0));
+        assert!(!w0.is_valid_base_weight());
+    }
+
+    #[test]
+    fn translation_of_small_weights_is_positive() {
+        // w = 1/2 (< 1, negative correlation) translates to w0 = 1, p0 = 1/2.
+        let w0 = Weight::new(0.5).negated_view_weight();
+        assert!(close(w0.value(), 1.0));
+        assert!(close(w0.probability(), 0.5));
+    }
+
+    #[test]
+    fn denial_views_translate_to_hard_nv_tuples() {
+        assert!(Weight::ZERO.negated_view_weight().is_hard());
+    }
+
+    #[test]
+    fn independence_weight_translates_to_zero() {
+        // w = 1 means independence; the NV tuple then has weight 0
+        // (probability 0) and contributes nothing.
+        let w0 = Weight::ONE.negated_view_weight();
+        assert!(w0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_weights_are_rejected() {
+        let _ = Weight::new(f64::NAN);
+    }
+
+    #[test]
+    fn hard_detection() {
+        assert!(Weight::HARD.is_hard());
+        assert!(!Weight::new(1e300).is_hard());
+        assert!(!Weight::new(f64::NEG_INFINITY).is_hard());
+    }
+
+    #[test]
+    fn display_is_humane() {
+        assert_eq!(Weight::HARD.to_string(), "inf");
+        assert_eq!(Weight::new(2.5).to_string(), "2.5");
+    }
+}

@@ -1,0 +1,142 @@
+//! Exhaustive possible-world enumeration.
+//!
+//! Only practical for small databases (at most [`WorldIter::MAX_TUPLES`]
+//! probabilistic tuples); it is the ground-truth oracle used by tests,
+//! property tests and small examples, never by the production query path.
+
+use crate::indb::InDb;
+use crate::{PdbError, Result};
+
+/// One possible world: which probabilistic tuples are present and the world's
+/// probability under tuple independence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PossibleWorld {
+    /// Bitmask over tuple ids: bit `i` set means `TupleId(i)` is in the world.
+    pub mask: u64,
+    /// Probability of the world (may be negative in translated databases).
+    pub probability: f64,
+}
+
+impl PossibleWorld {
+    /// `true` when the tuple with the given index is present in this world.
+    pub fn contains(&self, tuple_index: usize) -> bool {
+        self.mask & (1u64 << tuple_index) != 0
+    }
+}
+
+/// Iterator over all `2^n` possible worlds of an [`InDb`].
+#[derive(Debug)]
+pub struct WorldIter<'a> {
+    indb: &'a InDb,
+    next_mask: u64,
+    total: u64,
+}
+
+impl<'a> WorldIter<'a> {
+    /// Maximum number of probabilistic tuples supported by exhaustive
+    /// enumeration (2^24 worlds ≈ 16M).
+    pub const MAX_TUPLES: usize = 24;
+
+    pub(crate) fn new(indb: &'a InDb) -> Result<Self> {
+        let n = indb.num_tuples();
+        if n > Self::MAX_TUPLES {
+            return Err(PdbError::TooManyUncertainTuples {
+                count: n,
+                limit: Self::MAX_TUPLES,
+            });
+        }
+        Ok(WorldIter {
+            indb,
+            next_mask: 0,
+            total: 1u64 << n,
+        })
+    }
+
+    /// Number of worlds this iterator will yield.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when there are no worlds left (never the case before iteration
+    /// starts, as the empty world always exists).
+    pub fn is_empty(&self) -> bool {
+        self.next_mask >= self.total
+    }
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = PossibleWorld;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_mask >= self.total {
+            return None;
+        }
+        let mask = self.next_mask;
+        self.next_mask += 1;
+        Some(PossibleWorld {
+            mask,
+            probability: self.indb.world_probability(mask),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.next_mask) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WorldIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indb::InDbBuilder;
+    use crate::value::row;
+    use crate::weight::Weight;
+
+    fn db(n: usize) -> InDb {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        for i in 0..n {
+            b.insert_weighted(r, row([i as i64]), Weight::new(1.0 + i as f64))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_all_worlds_and_probabilities_sum_to_one() {
+        let indb = db(3);
+        let worlds: Vec<_> = indb.possible_worlds().unwrap().collect();
+        assert_eq!(worlds.len(), 8);
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_test_matches_mask() {
+        let indb = db(2);
+        let world = indb.possible_worlds().unwrap().nth(2).unwrap();
+        assert_eq!(world.mask, 2);
+        assert!(!world.contains(0));
+        assert!(world.contains(1));
+    }
+
+    #[test]
+    fn too_many_tuples_is_an_error() {
+        let indb = db(WorldIter::MAX_TUPLES + 1);
+        assert!(matches!(
+            indb.possible_worlds(),
+            Err(PdbError::TooManyUncertainTuples { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_size_iterator_reports_remaining_worlds() {
+        let indb = db(2);
+        let mut it = indb.possible_worlds().unwrap();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+}

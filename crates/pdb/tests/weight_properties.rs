@@ -1,0 +1,88 @@
+//! Property-based tests of the weight/odds arithmetic (Definition 2) and of
+//! possible-world enumeration.
+
+use mv_pdb::value::row;
+use mv_pdb::{InDbBuilder, Weight};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `p = w / (1 + w)` and `w = p / (1 - p)` are inverse of each other on
+    /// the valid range.
+    #[test]
+    fn probability_weight_round_trip(p in 0.0f64..0.999) {
+        let w = Weight::from_probability(p);
+        prop_assert!((w.probability() - p).abs() < 1e-9);
+        prop_assert!(w.is_valid_base_weight());
+    }
+
+    /// The translated weight `(1 - w) / w` of Definition 5 always satisfies
+    /// `w = 1 / (1 + w0)` — the identity used in the proof of Theorem 1.
+    #[test]
+    fn translation_identity_holds(w in 0.01f64..100.0) {
+        let w0 = Weight::new(w).negated_view_weight();
+        prop_assert!((1.0 / (1.0 + w0.value()) - w).abs() < 1e-9 * w.max(1.0));
+        // Sign structure: w < 1 gives positive translated weights, w > 1
+        // negative ones.
+        if w < 1.0 { prop_assert!(w0.value() > 0.0); }
+        if w > 1.0 { prop_assert!(w0.value() < 0.0); }
+    }
+
+    /// World probabilities of a tuple-independent database always sum to 1,
+    /// regardless of the weights.
+    #[test]
+    fn world_probabilities_sum_to_one(weights in proptest::collection::vec(0.01f64..20.0, 1..6)) {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        for (i, w) in weights.iter().enumerate() {
+            b.insert_weighted(r, row([i as i64]), Weight::new(*w)).unwrap();
+        }
+        let indb = b.build();
+        let total: f64 = indb.possible_worlds().unwrap().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Marginal probabilities recovered from the possible-world distribution
+    /// equal the per-tuple `w / (1 + w)`.
+    #[test]
+    fn marginals_match_world_sums(weights in proptest::collection::vec(0.01f64..20.0, 1..5)) {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        for (i, w) in weights.iter().enumerate() {
+            b.insert_weighted(r, row([i as i64]), Weight::new(*w)).unwrap();
+        }
+        let indb = b.build();
+        for (idx, _) in weights.iter().enumerate() {
+            let marginal: f64 = indb
+                .possible_worlds()
+                .unwrap()
+                .filter(|w| w.contains(idx))
+                .map(|w| w.probability)
+                .sum();
+            let expected = indb.probability(mv_pdb::TupleId(idx as u32));
+            prop_assert!((marginal - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Even with negative (translated) probabilities, the signed world
+    /// "probabilities" still sum to 1 — the property Section 3.3 relies on.
+    #[test]
+    fn signed_world_masses_sum_to_one(
+        base in proptest::collection::vec(0.01f64..10.0, 1..4),
+        translated in proptest::collection::vec(-0.9f64..3.0, 1..4),
+    ) {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
+        for (i, w) in base.iter().enumerate() {
+            b.insert_weighted(r, row([i as i64]), Weight::new(*w)).unwrap();
+        }
+        for (i, w) in translated.iter().enumerate() {
+            b.insert_translated(nv, row([i as i64]), Weight::new(*w)).unwrap();
+        }
+        let indb = b.build();
+        let total: f64 = indb.possible_worlds().unwrap().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+}

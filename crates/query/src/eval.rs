@@ -1,0 +1,429 @@
+//! Evaluation of (unions of) conjunctive queries over deterministic databases.
+//!
+//! This module plays the role Postgres plays in the paper: it computes the
+//! set of answers of a UCQ over a database instance, and — through
+//! [`for_each_match`] — enumerates the satisfying assignments that the
+//! lineage computation in [`crate::lineage`] turns into Boolean provenance.
+//!
+//! The evaluator is a backtracking join: atoms are processed in an order that
+//! greedily prefers atoms with the most bound terms, each atom probes a
+//! hash index on one bound column (built lazily per relation/column), and
+//! comparison predicates are applied as soon as both sides are bound.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use mv_pdb::{Database, RelId, Row, Value};
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, Ucq};
+use crate::error::QueryError;
+use crate::Result;
+
+/// One answer of a non-Boolean query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Answer {
+    /// The head tuple.
+    pub row: Row,
+}
+
+/// A variable binding environment.
+pub type Bindings = HashMap<String, Value>;
+
+/// Per-database evaluation context with lazily built column indexes.
+///
+/// Reusing a context across queries amortises the index construction; the
+/// MV-index compilation and the benchmark harness both take advantage of it.
+pub struct EvalContext<'a> {
+    db: &'a Database,
+    indexes: RefCell<HashMap<(RelId, usize), HashMap<Value, Vec<usize>>>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Creates a context for the given database.
+    pub fn new(db: &'a Database) -> Self {
+        EvalContext {
+            db,
+            indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    fn ensure_index(&self, rel: RelId, column: usize) {
+        let mut indexes = self.indexes.borrow_mut();
+        indexes.entry((rel, column)).or_insert_with(|| {
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, row) in self.db.relation(rel).iter() {
+                index.entry(row[column].clone()).or_default().push(i);
+            }
+            index
+        });
+    }
+
+    /// Row indexes of `rel` whose `column` equals `value`.
+    fn probe(&self, rel: RelId, column: usize, value: &Value) -> Vec<usize> {
+        self.ensure_index(rel, column);
+        self.indexes
+            .borrow()
+            .get(&(rel, column))
+            .and_then(|ix| ix.get(value))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Resolves the relation of an atom and checks its arity.
+fn resolve_atom(db: &Database, atom: &Atom) -> Result<RelId> {
+    let rel = db
+        .schema()
+        .relation_id(&atom.relation)
+        .ok_or_else(|| QueryError::UnknownRelation(atom.relation.clone()))?;
+    let arity = db.schema().relation(rel).arity();
+    if atom.terms.len() != arity {
+        return Err(QueryError::ArityMismatch {
+            relation: atom.relation.clone(),
+            expected: arity,
+            actual: atom.terms.len(),
+        });
+    }
+    Ok(rel)
+}
+
+/// Calls `on_match` for every satisfying assignment of the conjunctive
+/// query's body. The callback receives the bindings and, for each atom (in
+/// the original atom order), the `(relation, row_index)` of the matched row.
+///
+/// Returning [`ControlFlow::Break`] from the callback stops the enumeration.
+pub fn for_each_match<B>(
+    cq: &ConjunctiveQuery,
+    ctx: &EvalContext<'_>,
+    mut on_match: impl FnMut(&Bindings, &[(RelId, usize)]) -> ControlFlow<B>,
+) -> Result<Option<B>> {
+    let db = ctx.database();
+    let rels: Vec<RelId> = cq
+        .atoms
+        .iter()
+        .map(|a| resolve_atom(db, a))
+        .collect::<Result<_>>()?;
+
+    // Ground comparisons can be checked once, up front.
+    for cmp in &cq.comparisons {
+        if cmp.eval_ground() == Some(false) {
+            return Ok(None);
+        }
+    }
+
+    let mut bindings: Bindings = HashMap::new();
+    let mut matched: Vec<(RelId, usize)> = vec![(RelId(0), 0); cq.atoms.len()];
+    let mut used: Vec<bool> = vec![false; cq.atoms.len()];
+    let result = search(cq, ctx, &rels, &mut bindings, &mut matched, &mut used, 0, &mut on_match);
+    Ok(result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<B>(
+    cq: &ConjunctiveQuery,
+    ctx: &EvalContext<'_>,
+    rels: &[RelId],
+    bindings: &mut Bindings,
+    matched: &mut Vec<(RelId, usize)>,
+    used: &mut Vec<bool>,
+    depth: usize,
+    on_match: &mut impl FnMut(&Bindings, &[(RelId, usize)]) -> ControlFlow<B>,
+) -> Option<B> {
+    if depth == cq.atoms.len() {
+        // All atoms matched; every comparison must be ground by now (the
+        // parser guarantees comparison variables appear in atoms).
+        for cmp in &cq.comparisons {
+            let c = ground_comparison(cmp, bindings);
+            if !c {
+                return None;
+            }
+        }
+        return match on_match(bindings, matched) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        };
+    }
+
+    // Pick the unprocessed atom with the most bound terms (constants or
+    // already-bound variables); ties are broken by original order.
+    let mut best: Option<(usize, usize)> = None;
+    for (i, atom) in cq.atoms.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let bound = atom
+            .terms
+            .iter()
+            .filter(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bindings.contains_key(v),
+            })
+            .count();
+        if best.map(|(_, b)| bound > b).unwrap_or(true) {
+            best = Some((i, bound));
+        }
+    }
+    let (atom_idx, _) = best.expect("there is at least one unused atom");
+    used[atom_idx] = true;
+    let atom = &cq.atoms[atom_idx];
+    let rel = rels[atom_idx];
+
+    // Choose an access path: probe an index on the first bound column, or
+    // scan the whole relation if nothing is bound.
+    let bound_col = atom.terms.iter().enumerate().find_map(|(i, t)| match t {
+        Term::Const(c) => Some((i, c.clone())),
+        Term::Var(v) => bindings.get(v).map(|val| (i, val.clone())),
+    });
+    let candidates: Vec<usize> = match bound_col {
+        Some((col, value)) => ctx.probe(rel, col, &value),
+        None => (0..ctx.database().relation(rel).len()).collect(),
+    };
+
+    for row_index in candidates {
+        let row = ctx.database().relation(rel).row(row_index);
+        // Unify the atom's terms with the row.
+        let mut new_bindings: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (term, value) in atom.terms.iter().zip(row.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match bindings.get(v) {
+                    Some(bound) => {
+                        if bound != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        bindings.insert(v.clone(), value.clone());
+                        new_bindings.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok {
+            // Check comparisons that just became ground, to prune early.
+            let prune = cq.comparisons.iter().any(|cmp| {
+                is_ground_under(cmp, bindings) && !ground_comparison(cmp, bindings)
+            });
+            if !prune {
+                matched[atom_idx] = (rel, row_index);
+                if let Some(b) = search(cq, ctx, rels, bindings, matched, used, depth + 1, on_match)
+                {
+                    for v in new_bindings {
+                        bindings.remove(&v);
+                    }
+                    used[atom_idx] = false;
+                    return Some(b);
+                }
+            }
+        }
+        for v in new_bindings {
+            bindings.remove(&v);
+        }
+    }
+    used[atom_idx] = false;
+    None
+}
+
+fn is_ground_under(cmp: &crate::ast::Comparison, bindings: &Bindings) -> bool {
+    cmp.variables().all(|v| bindings.contains_key(v))
+}
+
+fn ground_comparison(cmp: &crate::ast::Comparison, bindings: &Bindings) -> bool {
+    let resolve = |t: &Term| -> Value {
+        match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => bindings
+                .get(v)
+                .cloned()
+                .expect("comparison variables are bound by atoms"),
+        }
+    };
+    cmp.op.eval(&resolve(&cmp.left), &resolve(&cmp.right))
+}
+
+/// Evaluates a (possibly non-Boolean) UCQ over a deterministic database,
+/// returning the distinct answers.
+pub fn evaluate_ucq(ucq: &Ucq, db: &Database) -> Result<Vec<Answer>> {
+    let ctx = EvalContext::new(db);
+    evaluate_ucq_with(ucq, &ctx)
+}
+
+/// Like [`evaluate_ucq`] but reuses an existing [`EvalContext`].
+pub fn evaluate_ucq_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut answers = Vec::new();
+    for disjunct in &ucq.disjuncts {
+        for_each_match::<()>(disjunct, ctx, |bindings, _| {
+            let row: Row = disjunct
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => bindings[v].clone(),
+                })
+                .collect();
+            if seen.insert(row.clone()) {
+                answers.push(Answer { row });
+            }
+            ControlFlow::Continue(())
+        })?;
+    }
+    Ok(answers)
+}
+
+/// Evaluates a Boolean UCQ over a deterministic database.
+pub fn evaluate_boolean(ucq: &Ucq, db: &Database) -> Result<bool> {
+    let ctx = EvalContext::new(db);
+    for disjunct in &ucq.disjuncts {
+        if !disjunct.is_boolean() {
+            return Err(QueryError::NotBoolean(disjunct.name.clone()));
+        }
+        let hit = for_each_match(disjunct, &ctx, |_, _| ControlFlow::Break(()))?;
+        if hit.is_some() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_ucq};
+    use mv_pdb::value::row;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let r = db.add_relation("R", &["a"]).unwrap();
+        let s = db.add_relation("S", &["a", "b"]).unwrap();
+        let t = db.add_relation("T", &["b"]).unwrap();
+        db.insert(r, row([1i64])).unwrap();
+        db.insert(r, row([2i64])).unwrap();
+        db.insert(s, row([1i64, 10])).unwrap();
+        db.insert(s, row([1i64, 20])).unwrap();
+        db.insert(s, row([2i64, 30])).unwrap();
+        db.insert(s, row([3i64, 30])).unwrap();
+        db.insert(t, row([30i64])).unwrap();
+        db
+    }
+
+    #[test]
+    fn simple_join_returns_expected_answers() {
+        let db = db();
+        let q = parse_ucq("Q(x, y) :- R(x), S(x, y)").unwrap();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        answers.sort();
+        assert_eq!(
+            answers,
+            vec![row([1i64, 10]), row([1i64, 20]), row([2i64, 30])]
+        );
+    }
+
+    #[test]
+    fn comparisons_filter_answers() {
+        let db = db();
+        let q = parse_ucq("Q(x, y) :- R(x), S(x, y), y >= 20").unwrap();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        answers.sort();
+        assert_eq!(answers, vec![row([1i64, 20]), row([2i64, 30])]);
+    }
+
+    #[test]
+    fn boolean_queries_detect_satisfiability() {
+        let db = db();
+        assert!(evaluate_boolean(&parse_ucq("Q() :- R(x), S(x, y), T(y)").unwrap(), &db).unwrap());
+        assert!(!evaluate_boolean(&parse_ucq("Q() :- R(x), S(x, y), y > 100").unwrap(), &db).unwrap());
+    }
+
+    #[test]
+    fn constants_in_atoms_restrict_matches() {
+        let db = db();
+        let q = parse_ucq("Q(y) :- S(1, y)").unwrap();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        answers.sort();
+        assert_eq!(answers, vec![row([10i64]), row([20i64])]);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut db = Database::new();
+        let e = db.add_relation("E", &["a", "b"]).unwrap();
+        db.insert(e, row([1i64, 1])).unwrap();
+        db.insert(e, row([1i64, 2])).unwrap();
+        let q = parse_ucq("Q(x) :- E(x, x)").unwrap();
+        let answers = evaluate_ucq(&q, &db).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].row, row([1i64]));
+    }
+
+    #[test]
+    fn union_of_queries_merges_and_deduplicates_answers() {
+        let db = db();
+        let q = parse_ucq("Q(x) :- R(x) ; Q(x) :- S(x, y), y = 30").unwrap();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        answers.sort();
+        assert_eq!(answers, vec![row([1i64]), row([2i64]), row([3i64])]);
+    }
+
+    #[test]
+    fn unknown_relation_and_bad_arity_are_reported() {
+        let db = db();
+        assert!(matches!(
+            evaluate_boolean(&parse_ucq("Q() :- Nope(x)").unwrap(), &db),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            evaluate_boolean(&parse_ucq("Q() :- R(x, y)").unwrap(), &db),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn boolean_evaluation_rejects_non_boolean_queries() {
+        let db = db();
+        assert!(matches!(
+            evaluate_boolean(&parse_ucq("Q(x) :- R(x)").unwrap(), &db),
+            Err(QueryError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn like_predicate_selects_matching_names() {
+        let mut db = Database::new();
+        let a = db.add_relation("Author", &["aid", "name"]).unwrap();
+        db.insert(a, row([Value::int(1), Value::str("Sam Madden")])).unwrap();
+        db.insert(a, row([Value::int(2), Value::str("Dan Suciu")])).unwrap();
+        let q = parse_ucq("Q(aid) :- Author(aid, n), n like '%Madden%'").unwrap();
+        let answers = evaluate_ucq(&q, &db).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].row, row([1i64]));
+    }
+
+    #[test]
+    fn for_each_match_reports_matched_rows_per_atom() {
+        let db = db();
+        let ctx = EvalContext::new(&db);
+        let q = parse_query("Q() :- R(x), S(x, y)").unwrap();
+        let mut count = 0;
+        for_each_match::<()>(&q, &ctx, |_, matched| {
+            assert_eq!(matched.len(), 2);
+            count += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(count, 3);
+    }
+}

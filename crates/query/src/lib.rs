@@ -1,0 +1,50 @@
+//! # `mv-query` — unions of conjunctive queries over probabilistic databases
+//!
+//! This crate implements the query language of the MarkoViews paper
+//! (Section 2.1) and the machinery needed to evaluate it over
+//! tuple-independent probabilistic databases (`mv_pdb::InDb`):
+//!
+//! * [`ast`] — terms, atoms, comparison predicates, conjunctive queries
+//!   ([`ConjunctiveQuery`]) and unions of conjunctive queries ([`Ucq`]).
+//! * [`parser`] — a datalog-style parser: `Q(x) :- R(x, y), S(y), y > 5`.
+//! * [`eval`] — evaluation of (unions of) conjunctive queries over
+//!   deterministic [`mv_pdb::Database`] instances.
+//! * [`lineage`] — lineage computation: the Boolean provenance formula
+//!   `Φ_Q` of a Boolean query over an [`mv_pdb::InDb`], in DNF over
+//!   [`mv_pdb::TupleId`] variables.
+//! * [`analysis`] — root variables, separator variables, hierarchical and
+//!   inversion-free tests (Section 4.2), and safety detection.
+//! * [`safe_plan`] — the lifted (safe-plan) probability evaluator for safe
+//!   UCQs, correct for negative probabilities.
+//! * [`shannon`] — exact lineage probability by Shannon expansion with
+//!   independent-component decomposition (general fallback, also correct for
+//!   negative probabilities).
+//! * [`brute`] — exhaustive truth-table evaluation over the lineage
+//!   variables, used as the ground-truth oracle in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod brute;
+pub mod error;
+pub mod eval;
+pub mod lineage;
+pub mod parser;
+pub mod rewrite;
+pub mod safe_plan;
+pub mod shannon;
+
+pub use analysis::QueryAnalysis;
+pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, Ucq};
+pub use error::QueryError;
+pub use eval::{evaluate_boolean, evaluate_ucq, Answer};
+pub use lineage::{Clause, Lineage};
+pub use parser::{parse_query, parse_ucq};
+pub use rewrite::{separator_domain, simplify_cq, SimplifiedCq};
+pub use safe_plan::{safe_probability, SafePlanError};
+pub use shannon::shannon_probability;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

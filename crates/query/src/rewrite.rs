@@ -1,0 +1,194 @@
+//! Query simplification against a concrete database instance.
+//!
+//! These helpers are shared by the safe-plan evaluator and by the ConOBDD
+//! construction: both repeatedly ground variables (separators) and then need
+//! to (a) fold away atoms that are certainly true or false, and (b) compute
+//! the domain over which a separator variable ranges.
+
+use std::collections::BTreeSet;
+
+use mv_pdb::{InDb, Value};
+
+use crate::ast::{Atom, ConjunctiveQuery, Ucq};
+
+/// The result of simplifying a Boolean conjunctive query against a database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplifiedCq {
+    /// The query is unsatisfiable on this database.
+    False,
+    /// The query is certainly true (no probabilistic atoms remain).
+    True,
+    /// The remaining query (ground deterministic atoms and ground
+    /// comparisons removed, duplicate atoms merged).
+    Query(ConjunctiveQuery),
+}
+
+/// Evaluates ground comparisons and ground atoms over deterministic relations
+/// and removes them from the query; detects trivially false queries.
+///
+/// Ground atoms over probabilistic relations are kept (they are genuine
+/// random events), but if they denote a tuple that is not even *possible* the
+/// whole query is false.
+pub fn simplify_cq(cq: &ConjunctiveQuery, indb: &InDb) -> SimplifiedCq {
+    let mut atoms = Vec::new();
+    for atom in &cq.atoms {
+        if atom.is_ground() {
+            let Some(rel) = indb.schema().relation_id(&atom.relation) else {
+                return SimplifiedCq::False;
+            };
+            let row: Vec<Value> = atom
+                .terms
+                .iter()
+                .map(|t| t.as_const().cloned().expect("ground atom"))
+                .collect();
+            if indb.is_deterministic(rel) {
+                if indb.database().contains(rel, &row) {
+                    continue; // certainly true: drop it
+                }
+                return SimplifiedCq::False;
+            }
+            if indb.tuple_id_by_values(rel, &row).is_none() {
+                return SimplifiedCq::False;
+            }
+            atoms.push(atom.clone());
+        } else {
+            atoms.push(atom.clone());
+        }
+    }
+    // Duplicate atoms denote the same subgoal; keep one copy.
+    let mut seen_atoms = BTreeSet::new();
+    atoms.retain(|a: &Atom| seen_atoms.insert(format!("{a}")));
+
+    let mut comparisons = Vec::new();
+    for cmp in &cq.comparisons {
+        match cmp.eval_ground() {
+            Some(true) => {}
+            Some(false) => return SimplifiedCq::False,
+            None => comparisons.push(cmp.clone()),
+        }
+    }
+    if atoms.is_empty() {
+        return SimplifiedCq::True;
+    }
+    SimplifiedCq::Query(ConjunctiveQuery::new(
+        cq.name.clone(),
+        vec![],
+        atoms,
+        comparisons,
+    ))
+}
+
+/// Computes the grounding domain of a separator choice: for each disjunct,
+/// the intersection over its atoms of the values appearing in the column
+/// where the separator occurs; the overall domain is the union across
+/// disjuncts, in ascending value order.
+pub fn separator_domain(ucq: &Ucq, per_disjunct: &[String], indb: &InDb) -> Vec<Value> {
+    let mut domain: BTreeSet<Value> = BTreeSet::new();
+    for (cq, var) in ucq.disjuncts.iter().zip(per_disjunct) {
+        let mut cq_domain: Option<BTreeSet<Value>> = None;
+        for atom in &cq.atoms {
+            let positions = atom.positions_of(var);
+            if positions.is_empty() {
+                continue;
+            }
+            let Some(rel) = indb.schema().relation_id(&atom.relation) else {
+                continue;
+            };
+            let col: BTreeSet<Value> = indb
+                .database()
+                .column_domain(rel, positions[0])
+                .into_iter()
+                .collect();
+            cq_domain = Some(match cq_domain {
+                None => col,
+                Some(d) => d.intersection(&col).cloned().collect(),
+            });
+        }
+        if let Some(d) = cq_domain {
+            domain.extend(d);
+        }
+    }
+    domain.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_ucq};
+    use mv_pdb::value::row;
+    use mv_pdb::{InDbBuilder, Weight};
+
+    fn db() -> InDb {
+        let mut b = InDbBuilder::new();
+        let d = b.deterministic_relation("D", &["a"]).unwrap();
+        let r = b.probabilistic_relation("R", &["a"]).unwrap();
+        let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
+        b.insert_fact(d, row(["a1"])).unwrap();
+        b.insert_weighted(r, row(["a1"]), Weight::ONE).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE).unwrap();
+        b.insert_weighted(s, row(["a2", "b2"]), Weight::ONE).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn deterministic_ground_atoms_are_folded() {
+        let indb = db();
+        let q = parse_query("Q() :- D('a1'), R(x)").unwrap();
+        match simplify_cq(&q, &indb) {
+            SimplifiedCq::Query(q) => assert_eq!(q.atoms.len(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let q = parse_query("Q() :- D('zzz'), R(x)").unwrap();
+        assert_eq!(simplify_cq(&q, &indb), SimplifiedCq::False);
+        let q = parse_query("Q() :- D('a1')").unwrap();
+        assert_eq!(simplify_cq(&q, &indb), SimplifiedCq::True);
+    }
+
+    #[test]
+    fn impossible_probabilistic_ground_atoms_make_the_query_false() {
+        let indb = db();
+        let q = parse_query("Q() :- R('nope')").unwrap();
+        assert_eq!(simplify_cq(&q, &indb), SimplifiedCq::False);
+        let q = parse_query("Q() :- R('a1')").unwrap();
+        assert!(matches!(simplify_cq(&q, &indb), SimplifiedCq::Query(_)));
+    }
+
+    #[test]
+    fn ground_comparisons_are_folded() {
+        let indb = db();
+        let q = parse_query("Q() :- R(x), 1 < 2").unwrap();
+        match simplify_cq(&q, &indb) {
+            SimplifiedCq::Query(q) => assert!(q.comparisons.is_empty()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let q = parse_query("Q() :- R(x), 2 < 1").unwrap();
+        assert_eq!(simplify_cq(&q, &indb), SimplifiedCq::False);
+    }
+
+    #[test]
+    fn duplicate_atoms_are_merged() {
+        let indb = db();
+        let q = parse_query("Q() :- R(x), R(x)").unwrap();
+        match simplify_cq(&q, &indb) {
+            SimplifiedCq::Query(q) => assert_eq!(q.atoms.len(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn separator_domain_intersects_per_disjunct_columns() {
+        let indb = db();
+        let ucq = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
+        let domain = separator_domain(&ucq, &["x".to_string()], &indb);
+        // R has only a1; S has a1, a2 in column 0; the intersection is {a1}.
+        assert_eq!(domain, vec![Value::str("a1")]);
+    }
+
+    #[test]
+    fn separator_domain_unions_across_disjuncts() {
+        let indb = db();
+        let ucq = parse_ucq("Q() :- R(x) ; Q() :- S(z, y)").unwrap();
+        let domain = separator_domain(&ucq, &["x".to_string(), "z".to_string()], &indb);
+        assert_eq!(domain, vec![Value::str("a1"), Value::str("a2")]);
+    }
+}

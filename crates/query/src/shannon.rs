@@ -1,0 +1,219 @@
+//! Exact lineage probability by Shannon expansion.
+//!
+//! This is the generic exact inference fallback: given the DNF lineage of a
+//! Boolean query and the marginal probabilities of its tuple variables, it
+//! computes the probability by
+//!
+//! * splitting the DNF into connected components over disjoint variables
+//!   (whose probabilities combine by independence), and
+//! * Shannon-expanding on the most frequent variable otherwise,
+//!
+//! with memoisation on sub-formulas. All steps — independence, Shannon
+//! expansion — remain valid when some probabilities are negative
+//! (Section 3.3), so this evaluator is also used on translated databases.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mv_pdb::{InDb, TupleId};
+
+use crate::lineage::{Clause, Lineage};
+
+/// Computes the exact probability of a DNF lineage under the given
+/// tuple-probability function.
+pub fn probability_with(lineage: &Lineage, prob_of: &impl Fn(TupleId) -> f64) -> f64 {
+    let clauses: Vec<Clause> = lineage.clauses().to_vec();
+    let mut memo: HashMap<Vec<Clause>, f64> = HashMap::new();
+    dnf_probability(&clauses, prob_of, &mut memo)
+}
+
+/// Computes the exact probability of a lineage over an [`InDb`] (using the
+/// database's marginal tuple probabilities, which may be negative).
+pub fn shannon_probability(lineage: &Lineage, indb: &InDb) -> f64 {
+    probability_with(lineage, &|t| indb.probability(t))
+}
+
+fn dnf_probability(
+    clauses: &[Clause],
+    prob_of: &impl Fn(TupleId) -> f64,
+    memo: &mut HashMap<Vec<Clause>, f64>,
+) -> f64 {
+    if clauses.is_empty() {
+        return 0.0;
+    }
+    if clauses.iter().any(Clause::is_empty) {
+        return 1.0;
+    }
+    let key: Vec<Clause> = {
+        let mut k = clauses.to_vec();
+        k.sort();
+        k.dedup();
+        k
+    };
+    if let Some(&p) = memo.get(&key) {
+        return p;
+    }
+
+    // Independent-component decomposition: clauses sharing no variables.
+    let components = connected_components(&key);
+    let p = if components.len() > 1 {
+        // P(∨ components) = 1 - Π (1 - P(component)).
+        let mut q = 1.0;
+        for comp in components {
+            let pc = dnf_probability(&comp, prob_of, memo);
+            q *= 1.0 - pc;
+        }
+        1.0 - q
+    } else {
+        // Shannon expansion on the most frequent variable.
+        let var = most_frequent_variable(&key);
+        let p_var = prob_of(var);
+        let mut pos: Vec<Clause> = Vec::new();
+        let mut neg: Vec<Clause> = Vec::new();
+        for clause in &key {
+            if clause.binary_search(&var).is_ok() {
+                // Under var = 1 the clause loses the literal.
+                let reduced: Clause = clause.iter().copied().filter(|&t| t != var).collect();
+                pos.push(reduced);
+            } else {
+                pos.push(clause.clone());
+                neg.push(clause.clone());
+            }
+        }
+        let p1 = dnf_probability(&pos, prob_of, memo);
+        let p0 = dnf_probability(&neg, prob_of, memo);
+        p_var * p1 + (1.0 - p_var) * p0
+    };
+    memo.insert(key, p);
+    p
+}
+
+fn most_frequent_variable(clauses: &[Clause]) -> TupleId {
+    let mut counts: BTreeMap<TupleId, usize> = BTreeMap::new();
+    for clause in clauses {
+        for &t in clause {
+            *counts.entry(t).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
+        .map(|(t, _)| t)
+        .expect("clauses are non-empty")
+}
+
+fn connected_components(clauses: &[Clause]) -> Vec<Vec<Clause>> {
+    let n = clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<TupleId, usize> = HashMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        for &t in clause {
+            match owner.get(&t) {
+                Some(&j) => {
+                    let a = find(&mut parent, i);
+                    let b = find(&mut parent, j);
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(t, i);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Clause>> = BTreeMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(clause.clone());
+    }
+    groups.into_values().collect()
+}
+
+/// Variables of a set of clauses (helper shared with tests).
+pub fn clause_variables(clauses: &[Clause]) -> BTreeSet<TupleId> {
+    clauses.iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_probability_with;
+
+    fn t(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    #[test]
+    fn constants_have_trivial_probabilities() {
+        let p = |_| 0.5;
+        assert_eq!(probability_with(&Lineage::constant_false(), &p), 0.0);
+        assert_eq!(probability_with(&Lineage::constant_true(), &p), 1.0);
+    }
+
+    #[test]
+    fn single_clause_is_a_product() {
+        let l = Lineage::from_clauses(vec![vec![t(0), t(1)]]);
+        let p = probability_with(&l, &|x| if x == t(0) { 0.5 } else { 0.25 });
+        assert!((p - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_clauses_combine_with_inclusion_exclusion() {
+        // X0 ∨ X1 with p = 0.5, 0.5 → 0.75.
+        let l = Lineage::from_clauses(vec![vec![t(0)], vec![t(1)]]);
+        let p = probability_with(&l, &|_| 0.5);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_variables_are_handled_by_shannon_expansion() {
+        // X0X1 ∨ X0X2, p = 0.5 each → P = p0 * (1 - (1-p1)(1-p2)) = 0.5 * 0.75.
+        let l = Lineage::from_clauses(vec![vec![t(0), t(1)], vec![t(0), t(2)]]);
+        let p = probability_with(&l, &|_| 0.5);
+        assert!((p - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_dnfs() {
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let num_vars = rng.gen_range(1..=8usize);
+            let num_clauses = rng.gen_range(1..=6usize);
+            let clauses: Vec<Clause> = (0..num_clauses)
+                .map(|_| {
+                    let len = rng.gen_range(1..=3usize);
+                    (0..len)
+                        .map(|_| t(rng.gen_range(0..num_vars) as u32))
+                        .collect()
+                })
+                .collect();
+            let lineage = Lineage::from_clauses(clauses);
+            let probs: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let f = |x: TupleId| probs[x.index()];
+            let exact = probability_with(&lineage, &f);
+            let brute = brute_force_probability_with(&lineage, &f);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "mismatch: {exact} vs {brute} on {lineage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_probabilities_are_supported() {
+        // With p(X0) = -1 (weight -1/2), P(X0 ∨ X1) = p0 + p1 - p0 p1.
+        let l = Lineage::from_clauses(vec![vec![t(0)], vec![t(1)]]);
+        let f = |x: TupleId| if x == t(0) { -1.0 } else { 0.5 };
+        let p = probability_with(&l, &f);
+        let expected = -1.0 + 0.5 - (-1.0 * 0.5);
+        assert!((p - expected).abs() < 1e-12);
+        let brute = brute_force_probability_with(&l, &f);
+        assert!((p - brute).abs() < 1e-12);
+    }
+}

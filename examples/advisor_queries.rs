@@ -1,0 +1,91 @@
+//! The running example of the paper (Figure 2) on a synthetic DBLP corpus:
+//! *find all students advised by X* and *find the advisor of student Y*.
+//!
+//! The example generates a DBLP-like MVDB (Figure 1 schema: Student, Advisor
+//! probabilistic tables, MarkoViews V1 and V2), compiles the MV-index
+//! offline, and then answers selection queries online, printing per-answer
+//! probabilities and timings — the workload of Figures 5, 6 and 10.
+//!
+//! Run with: `cargo run --release --example advisor_queries [num_authors]`
+
+use std::time::Instant;
+
+use markoviews::dblp::queries;
+use markoviews::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_authors: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+
+    println!("generating a synthetic DBLP corpus with {num_authors} authors …");
+    let t0 = Instant::now();
+    let data = DblpDataset::generate(DblpConfig::with_authors(num_authors))?;
+    println!("  done in {:?}", t0.elapsed());
+    let s = data.stats;
+    println!(
+        "  Author {} | Wrote {} | Pub {} | Student^p {} | Advisor^p {} | V1 {} | V2 {}",
+        s.author, s.wrote, s.publication, s.student, s.advisor, s.v1, s.v2
+    );
+
+    println!("compiling the MV-index (offline phase) …");
+    let t1 = Instant::now();
+    let engine = MvdbEngine::compile(&data.mvdb)?;
+    let stats = engine.index().stats();
+    println!(
+        "  done in {:?}: {} blocks, {} OBDD nodes, {} constrained tuples, P0(W) = {:.4}",
+        t1.elapsed(),
+        stats.num_blocks,
+        stats.total_nodes,
+        stats.num_variables,
+        engine.prob_w()
+    );
+
+    // --- students of an advisor, selected by name (the Figure 2 query) -----
+    let advisor = data.sample_advisors(1)[0];
+    let advisor_name = data.author_name(advisor).unwrap();
+    println!();
+    println!("Q(aid) :- Student(aid, y), Advisor(aid, a), Author(a, n), n like '%{advisor_name}%'");
+    let q = queries::students_of_advisor_named(&advisor_name)?;
+    let t = Instant::now();
+    let answers = engine.answers(&q)?;
+    let elapsed = t.elapsed();
+    for (row, p) in &answers {
+        let name = data.author_name(row[0].as_int().unwrap()).unwrap();
+        println!("  student {name:<14} P = {p:.4}");
+    }
+    println!("  ({} answers in {elapsed:?})", answers.len());
+
+    // --- advisor of a student ----------------------------------------------
+    let student = data.sample_students(1)[0];
+    let student_name = data.author_name(student).unwrap();
+    println!();
+    println!("advisors of {student_name}:");
+    let q = queries::advisor_of_student(student)?;
+    let t = Instant::now();
+    let answers = engine.answers(&q)?;
+    let elapsed = t.elapsed();
+    for (row, p) in &answers {
+        let name = data.author_name(row[0].as_int().unwrap()).unwrap();
+        println!("  advisor {name:<14} P = {p:.4}");
+    }
+    println!("  ({} answers in {elapsed:?})", answers.len());
+    println!();
+    println!(
+        "note: thanks to the denial view V2 (one advisor per student) the advisor \
+         probabilities of a student never sum to more than 1."
+    );
+    let total: f64 = answers.iter().map(|(_, p)| p).sum();
+    println!("  sum of advisor probabilities for {student_name}: {total:.4}");
+
+    // --- a small batch, timed, as in Figure 10 ------------------------------
+    println!();
+    println!("batch of 10 'students of advisor Y' queries (Figure 10 workload):");
+    for q in data.students_of_advisor_workload(10)? {
+        let t = Instant::now();
+        let answers = engine.answers(&q)?;
+        println!("  {:>3} answers in {:?}", answers.len(), t.elapsed());
+    }
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Property-based test of Theorem 1: for randomly generated small MVDBs, the
+//! probability computed through the translation + MV-index pipeline equals
+//! the probability defined by the MLN semantics (Definition 4), for every
+//! query of a fixed family.
+
+use markoviews::prelude::*;
+use proptest::prelude::*;
+
+/// A randomly generated small MVDB description.
+#[derive(Debug, Clone)]
+struct RandomMvdb {
+    /// Weights of the R tuples (unary relation over a small domain).
+    r_weights: Vec<f64>,
+    /// Weights of the S tuples, indexed by (x, y) over the small domain.
+    s_weights: Vec<((usize, usize), f64)>,
+    /// Weight of the MarkoView `V(x) :- R(x), S(x, y)`.
+    view_weight: f64,
+    /// Weight of the second MarkoView `V2(x, y) :- R(x), S(x, y)` (correlates
+    /// individual pairs), or `None` to omit it.
+    pair_view_weight: Option<f64>,
+}
+
+fn weight_strategy() -> impl Strategy<Value = f64> {
+    // Odds between 0.2 and 5, i.e. probabilities between ~0.17 and ~0.83.
+    (0.2f64..5.0).prop_map(|w| (w * 100.0).round() / 100.0)
+}
+
+fn view_weight_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),                       // denial constraint
+        Just(1.0),                       // independence
+        (0.1f64..0.9),                   // negative correlation
+        (1.1f64..6.0),                   // positive correlation
+    ]
+    .prop_map(|w| (w * 100.0).round() / 100.0)
+}
+
+fn mvdb_strategy() -> impl Strategy<Value = RandomMvdb> {
+    let domain = 3usize;
+    (
+        proptest::collection::vec(weight_strategy(), 1..=domain),
+        proptest::collection::vec(((0..domain, 0..domain), weight_strategy()), 1..=4),
+        view_weight_strategy(),
+        proptest::option::of(view_weight_strategy()),
+    )
+        .prop_map(|(r_weights, s_weights, view_weight, pair_view_weight)| RandomMvdb {
+            r_weights,
+            s_weights,
+            view_weight,
+            pair_view_weight,
+        })
+}
+
+fn build(desc: &RandomMvdb) -> Mvdb {
+    let mut b = MvdbBuilder::new();
+    b.relation("R", &["x"]).unwrap();
+    b.relation("S", &["x", "y"]).unwrap();
+    for (i, w) in desc.r_weights.iter().enumerate() {
+        b.weighted_tuple("R", &[Value::int(i as i64)], *w).unwrap();
+    }
+    let mut seen = std::collections::HashSet::new();
+    for ((x, y), w) in &desc.s_weights {
+        if seen.insert((*x, *y)) {
+            b.weighted_tuple("S", &[Value::int(*x as i64), Value::int(*y as i64)], *w)
+                .unwrap();
+        }
+    }
+    b.marko_view(&format!("V(x)[{}] :- R(x), S(x, y)", desc.view_weight))
+        .unwrap();
+    if let Some(w) = desc.pair_view_weight {
+        b.marko_view(&format!("V2(x, y)[{w}] :- R(x), S(x, y)")).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translated_evaluation_matches_the_mln_semantics(desc in mvdb_strategy()) {
+        let mvdb = build(&desc);
+        let engine = match MvdbEngine::compile(&mvdb) {
+            Ok(e) => e,
+            // Denial views can make the MVDB inconsistent (all worlds
+            // forbidden); that is a legitimate outcome, not a failure.
+            Err(_) => return Ok(()),
+        };
+        for q_text in [
+            "Q() :- R(x), S(x, y)",
+            "Q() :- R(x)",
+            "Q() :- S(x, y)",
+            "Q() :- R(x) ; Q() :- S(x, y)",
+            "Q() :- R(0)",
+            "Q() :- S(0, y)",
+        ] {
+            let q = parse_ucq(q_text).unwrap();
+            let expected = mvdb.exact_probability(&q).unwrap();
+            let via_engine = engine.probability(&q).unwrap();
+            prop_assert!(
+                (via_engine - expected).abs() < 1e-7,
+                "{q_text}: engine {via_engine} vs exact {expected} on {desc:?}"
+            );
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&via_engine));
+        }
+    }
+
+    #[test]
+    fn per_answer_probabilities_match_bound_queries(desc in mvdb_strategy()) {
+        let mvdb = build(&desc);
+        let engine = match MvdbEngine::compile(&mvdb) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        let q = parse_ucq("Q(x) :- R(x), S(x, y)").unwrap();
+        for (row, p) in engine.answers(&q).unwrap() {
+            let bound = q.bind_head(&row);
+            let expected = mvdb.exact_probability(&bound).unwrap();
+            prop_assert!((p - expected).abs() < 1e-7, "answer {row:?} on {desc:?}");
+        }
+    }
+
+    #[test]
+    fn marginals_match_for_every_base_tuple(desc in mvdb_strategy()) {
+        let mvdb = build(&desc);
+        let engine = match MvdbEngine::compile(&mvdb) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        // Marginal of each R tuple: compare MLN semantics and the engine.
+        for (i, _) in desc.r_weights.iter().enumerate() {
+            let q = parse_ucq(&format!("Q() :- R({i})")).unwrap();
+            let expected = mvdb.exact_probability(&q).unwrap();
+            let via_engine = engine.probability(&q).unwrap();
+            prop_assert!((via_engine - expected).abs() < 1e-7);
+        }
+    }
+}
