@@ -20,7 +20,6 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mv_bench::*;
-use mv_core::EngineBackend;
 use mv_index::augmented::AugmentedObdd;
 use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
 use mv_index::IntersectAlgorithm;
@@ -35,7 +34,9 @@ const NUM_QUERIES: usize = 3;
 
 fn method_comparison(c: &mut Criterion, name: &str, students_of_advisor: bool) {
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for &n in &SCALES {
         let data = dataset_v1v2(n);
         let queries = if students_of_advisor {
@@ -45,22 +46,19 @@ fn method_comparison(c: &mut Criterion, name: &str, students_of_advisor: bool) {
         };
         let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
 
-        group.bench_with_input(BenchmarkId::new("mv_index", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    engine.answers(q).unwrap();
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("augmented_obdd", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    engine
-                        .probability_with_backend(&q.boolean(), EngineBackend::ObddPerQuery)
-                        .unwrap();
-                }
-            })
-        });
+        // One benchmark per comparison backend, by construction: anything
+        // added to `comparison_backends()` is measured automatically.
+        for backend in comparison_backends() {
+            group.bench_with_input(BenchmarkId::new(backend.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        engine
+                            .probability_with(&q.boolean(), backend.as_ref())
+                            .unwrap();
+                    }
+                })
+            });
+        }
         // MC-SAT sampling only (the "Alchemy-sampling" line); grounding is
         // done once outside the measurement, as the paper does.
         let ground = data.mvdb.to_ground_mln().unwrap();
@@ -86,7 +84,9 @@ fn fig6_bench(c: &mut Criterion) {
 
 fn fig8_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_obdd_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for &n in &SCALES {
         let data = dataset_v1v2(n);
         let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
@@ -101,7 +101,11 @@ fn fig8_bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("synthesis_cudd_style", n), &n, |b, _| {
             let builder = ConObddBuilder::for_query(indb, &w2);
             let order = builder.order();
-            b.iter(|| SynthesisBuilder::new(order.clone()).from_query(&w2, indb).unwrap())
+            b.iter(|| {
+                SynthesisBuilder::new(order.clone())
+                    .from_query(&w2, indb)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -109,7 +113,9 @@ fn fig8_bench(c: &mut Criterion) {
 
 fn fig9_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_intersection");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     for &n in &SCALES {
         let data = dataset_v1v2(n);
         let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
@@ -122,7 +128,9 @@ fn fig9_bench(c: &mut Criterion) {
         let layout = CcLayout::new(&negated, prob_of);
         let order = builder.order();
         let lin_q = worst_case_lineage(indb, order.as_ref(), 20);
-        let q_obdd = SynthesisBuilder::new(builder.order()).from_lineage(&lin_q).unwrap();
+        let q_obdd = SynthesisBuilder::new(builder.order())
+            .from_lineage(&lin_q)
+            .unwrap();
         let q_probs = q_obdd.node_probabilities(prob_of);
 
         group.bench_with_input(BenchmarkId::new("mv_intersect", n), &n, |b, _| {
@@ -137,7 +145,9 @@ fn fig9_bench(c: &mut Criterion) {
 
 fn full_dataset_bench(c: &mut Criterion, name: &str, affiliation: bool) {
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let data = dataset_full(FULL_SCALE);
     let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
     let queries = if affiliation {

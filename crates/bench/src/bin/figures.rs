@@ -9,13 +9,79 @@
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig10`, `fig11`, `ablation`, `all`. Options: `--quick` (3 scaling points
 //! instead of 10, fewer queries), `--authors N` (size of the "full" dataset
-//! for fig1/fig10/fig11; default 10000).
+//! for fig1/fig10/fig11; default 10000), `--json PATH` (where to write the
+//! machine-readable report; default `BENCH_figures.json`), `--no-json`.
+//!
+//! Besides the human-readable tables on stdout, every run writes a
+//! machine-readable report with one series per figure. Dataset generation is
+//! fully deterministic (seeded), so series *shapes* (sizes, counts, block
+//! structure) are reproducible across runs and machines; timings naturally
+//! are not.
 
+use mv_bench::json::Json;
 use mv_bench::*;
 
 struct Options {
     quick: bool,
     full_authors: usize,
+    json_path: Option<String>,
+}
+
+/// The machine-readable report accumulated while figures run.
+struct Report {
+    figures: Json,
+}
+
+impl Report {
+    fn new() -> Report {
+        Report {
+            figures: Json::obj::<String>([]),
+        }
+    }
+
+    fn add(&mut self, figure: &str, series: Json) {
+        self.figures.push(figure, series);
+    }
+
+    fn write(self, opts: &Options) {
+        let Some(path) = &opts.json_path else {
+            return;
+        };
+        let report = Json::obj([
+            ("schema_version", Json::from(1u64)),
+            ("generator", Json::from("mv-bench figures")),
+            ("quick", Json::from(opts.quick)),
+            ("full_authors", Json::from(opts.full_authors)),
+            ("dataset_seed", Json::from(dataset_seed())),
+            ("figures", self.figures),
+        ]);
+        match std::fs::write(path, format!("{report}\n")) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The sub-commands `main` accepts; anything else is an error, not a no-op.
+const KNOWN_FIGURES: &[&str] = &[
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "all",
+];
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: figures [{}] [--quick] [--authors N] [--json PATH | --no-json]",
+        KNOWN_FIGURES.join("|")
+    );
+    std::process::exit(2);
+}
+
+/// The deterministic generator seed shared by every dataset scale.
+fn dataset_seed() -> u64 {
+    mv_dblp::DblpConfig::with_authors(1).seed
 }
 
 fn main() {
@@ -24,6 +90,7 @@ fn main() {
     let mut opts = Options {
         quick: false,
         full_authors: 10_000,
+        json_path: Some("BENCH_figures.json".to_string()),
     };
     let mut i = 0;
     while i < args.len() {
@@ -34,9 +101,18 @@ fn main() {
                 opts.full_authors = args
                     .get(i)
                     .and_then(|a| a.parse().ok())
-                    .expect("--authors needs a number");
+                    .unwrap_or_else(|| usage_error("--authors needs a number"));
             }
-            other => which.push(other.to_string()),
+            "--json" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--json needs a path"));
+                opts.json_path = Some(path.clone());
+            }
+            "--no-json" => opts.json_path = None,
+            other if KNOWN_FIGURES.contains(&other) => which.push(other.to_string()),
+            other => usage_error(&format!("unknown sub-command or option `{other}`")),
         }
         i += 1;
     }
@@ -45,43 +121,46 @@ fn main() {
     }
     let all = which.iter().any(|w| w == "all");
     let wants = |name: &str| all || which.iter().any(|w| w == name);
+    let mut report = Report::new();
 
     if wants("fig1") {
-        fig1(&opts);
+        report.add("fig1", fig1(&opts));
     }
     if wants("fig4") {
-        fig4(&opts);
+        report.add("fig4", fig4(&opts));
     }
     if wants("fig5") {
-        fig5(&opts);
+        report.add("fig5", fig5(&opts));
     }
     if wants("fig6") {
-        fig6(&opts);
+        report.add("fig6", fig6(&opts));
     }
     if wants("fig7") || wants("fig8") {
-        fig7_fig8(&opts);
+        report.add("fig7_fig8", fig7_fig8(&opts));
     }
     if wants("fig9") {
-        fig9(&opts);
+        report.add("fig9", fig9(&opts));
     }
     if wants("fig10") {
-        fig10_fig11(&opts, false);
+        report.add("fig10", fig10_fig11(&opts, false));
     }
     if wants("fig11") {
-        fig10_fig11(&opts, true);
+        report.add("fig11", fig10_fig11(&opts, true));
     }
     if wants("ablation") {
-        ablations(&opts);
+        report.add("ablation", ablations(&opts));
     }
+    report.write(&opts);
 }
 
-fn ablations(opts: &Options) {
+fn ablations(opts: &Options) -> Json {
     println!("== Ablation A: block-partitioned MV-index vs monolithic ¬W OBDD ==");
     println!(
         "{:>10} {:>8} {:>18} {:>18}",
         "aid domain", "blocks", "partitioned (s)", "monolithic (s)"
     );
     let queries = if opts.quick { 3 } else { 10 };
+    let mut block_rows = Vec::new();
     for n in scales(opts.quick) {
         let p = ablation_block_index(n, queries);
         println!(
@@ -91,13 +170,26 @@ fn ablations(opts: &Options) {
             secs(p.partitioned),
             secs(p.monolithic)
         );
+        block_rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("num_blocks", Json::from(p.num_blocks)),
+            ("partitioned_s", Json::from(secs(p.partitioned))),
+            ("monolithic_s", Json::from(secs(p.monolithic))),
+        ]));
     }
     println!();
     println!("== Ablation B: inferred separator-first π vs identity π ==");
     println!(
         "{:>10} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
-        "aid domain", "inferred (s)", "identity (s)", "syn(inf)", "syn(id)", "size(inf)", "size(id)"
+        "aid domain",
+        "inferred (s)",
+        "identity (s)",
+        "syn(inf)",
+        "syn(id)",
+        "size(inf)",
+        "size(id)"
     );
+    let mut pi_rows = Vec::new();
     for n in scales(opts.quick) {
         let p = ablation_pi_order(n);
         println!(
@@ -110,11 +202,24 @@ fn ablations(opts: &Options) {
             p.sizes.0,
             p.sizes.1
         );
+        pi_rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("inferred_s", Json::from(secs(p.inferred.0))),
+            ("identity_s", Json::from(secs(p.identity.0))),
+            ("syntheses_inferred", Json::from(p.inferred.1)),
+            ("syntheses_identity", Json::from(p.identity.1)),
+            ("size_inferred", Json::from(p.sizes.0)),
+            ("size_identity", Json::from(p.sizes.1)),
+        ]));
     }
     println!();
+    Json::obj([
+        ("block_index", Json::arr(block_rows)),
+        ("pi_order", Json::arr(pi_rows)),
+    ])
 }
 
-fn fig1(opts: &Options) {
+fn fig1(opts: &Options) -> Json {
     let n = if opts.quick { 2000 } else { opts.full_authors };
     println!("== Figure 1: dataset and MV-index inventory (synthetic DBLP, {n} authors) ==");
     let r = fig1_inventory(n);
@@ -138,67 +243,149 @@ fn fig1(opts: &Options) {
     println!("  MV-index (Section 5.4):");
     println!("    blocks                    {:>10}", r.index.num_blocks);
     println!("    OBDD nodes                {:>10}", r.index.total_nodes);
-    println!("    constrained tuples        {:>10}", r.index.num_variables);
-    println!("    construction time         {:>10.3} s", secs(r.compile_time));
+    println!(
+        "    constrained tuples        {:>10}",
+        r.index.num_variables
+    );
+    println!(
+        "    construction time         {:>10.3} s",
+        secs(r.compile_time)
+    );
     println!("    consistent                {:>10}", r.consistent);
     println!();
+    Json::obj([
+        ("num_authors", Json::from(n)),
+        (
+            "tables",
+            Json::obj([
+                ("author", Json::from(s.author)),
+                ("wrote", Json::from(s.wrote)),
+                ("publication", Json::from(s.publication)),
+                ("homepage", Json::from(s.homepage)),
+                ("first_pub", Json::from(s.first_pub)),
+                ("dblp_affiliation", Json::from(s.dblp_affiliation)),
+                ("co_pub_recent", Json::from(s.co_pub_recent)),
+                ("student", Json::from(s.student)),
+                ("advisor", Json::from(s.advisor)),
+                ("affiliation", Json::from(s.affiliation)),
+                ("v1", Json::from(s.v1)),
+                ("v2", Json::from(s.v2)),
+                ("v3", Json::from(s.v3)),
+            ]),
+        ),
+        (
+            "index",
+            Json::obj([
+                ("num_blocks", Json::from(r.index.num_blocks)),
+                ("total_nodes", Json::from(r.index.total_nodes)),
+                ("num_variables", Json::from(r.index.num_variables)),
+                ("compile_s", Json::from(secs(r.compile_time))),
+                ("consistent", Json::from(r.consistent)),
+            ]),
+        ),
+    ])
 }
 
-fn fig4(opts: &Options) {
+fn fig4(opts: &Options) -> Json {
     println!("== Figure 4: lineage size of W per dataset ==");
-    println!("{:>10} {:>14} {:>14}", "aid domain", "lineage size", "groundings");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "aid domain", "lineage size", "groundings"
+    );
+    let mut rows = Vec::new();
     for n in scales(opts.quick) {
         let p = fig4_lineage_size(n);
-        println!("{:>10} {:>14} {:>14}", p.num_authors, p.lineage_size, p.num_clauses);
+        println!(
+            "{:>10} {:>14} {:>14}",
+            p.num_authors, p.lineage_size, p.num_clauses
+        );
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("lineage_size", Json::from(p.lineage_size)),
+            ("num_clauses", Json::from(p.num_clauses)),
+        ]));
     }
     println!();
+    Json::arr(rows)
 }
 
-fn print_method_header() {
-    println!(
-        "{:>10} {:>16} {:>18} {:>16} {:>14} {:>12}",
-        "aid domain", "Alchemy-total(s)", "Alchemy-sampling(s)", "augOBDD(s)", "MVIndex(s)", "compile(s)"
+/// Prints the Figure 5/6 table header: the MC-SAT baseline columns followed
+/// by one column per comparison backend (by construction, so a new backend
+/// shows up automatically).
+fn print_method_header(t: &MethodTimings) {
+    print!(
+        "{:>10} {:>16} {:>18}",
+        "aid domain", "Alchemy-total(s)", "Alchemy-sampling(s)"
     );
+    for b in &t.backends {
+        print!(" {:>24}", format!("{}(s)", b.name));
+    }
+    println!(" {:>12}", "compile(s)");
 }
 
 fn print_method_row(t: &MethodTimings) {
-    println!(
-        "{:>10} {:>16.4} {:>18.4} {:>16.4} {:>14.6} {:>12.4}",
+    print!(
+        "{:>10} {:>16.4} {:>18.4}",
         t.num_authors,
         secs(t.alchemy_total),
         secs(t.alchemy_sampling),
-        secs(t.augmented_obdd),
-        secs(t.mv_index),
-        secs(t.index_compile),
     );
+    for b in &t.backends {
+        print!(" {:>24.6}", secs(b.total));
+    }
+    println!(" {:>12.4}", secs(t.index_compile));
 }
 
-fn fig5(opts: &Options) {
+fn method_timings_json(t: &MethodTimings) -> Json {
+    let mut row = Json::obj([
+        ("num_authors", Json::from(t.num_authors)),
+        ("alchemy_total_s", Json::from(secs(t.alchemy_total))),
+        ("alchemy_sampling_s", Json::from(secs(t.alchemy_sampling))),
+        ("index_compile_s", Json::from(secs(t.index_compile))),
+    ]);
+    for b in &t.backends {
+        row.push(format!("{}_s", b.name), Json::from(secs(b.total)));
+    }
+    row
+}
+
+fn method_comparison(opts: &Options, label: &str, advisor_of_student: bool) -> Json {
     let queries = if opts.quick { 2 } else { 5 };
-    println!("== Figure 5: querying the advisor of a student ({queries} queries per point) ==");
-    print_method_header();
+    println!("== {label} ({queries} queries per point) ==");
+    let mut rows = Vec::new();
+    let mut header_printed = false;
     for n in scales(opts.quick) {
-        print_method_row(&fig5_advisor_of_student(n, queries));
+        let t = if advisor_of_student {
+            fig5_advisor_of_student(n, queries)
+        } else {
+            fig6_students_of_advisor(n, queries)
+        };
+        if !header_printed {
+            print_method_header(&t);
+            header_printed = true;
+        }
+        print_method_row(&t);
+        rows.push(method_timings_json(&t));
     }
     println!();
+    Json::arr(rows)
 }
 
-fn fig6(opts: &Options) {
-    let queries = if opts.quick { 2 } else { 5 };
-    println!("== Figure 6: querying all students of an advisor ({queries} queries per point) ==");
-    print_method_header();
-    for n in scales(opts.quick) {
-        print_method_row(&fig6_students_of_advisor(n, queries));
-    }
-    println!();
+fn fig5(opts: &Options) -> Json {
+    method_comparison(opts, "Figure 5: querying the advisor of a student", true)
 }
 
-fn fig7_fig8(opts: &Options) {
+fn fig6(opts: &Options) -> Json {
+    method_comparison(opts, "Figure 6: querying all students of an advisor", false)
+}
+
+fn fig7_fig8(opts: &Options) -> Json {
     println!("== Figures 7 and 8: V2 OBDD size and construction time ==");
     println!(
         "{:>10} {:>12} {:>18} {:>18} {:>10}",
         "aid domain", "OBDD size", "MV construction(s)", "Cudd-style(s)", "speedup"
     );
+    let mut rows = Vec::new();
     for n in scales(opts.quick) {
         let p = fig7_fig8_obdd_construction(n);
         assert!(p.sizes_match, "both constructions must build the same OBDD");
@@ -211,17 +398,25 @@ fn fig7_fig8(opts: &Options) {
             secs(p.synthesis_time),
             speedup
         );
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("obdd_size", Json::from(p.obdd_size)),
+            ("conobdd_s", Json::from(secs(p.conobdd_time))),
+            ("synthesis_s", Json::from(secs(p.synthesis_time))),
+        ]));
     }
     println!();
+    Json::arr(rows)
 }
 
-fn fig9(opts: &Options) {
+fn fig9(opts: &Options) -> Json {
     let reps = if opts.quick { 5 } else { 20 };
     println!("== Figure 9: MVIntersect vs CC-MVIntersect (worst-case 20-tuple query) ==");
     println!(
         "{:>10} {:>12} {:>18} {:>20} {:>10}",
         "aid domain", "index size", "MVIntersect(s)", "CC-MVIntersect(s)", "speedup"
     );
+    let mut rows = Vec::new();
     for n in scales(opts.quick) {
         let p = fig9_intersection(n, reps);
         let speedup = secs(p.mv_intersect) / secs(p.cc_mv_intersect).max(1e-12);
@@ -233,11 +428,18 @@ fn fig9(opts: &Options) {
             secs(p.cc_mv_intersect),
             speedup
         );
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("index_size", Json::from(p.index_size)),
+            ("mv_intersect_s", Json::from(secs(p.mv_intersect))),
+            ("cc_mv_intersect_s", Json::from(secs(p.cc_mv_intersect))),
+        ]));
     }
     println!();
+    Json::arr(rows)
 }
 
-fn fig10_fig11(opts: &Options, affiliation: bool) {
+fn fig10_fig11(opts: &Options, affiliation: bool) -> Json {
     let n = if opts.quick { 2000 } else { opts.full_authors };
     let label = if affiliation {
         "Figure 11: querying affiliations of an author"
@@ -253,6 +455,7 @@ fn fig10_fig11(opts: &Options, affiliation: bool) {
         secs(r.compile_time)
     );
     println!("{:>6} {:>10} {:>14}", "query", "answers", "time (ms)");
+    let mut rows = Vec::new();
     for q in &r.queries {
         println!(
             "{:>6} {:>10} {:>14.3}",
@@ -260,8 +463,21 @@ fn fig10_fig11(opts: &Options, affiliation: bool) {
             q.num_answers,
             secs(q.time) * 1000.0
         );
+        rows.push(Json::obj([
+            ("label", Json::from(q.label.clone())),
+            ("num_answers", Json::from(q.num_answers)),
+            ("time_s", Json::from(secs(q.time))),
+        ]));
     }
     let avg: f64 = r.queries.iter().map(|q| secs(q.time)).sum::<f64>() / r.queries.len() as f64;
     println!("  average per-query time: {:.3} ms", avg * 1000.0);
     println!();
+    Json::obj([
+        ("num_authors", Json::from(r.num_authors)),
+        ("compile_s", Json::from(secs(r.compile_time))),
+        ("index_size", Json::from(r.index_size)),
+        ("num_blocks", Json::from(r.num_blocks)),
+        ("avg_query_s", Json::from(avg)),
+        ("queries", Json::arr(rows)),
+    ])
 }

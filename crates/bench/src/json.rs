@@ -1,0 +1,177 @@
+//! A minimal JSON value builder and serializer.
+//!
+//! The build environment has no crates.io access, so `serde_json` is not
+//! available; this module provides just enough — objects, arrays, strings,
+//! numbers, booleans — for the `figures` binary to emit its
+//! `BENCH_figures.json` report. Insertion order of object keys is preserved
+//! so reports diff cleanly across runs.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced by non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact integer (kept separate from [`Json::Num`] so 64-bit values
+    /// above 2^53 survive serialization unrounded).
+    Int(i128),
+    /// Any finite float (whole values are rendered without a fraction).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    /// Appends a key to an object; panics on non-objects (builder misuse).
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(i128::from(v))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(i128::from(v))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Num(n) if !n.is_finite() => f.write_str("null"),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => write!(f, "{}", *n as i64),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(values) => {
+                f.write_str("[")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_covers_all_value_kinds() {
+        let mut report = Json::obj([
+            ("name", Json::from("fig \"9\"\n")),
+            ("count", Json::from(3usize)),
+            ("ratio", Json::from(0.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("ok", Json::from(true)),
+            ("series", Json::arr([Json::from(1.0), Json::Null])),
+        ]);
+        report.push("extra", Json::from(-2i64));
+        assert_eq!(
+            report.to_string(),
+            r#"{"name":"fig \"9\"\n","count":3,"ratio":0.5,"nan":null,"ok":true,"series":[1,null],"extra":-2}"#
+        );
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::from(10_000usize).to_string(), "10000");
+        assert_eq!(Json::from(0.001).to_string(), "0.001");
+        // 64-bit values above 2^53 must survive exactly.
+        assert_eq!(
+            Json::from(0xDEAD_BEEF_DEAD_BEEFu64).to_string(),
+            "16045690984833335023"
+        );
+        assert_eq!(Json::from(i64::MIN).to_string(), "-9223372036854775808");
+    }
+}

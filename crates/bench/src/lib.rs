@@ -28,9 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::{Duration, Instant};
 
-use mv_core::{EngineBackend, MvdbEngine};
+use mv_core::backend::{Backend, MvIndexBackend, ObddPerQuery};
+use mv_core::MvdbEngine;
 use mv_dblp::{DblpConfig, DblpDataset};
 use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_mln::{McSatConfig, McSatSampler};
@@ -61,14 +64,14 @@ pub fn dataset_v1v2(num_authors: usize) -> DblpDataset {
 /// Generates the full corpus (V1, V2 and V3) at the given scale
 /// (Sections 5.4 / Figures 10–11).
 pub fn dataset_full(num_authors: usize) -> DblpDataset {
-    DblpDataset::generate(DblpConfig::with_authors(num_authors)).expect("dataset generation succeeds")
+    DblpDataset::generate(DblpConfig::with_authors(num_authors))
+        .expect("dataset generation succeeds")
 }
 
 /// The denial view V2 written directly over the translated schema
 /// (Sections 5.2 / 5.3 compile only this view).
 pub fn v2_query() -> Ucq {
-    parse_ucq("W() :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3")
-        .expect("V2 parses")
+    parse_ucq("W() :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3").expect("V2 parses")
 }
 
 /// One row of the Figure 4 series.
@@ -97,8 +100,17 @@ pub fn fig4_lineage_size(num_authors: usize) -> LineageSizePoint {
     }
 }
 
+/// Wall-clock time of one [`Backend`] over a workload.
+#[derive(Debug, Clone)]
+pub struct BackendTiming {
+    /// The backend's [`Backend::name`].
+    pub name: &'static str,
+    /// Total time over the workload.
+    pub total: Duration,
+}
+
 /// Timings of one Figure 5 / Figure 6 point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MethodTimings {
     /// The `aid` domain.
     pub num_authors: usize,
@@ -106,12 +118,19 @@ pub struct MethodTimings {
     pub alchemy_total: Duration,
     /// Sampling-only time of the MC-SAT baseline ("Alchemy-sampling").
     pub alchemy_sampling: Duration,
-    /// Per-query OBDD construction and evaluation ("augmented OBDD").
-    pub augmented_obdd: Duration,
     /// Offline MV-index compilation time (reported for context).
     pub index_compile: Duration,
-    /// Online evaluation through the MV-index ("MVIndex").
-    pub mv_index: Duration,
+    /// Per-backend online evaluation time over the workload, one entry per
+    /// element of [`comparison_backends`], in order.
+    ///
+    /// Unlike the pre-trait harness — which timed per-answer enumeration
+    /// (`answers`) for the MV-index but a single Boolean probability for
+    /// the OBDD baseline — every backend is now timed on the *same*
+    /// operation, the Boolean probability of each workload query, so the
+    /// columns are directly comparable. MVIndex series are therefore not
+    /// comparable to numbers produced before this change; per-answer
+    /// enumeration timings live in the Figure 10/11 harness instead.
+    pub backends: Vec<BackendTiming>,
 }
 
 /// Configuration of the MC-SAT baseline used by Figures 5–6.
@@ -124,12 +143,41 @@ pub fn baseline_mcsat_config() -> McSatConfig {
     }
 }
 
+/// The exact backends the Figure 5/6 comparison runs, constructed through
+/// the [`Backend`] trait. Adding a strategy to the comparison is one line
+/// here — the harness, the `figures` binary and the Criterion benches all
+/// iterate this list.
+pub fn comparison_backends() -> Vec<Box<dyn Backend>> {
+    vec![Box::new(ObddPerQuery), Box::new(MvIndexBackend::default())]
+}
+
+/// Times each backend on the Boolean probability of every workload query,
+/// dispatching through the [`Backend`] trait.
+pub fn time_backends(
+    engine: &MvdbEngine,
+    queries: &[Ucq],
+    backends: &[Box<dyn Backend>],
+) -> Vec<BackendTiming> {
+    backends
+        .iter()
+        .map(|backend| {
+            let t = Instant::now();
+            for q in queries {
+                engine
+                    .probability_with(&q.boolean(), backend.as_ref())
+                    .expect("backend evaluates");
+            }
+            BackendTiming {
+                name: backend.name(),
+                total: t.elapsed(),
+            }
+        })
+        .collect()
+}
+
 /// Runs one scaling point of Figure 5 (`advisor of a student X`) or
 /// Figure 6 (`students of an advisor Y`), depending on `queries`.
-pub fn run_method_comparison(
-    data: &DblpDataset,
-    queries: &[Ucq],
-) -> MethodTimings {
+pub fn run_method_comparison(data: &DblpDataset, queries: &[Ucq]) -> MethodTimings {
     // --- MC-SAT baseline (Alchemy stand-in) --------------------------------
     let t0 = Instant::now();
     let ground = data.mvdb.to_ground_mln().expect("grounding succeeds");
@@ -144,37 +192,21 @@ pub fn run_method_comparison(
     let alchemy_sampling = t1.elapsed();
     let alchemy_total = grounding_time + alchemy_sampling;
 
-    // --- augmented OBDD (per-query construction, no index) -----------------
+    // --- exact backends, dispatched through the trait -----------------------
+    // Offline compilation is timed separately and not charged to any
+    // backend; the per-query OBDD baseline rebuilds `Q ∨ W` per query by
+    // construction, the MV-index backend reuses the compiled index.
     let t2 = Instant::now();
-    let engine_no_index = MvdbEngine::compile(&data.mvdb).expect("compiles");
-    // Compilation of the engine is *not* charged to the augmented-OBDD
-    // baseline: it re-builds the OBDD of Q ∨ W for every query.
-    let _ = t2.elapsed();
-    let t3 = Instant::now();
-    for q in queries {
-        engine_no_index
-            .probability_with_backend(&q.boolean(), EngineBackend::ObddPerQuery)
-            .expect("OBDD backend succeeds");
-    }
-    let augmented_obdd = t3.elapsed();
-
-    // --- MV-index -----------------------------------------------------------
-    let t4 = Instant::now();
     let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
-    let index_compile = t4.elapsed();
-    let t5 = Instant::now();
-    for q in queries {
-        engine.answers(q).expect("answers");
-    }
-    let mv_index = t5.elapsed();
+    let index_compile = t2.elapsed();
+    let backends = time_backends(&engine, queries, &comparison_backends());
 
     MethodTimings {
         num_authors: data.config.num_authors,
         alchemy_total,
         alchemy_sampling,
-        augmented_obdd,
         index_compile,
-        mv_index,
+        backends,
     }
 }
 
@@ -356,12 +388,16 @@ pub fn fig10_fig11_full_dataset(
     let queries = if affiliation {
         data.affiliation_workload(num_queries).expect("workload")
     } else {
-        data.students_of_advisor_workload(num_queries).expect("workload")
+        data.students_of_advisor_workload(num_queries)
+            .expect("workload")
     };
+    // Per-query evaluation dispatches through the Backend trait; the
+    // production strategy is the index with the cache-conscious intersection.
+    let backend = MvIndexBackend::default();
     let mut rows = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
         let t = Instant::now();
-        let answers = engine.answers(q).expect("answers");
+        let answers = engine.answers_with(q, &backend).expect("answers");
         rows.push(PerQueryPoint {
             label: format!("q{}", i + 1),
             num_answers: answers.len(),
@@ -460,8 +496,7 @@ pub fn ablation_block_index(num_authors: usize, num_queries: usize) -> BlockAbla
     let synth = SynthesisBuilder::new(builder.order());
     let t1 = Instant::now();
     for q in &queries {
-        let per_answer =
-            mv_query::lineage::answer_lineages(q, indb).expect("lineages");
+        let per_answer = mv_query::lineage::answer_lineages(q, indb).expect("lineages");
         for (_row, lin) in per_answer {
             let q_obdd = synth.from_lineage(&lin).expect("query OBDD");
             let q_probs = q_obdd.node_probabilities(prob_of);
@@ -536,7 +571,10 @@ pub fn secs(d: Duration) -> f64 {
 pub fn check_workload(engine: &MvdbEngine, queries: &[Ucq]) {
     for q in queries {
         for (_, p) in engine.answers(q).expect("answers") {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability {p} out of range");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&p),
+                "probability {p} out of range"
+            );
         }
     }
 }
@@ -563,7 +601,10 @@ mod tests {
     fn fig7_fig8_point_reports_matching_sizes() {
         let p = fig7_fig8_obdd_construction(200);
         assert!(p.obdd_size > 0);
-        assert!(p.sizes_match, "ConOBDD and synthesis must build the same reduced OBDD");
+        assert!(
+            p.sizes_match,
+            "ConOBDD and synthesis must build the same reduced OBDD"
+        );
     }
 
     #[test]
@@ -612,9 +653,25 @@ mod tests {
     fn method_comparison_runs_all_baselines() {
         let t = fig5_advisor_of_student(150, 2);
         assert!(t.alchemy_total >= t.alchemy_sampling);
-        assert!(t.mv_index.as_nanos() > 0);
-        assert!(t.augmented_obdd.as_nanos() > 0);
+        let names: Vec<_> = t.backends.iter().map(|b| b.name).collect();
+        assert_eq!(names, ["augmented-obdd", "mv-index/cc-mv-intersect"]);
+        for b in &t.backends {
+            assert!(b.total.as_nanos() > 0, "{} reported no time", b.name);
+        }
         let t = fig6_students_of_advisor(150, 2);
         assert!(t.alchemy_total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn backend_timings_cover_every_comparison_backend() {
+        let data = dataset_v1v2(150);
+        let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
+        let queries = data.advisor_of_student_workload(2).expect("workload");
+        let backends = comparison_backends();
+        let timings = time_backends(&engine, &queries, &backends);
+        assert_eq!(timings.len(), backends.len());
+        for (timing, backend) in timings.iter().zip(&backends) {
+            assert_eq!(timing.name, backend.name());
+        }
     }
 }

@@ -1,0 +1,44 @@
+//! The brute-force backend: exhaustive enumeration as the ground truth.
+//!
+//! Wraps `mv_query::brute` — the truth-table evaluator over the lineage
+//! variables — behind the [`Backend`] trait, so the validator participates
+//! in the same comparison harnesses and agreement tests as the production
+//! strategies. Exponential in the number of distinct lineage variables;
+//! only usable on small instances.
+
+use mv_query::brute::brute_force_lineage_probability;
+use mv_query::lineage::Lineage;
+use mv_query::Ucq;
+
+use crate::backend::{theorem1, Backend, EvalContext};
+use crate::Result;
+
+/// Exhaustive truth-table enumeration over the lineage of `Q ∨ W`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BruteForce;
+
+impl Backend for BruteForce {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn probability(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<f64> {
+        ctx.require_boolean(q)?;
+        let lin_q = ctx.lineage(q)?;
+        self.lineage_probability(&lin_q, ctx)
+            .expect("brute-force backend evaluates lineages")
+    }
+
+    fn lineage_probability(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> Option<Result<f64>> {
+        let indb = ctx.indb();
+        let (p_q_or_w, p_w) = match ctx.w_lineage() {
+            Ok(Some(lin_w)) => (
+                brute_force_lineage_probability(&lineage.or(lin_w), indb),
+                ctx.cached_scalar("brute:p_w", || brute_force_lineage_probability(lin_w, indb)),
+            ),
+            Ok(None) => (brute_force_lineage_probability(lineage, indb), 0.0),
+            Err(e) => return Some(Err(e)),
+        };
+        Some(theorem1(p_q_or_w, p_w))
+    }
+}

@@ -1,0 +1,67 @@
+//! The MV-index backend — the paper's proposal (Section 4).
+//!
+//! Offline, `W` is compiled into a set of augmented OBDD blocks (done by
+//! [`MvdbEngine::compile`](crate::MvdbEngine::compile), which then passes
+//! the index to every [`EvalContext`] it creates). Online, the probability
+//! of a query reduces to intersecting the query's small lineage OBDD with
+//! only the index blocks the lineage touches.
+
+use mv_index::IntersectAlgorithm;
+use mv_query::lineage::Lineage;
+use mv_query::Ucq;
+
+use crate::backend::{Backend, EvalContext};
+use crate::error::CoreError;
+use crate::Result;
+
+/// Evaluates queries through the precompiled MV-index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvIndexBackend {
+    algorithm: IntersectAlgorithm,
+}
+
+impl MvIndexBackend {
+    /// A backend using the given intersection algorithm.
+    pub fn new(algorithm: IntersectAlgorithm) -> Self {
+        MvIndexBackend { algorithm }
+    }
+
+    /// The intersection algorithm in use.
+    pub fn algorithm(&self) -> IntersectAlgorithm {
+        self.algorithm
+    }
+}
+
+impl Default for MvIndexBackend {
+    /// The cache-conscious intersection, as recommended by Section 4.3.
+    fn default() -> Self {
+        MvIndexBackend::new(IntersectAlgorithm::CcMvIntersect)
+    }
+}
+
+impl Backend for MvIndexBackend {
+    fn name(&self) -> &'static str {
+        match self.algorithm {
+            IntersectAlgorithm::MvIntersect => "mv-index/mv-intersect",
+            IntersectAlgorithm::CcMvIntersect => "mv-index/cc-mv-intersect",
+        }
+    }
+
+    fn probability(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<f64> {
+        ctx.require_boolean(q)?;
+        let lineage = ctx.lineage(q)?;
+        self.lineage_probability(&lineage, ctx)
+            .expect("index backend evaluates lineages")
+    }
+
+    /// One intersection per lineage — this is what makes `answers` a fast
+    /// path: no per-answer query re-evaluation.
+    fn lineage_probability(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> Option<Result<f64>> {
+        Some(match ctx.index().ok_or(CoreError::MissingIndex) {
+            Ok(index) => index
+                .conditional_probability(lineage, ctx.indb(), self.algorithm)
+                .map_err(Into::into),
+            Err(e) => Err(e),
+        })
+    }
+}

@@ -1,0 +1,290 @@
+//! The pluggable evaluation-backend layer.
+//!
+//! Every way of computing MVDB probabilities — the paper's MV-index, the
+//! per-query augmented-OBDD baseline, Shannon expansion, safe plans, and
+//! brute-force enumeration — implements the [`Backend`] trait: given a
+//! Boolean query and an [`EvalContext`] (the translated database, the helper
+//! query `W`, and optionally the compiled MV-index), it returns the query
+//! probability under the MVDB semantics via Theorem 1,
+//!
+//! ```text
+//! P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))
+//! ```
+//!
+//! [`MvdbEngine`](crate::MvdbEngine), the brute-force validator and the
+//! `mv-bench` figure harness all dispatch through this trait, so adding an
+//! evaluation strategy is a one-module drop-in: implement [`Backend`], and
+//! every comparison harness and agreement test picks it up through
+//! [`EngineBackend::comparison_suite`].
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+
+use mv_index::{IntersectAlgorithm, MvIndex};
+use mv_pdb::{InDb, Row};
+use mv_query::eval::EvalContext as QueryEvalContext;
+use mv_query::lineage::{answer_lineages, lineage_with, Lineage};
+use mv_query::Ucq;
+
+use crate::error::CoreError;
+use crate::translate::TranslatedIndb;
+use crate::Result;
+
+pub mod brute;
+pub mod index;
+pub mod obdd;
+pub mod safe_plan;
+pub mod shannon;
+
+pub use brute::BruteForce;
+pub use index::MvIndexBackend;
+pub use obdd::ObddPerQuery;
+pub use safe_plan::SafePlan;
+pub use shannon::Shannon;
+
+/// Smallest `P0(¬W)` treated as consistent.
+const MIN_NOT_W: f64 = 1e-300;
+
+/// Everything a [`Backend`] may need to evaluate queries against a compiled
+/// MVDB: the translated tuple-independent database, the helper query `W`,
+/// and — when the offline phase ran — the compiled MV-index.
+///
+/// The context owns a per-database [`mv_query::eval::EvalContext`], so the
+/// lazily built column indexes are shared by every lineage computation made
+/// through it.
+pub struct EvalContext<'a> {
+    translated: &'a TranslatedIndb,
+    index: Option<&'a MvIndex>,
+    query_ctx: QueryEvalContext<'a>,
+    w_lineage: OnceCell<Lineage>,
+    scalars: RefCell<HashMap<&'static str, f64>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// A context without a compiled index (index-free backends only).
+    pub fn new(translated: &'a TranslatedIndb) -> Self {
+        EvalContext {
+            translated,
+            index: None,
+            query_ctx: QueryEvalContext::new(translated.indb().database()),
+            w_lineage: OnceCell::new(),
+            scalars: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A context carrying the compiled MV-index.
+    pub fn with_index(translated: &'a TranslatedIndb, index: &'a MvIndex) -> Self {
+        EvalContext {
+            index: Some(index),
+            ..Self::new(translated)
+        }
+    }
+
+    /// The translated tuple-independent database.
+    pub fn translated(&self) -> &'a TranslatedIndb {
+        self.translated
+    }
+
+    /// The translated database's possible-tuple store.
+    pub fn indb(&self) -> &'a InDb {
+        self.translated.indb()
+    }
+
+    /// The helper query `W` of Theorem 1, if the MVDB has any views.
+    pub fn w(&self) -> Option<&'a Ucq> {
+        self.translated.w()
+    }
+
+    /// The compiled MV-index, if the context was built from an engine.
+    pub fn index(&self) -> Option<&'a MvIndex> {
+        self.index
+    }
+
+    /// The lineage of `query` over the translated database.
+    pub fn lineage(&self, query: &Ucq) -> Result<Lineage> {
+        Ok(lineage_with(query, self.indb(), &self.query_ctx)?)
+    }
+
+    /// The lineage of the helper query `W`, computed once per context
+    /// (`None` when the MVDB has no views). Backends that evaluate many
+    /// lineages against the same context — the per-answer loop of
+    /// [`Backend::answers`] — must not recompute this join every time.
+    pub fn w_lineage(&self) -> Result<Option<&Lineage>> {
+        let Some(w) = self.w() else {
+            return Ok(None);
+        };
+        if self.w_lineage.get().is_none() {
+            let lineage = self.lineage(w)?;
+            let _ = self.w_lineage.set(lineage);
+        }
+        Ok(self.w_lineage.get())
+    }
+
+    /// Computes a scalar once per context under a caller-chosen key
+    /// (backends use it to cache their answer-independent `P0(W)` across
+    /// the per-answer loop of [`Backend::answers`]).
+    pub fn cached_scalar(&self, key: &'static str, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(v) = self.scalars.borrow().get(key) {
+            return *v;
+        }
+        let v = compute();
+        self.scalars.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// Rejects queries with head variables (backends compute probabilities
+    /// of Boolean queries only; use [`Backend::answers`] otherwise).
+    pub fn require_boolean(&self, query: &Ucq) -> Result<()> {
+        if query.is_boolean() {
+            Ok(())
+        } else {
+            Err(CoreError::NotBoolean(query.name.clone()))
+        }
+    }
+}
+
+impl fmt::Debug for EvalContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalContext")
+            .field("num_tuples", &self.translated.num_tuples())
+            .field("has_index", &self.index.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One way of computing MVDB query probabilities.
+///
+/// Implementations are cheap, stateless descriptions of a strategy; all
+/// per-database state lives in the [`EvalContext`]. That keeps backends
+/// trivially constructible by harnesses and lets one context be shared
+/// across strategies when comparing them.
+pub trait Backend: fmt::Debug {
+    /// Stable, human-readable identifier (used by benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// The probability of the Boolean query `q` under the MVDB semantics.
+    fn probability(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<f64>;
+
+    /// The MVDB probability of a precomputed lineage (the conditional
+    /// `P0(lineage ∧ ¬W) / P0(¬W)` of Theorem 1), for backends that can
+    /// evaluate a Boolean provenance formula directly — the MV-index,
+    /// Shannon expansion, brute force. Structural backends (safe plans,
+    /// per-query OBDD construction) return `None` and [`Backend::answers`]
+    /// falls back to re-evaluating the bound query.
+    fn lineage_probability(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> Option<Result<f64>> {
+        let _ = (lineage, ctx);
+        None
+    }
+
+    /// Every answer of a non-Boolean query with its probability.
+    ///
+    /// The default implementation feeds each answer's lineage to
+    /// [`Backend::lineage_probability`]; for backends that cannot consume a
+    /// lineage it binds the head to the answer tuple and evaluates the
+    /// resulting Boolean query through [`Backend::probability`].
+    fn answers(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<(Row, f64)>> {
+        let per_answer = answer_lineages(q, ctx.indb())?;
+        let mut out = Vec::with_capacity(per_answer.len());
+        for (row, lineage) in per_answer {
+            let p = match self.lineage_probability(&lineage, ctx) {
+                Some(p) => p?,
+                None => {
+                    let bound = q.bind_head(&row);
+                    self.probability(&bound, ctx)?
+                }
+            };
+            out.push((row, p));
+        }
+        Ok(out)
+    }
+}
+
+/// Applies the right-hand side of Theorem 1,
+/// `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`.
+pub fn theorem1(p_q_or_w: f64, p_w: f64) -> Result<f64> {
+    let not_w = 1.0 - p_w;
+    if not_w.abs() < MIN_NOT_W {
+        return Err(CoreError::InconsistentViews);
+    }
+    Ok((p_q_or_w - p_w) / not_w)
+}
+
+/// Value-level backend selector (the stable, copyable API of
+/// [`MvdbEngine::probability_with_backend`](crate::MvdbEngine::probability_with_backend)).
+///
+/// Each variant instantiates one [`Backend`] implementation; harnesses that
+/// want to construct backends directly can skip the enum entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineBackend {
+    /// Use the precompiled MV-index (the paper's proposal).
+    MvIndex(IntersectAlgorithm),
+    /// Build an OBDD for `Q ∨ W` from scratch for every query (the
+    /// "augmented OBDD" baseline of Figures 5–6).
+    ObddPerQuery,
+    /// Shannon expansion on the lineage of `Q ∨ W` (generic exact inference).
+    Shannon,
+    /// Lifted inference (safe plans); fails on unsafe queries.
+    SafePlan,
+    /// Exhaustive truth-table enumeration over the lineage variables (the
+    /// ground-truth validator; exponential, small inputs only).
+    BruteForce,
+}
+
+impl EngineBackend {
+    /// Builds the [`Backend`] implementation this selector names.
+    pub fn instantiate(self) -> Box<dyn Backend> {
+        match self {
+            EngineBackend::MvIndex(algorithm) => Box::new(MvIndexBackend::new(algorithm)),
+            EngineBackend::ObddPerQuery => Box::new(ObddPerQuery),
+            EngineBackend::Shannon => Box::new(Shannon),
+            EngineBackend::SafePlan => Box::new(SafePlan),
+            EngineBackend::BruteForce => Box::new(BruteForce),
+        }
+    }
+
+    /// The backends expected to agree on *every* query: both intersection
+    /// algorithms of the MV-index, the per-query OBDD baseline, Shannon
+    /// expansion, and brute-force enumeration. (Safe plans are excluded —
+    /// they legitimately fail on unsafe queries.)
+    pub fn comparison_suite() -> Vec<EngineBackend> {
+        vec![
+            EngineBackend::MvIndex(IntersectAlgorithm::MvIntersect),
+            EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
+            EngineBackend::ObddPerQuery,
+            EngineBackend::Shannon,
+            EngineBackend::BruteForce,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_matches_the_paper_identity() {
+        // P0(Q ∨ W) = 0.6, P0(W) = 0.2 → P = 0.4 / 0.8.
+        assert!((theorem1(0.6, 0.2).unwrap() - 0.5).abs() < 1e-12);
+        // P0(W) = 1 means no world satisfies ¬W.
+        assert!(matches!(
+            theorem1(1.0, 1.0),
+            Err(CoreError::InconsistentViews)
+        ));
+    }
+
+    #[test]
+    fn every_selector_instantiates_a_named_backend() {
+        let mut names = std::collections::BTreeSet::new();
+        for selector in EngineBackend::comparison_suite()
+            .into_iter()
+            .chain([EngineBackend::SafePlan])
+        {
+            let backend = selector.instantiate();
+            assert!(!backend.name().is_empty());
+            names.insert(backend.name());
+        }
+        // Both intersection algorithms share the index backend name family.
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Shannon-expansion backend: exact inference on the raw lineage.
+//!
+//! Computes `P0(Q ∨ W)` and `P0(W)` by recursive Shannon expansion with
+//! independent-component decomposition (`mv_query::shannon`), then applies
+//! Theorem 1. Exponential in the worst case but correct for every query and
+//! for the negative probabilities of translated databases — the generic
+//! exact fallback the engine's faster strategies are validated against.
+
+use mv_query::lineage::Lineage;
+use mv_query::Ucq;
+
+use crate::backend::{theorem1, Backend, EvalContext};
+use crate::Result;
+
+/// Shannon expansion on the lineage of `Q ∨ W`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Shannon;
+
+impl Backend for Shannon {
+    fn name(&self) -> &'static str {
+        "shannon"
+    }
+
+    fn probability(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<f64> {
+        ctx.require_boolean(q)?;
+        let lin_q = ctx.lineage(q)?;
+        self.lineage_probability(&lin_q, ctx)
+            .expect("shannon backend evaluates lineages")
+    }
+
+    fn lineage_probability(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> Option<Result<f64>> {
+        let indb = ctx.indb();
+        let (p_q_or_w, p_w) = match ctx.w_lineage() {
+            Ok(Some(lin_w)) => (
+                mv_query::shannon_probability(&lineage.or(lin_w), indb),
+                ctx.cached_scalar("shannon:p_w", || mv_query::shannon_probability(lin_w, indb)),
+            ),
+            Ok(None) => (mv_query::shannon_probability(lineage, indb), 0.0),
+            Err(e) => return Some(Err(e)),
+        };
+        Some(theorem1(p_q_or_w, p_w))
+    }
+}

@@ -11,39 +11,26 @@
 //!
 //! computing `P0(Q ∧ ¬W)` by intersecting the (small) query OBDD with the
 //! compiled index. [`MvdbEngine::answers`] does the same for every answer of
-//! a non-Boolean query. Alternative back-ends ([`EngineBackend`]) evaluate
-//! the same formula without the index — by building the OBDD of `Q ∨ W` per
-//! query, by Shannon expansion of the lineage, or by a safe plan — and exist
-//! for validation and for the benchmark comparisons of Section 5.
+//! a non-Boolean query.
+//!
+//! All evaluation dispatches through the [`Backend`] trait of
+//! [`crate::backend`]: the engine's default strategy is the MV-index, and
+//! any other implementation — per-query OBDD construction, Shannon
+//! expansion, safe plans, brute-force enumeration, or a user-supplied one —
+//! can be swapped in per call via [`MvdbEngine::probability_with`] or the
+//! [`EngineBackend`] selector.
 
 use mv_index::{IntersectAlgorithm, MvIndex};
-use mv_obdd::ConObddBuilder;
 use mv_pdb::Row;
-use mv_query::eval::EvalContext;
-use mv_query::lineage::{answer_lineages, lineage_with};
 use mv_query::Ucq;
 
+use crate::backend::{Backend, EvalContext, MvIndexBackend};
 use crate::error::CoreError;
 use crate::mvdb::Mvdb;
 use crate::translate::TranslatedIndb;
 use crate::Result;
 
-/// How the probabilities `P0(Q ∨ W)` and `P0(W)` are computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineBackend {
-    /// Use the precompiled MV-index (the paper's proposal).
-    MvIndex(IntersectAlgorithm),
-    /// Build an OBDD for `Q ∨ W` from scratch for every query (the
-    /// "augmented OBDD" baseline of Figures 5–6).
-    ObddPerQuery,
-    /// Shannon expansion on the lineage of `Q ∨ W` (generic exact inference).
-    Shannon,
-    /// Lifted inference (safe plans); fails on unsafe queries.
-    SafePlan,
-}
-
-/// Smallest `P0(¬W)` treated as consistent.
-const MIN_NOT_W: f64 = 1e-300;
+pub use crate::backend::EngineBackend;
 
 /// A compiled MVDB ready for query answering.
 #[derive(Debug, Clone)]
@@ -92,93 +79,45 @@ impl MvdbEngine {
         self.index.prob_w()
     }
 
+    /// An evaluation context over this engine's translated database and
+    /// compiled index, ready to hand to any [`Backend`].
+    pub fn context(&self) -> EvalContext<'_> {
+        EvalContext::with_index(&self.translated, &self.index)
+    }
+
+    /// The engine's default backend: the MV-index with the intersection
+    /// algorithm chosen at compile time.
+    fn default_backend(&self) -> MvIndexBackend {
+        MvIndexBackend::new(self.algorithm)
+    }
+
     /// The probability of a Boolean query under the MVDB semantics, via the
     /// MV-index.
     pub fn probability(&self, query: &Ucq) -> Result<f64> {
-        self.probability_with_backend(query, EngineBackend::MvIndex(self.algorithm))
+        self.probability_with(query, &self.default_backend())
     }
 
-    /// The probability of a Boolean query using an explicit back-end.
+    /// The probability of a Boolean query using an explicit back-end
+    /// selector.
     pub fn probability_with_backend(&self, query: &Ucq, backend: EngineBackend) -> Result<f64> {
-        if !query.is_boolean() {
-            return Err(CoreError::NotBoolean(query.name.clone()));
-        }
-        let indb = self.translated.indb();
-        let ctx = EvalContext::new(indb.database());
-        let lin_q = lineage_with(query, indb, &ctx)?;
-        match backend {
-            EngineBackend::MvIndex(algo) => {
-                let p = self.index.conditional_probability(&lin_q, indb, algo)?;
-                Ok(p)
-            }
-            EngineBackend::ObddPerQuery => {
-                let (p_q_or_w, p_w) = match self.translated.w() {
-                    Some(w) => {
-                        let q_or_w = query.boolean().union(w);
-                        let mut builder = ConObddBuilder::for_query(indb, &q_or_w);
-                        let obdd_q_or_w = builder.build(&q_or_w)?;
-                        let obdd_w = builder.build(w)?;
-                        (
-                            obdd_q_or_w.probability(|t| indb.probability(t)),
-                            obdd_w.probability(|t| indb.probability(t)),
-                        )
-                    }
-                    None => {
-                        let mut builder = ConObddBuilder::for_query(indb, query);
-                        let obdd_q = builder.build(query)?;
-                        (obdd_q.probability(|t| indb.probability(t)), 0.0)
-                    }
-                };
-                theorem1(p_q_or_w, p_w)
-            }
-            EngineBackend::Shannon => {
-                let (p_q_or_w, p_w) = match self.translated.w() {
-                    Some(w) => {
-                        let lin_w = lineage_with(w, indb, &ctx)?;
-                        (
-                            mv_query::shannon_probability(&lin_q.or(&lin_w), indb),
-                            mv_query::shannon_probability(&lin_w, indb),
-                        )
-                    }
-                    None => (mv_query::shannon_probability(&lin_q, indb), 0.0),
-                };
-                theorem1(p_q_or_w, p_w)
-            }
-            EngineBackend::SafePlan => {
-                let (p_q_or_w, p_w) = match self.translated.w() {
-                    Some(w) => {
-                        let q_or_w = query.boolean().union(w);
-                        (
-                            mv_query::safe_probability(&q_or_w, indb)
-                                .map_err(|e| CoreError::Query(to_query_error(e)))?,
-                            mv_query::safe_probability(w, indb)
-                                .map_err(|e| CoreError::Query(to_query_error(e)))?,
-                        )
-                    }
-                    None => (
-                        mv_query::safe_probability(&query.boolean(), indb)
-                            .map_err(|e| CoreError::Query(to_query_error(e)))?,
-                        0.0,
-                    ),
-                };
-                theorem1(p_q_or_w, p_w)
-            }
-        }
+        self.probability_with(query, backend.instantiate().as_ref())
+    }
+
+    /// The probability of a Boolean query through any [`Backend`]
+    /// implementation.
+    pub fn probability_with(&self, query: &Ucq, backend: &dyn Backend) -> Result<f64> {
+        backend.probability(query, &self.context())
     }
 
     /// Evaluates a non-Boolean query: returns every answer tuple together
     /// with its probability under the MVDB semantics.
     pub fn answers(&self, query: &Ucq) -> Result<Vec<(Row, f64)>> {
-        let indb = self.translated.indb();
-        let per_answer = answer_lineages(query, indb)?;
-        let mut out = Vec::with_capacity(per_answer.len());
-        for (row, lin) in per_answer {
-            let p = self
-                .index
-                .conditional_probability(&lin, indb, self.algorithm)?;
-            out.push((row, p));
-        }
-        Ok(out)
+        self.answers_with(query, &self.default_backend())
+    }
+
+    /// Evaluates a non-Boolean query through any [`Backend`] implementation.
+    pub fn answers_with(&self, query: &Ucq, backend: &dyn Backend) -> Result<Vec<(Row, f64)>> {
+        backend.answers(query, &self.context())
     }
 
     /// Evaluates a non-Boolean query and returns the `k` most probable
@@ -196,26 +135,6 @@ impl MvdbEngine {
     }
 }
 
-/// Applies the right-hand side of Theorem 1.
-fn theorem1(p_q_or_w: f64, p_w: f64) -> Result<f64> {
-    let not_w = 1.0 - p_w;
-    if not_w.abs() < MIN_NOT_W {
-        return Err(CoreError::InconsistentViews);
-    }
-    Ok((p_q_or_w - p_w) / not_w)
-}
-
-/// Converts a safe-plan failure into a query error preserving the message.
-fn to_query_error(e: mv_query::SafePlanError) -> mv_query::QueryError {
-    match e {
-        mv_query::SafePlanError::Query(q) => q,
-        mv_query::SafePlanError::Unsafe(msg) => mv_query::QueryError::Parse {
-            message: format!("query has no safe plan: {msg}"),
-            position: 0,
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,7 +149,8 @@ mod tests {
         b.relation("S", &["x"]).unwrap();
         b.weighted_tuple("R", &["a"], 3.0).unwrap();
         b.weighted_tuple("S", &["a"], 4.0).unwrap();
-        b.marko_view(&format!("V(x)[{view_weight}] :- R(x), S(x)")).unwrap();
+        b.marko_view(&format!("V(x)[{view_weight}] :- R(x), S(x)"))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -238,20 +158,28 @@ mod tests {
     /// parameterised weight.
     fn advisors() -> Mvdb {
         let mut b = MvdbBuilder::new();
-        b.deterministic_relation("Author", &["aid", "name"]).unwrap();
+        b.deterministic_relation("Author", &["aid", "name"])
+            .unwrap();
         b.relation("Student", &["aid"]).unwrap();
         b.relation("Advisor", &["aid", "aid2"]).unwrap();
-        b.fact("Author", &[Value::int(1), Value::str("alice")]).unwrap();
-        b.fact("Author", &[Value::int(2), Value::str("bob the advisor")]).unwrap();
-        b.fact("Author", &[Value::int(3), Value::str("carol the advisor")]).unwrap();
+        b.fact("Author", &[Value::int(1), Value::str("alice")])
+            .unwrap();
+        b.fact("Author", &[Value::int(2), Value::str("bob the advisor")])
+            .unwrap();
+        b.fact("Author", &[Value::int(3), Value::str("carol the advisor")])
+            .unwrap();
         b.weighted_tuple("Student", &[Value::int(1)], 2.0).unwrap();
-        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(2)], 1.0).unwrap();
-        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(3)], 0.5).unwrap();
+        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(2)], 1.0)
+            .unwrap();
+        b.weighted_tuple("Advisor", &[Value::int(1), Value::int(3)], 0.5)
+            .unwrap();
         // The more likely someone is a student, the more likely they have an
         // advisor (positive correlation), cf. V1.
-        b.marko_view("V1(x, y)[3] :- Student(x), Advisor(x, y)").unwrap();
+        b.marko_view("V1(x, y)[3] :- Student(x), Advisor(x, y)")
+            .unwrap();
         // A person has at most one advisor, cf. V2.
-        b.marko_view("V2(x, y, z)[0] :- Advisor(x, y), Advisor(x, z), y <> z").unwrap();
+        b.marko_view("V2(x, y, z)[0] :- Advisor(x, y), Advisor(x, z), y <> z")
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -260,19 +188,18 @@ mod tests {
         for w in [0.25, 0.5, 1.0, 2.0, 4.0] {
             let mvdb = example1(w);
             let engine = MvdbEngine::compile(&mvdb).unwrap();
-            for q_text in ["Q() :- R(x), S(x)", "Q() :- R(x)", "Q() :- R(x) ; Q() :- S(x)"] {
+            for q_text in [
+                "Q() :- R(x), S(x)",
+                "Q() :- R(x)",
+                "Q() :- R(x) ; Q() :- S(x)",
+            ] {
                 let q = parse_ucq(q_text).unwrap();
                 let expected = mvdb.exact_probability(&q).unwrap();
-                for backend in [
-                    EngineBackend::MvIndex(IntersectAlgorithm::MvIntersect),
-                    EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
-                    EngineBackend::ObddPerQuery,
-                    EngineBackend::Shannon,
-                ] {
-                    let p = engine.probability_with_backend(&q, backend).unwrap();
+                for selector in EngineBackend::comparison_suite() {
+                    let p = engine.probability_with_backend(&q, selector).unwrap();
                     assert!(
                         (p - expected).abs() < 1e-9,
-                        "w = {w}, {q_text}, {backend:?}: {p} vs {expected}"
+                        "w = {w}, {q_text}, {selector:?}: {p} vs {expected}"
                     );
                 }
             }
@@ -316,10 +243,8 @@ mod tests {
     fn answers_return_per_tuple_probabilities() {
         let mvdb = advisors();
         let engine = MvdbEngine::compile(&mvdb).unwrap();
-        let q = parse_ucq(
-            "Q(y) :- Student(x), Advisor(x, y), Author(y, n), n like '%advisor%'",
-        )
-        .unwrap();
+        let q = parse_ucq("Q(y) :- Student(x), Advisor(x, y), Author(y, n), n like '%advisor%'")
+            .unwrap();
         let answers = engine.answers(&q).unwrap();
         assert_eq!(answers.len(), 2);
         for (row, p) in &answers {
@@ -327,6 +252,24 @@ mod tests {
             let expected = mvdb.exact_probability(&bound).unwrap();
             assert!((p - expected).abs() < 1e-9, "answer {row:?}");
             assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn answers_agree_across_backends() {
+        let mvdb = advisors();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q(y) :- Advisor(1, y)").unwrap();
+        let via_index = engine.answers(&q).unwrap();
+        for selector in EngineBackend::comparison_suite() {
+            let via_backend = engine
+                .answers_with(&q, selector.instantiate().as_ref())
+                .unwrap();
+            assert_eq!(via_index.len(), via_backend.len());
+            for ((row_a, p_a), (row_b, p_b)) in via_index.iter().zip(&via_backend) {
+                assert_eq!(row_a, row_b);
+                assert!((p_a - p_b).abs() < 1e-9, "{selector:?} on {row_a:?}");
+            }
         }
     }
 
@@ -348,9 +291,27 @@ mod tests {
         let mvdb = example1(0.5);
         let engine = MvdbEngine::compile(&mvdb).unwrap();
         let q = parse_ucq("Q(x) :- R(x)").unwrap();
+        for selector in EngineBackend::comparison_suite() {
+            assert!(
+                matches!(
+                    engine.probability_with_backend(&q, selector),
+                    Err(CoreError::NotBoolean(_))
+                ),
+                "{selector:?} accepted a non-Boolean query"
+            );
+        }
+    }
+
+    #[test]
+    fn index_backend_without_index_reports_missing_index() {
+        let mvdb = example1(0.5);
+        let translated = TranslatedIndb::new(&mvdb).unwrap();
+        let ctx = EvalContext::new(&translated);
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        let backend = MvIndexBackend::default();
         assert!(matches!(
-            engine.probability(&q),
-            Err(CoreError::NotBoolean(_))
+            backend.probability(&q, &ctx),
+            Err(CoreError::MissingIndex)
         ));
     }
 
@@ -392,7 +353,10 @@ mod tests {
         let all = engine.answers(&q).unwrap();
         let top1 = engine.top_answers(&q, 1).unwrap();
         assert_eq!(top1.len(), 1);
-        let max = all.iter().map(|(_, p)| *p).fold(f64::NEG_INFINITY, f64::max);
+        let max = all
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!((top1[0].1 - max).abs() < 1e-12);
         let top_all = engine.top_answers(&q, 10).unwrap();
         assert_eq!(top_all.len(), all.len());

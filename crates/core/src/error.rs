@@ -35,6 +35,9 @@ pub enum CoreError {
     /// The query passed to the engine was not Boolean where a Boolean query
     /// was required.
     NotBoolean(String),
+    /// An index-backed backend was invoked with an [`EvalContext`]
+    /// (`crate::backend::EvalContext`) that carries no compiled MV-index.
+    MissingIndex,
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +64,11 @@ impl fmt::Display for CoreError {
             CoreError::NotBoolean(name) => {
                 write!(f, "query `{name}` has head variables; bind them or use `answers`")
             }
+            CoreError::MissingIndex => write!(
+                f,
+                "the MV-index backend needs a compiled index: build the context through \
+                 `MvdbEngine` or use an index-free backend"
+            ),
         }
     }
 }
@@ -110,6 +118,8 @@ mod tests {
             annotation: "count(pid)/2".into(),
         };
         assert!(e.to_string().contains("V1"));
-        assert!(CoreError::InconsistentViews.to_string().contains("inconsistent"));
+        assert!(CoreError::InconsistentViews
+            .to_string()
+            .contains("inconsistent"));
     }
 }

@@ -15,22 +15,27 @@
 //!   Theorem 1 from an MVDB to a tuple-independent database with the new
 //!   `NV` relations (whose weights `(1 − w)/w` may be negative) and the
 //!   helper query `W`.
+//! * [`backend`] — the pluggable [`Backend`] trait and its implementations:
+//!   the MV-index (the paper's proposal), the per-query augmented-OBDD
+//!   baseline, Shannon expansion, safe plans, and brute-force enumeration.
+//!   Each strategy lives in its own module; adding one is a drop-in.
 //! * [`engine`] — [`MvdbEngine`]: the end-to-end query processor. It
 //!   compiles `W` into an MV-index offline and answers queries online via
-//!   `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`, with alternative back-ends
-//!   (Shannon expansion on the lineage, safe plans, or the exact MLN
-//!   semantics) for validation and benchmarking.
+//!   `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`, dispatching every
+//!   evaluation through the [`Backend`] trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod mvdb;
 pub mod translate;
 pub mod view;
 
-pub use engine::{EngineBackend, MvdbEngine};
+pub use backend::{Backend, EngineBackend, EvalContext};
+pub use engine::MvdbEngine;
 pub use error::CoreError;
 pub use mvdb::{Mvdb, MvdbBuilder};
 pub use translate::TranslatedIndb;

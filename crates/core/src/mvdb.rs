@@ -175,7 +175,9 @@ impl MvdbBuilder {
         weight: f64,
     ) -> Result<TupleId> {
         let rel = self.indb.relation_id(relation)?;
-        Ok(self.indb.insert_weighted(rel, to_row(row), Weight::new(weight))?)
+        Ok(self
+            .indb
+            .insert_weighted(rel, to_row(row), Weight::new(weight))?)
     }
 
     /// Inserts a possible tuple with the given marginal probability.
@@ -186,7 +188,9 @@ impl MvdbBuilder {
         probability: f64,
     ) -> Result<TupleId> {
         let rel = self.indb.relation_id(relation)?;
-        Ok(self.indb.insert_probabilistic(rel, to_row(row), probability)?)
+        Ok(self
+            .indb
+            .insert_probabilistic(rel, to_row(row), probability)?)
     }
 
     /// Adds a MarkoView from its textual form `V(x̄)[w] :- body` (constant
@@ -318,9 +322,7 @@ mod tests {
             .unwrap();
         let mvdb = b.build().unwrap();
         let p_both = mvdb
-            .exact_probability(
-                &parse_ucq("Q() :- Advisor('s', 'a1'), Advisor('s', 'a2')").unwrap(),
-            )
+            .exact_probability(&parse_ucq("Q() :- Advisor('s', 'a1'), Advisor('s', 'a2')").unwrap())
             .unwrap();
         assert_eq!(p_both, 0.0);
         // Each advisor individually is still possible.

@@ -128,7 +128,11 @@ impl TranslatedIndb {
 /// Builds the disjunct `W_i` for one disjunct of the view query: the view
 /// body joined with the `NV_i` atom over the view's head terms (or just the
 /// body, for denial views).
-fn w_disjunct(view_index: usize, disjunct: &ConjunctiveQuery, nv_name: Option<&str>) -> ConjunctiveQuery {
+fn w_disjunct(
+    view_index: usize,
+    disjunct: &ConjunctiveQuery,
+    nv_name: Option<&str>,
+) -> ConjunctiveQuery {
     let mut atoms = Vec::with_capacity(disjunct.atoms.len() + 1);
     if let Some(nv) = nv_name {
         atoms.push(Atom::new(nv, disjunct.head.clone()));
@@ -163,7 +167,8 @@ mod tests {
         b.relation("S", &["x"]).unwrap();
         b.weighted_tuple("R", &["a"], 3.0).unwrap();
         b.weighted_tuple("S", &["a"], 4.0).unwrap();
-        b.marko_view(&format!("V(x)[{view_weight}] :- R(x), S(x)")).unwrap();
+        b.marko_view(&format!("V(x)[{view_weight}] :- R(x), S(x)"))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -177,7 +182,7 @@ mod tests {
         let nv_rel = t.indb().schema().relation_id("NV_V").unwrap();
         let id = t
             .indb()
-            .tuple_id_by_values(nv_rel, &vec![Value::str("a")])
+            .tuple_id_by_values(nv_rel, &[Value::str("a")])
             .unwrap();
         // (1 - 0.5) / 0.5 = 1.
         assert!((t.indb().weight(id).value() - 1.0).abs() < 1e-12);
@@ -190,7 +195,7 @@ mod tests {
         let nv_rel = t.indb().schema().relation_id("NV_V").unwrap();
         let id = t
             .indb()
-            .tuple_id_by_values(nv_rel, &vec![Value::str("a")])
+            .tuple_id_by_values(nv_rel, &[Value::str("a")])
             .unwrap();
         assert!((t.indb().weight(id).value() - (-0.75)).abs() < 1e-12);
         assert!(t.indb().probability(id) < 0.0);
@@ -212,7 +217,11 @@ mod tests {
         for view_weight in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
             let mvdb = example1(view_weight);
             let t = TranslatedIndb::new(&mvdb).unwrap();
-            for q_text in ["Q() :- R(x), S(x)", "Q() :- R(x)", "Q() :- R(x) ; Q() :- S(x)"] {
+            for q_text in [
+                "Q() :- R(x), S(x)",
+                "Q() :- R(x)",
+                "Q() :- R(x) ; Q() :- S(x)",
+            ] {
                 let q = parse_ucq(q_text).unwrap();
                 let expected = mvdb.exact_probability(&q).unwrap();
                 // Evaluate the right-hand side of Theorem 1 by brute force on

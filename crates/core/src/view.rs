@@ -94,12 +94,11 @@ impl MarkoView {
             view: name.clone(),
             annotation: "<missing>".into(),
         })?;
-        let weight = parse_weight_constant(&annotation).ok_or_else(|| {
-            CoreError::InvalidViewWeight {
+        let weight =
+            parse_weight_constant(&annotation).ok_or_else(|| CoreError::InvalidViewWeight {
                 view: name.clone(),
                 annotation: annotation.clone(),
-            }
-        })?;
+            })?;
         MarkoView::new(name, Ucq::from_cq(cq), weight)
     }
 
@@ -167,7 +166,8 @@ mod tests {
 
     #[test]
     fn computed_weight_annotations_are_rejected_with_guidance() {
-        let err = MarkoView::parse("V1(a, b)[count(pid)/2] :- Advisor(a, b), Wrote(a, p)").unwrap_err();
+        let err =
+            MarkoView::parse("V1(a, b)[count(pid)/2] :- Advisor(a, b), Wrote(a, p)").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("V1"));
         assert!(msg.contains("with_weight_fn"));
@@ -187,13 +187,18 @@ mod tests {
     #[test]
     fn per_tuple_weight_functions_receive_the_output_row() {
         let q = mv_query::parse_ucq("V(x) :- R(x)").unwrap();
-        let v = MarkoView::with_weight_fn("V", q, |row| {
-            if row[0] == Value::str("a") {
-                2.0
-            } else {
-                0.5
-            }
-        });
+        let v =
+            MarkoView::with_weight_fn(
+                "V",
+                q,
+                |row| {
+                    if row[0] == Value::str("a") {
+                        2.0
+                    } else {
+                        0.5
+                    }
+                },
+            );
         assert_eq!(v.weight.weight_of(&vec![Value::str("a")]), 2.0);
         assert_eq!(v.weight.weight_of(&vec![Value::str("b")]), 0.5);
         assert!(format!("{:?}", v.weight).contains("PerTuple"));

@@ -124,17 +124,16 @@ impl DblpDataset {
         // ----- authors, groups, seniors -------------------------------------
         let group_of = |aid: i64| ((aid - 1) as usize) / group_size;
         let num_seniors_per_group = 2.min(group_size - 1).max(1);
-        let is_senior =
-            |aid: i64| ((aid - 1) as usize) % group_size < num_seniors_per_group;
+        let is_senior = |aid: i64| ((aid - 1) as usize) % group_size < num_seniors_per_group;
 
         // ----- publications --------------------------------------------------
         // pubs[pid] = (year, authors)
         let mut pubs: Vec<(i64, Vec<i64>)> = Vec::new();
         let mut pubs_of: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
         let add_pub = |year: i64,
-                           authors: Vec<i64>,
-                           pubs: &mut Vec<(i64, Vec<i64>)>,
-                           pubs_of: &mut BTreeMap<i64, Vec<usize>>| {
+                       authors: Vec<i64>,
+                       pubs: &mut Vec<(i64, Vec<i64>)>,
+                       pubs_of: &mut BTreeMap<i64, Vec<usize>>| {
             let pid = pubs.len();
             for &a in &authors {
                 pubs_of.entry(a).or_default().push(pid);
@@ -157,7 +156,7 @@ impl DblpDataset {
             let main_senior = seniors[rng.gen_range(0..seniors.len())];
             let first_year = rng.gen_range(config.min_year..=config.max_year - 5);
             for k in 0..config.pubs_per_author {
-                let year = (first_year + k as i64 + rng.gen_range(0..2)).min(config.max_year);
+                let year = (first_year + k as i64 + rng.gen_range(0..2i64)).min(config.max_year);
                 let mut authors = vec![aid, main_senior];
                 // Sometimes another senior or another junior joins.
                 if rng.gen_bool(0.25) && seniors.len() > 1 {
@@ -255,7 +254,10 @@ impl DblpDataset {
                 let inst = format!("univ{:03}", group_of(aid) % num_universities);
                 b.fact(
                     "HomePage",
-                    &[Value::int(aid), Value::str(format!("http://{inst}.edu/~a{aid}"))],
+                    &[
+                        Value::int(aid),
+                        Value::str(format!("http://{inst}.edu/~a{aid}")),
+                    ],
                 )?;
                 stats.homepage += 1;
                 b.fact("DBLPAffiliation", &[Value::int(aid), Value::str(inst)])?;
@@ -312,7 +314,11 @@ impl DblpDataset {
         if config.with_affiliation_view {
             for (&(aid, ref inst), &c) in &inst_copubs {
                 let w = (0.1 * c as f64).exp();
-                b.weighted_tuple("Affiliation", &[Value::int(aid), Value::str(inst.clone())], w)?;
+                b.weighted_tuple(
+                    "Affiliation",
+                    &[Value::int(aid), Value::str(inst.clone())],
+                    w,
+                )?;
                 stats.affiliation += 1;
                 affiliated.insert(aid);
             }
@@ -353,7 +359,9 @@ impl DblpDataset {
         }));
 
         // V2: a person has only one advisor (denial constraint).
-        b.marko_view("V2(aid1, aid2, aid3)[0] :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3")?;
+        b.marko_view(
+            "V2(aid1, aid2, aid3)[0] :- Advisor(aid1, aid2), Advisor(aid1, aid3), aid2 <> aid3",
+        )?;
 
         // V3: frequent recent co-authors very likely share an affiliation.
         if config.with_affiliation_view {
@@ -412,9 +420,7 @@ fn sample_evenly(items: &[i64], count: usize) -> Vec<i64> {
         return Vec::new();
     }
     let count = count.min(items.len());
-    (0..count)
-        .map(|i| items[i * items.len() / count])
-        .collect()
+    (0..count).map(|i| items[i * items.len() / count]).collect()
 }
 
 #[cfg(test)]
@@ -444,7 +450,10 @@ mod tests {
         // Every junior has up to 6 student-year tuples.
         assert!(s.student <= 6 * s.author);
         assert!(s.v1 > 0, "V1 must have outputs");
-        assert!(s.v2 > 0, "V2 must have outputs (students with 2 candidate advisors)");
+        assert!(
+            s.v2 > 0,
+            "V2 must have outputs (students with 2 candidate advisors)"
+        );
         assert!(!data.advisors.is_empty());
         assert!(!data.students.is_empty());
     }

@@ -126,7 +126,9 @@ mod tests {
         let name = data.author_name(advisor).unwrap();
         let q = students_of_advisor_named(&name).unwrap();
         let by_name = engine.answers(&q).unwrap();
-        let by_id = engine.answers(&students_of_advisor(advisor).unwrap()).unwrap();
+        let by_id = engine
+            .answers(&students_of_advisor(advisor).unwrap())
+            .unwrap();
         assert_eq!(by_name.len(), by_id.len());
         for ((r1, p1), (r2, p2)) in by_name.iter().zip(by_id.iter()) {
             assert_eq!(r1, r2);

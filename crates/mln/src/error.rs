@@ -29,7 +29,10 @@ impl fmt::Display for MlnError {
                 "exact MLN inference over {count} ground atoms exceeds the limit of {limit}"
             ),
             MlnError::InvalidWeight(w) => {
-                write!(f, "invalid feature weight {w}: weights must be in [0, +inf]")
+                write!(
+                    f,
+                    "invalid feature weight {w}: weights must be in [0, +inf]"
+                )
             }
             MlnError::HardConstraintsUnsatisfied => {
                 write!(f, "the hard constraints of the MLN could not be satisfied")
@@ -53,7 +56,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(MlnError::TooManyAtoms { count: 30, limit: 24 }.to_string().contains("30"));
+        assert!(MlnError::TooManyAtoms {
+            count: 30,
+            limit: 24
+        }
+        .to_string()
+        .contains("30"));
         assert!(MlnError::InvalidWeight(-1.0).to_string().contains("-1"));
         let e: MlnError = mv_query::QueryError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains('R'));

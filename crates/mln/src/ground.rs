@@ -188,7 +188,8 @@ mod tests {
         // 1, w1, w2, w·w1·w2.
         let (w1, w2, w) = (3.0, 4.0, 0.5);
         let mut mln = independent_mln(w1, w2);
-        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), w).unwrap();
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), w)
+            .unwrap();
         let z = mln.partition_function().unwrap();
         assert!((z - (1.0 + w1 + w2 + w * w1 * w2)).abs() < 1e-12);
         let p_both = mln
@@ -206,7 +207,8 @@ mod tests {
     fn weight_extremes_mean_exclusion_and_certainty() {
         // w = 0 makes the two tuples exclusive.
         let mut mln = independent_mln(1.0, 1.0);
-        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), 0.0).unwrap();
+        mln.add_feature(Lineage::from_clauses(vec![vec![t(0), t(1)]]), 0.0)
+            .unwrap();
         let p_both = mln
             .exact_probability(&Lineage::from_clauses(vec![vec![t(0), t(1)]]))
             .unwrap();

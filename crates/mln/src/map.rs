@@ -14,8 +14,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::ground::GroundMln;
 use crate::error::MlnError;
+use crate::ground::GroundMln;
 use crate::Result;
 
 /// The result of a MAP computation: the state of every ground atom and the
@@ -48,7 +48,9 @@ impl GroundMln {
             }
         }
         Ok(MapState {
-            state: (0..self.num_vars()).map(|i| best_mask & (1 << i) != 0).collect(),
+            state: (0..self.num_vars())
+                .map(|i| best_mask & (1 << i) != 0)
+                .collect(),
             weight: best_weight,
         })
     }
@@ -121,8 +123,8 @@ pub fn simulated_annealing_map(mln: &GroundMln, config: AnnealingConfig) -> MapS
         state[flip] = !state[flip];
         let proposed_log = log_weight(mln, &state);
         let delta = proposed_log - current_log;
-        let accept = delta >= 0.0
-            || (delta.is_finite() && rng.gen::<f64>() < (delta / temperature).exp());
+        let accept =
+            delta >= 0.0 || (delta.is_finite() && rng.gen::<f64>() < (delta / temperature).exp());
         if accept {
             current_log = proposed_log;
             if proposed_log > best_log {
@@ -219,7 +221,8 @@ mod tests {
     fn exact_map_rejects_large_networks_and_annealing_handles_them() {
         let mut mln = GroundMln::new(40);
         for i in 0..40u32 {
-            mln.add_atom_feature(t(i), if i % 2 == 0 { 2.0 } else { 0.5 }).unwrap();
+            mln.add_atom_feature(t(i), if i % 2 == 0 { 2.0 } else { 0.5 })
+                .unwrap();
         }
         assert!(mln.exact_map().is_err());
         let annealed = simulated_annealing_map(

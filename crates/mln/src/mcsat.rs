@@ -211,8 +211,7 @@ impl McSatSampler {
         let mut best: Option<Vec<bool>> = unsat.is_empty().then(|| state.to_vec());
 
         for _ in 0..self.config.sample_sat_flips {
-            let flip_var = if !unsat.is_empty() && rng.gen::<f64>() < self.config.walk_probability
-            {
+            let flip_var = if !unsat.is_empty() && rng.gen::<f64>() < self.config.walk_probability {
                 // WalkSAT move: flip a variable of a random unsatisfied rule.
                 let rule_idx = unsat[rng.gen_range(0..unsat.len())];
                 let vars = &rule_vars[rule_idx];
@@ -235,8 +234,8 @@ impl McSatSampler {
                 new_sat.push(now);
                 delta += i64::from(sat[r]) - i64::from(now);
             }
-            let accept = delta <= 0
-                || rng.gen::<f64>() < (-(delta as f64) / self.config.temperature).exp();
+            let accept =
+                delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / self.config.temperature).exp();
             if accept {
                 for (&r, &now) in affected.iter().zip(&new_sat) {
                     sat[r] = now;
@@ -281,11 +280,14 @@ mod tests {
         let mut mln = GroundMln::new(2);
         mln.add_atom_feature(t(0), 3.0).unwrap();
         mln.add_atom_feature(t(1), 1.0).unwrap();
-        let sampler = McSatSampler::new(&mln, McSatConfig {
-            num_samples: 4000,
-            burn_in: 200,
-            ..McSatConfig::default()
-        });
+        let sampler = McSatSampler::new(
+            &mln,
+            McSatConfig {
+                num_samples: 4000,
+                burn_in: 200,
+                ..McSatConfig::default()
+            },
+        );
         let result = sampler.run(&[clause(&[0]), clause(&[1])]).unwrap();
         assert!((result.query_probabilities[0] - 0.75).abs() < 0.05);
         assert!((result.query_probabilities[1] - 0.5).abs() < 0.05);
@@ -300,11 +302,14 @@ mod tests {
         mln.add_atom_feature(t(1), 4.0).unwrap();
         mln.add_feature(clause(&[0, 1]), 0.5).unwrap();
         let exact = mln.exact_probability(&clause(&[0, 1])).unwrap();
-        let sampler = McSatSampler::new(&mln, McSatConfig {
-            num_samples: 6000,
-            burn_in: 500,
-            ..McSatConfig::default()
-        });
+        let sampler = McSatSampler::new(
+            &mln,
+            McSatConfig {
+                num_samples: 6000,
+                burn_in: 500,
+                ..McSatConfig::default()
+            },
+        );
         let result = sampler.run(&[clause(&[0, 1])]).unwrap();
         assert!(
             (result.query_probabilities[0] - exact).abs() < 0.06,
@@ -344,9 +349,7 @@ mod tests {
         let sampler = McSatSampler::new(&mln, McSatConfig::default());
         assert_eq!(sampler.num_soft_rules(), 0);
         assert_eq!(sampler.num_hard_rules(), 0);
-        let result = sampler
-            .run(&[clause(&[0])])
-            .unwrap();
+        let result = sampler.run(&[clause(&[0])]).unwrap();
         // Unconstrained variable: probability about one half.
         assert!((result.query_probabilities[0] - 0.5).abs() < 0.1);
     }
@@ -355,10 +358,13 @@ mod tests {
     fn weights_below_one_discourage_their_formula() {
         let mut mln = GroundMln::new(1);
         mln.add_atom_feature(t(0), 0.25).unwrap(); // p = 0.2
-        let sampler = McSatSampler::new(&mln, McSatConfig {
-            num_samples: 4000,
-            ..McSatConfig::default()
-        });
+        let sampler = McSatSampler::new(
+            &mln,
+            McSatConfig {
+                num_samples: 4000,
+                ..McSatConfig::default()
+            },
+        );
         let result = sampler.run(&[clause(&[0])]).unwrap();
         assert!((result.query_probabilities[0] - 0.2).abs() < 0.06);
     }

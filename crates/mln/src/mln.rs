@@ -12,8 +12,8 @@ use mv_pdb::InDb;
 use mv_query::lineage::answer_lineages;
 use mv_query::Ucq;
 
-use crate::ground::GroundMln;
 use crate::error::MlnError;
+use crate::ground::GroundMln;
 use crate::Result;
 
 /// One first-order feature: a query with free (head) variables and a weight.
@@ -100,8 +100,10 @@ mod tests {
         let friends = b.deterministic_relation("Friends", &["x", "y"]).unwrap();
         let smokes = b.probabilistic_relation("Smokes", &["x"]).unwrap();
         b.insert_fact(friends, row(["anna", "bob"])).unwrap();
-        b.insert_weighted(smokes, row(["anna"]), Weight::new(2.0)).unwrap();
-        b.insert_weighted(smokes, row(["bob"]), Weight::new(1.0)).unwrap();
+        b.insert_weighted(smokes, row(["anna"]), Weight::new(2.0))
+            .unwrap();
+        b.insert_weighted(smokes, row(["bob"]), Weight::new(1.0))
+            .unwrap();
         b.build()
     }
 
@@ -134,11 +136,8 @@ mod tests {
     fn features_with_no_answers_are_skipped() {
         let indb = smokers_db();
         let mut mln = Mln::new();
-        mln.add_feature(
-            parse_ucq("F(x) :- Friends(x, x), Smokes(x)").unwrap(),
-            2.0,
-        )
-        .unwrap();
+        mln.add_feature(parse_ucq("F(x) :- Friends(x, x), Smokes(x)").unwrap(), 2.0)
+            .unwrap();
         let ground = mln.ground(&indb).unwrap();
         assert_eq!(ground.num_features(), 2); // only the atom features
         assert_eq!(mln.features().len(), 1);

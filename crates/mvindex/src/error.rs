@@ -19,9 +19,10 @@ impl fmt::Display for MvIndexError {
         match self {
             MvIndexError::Obdd(e) => write!(f, "OBDD error: {e}"),
             MvIndexError::Query(e) => write!(f, "query error: {e}"),
-            MvIndexError::OrderMismatch =>
-
-                write!(f, "the query OBDD and the MV-index use different variable orders"),
+            MvIndexError::OrderMismatch => write!(
+                f,
+                "the query OBDD and the MV-index use different variable orders"
+            ),
         }
     }
 }
@@ -50,6 +51,8 @@ mod tests {
         assert!(e.to_string().contains("OBDD"));
         let e: MvIndexError = mv_query::QueryError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains('R'));
-        assert!(MvIndexError::OrderMismatch.to_string().contains("variable orders"));
+        assert!(MvIndexError::OrderMismatch
+            .to_string()
+            .contains("variable orders"));
     }
 }

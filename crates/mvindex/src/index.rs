@@ -108,24 +108,25 @@ impl MvIndex {
                 .map(|r| !indb.is_deterministic(r))
                 .unwrap_or(false)
         };
-        let parts: Vec<(Value, Vec<ConjunctiveQuery>)> = match find_separator_over(&boolean_w, &is_prob) {
-            Some(sep) => {
-                let domain = separator_domain(&boolean_w, &sep.per_disjunct, indb);
-                domain
-                    .into_iter()
-                    .map(|value| {
-                        let grounded: Vec<ConjunctiveQuery> = boolean_w
-                            .disjuncts
-                            .iter()
-                            .zip(&sep.per_disjunct)
-                            .map(|(d, v)| d.substitute(v, &value))
-                            .collect();
-                        (value, grounded)
-                    })
-                    .collect()
-            }
-            None => vec![(Value::str("W"), boolean_w.disjuncts.clone())],
-        };
+        let parts: Vec<(Value, Vec<ConjunctiveQuery>)> =
+            match find_separator_over(&boolean_w, &is_prob) {
+                Some(sep) => {
+                    let domain = separator_domain(&boolean_w, &sep.per_disjunct, indb);
+                    domain
+                        .into_iter()
+                        .map(|value| {
+                            let grounded: Vec<ConjunctiveQuery> = boolean_w
+                                .disjuncts
+                                .iter()
+                                .zip(&sep.per_disjunct)
+                                .map(|(d, v)| d.substitute(v, &value))
+                                .collect();
+                            (value, grounded)
+                        })
+                        .collect()
+                }
+                None => vec![(Value::str("W"), boolean_w.disjuncts.clone())],
+            };
 
         // Build the (positive) OBDD of every part.
         let mut raw: Vec<RawBlock> = Vec::new();
@@ -328,9 +329,7 @@ impl MvIndex {
         let slice = slice.expect("touched is non-empty");
         let slice_aug = AugmentedObdd::new(slice, prob_of);
         let p = match algo {
-            IntersectAlgorithm::MvIntersect => {
-                mv_intersect(&slice_aug, &q_obdd, &q_probs, prob_of)
-            }
+            IntersectAlgorithm::MvIntersect => mv_intersect(&slice_aug, &q_obdd, &q_probs, prob_of),
             IntersectAlgorithm::CcMvIntersect => {
                 let layout = CcLayout::new(&slice_aug, prob_of);
                 cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of)
@@ -402,10 +401,7 @@ impl MvIndex {
 
 /// Merges parts that share tuple variables, so that the final blocks are
 /// pairwise independent.
-fn merge_overlapping(
-    raw: Vec<RawBlock>,
-    order: &Arc<VarOrder>,
-) -> Result<Vec<RawBlock>> {
+fn merge_overlapping(raw: Vec<RawBlock>, order: &Arc<VarOrder>) -> Result<Vec<RawBlock>> {
     let n = raw.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
@@ -437,8 +433,7 @@ fn merge_overlapping(
     }
     let mut singles: Vec<(usize, RawBlock)> = Vec::new();
     let mut merged_groups: Vec<Vec<usize>> = Vec::new();
-    let mut raw_opt: Vec<Option<RawBlock>> =
-        raw.into_iter().map(Some).collect();
+    let mut raw_opt: Vec<Option<RawBlock>> = raw.into_iter().map(Some).collect();
     for (_, members) in groups {
         if members.len() == 1 {
             let i = members[0];
@@ -465,7 +460,14 @@ fn merge_overlapping(
                 },
             });
         }
-        out.push((first, (key.expect("at least one member"), acc.expect("at least one member"), vars)));
+        out.push((
+            first,
+            (
+                key.expect("at least one member"),
+                acc.expect("at least one member"),
+                vars,
+            ),
+        ));
     }
     // Keep a deterministic order (by original position of the first member).
     out.sort_by_key(|(i, _)| *i);
@@ -491,13 +493,18 @@ mod tests {
         let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap();
         b.insert_weighted(r, row(["a2"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(0.5)).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(0.5))
+            .unwrap();
         // View weight 4 translates to (1-4)/4 = -0.75.
-        b.insert_translated(nv, row(["a1"]), Weight::new(-0.75)).unwrap();
+        b.insert_translated(nv, row(["a1"]), Weight::new(-0.75))
+            .unwrap();
         // View weight 0.5 translates to (1-0.5)/0.5 = 1.
-        b.insert_translated(nv, row(["a2"]), Weight::new(1.0)).unwrap();
+        b.insert_translated(nv, row(["a2"]), Weight::new(1.0))
+            .unwrap();
         b.build()
     }
 
@@ -548,8 +555,14 @@ mod tests {
             let via_cc = index
                 .prob_q_and_not_w(&lin_q, &indb, IntersectAlgorithm::CcMvIntersect)
                 .unwrap();
-            assert!((via_mv - expected).abs() < 1e-9, "{q_text}: {via_mv} vs {expected}");
-            assert!((via_cc - expected).abs() < 1e-9, "{q_text}: {via_cc} vs {expected}");
+            assert!(
+                (via_mv - expected).abs() < 1e-9,
+                "{q_text}: {via_mv} vs {expected}"
+            );
+            assert!(
+                (via_cc - expected).abs() < 1e-9,
+                "{q_text}: {via_cc} vs {expected}"
+            );
         }
     }
 
@@ -561,7 +574,8 @@ mod tests {
         let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
         b.insert_weighted(r, row(["a"]), Weight::new(1.0)).unwrap();
         b.insert_weighted(t, row(["a"]), Weight::new(3.0)).unwrap();
-        b.insert_translated(nv, row(["a"]), Weight::new(1.0)).unwrap();
+        b.insert_translated(nv, row(["a"]), Weight::new(1.0))
+            .unwrap();
         let indb = b.build();
         let w = parse_ucq("W() :- NV(x), R(x)").unwrap();
         let q = parse_ucq("Q() :- T(x)").unwrap();
@@ -573,7 +587,10 @@ mod tests {
             .unwrap();
         assert!((got - expected).abs() < 1e-12);
         // The query touches no block.
-        assert!(lin_q.variables().iter().all(|&t| index.block_of(t).is_none()));
+        assert!(lin_q
+            .variables()
+            .iter()
+            .all(|&t| index.block_of(t).is_none()));
     }
 
     #[test]
@@ -616,11 +633,19 @@ mod tests {
         let w = w_query();
         let index = MvIndex::compile(&indb, &w).unwrap();
         let p = index
-            .prob_q_and_not_w(&Lineage::constant_false(), &indb, IntersectAlgorithm::MvIntersect)
+            .prob_q_and_not_w(
+                &Lineage::constant_false(),
+                &indb,
+                IntersectAlgorithm::MvIntersect,
+            )
             .unwrap();
         assert_eq!(p, 0.0);
         let p_or = index
-            .prob_q_or_w(&Lineage::constant_false(), &indb, IntersectAlgorithm::MvIntersect)
+            .prob_q_or_w(
+                &Lineage::constant_false(),
+                &indb,
+                IntersectAlgorithm::MvIntersect,
+            )
             .unwrap();
         assert!((p_or - index.prob_w()).abs() < 1e-12);
     }

@@ -75,11 +75,17 @@ pub fn mv_intersect(
                 let un = w.node(u);
                 let vn = query.node(v);
                 let m = un.level.min(vn.level);
-                let (u0, u1) = if un.level == m { (un.lo, un.hi) } else { (u, u) };
-                let (v0, v1) = if vn.level == m { (vn.lo, vn.hi) } else { (v, v) };
-                let tuple = w
-                    .order()
-                    .tuple_at(m);
+                let (u0, u1) = if un.level == m {
+                    (un.lo, un.hi)
+                } else {
+                    (u, u)
+                };
+                let (v0, v1) = if vn.level == m {
+                    (vn.lo, vn.hi)
+                } else {
+                    (v, v)
+                };
+                let tuple = w.order().tuple_at(m);
                 let p_var = prob_of(tuple);
                 stack.push(Frame::Combine(u, v, p_var));
                 stack.push(Frame::Expand(u1, v1));
@@ -237,8 +243,16 @@ pub fn cc_mv_intersect(
                 }
                 let vn = query.node(v);
                 let m = un.level.min(vn.level);
-                let (u0, u1) = if un.level == m { (un.lo, un.hi) } else { (u, u) };
-                let (v0, v1) = if vn.level == m { (vn.lo, vn.hi) } else { (v, v) };
+                let (u0, u1) = if un.level == m {
+                    (un.lo, un.hi)
+                } else {
+                    (u, u)
+                };
+                let (v0, v1) = if vn.level == m {
+                    (vn.lo, vn.hi)
+                } else {
+                    (v, v)
+                };
                 // The branching variable's probability is stored on the flat
                 // index node when it owns the level; when only the query
                 // tests this level, look it up through the shared order.

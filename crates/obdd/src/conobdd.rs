@@ -352,10 +352,14 @@ mod tests {
         let u = b.probabilistic_relation("U", &["b"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap();
         b.insert_weighted(r, row(["a2"]), Weight::new(0.5)).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b4"]), Weight::new(4.0)).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b4"]), Weight::new(4.0))
+            .unwrap();
         b.insert_weighted(t, row(["a1"]), Weight::new(1.0)).unwrap();
         b.insert_weighted(t, row(["a2"]), Weight::new(2.0)).unwrap();
         b.insert_weighted(u, row(["b1"]), Weight::new(1.5)).unwrap();
@@ -433,7 +437,9 @@ mod tests {
         let q = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
         let mut builder = ConObddBuilder::for_query(&indb, &q);
         let fast = builder.build(&q).unwrap();
-        let slow = SynthesisBuilder::new(builder.order()).from_query(&q, &indb).unwrap();
+        let slow = SynthesisBuilder::new(builder.order())
+            .from_query(&q, &indb)
+            .unwrap();
         assert_eq!(fast.size(), slow.size());
         let pf = fast.probability(|t| indb.probability(t));
         let ps = slow.probability(|t| indb.probability(t));

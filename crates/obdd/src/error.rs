@@ -17,7 +17,10 @@ impl fmt::Display for ObddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ObddError::OrderMismatch => {
-                write!(f, "cannot combine OBDDs built over different variable orders")
+                write!(
+                    f,
+                    "cannot combine OBDDs built over different variable orders"
+                )
             }
             ObddError::UnknownVariable(v) => {
                 write!(f, "tuple variable {v} is not part of the variable order")
@@ -41,7 +44,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ObddError::OrderMismatch.to_string().contains("variable orders"));
-        assert!(ObddError::UnknownVariable("X7".into()).to_string().contains("X7"));
+        assert!(ObddError::OrderMismatch
+            .to_string()
+            .contains("variable orders"));
+        assert!(ObddError::UnknownVariable("X7".into())
+            .to_string()
+            .contains("X7"));
     }
 }

@@ -265,7 +265,11 @@ impl Obdd {
                     let u_sink = self.is_sink(u);
                     let v_sink = other.is_sink(v);
                     if u_sink && v_sink {
-                        let r = if op(u == TRUE, v == TRUE) { TRUE } else { FALSE };
+                        let r = if op(u == TRUE, v == TRUE) {
+                            TRUE
+                        } else {
+                            FALSE
+                        };
                         memo.insert((u, v), r);
                         results.push(r);
                         continue;
@@ -463,8 +467,7 @@ impl Obdd {
         for id in ids {
             let node = self.node(id);
             let p = prob_of(self.order.tuple_at(node.level));
-            prob[id as usize] =
-                (1.0 - p) * prob[node.lo as usize] + p * prob[node.hi as usize];
+            prob[id as usize] = (1.0 - p) * prob[node.lo as usize] + p * prob[node.hi as usize];
         }
         prob
     }
@@ -474,9 +477,8 @@ impl Obdd {
 /// `redirect` (entries default to the identity), and returns the id of the
 /// copied root.
 fn copy_into(src: &Obdd, dst: &mut Obdd, redirect: &HashMap<NodeId, NodeId>) -> NodeId {
-    let map_sink = |id: NodeId, map: &HashMap<NodeId, NodeId>| -> NodeId {
-        *map.get(&id).unwrap_or(&id)
-    };
+    let map_sink =
+        |id: NodeId, map: &HashMap<NodeId, NodeId>| -> NodeId { *map.get(&id).unwrap_or(&id) };
     if src.is_sink(src.root) {
         return map_sink(src.root, redirect);
     }
@@ -614,13 +616,7 @@ mod tests {
     fn concat_many_or_combines_blocks_linearly() {
         let ord = order(6);
         let parts: Vec<Obdd> = (0..3)
-            .map(|i| {
-                Obdd::clause(
-                    Arc::clone(&ord),
-                    &[TupleId(2 * i), TupleId(2 * i + 1)],
-                )
-                .unwrap()
-            })
+            .map(|i| Obdd::clause(Arc::clone(&ord), &[TupleId(2 * i), TupleId(2 * i + 1)]).unwrap())
             .collect();
         let combined = Obdd::concat_many_or(Arc::clone(&ord), &parts).unwrap();
         assert_eq!(combined.size(), 6);

@@ -154,10 +154,14 @@ mod tests {
         let r = b.probabilistic_relation("R", &["a"]).unwrap();
         let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
         // Insert S rows first to show the order does not depend on insertion.
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE).unwrap(); // id 0 (Y1)
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::ONE).unwrap(); // id 1 (Y2)
-        b.insert_weighted(s, row(["a2", "b3"]), Weight::ONE).unwrap(); // id 2 (Y3)
-        b.insert_weighted(s, row(["a2", "b4"]), Weight::ONE).unwrap(); // id 3 (Y4)
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE)
+            .unwrap(); // id 0 (Y1)
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::ONE)
+            .unwrap(); // id 1 (Y2)
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::ONE)
+            .unwrap(); // id 2 (Y3)
+        b.insert_weighted(s, row(["a2", "b4"]), Weight::ONE)
+            .unwrap(); // id 3 (Y4)
         b.insert_weighted(r, row(["a1"]), Weight::ONE).unwrap(); // id 4 (X1)
         b.insert_weighted(r, row(["a2"]), Weight::ONE).unwrap(); // id 5 (X2)
         b.build()
@@ -170,7 +174,14 @@ mod tests {
         // Expected Π = X1, Y1, Y2, X2, Y3, Y4 = ids 4, 0, 1, 5, 2, 3.
         assert_eq!(
             order.tuples(),
-            &[TupleId(4), TupleId(0), TupleId(1), TupleId(5), TupleId(2), TupleId(3)]
+            &[
+                TupleId(4),
+                TupleId(0),
+                TupleId(1),
+                TupleId(5),
+                TupleId(2),
+                TupleId(3)
+            ]
         );
         assert_eq!(order.level_of(TupleId(4)), Some(0));
         assert_eq!(order.level_of(TupleId(3)), Some(5));
@@ -214,9 +225,18 @@ mod tests {
         use std::cmp::Ordering;
         let a1 = Value::str("a1");
         let b1 = Value::str("b1");
-        assert_eq!(lex_prefix_cmp(&[a1.clone()], &[a1.clone(), b1.clone()]), Ordering::Less);
-        assert_eq!(lex_prefix_cmp(&[a1.clone(), b1.clone()], &[a1.clone()]), Ordering::Greater);
-        assert_eq!(lex_prefix_cmp(&[a1.clone()], &[a1]), Ordering::Equal);
+        assert_eq!(
+            lex_prefix_cmp(std::slice::from_ref(&a1), &[a1.clone(), b1.clone()]),
+            Ordering::Less
+        );
+        assert_eq!(
+            lex_prefix_cmp(&[a1.clone(), b1], std::slice::from_ref(&a1)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            lex_prefix_cmp(std::slice::from_ref(&a1), std::slice::from_ref(&a1)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -71,10 +71,14 @@ mod tests {
         let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap();
         b.insert_weighted(r, row(["a2"]), Weight::new(0.5)).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b4"]), Weight::new(4.0)).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b4"]), Weight::new(4.0))
+            .unwrap();
         b.build()
     }
 

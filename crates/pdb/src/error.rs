@@ -75,7 +75,10 @@ mod tests {
         };
         let msg = err.to_string();
         assert!(msg.contains('S') && msg.contains('2') && msg.contains('3'));
-        let err = PdbError::TooManyUncertainTuples { count: 40, limit: 24 };
+        let err = PdbError::TooManyUncertainTuples {
+            count: 40,
+            limit: 24,
+        };
         assert!(err.to_string().contains("40"));
     }
 

@@ -246,7 +246,12 @@ impl InDbBuilder {
     }
 
     /// Inserts a possible tuple given its marginal probability.
-    pub fn insert_probabilistic(&mut self, rel: RelId, row: Row, probability: f64) -> Result<TupleId> {
+    pub fn insert_probabilistic(
+        &mut self,
+        rel: RelId,
+        row: Row,
+        probability: f64,
+    ) -> Result<TupleId> {
         self.insert_weighted(rel, row, Weight::from_probability(probability))
     }
 
@@ -318,7 +323,9 @@ mod tests {
             b.insert_weighted(r, row(["a"]), Weight::new(-0.5)),
             Err(PdbError::InvalidWeight(_))
         ));
-        let id = b.insert_translated(r, row(["a"]), Weight::new(-0.5)).unwrap();
+        let id = b
+            .insert_translated(r, row(["a"]), Weight::new(-0.5))
+            .unwrap();
         let db = b.build();
         assert_eq!(db.weight(id).value(), -0.5);
         assert!((db.probability(id) - (-1.0)).abs() < 1e-12);

@@ -134,7 +134,12 @@ mod tests {
         values.sort();
         assert_eq!(
             values,
-            vec![Value::int(-3), Value::int(10), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(-3),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

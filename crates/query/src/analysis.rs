@@ -45,10 +45,7 @@ pub fn root_variables(cq: &ConjunctiveQuery) -> Vec<String> {
     if cq.atoms.is_empty() {
         return Vec::new();
     }
-    let mut candidates: BTreeSet<String> = cq.atoms[0]
-        .variables()
-        .map(str::to_string)
-        .collect();
+    let mut candidates: BTreeSet<String> = cq.atoms[0].variables().map(str::to_string).collect();
     for atom in &cq.atoms[1..] {
         let vars: BTreeSet<String> = atom.variables().map(str::to_string).collect();
         candidates = candidates.intersection(&vars).cloned().collect();
@@ -56,7 +53,10 @@ pub fn root_variables(cq: &ConjunctiveQuery) -> Vec<String> {
     // Head variables are constants from the probabilistic point of view, so
     // they are excluded: a root variable must be existentially quantified.
     let head: BTreeSet<String> = cq.head_variables().into_iter().collect();
-    candidates.into_iter().filter(|v| !head.contains(v)).collect()
+    candidates
+        .into_iter()
+        .filter(|v| !head.contains(v))
+        .collect()
 }
 
 /// The set of atom indices containing each existential variable.
@@ -134,7 +134,10 @@ pub fn find_separator_over(
             candidates = candidates.intersection(&vars).cloned().collect();
         }
         let head: BTreeSet<String> = cq.head_variables().into_iter().collect();
-        candidates.into_iter().filter(|v| !head.contains(v)).collect()
+        candidates
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
     }
 
     fn consistent(
@@ -399,7 +402,9 @@ mod tests {
     #[test]
     fn hierarchical_classification_matches_the_known_examples() {
         // Safe query: R(x), S(x, y).
-        assert!(is_hierarchical(&parse_query("Q() :- R(x), S(x, y)").unwrap()));
+        assert!(is_hierarchical(
+            &parse_query("Q() :- R(x), S(x, y)").unwrap()
+        ));
         // The canonical #P-hard query H0 = R(x), S(x, y), T(y).
         assert!(!is_hierarchical(
             &parse_query("Q() :- R(x), S(x, y), T(y)").unwrap()

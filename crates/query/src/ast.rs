@@ -235,7 +235,11 @@ impl Atom {
     pub fn substitute(&self, var: &str, value: &Value) -> Atom {
         Atom {
             relation: self.relation.clone(),
-            terms: self.terms.iter().map(|t| t.substitute(var, value)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|t| t.substitute(var, value))
+                .collect(),
         }
     }
 
@@ -359,7 +363,11 @@ impl ConjunctiveQuery {
         ConjunctiveQuery {
             name: self.name.clone(),
             head: self.head.iter().map(|t| t.substitute(var, value)).collect(),
-            atoms: self.atoms.iter().map(|a| a.substitute(var, value)).collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| a.substitute(var, value))
+                .collect(),
             comparisons: self
                 .comparisons
                 .iter()
@@ -374,7 +382,11 @@ impl ConjunctiveQuery {
             name: self.name.clone(),
             head: self.head.iter().map(|t| t.rename(from, to)).collect(),
             atoms: self.atoms.iter().map(|a| a.rename(from, to)).collect(),
-            comparisons: self.comparisons.iter().map(|c| c.rename(from, to)).collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .map(|c| c.rename(from, to))
+                .collect(),
         }
     }
 
@@ -599,7 +611,8 @@ mod tests {
     fn self_join_detection() {
         assert!(!q().has_self_join());
         let mut sj = q();
-        sj.atoms.push(Atom::new("R", vec![Term::var("z"), Term::var("z")]));
+        sj.atoms
+            .push(Atom::new("R", vec![Term::var("z"), Term::var("z")]));
         assert!(sj.has_self_join());
     }
 
@@ -625,7 +638,10 @@ mod tests {
 
     #[test]
     fn atom_positions_and_groundness() {
-        let a = Atom::new("R", vec![Term::var("x"), Term::var("x"), Term::constant(3i64)]);
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::var("x"), Term::constant(3i64)],
+        );
         assert_eq!(a.positions_of("x"), vec![0, 1]);
         assert!(!a.is_ground());
         let g = a.substitute("x", &Value::int(1));

@@ -91,8 +91,10 @@ mod tests {
         let r = b.probabilistic_relation("R", &["a"]).unwrap();
         let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap(); // p = 0.75
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap(); // p = 0.5
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(1.0)).unwrap(); // p = 0.5
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap(); // p = 0.5
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(1.0))
+            .unwrap(); // p = 0.5
         b.build()
     }
 
@@ -108,8 +110,14 @@ mod tests {
     #[test]
     fn constant_lineages_short_circuit() {
         let indb = db();
-        assert_eq!(brute_force_lineage_probability(&Lineage::constant_true(), &indb), 1.0);
-        assert_eq!(brute_force_lineage_probability(&Lineage::constant_false(), &indb), 0.0);
+        assert_eq!(
+            brute_force_lineage_probability(&Lineage::constant_true(), &indb),
+            1.0
+        );
+        assert_eq!(
+            brute_force_lineage_probability(&Lineage::constant_false(), &indb),
+            0.0
+        );
     }
 
     #[test]
@@ -125,7 +133,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not feasible")]
     fn too_many_variables_panics() {
-        let clauses: Vec<Vec<mv_pdb::TupleId>> = (0..30u32).map(|i| vec![mv_pdb::TupleId(i)]).collect();
+        let clauses: Vec<Vec<mv_pdb::TupleId>> =
+            (0..30u32).map(|i| vec![mv_pdb::TupleId(i)]).collect();
         let l = Lineage::from_clauses(clauses);
         let _ = brute_force_probability_with(&l, &|_| 0.5);
     }

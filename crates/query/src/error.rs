@@ -94,7 +94,9 @@ mod tests {
             position: 7,
         };
         assert!(e.to_string().contains("7"));
-        assert!(QueryError::UnknownRelation("R".into()).to_string().contains('R'));
+        assert!(QueryError::UnknownRelation("R".into())
+            .to_string()
+            .contains('R'));
         assert!(QueryError::NotBoolean("Q".into()).to_string().contains('Q'));
     }
 

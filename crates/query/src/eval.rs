@@ -30,13 +30,16 @@ pub struct Answer {
 /// A variable binding environment.
 pub type Bindings = HashMap<String, Value>;
 
+/// Lazily built column index: `(relation, column) → value → row positions`.
+type ColumnIndexes = HashMap<(RelId, usize), HashMap<Value, Vec<usize>>>;
+
 /// Per-database evaluation context with lazily built column indexes.
 ///
 /// Reusing a context across queries amortises the index construction; the
 /// MV-index compilation and the benchmark harness both take advantage of it.
 pub struct EvalContext<'a> {
     db: &'a Database,
-    indexes: RefCell<HashMap<(RelId, usize), HashMap<Value, Vec<usize>>>>,
+    indexes: RefCell<ColumnIndexes>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -120,7 +123,16 @@ pub fn for_each_match<B>(
     let mut bindings: Bindings = HashMap::new();
     let mut matched: Vec<(RelId, usize)> = vec![(RelId(0), 0); cq.atoms.len()];
     let mut used: Vec<bool> = vec![false; cq.atoms.len()];
-    let result = search(cq, ctx, &rels, &mut bindings, &mut matched, &mut used, 0, &mut on_match);
+    let result = search(
+        cq,
+        ctx,
+        &rels,
+        &mut bindings,
+        &mut matched,
+        &mut used,
+        0,
+        &mut on_match,
+    );
     Ok(result)
 }
 
@@ -214,9 +226,10 @@ fn search<B>(
         }
         if ok {
             // Check comparisons that just became ground, to prune early.
-            let prune = cq.comparisons.iter().any(|cmp| {
-                is_ground_under(cmp, bindings) && !ground_comparison(cmp, bindings)
-            });
+            let prune = cq
+                .comparisons
+                .iter()
+                .any(|cmp| is_ground_under(cmp, bindings) && !ground_comparison(cmp, bindings));
             if !prune {
                 matched[atom_idx] = (rel, row_index);
                 if let Some(b) = search(cq, ctx, rels, bindings, matched, used, depth + 1, on_match)
@@ -324,7 +337,11 @@ mod tests {
     fn simple_join_returns_expected_answers() {
         let db = db();
         let q = parse_ucq("Q(x, y) :- R(x), S(x, y)").unwrap();
-        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
         answers.sort();
         assert_eq!(
             answers,
@@ -336,7 +353,11 @@ mod tests {
     fn comparisons_filter_answers() {
         let db = db();
         let q = parse_ucq("Q(x, y) :- R(x), S(x, y), y >= 20").unwrap();
-        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
         answers.sort();
         assert_eq!(answers, vec![row([1i64, 20]), row([2i64, 30])]);
     }
@@ -345,14 +366,20 @@ mod tests {
     fn boolean_queries_detect_satisfiability() {
         let db = db();
         assert!(evaluate_boolean(&parse_ucq("Q() :- R(x), S(x, y), T(y)").unwrap(), &db).unwrap());
-        assert!(!evaluate_boolean(&parse_ucq("Q() :- R(x), S(x, y), y > 100").unwrap(), &db).unwrap());
+        assert!(
+            !evaluate_boolean(&parse_ucq("Q() :- R(x), S(x, y), y > 100").unwrap(), &db).unwrap()
+        );
     }
 
     #[test]
     fn constants_in_atoms_restrict_matches() {
         let db = db();
         let q = parse_ucq("Q(y) :- S(1, y)").unwrap();
-        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
         answers.sort();
         assert_eq!(answers, vec![row([10i64]), row([20i64])]);
     }
@@ -373,7 +400,11 @@ mod tests {
     fn union_of_queries_merges_and_deduplicates_answers() {
         let db = db();
         let q = parse_ucq("Q(x) :- R(x) ; Q(x) :- S(x, y), y = 30").unwrap();
-        let mut answers: Vec<Row> = evaluate_ucq(&q, &db).unwrap().into_iter().map(|a| a.row).collect();
+        let mut answers: Vec<Row> = evaluate_ucq(&q, &db)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
         answers.sort();
         assert_eq!(answers, vec![row([1i64]), row([2i64]), row([3i64])]);
     }
@@ -404,8 +435,10 @@ mod tests {
     fn like_predicate_selects_matching_names() {
         let mut db = Database::new();
         let a = db.add_relation("Author", &["aid", "name"]).unwrap();
-        db.insert(a, row([Value::int(1), Value::str("Sam Madden")])).unwrap();
-        db.insert(a, row([Value::int(2), Value::str("Dan Suciu")])).unwrap();
+        db.insert(a, row([Value::int(1), Value::str("Sam Madden")]))
+            .unwrap();
+        db.insert(a, row([Value::int(2), Value::str("Dan Suciu")]))
+            .unwrap();
         let q = parse_ucq("Q(aid) :- Author(aid, n), n like '%Madden%'").unwrap();
         let answers = evaluate_ucq(&q, &db).unwrap();
         assert_eq!(answers.len(), 1);

@@ -203,10 +203,14 @@ mod tests {
         let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::ONE).unwrap();
         b.insert_weighted(r, row(["a2"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a2", "b3"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a2", "b4"]), Weight::ONE).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE)
+            .unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::ONE)
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b3"]), Weight::ONE)
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b4"]), Weight::ONE)
+            .unwrap();
         b.build()
     }
 
@@ -312,6 +316,9 @@ mod tests {
         assert!(Lineage::constant_false().is_false());
         assert!(Lineage::from_clauses(vec![vec![], vec![TupleId(0)]]).is_true());
         // true has exactly one (empty) clause after normalisation
-        assert_eq!(Lineage::from_clauses(vec![vec![], vec![TupleId(0)]]).num_clauses(), 1);
+        assert_eq!(
+            Lineage::from_clauses(vec![vec![], vec![TupleId(0)]]).num_clauses(),
+            1
+        );
     }
 }

@@ -372,12 +372,20 @@ mod tests {
 
     #[test]
     fn parses_all_comparison_operators() {
-        let q = parse_query("Q() :- R(a, b, c, d, e, f), a < 1, b <= 2, c > 3, d >= 4, e = 5, f <> 6")
-            .unwrap();
+        let q =
+            parse_query("Q() :- R(a, b, c, d, e, f), a < 1, b <= 2, c > 3, d >= 4, e = 5, f <> 6")
+                .unwrap();
         let ops: Vec<CmpOp> = q.comparisons.iter().map(|c| c.op).collect();
         assert_eq!(
             ops,
-            vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+            vec![
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Eq,
+                CmpOp::Ne
+            ]
         );
     }
 
@@ -396,9 +404,10 @@ mod tests {
 
     #[test]
     fn markoview_annotation_is_returned_verbatim() {
-        let (cq, ann) =
-            parse_rule_with_annotation("V1(aid1, aid2)[count(pid)/2] :- Advisor(aid1, aid2), Wrote(aid1, pid)")
-                .unwrap();
+        let (cq, ann) = parse_rule_with_annotation(
+            "V1(aid1, aid2)[count(pid)/2] :- Advisor(aid1, aid2), Wrote(aid1, pid)",
+        )
+        .unwrap();
         assert_eq!(cq.name, "V1");
         assert_eq!(ann.as_deref(), Some("count(pid)/2"));
     }
@@ -423,10 +432,7 @@ mod tests {
     #[test]
     fn negative_integers_and_malformed_input() {
         let q = parse_query("Q() :- R(x), x > -5").unwrap();
-        assert_eq!(
-            q.comparisons[0].right,
-            Term::Const(Value::int(-5))
-        );
+        assert_eq!(q.comparisons[0].right, Term::Const(Value::int(-5)));
         assert!(parse_query("Q() :-").is_err());
         assert!(parse_query("Q() : R(x)").is_err());
         assert!(parse_query("Q() :- R(x) extra").is_err());

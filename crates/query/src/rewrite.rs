@@ -125,8 +125,10 @@ mod tests {
         let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
         b.insert_fact(d, row(["a1"])).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE).unwrap();
-        b.insert_weighted(s, row(["a2", "b2"]), Weight::ONE).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::ONE)
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b2"]), Weight::ONE)
+            .unwrap();
         b.build()
     }
 

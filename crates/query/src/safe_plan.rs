@@ -62,7 +62,9 @@ const MAX_DEPTH: usize = 64;
 /// database using lifted inference rules only.
 pub fn safe_probability(ucq: &Ucq, indb: &InDb) -> Result<f64, SafePlanError> {
     if !ucq.is_boolean() {
-        return Err(SafePlanError::Query(QueryError::NotBoolean(ucq.name.clone())));
+        return Err(SafePlanError::Query(QueryError::NotBoolean(
+            ucq.name.clone(),
+        )));
     }
     // Validate relations/arities up front so that evaluation can assume a
     // well-formed query.
@@ -122,8 +124,10 @@ fn ucq_probability(
     if groups.len() > 1 {
         let mut q = 1.0;
         for group in groups {
-            let ds: Vec<ConjunctiveQuery> =
-                group.into_iter().map(|i| ucq.disjuncts[i].clone()).collect();
+            let ds: Vec<ConjunctiveQuery> = group
+                .into_iter()
+                .map(|i| ucq.disjuncts[i].clone())
+                .collect();
             let p = ucq_probability(&ds, indb, depth + 1)?;
             q *= 1.0 - p;
         }
@@ -173,17 +177,17 @@ fn ucq_probability(
         }
         let conj = conj.expect("subset is non-empty");
         let p = cq_probability(&conj, indb, depth + 1)?;
-        let sign = if subset.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if subset.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         total += sign * p;
     }
     Ok(total)
 }
 
-fn cq_probability(
-    cq: &ConjunctiveQuery,
-    indb: &InDb,
-    depth: usize,
-) -> Result<f64, SafePlanError> {
+fn cq_probability(cq: &ConjunctiveQuery, indb: &InDb, depth: usize) -> Result<f64, SafePlanError> {
     if depth > MAX_DEPTH {
         return Err(SafePlanError::Unsafe("recursion limit exceeded".into()));
     }
@@ -271,9 +275,12 @@ mod tests {
         let d = b.deterministic_relation("D", &["a"]).unwrap();
         b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap();
         b.insert_weighted(r, row(["a2"]), Weight::new(0.5)).unwrap();
-        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0)).unwrap();
-        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0)).unwrap();
-        b.insert_weighted(s, row(["a2", "b2"]), Weight::new(1.0)).unwrap();
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(2.0))
+            .unwrap();
+        b.insert_weighted(s, row(["a2", "b2"]), Weight::new(1.0))
+            .unwrap();
         b.insert_weighted(t, row(["b1"]), Weight::new(1.0)).unwrap();
         b.insert_weighted(t, row(["b2"]), Weight::new(4.0)).unwrap();
         b.insert_fact(d, row(["a1"])).unwrap();
@@ -314,8 +321,10 @@ mod tests {
         let s = b.probabilistic_relation("B", &["x"]).unwrap();
         let t = b.probabilistic_relation("C", &["x"]).unwrap();
         for (i, rel) in [r, s, t].into_iter().enumerate() {
-            b.insert_weighted(rel, row(["v1"]), Weight::new(1.0 + i as f64)).unwrap();
-            b.insert_weighted(rel, row(["v2"]), Weight::new(0.5)).unwrap();
+            b.insert_weighted(rel, row(["v1"]), Weight::new(1.0 + i as f64))
+                .unwrap();
+            b.insert_weighted(rel, row(["v2"]), Weight::new(0.5))
+                .unwrap();
         }
         let indb = b.build();
         let q = parse_ucq("Q() :- A(x), B(x) ; Q() :- A(y), C(y) ; Q() :- B(z), C(z)").unwrap();
@@ -377,7 +386,8 @@ mod tests {
         let nv = b.probabilistic_relation("NV", &["a"]).unwrap();
         b.insert_weighted(r, row(["a"]), Weight::new(3.0)).unwrap();
         // Translated weight for a view weight of 4: (1-4)/4 = -0.75, p = -3.
-        b.insert_translated(nv, row(["a"]), Weight::new(-0.75)).unwrap();
+        b.insert_translated(nv, row(["a"]), Weight::new(-0.75))
+            .unwrap();
         let indb = b.build();
         let q = parse_ucq("Q() :- R(x), NV(x)").unwrap();
         let safe = safe_probability(&q, &indb).unwrap();

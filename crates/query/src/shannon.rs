@@ -211,7 +211,7 @@ mod tests {
         let l = Lineage::from_clauses(vec![vec![t(0)], vec![t(1)]]);
         let f = |x: TupleId| if x == t(0) { -1.0 } else { 0.5 };
         let p = probability_with(&l, &f);
-        let expected = -1.0 + 0.5 - (-1.0 * 0.5);
+        let expected = -1.0 + 0.5 - -0.5;
         assert!((p - expected).abs() < 1e-12);
         let brute = brute_force_probability_with(&l, &f);
         assert!((p - brute).abs() < 1e-12);

@@ -45,7 +45,11 @@ fn ucq_round_trips_through_display() {
 /// Strategy for random (syntactically valid) conjunctive queries.
 fn query_text_strategy() -> impl Strategy<Value = String> {
     let var = prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")];
-    let atom = (prop_oneof![Just("R"), Just("S"), Just("T")], var.clone(), var.clone())
+    let atom = (
+        prop_oneof![Just("R"), Just("S"), Just("T")],
+        var.clone(),
+        var.clone(),
+    )
         .prop_map(|(r, a, b)| format!("{r}({a}, {b})"));
     (
         proptest::collection::vec(atom, 1..4),

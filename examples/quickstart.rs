@@ -49,16 +49,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Query both tuples together; the negative correlation lowers the
-    // probability below the independent value 0.75 * 0.8 = 0.6.
+    // probability below the independent value 0.75 * 0.8 = 0.6. Every
+    // evaluation strategy is a `Backend` implementation and they all agree.
     let q_both = parse_ucq("Q() :- R(x), S(x)")?;
     let q_either = parse_ucq("Q() :- R(x) ; Q() :- S(x)")?;
     for (name, q) in [("R ∧ S", &q_both), ("R ∨ S", &q_either)] {
         let exact = mvdb.exact_probability(q)?;
-        let via_index = engine.probability(q)?;
-        let via_shannon = engine.probability_with_backend(q, EngineBackend::Shannon)?;
         println!(
-            "P({name}) = {via_index:.6}  (exact MLN {exact:.6}, Shannon backend {via_shannon:.6})"
+            "P({name}) = {:.6}  (exact MLN {exact:.6})",
+            engine.probability(q)?
         );
+        for selector in EngineBackend::comparison_suite() {
+            let backend = selector.instantiate();
+            let p = engine.probability_with(q, backend.as_ref())?;
+            println!("    {:<28} {p:.6}", backend.name());
+        }
     }
 
     // ----- Example 2: a view that correlates a whole lineage ----------------
@@ -82,10 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "P(R ⋈ S non-empty) = {p:.6} (would be {independent:.6} without the view; \
          the positive correlation raises it)"
     );
-    println!(
-        "exact MLN reference: {:.6}",
-        mvdb2.exact_probability(&q)?
-    );
+    println!("exact MLN reference: {:.6}", mvdb2.exact_probability(&q)?);
 
     // Per-answer probabilities of a non-Boolean query.
     let q = parse_ucq("Q(y) :- R(x), S(x, y)")?;

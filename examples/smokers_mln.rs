@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("marginal P(Smokes(x)) per person:");
-    println!("  {:<8} {:>10} {:>10} {:>10}", "person", "exact MLN", "MVDB", "MC-SAT");
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10}",
+        "person", "exact MLN", "MVDB", "MC-SAT"
+    );
     for (i, person) in people.iter().enumerate() {
         let exact = ground.exact_probability(&lineages[i])?;
         let via_mvdb = engine.probability(&queries[i])?;

@@ -16,7 +16,8 @@
 //! * [`mln`] — a Markov Logic Network engine with exact enumeration inference
 //!   and an MC-SAT sampler (the Alchemy stand-in used by the benchmarks).
 //! * [`core`] — MarkoViews, MVDBs, the translation to tuple-independent
-//!   databases (Theorem 1), and the end-to-end [`core::MvdbEngine`].
+//!   databases (Theorem 1), the pluggable [`core::Backend`] evaluation
+//!   layer, and the end-to-end [`core::MvdbEngine`].
 //! * [`dblp`] — a synthetic DBLP-like dataset generator reproducing the
 //!   schema, probabilistic tables and MarkoViews of Figure 1.
 //!
@@ -51,11 +52,16 @@ pub use mv_query as query;
 
 /// Convenience re-exports of the most frequently used types.
 pub mod prelude {
+    pub use mv_core::backend::{
+        Backend, BruteForce, EvalContext, MvIndexBackend, ObddPerQuery, SafePlan, Shannon,
+    };
     pub use mv_core::{EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, TranslatedIndb};
     pub use mv_dblp::{DblpConfig, DblpDataset};
     pub use mv_index::{IntersectAlgorithm, MvIndex};
     pub use mv_mln::{GroundMln, McSatConfig, McSatSampler, Mln};
     pub use mv_obdd::{ConObddBuilder, Obdd, PiOrder, SynthesisBuilder};
-    pub use mv_pdb::{Database, InDb, PossibleTuple, Relation, Row, Schema, TupleId, Value, Weight};
+    pub use mv_pdb::{
+        Database, InDb, PossibleTuple, Relation, Row, Schema, TupleId, Value, Weight,
+    };
     pub use mv_query::{parse_query, parse_ucq, ConjunctiveQuery, Lineage, Ucq};
 }

@@ -23,7 +23,7 @@ fn translated_strategy() -> impl Strategy<Value = RandomTranslated> {
     (
         proptest::collection::vec((0u8..3, 0.2f64..4.0), 1..=3),
         proptest::collection::vec((0u8..3, 0u8..3, 0.2f64..4.0), 1..=5),
-        proptest::collection::vec((0u8..3, prop_oneof![(-0.9f64..-0.1), (0.1f64..3.0)]), 1..=3),
+        proptest::collection::vec((0u8..3, prop_oneof![-0.9f64..-0.1, 0.1f64..3.0]), 1..=3),
     )
         .prop_map(|(r, s, nv)| RandomTranslated { r, s, nv })
 }
@@ -34,14 +34,16 @@ fn build(desc: &RandomTranslated) -> InDb {
     let s = b.probabilistic_relation("S", &["x", "y"]).unwrap();
     let nv = b.probabilistic_relation("NV", &["x"]).unwrap();
     for (x, w) in &desc.r {
-        b.insert_weighted(r, row([i64::from(*x)]), Weight::new(*w)).unwrap();
+        b.insert_weighted(r, row([i64::from(*x)]), Weight::new(*w))
+            .unwrap();
     }
     for (x, y, w) in &desc.s {
         b.insert_weighted(s, row([i64::from(*x), i64::from(*y)]), Weight::new(*w))
             .unwrap();
     }
     for (x, w) in &desc.nv {
-        b.insert_translated(nv, row([i64::from(*x)]), Weight::new(*w)).unwrap();
+        b.insert_translated(nv, row([i64::from(*x)]), Weight::new(*w))
+            .unwrap();
     }
     b.build()
 }

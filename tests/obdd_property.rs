@@ -16,19 +16,13 @@ use proptest::prelude::*;
 
 /// A random DNF over `num_vars` variables.
 fn dnf_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..num_vars as u32, 1..=3),
-        1..=6,
-    )
+    proptest::collection::vec(proptest::collection::vec(0..num_vars as u32, 1..=3), 1..=6)
 }
 
 /// Random probabilities, including negative ones (the translated databases of
 /// Section 3.3).
 fn prob_strategy(num_vars: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(
-        prop_oneof![3 => 0.0f64..1.0, 1 => -3.0f64..0.0],
-        num_vars,
-    )
+    proptest::collection::vec(prop_oneof![3 => 0.0f64..1.0, 1 => -3.0f64..0.0], num_vars)
 }
 
 proptest! {
@@ -178,9 +172,11 @@ fn inversion_free_queries_have_constant_width_obdds() {
         let r = b.probabilistic_relation("R", &["x"]).unwrap();
         let s = b.probabilistic_relation("S", &["x", "y"]).unwrap();
         for i in 0..n {
-            b.insert_weighted(r, row([i as i64]), Weight::new(1.0)).unwrap();
+            b.insert_weighted(r, row([i as i64]), Weight::new(1.0))
+                .unwrap();
             for j in 0..3 {
-                b.insert_weighted(s, row([i as i64, j as i64]), Weight::new(2.0)).unwrap();
+                b.insert_weighted(s, row([i as i64, j as i64]), Weight::new(2.0))
+                    .unwrap();
             }
         }
         let indb = b.build();

@@ -157,7 +157,10 @@ fn mcsat_baseline_approximates_the_exact_engine() {
         },
     );
     let student = data.sample_students(1)[0];
-    let q = parse_ucq(&format!("Q() :- Student({student}, y), Advisor({student}, a)")).unwrap();
+    let q = parse_ucq(&format!(
+        "Q() :- Student({student}, y), Advisor({student}, a)"
+    ))
+    .unwrap();
     let exact = engine.probability(&q).unwrap();
     let lineage = mv_query::lineage::lineage(&q, data.mvdb.base()).unwrap();
     let sampled = sampler.run(&[lineage]).unwrap().query_probabilities[0];

@@ -6,72 +6,8 @@
 use markoviews::prelude::*;
 use proptest::prelude::*;
 
-/// A randomly generated small MVDB description.
-#[derive(Debug, Clone)]
-struct RandomMvdb {
-    /// Weights of the R tuples (unary relation over a small domain).
-    r_weights: Vec<f64>,
-    /// Weights of the S tuples, indexed by (x, y) over the small domain.
-    s_weights: Vec<((usize, usize), f64)>,
-    /// Weight of the MarkoView `V(x) :- R(x), S(x, y)`.
-    view_weight: f64,
-    /// Weight of the second MarkoView `V2(x, y) :- R(x), S(x, y)` (correlates
-    /// individual pairs), or `None` to omit it.
-    pair_view_weight: Option<f64>,
-}
-
-fn weight_strategy() -> impl Strategy<Value = f64> {
-    // Odds between 0.2 and 5, i.e. probabilities between ~0.17 and ~0.83.
-    (0.2f64..5.0).prop_map(|w| (w * 100.0).round() / 100.0)
-}
-
-fn view_weight_strategy() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        Just(0.0),                       // denial constraint
-        Just(1.0),                       // independence
-        (0.1f64..0.9),                   // negative correlation
-        (1.1f64..6.0),                   // positive correlation
-    ]
-    .prop_map(|w| (w * 100.0).round() / 100.0)
-}
-
-fn mvdb_strategy() -> impl Strategy<Value = RandomMvdb> {
-    let domain = 3usize;
-    (
-        proptest::collection::vec(weight_strategy(), 1..=domain),
-        proptest::collection::vec(((0..domain, 0..domain), weight_strategy()), 1..=4),
-        view_weight_strategy(),
-        proptest::option::of(view_weight_strategy()),
-    )
-        .prop_map(|(r_weights, s_weights, view_weight, pair_view_weight)| RandomMvdb {
-            r_weights,
-            s_weights,
-            view_weight,
-            pair_view_weight,
-        })
-}
-
-fn build(desc: &RandomMvdb) -> Mvdb {
-    let mut b = MvdbBuilder::new();
-    b.relation("R", &["x"]).unwrap();
-    b.relation("S", &["x", "y"]).unwrap();
-    for (i, w) in desc.r_weights.iter().enumerate() {
-        b.weighted_tuple("R", &[Value::int(i as i64)], *w).unwrap();
-    }
-    let mut seen = std::collections::HashSet::new();
-    for ((x, y), w) in &desc.s_weights {
-        if seen.insert((*x, *y)) {
-            b.weighted_tuple("S", &[Value::int(*x as i64), Value::int(*y as i64)], *w)
-                .unwrap();
-        }
-    }
-    b.marko_view(&format!("V(x)[{}] :- R(x), S(x, y)", desc.view_weight))
-        .unwrap();
-    if let Some(w) = desc.pair_view_weight {
-        b.marko_view(&format!("V2(x, y)[{w}] :- R(x), S(x, y)")).unwrap();
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::{build, mvdb_strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -1,0 +1,232 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses: [`Criterion`], benchmark groups with `sample_size` /
+//! `measurement_time` / `bench_with_input`, [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark a
+//! fixed number of iterations (after one warm-up), reports min / mean wall
+//! time on stdout, and honours `--bench <filter>`-style substring filtering
+//! of benchmark ids passed on the command line. That keeps `cargo bench`
+//! useful as a smoke benchmark in an environment without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as rendered by real criterion.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Reads benchmark name filters from the command line (any non-flag
+    /// argument is treated as a substring filter, like real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if self.enabled(id) {
+            let mut b = Bencher::new(10);
+            f(&mut b);
+            b.report(id);
+        }
+    }
+
+    fn enabled(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in always runs exactly
+    /// `sample_size` iterations regardless of the requested wall-clock
+    /// budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.criterion.enabled(&full_id) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b, input);
+            b.report(&full_id);
+        }
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.criterion.enabled(&full_id) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            b.report(&full_id);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `payload` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        black_box(payload()); // warm-up, untimed
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(payload());
+            self.recorded.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.recorded.is_empty() {
+            println!("{id:<60} (no samples)");
+            return;
+        }
+        let min = self.recorded.iter().min().expect("non-empty");
+        let total: Duration = self.recorded.iter().sum();
+        let mean = total / self.recorded.len() as u32;
+        println!(
+            "{id:<60} min {:>12.6} ms   mean {:>12.6} ms   ({} samples)",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            self.recorded.len()
+        );
+    }
+}
+
+/// Declares a group-runner function over a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(1));
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let c = Criterion {
+            filters: vec!["fig9".into()],
+        };
+        assert!(c.enabled("fig9_intersection/mv_intersect/1000"));
+        assert!(!c.enabled("fig5_advisor/mv_index/1000"));
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`prop_oneof!`], [`strategy::Just`], numeric range strategies, tuple
+//! strategies, [`collection::vec`], [`option::of`] and a loose string
+//! strategy for `&str` regex patterns.
+//!
+//! Semantics: each `#[test]` inside [`proptest!`] runs `cases` times (from
+//! the active [`test_runner::ProptestConfig`]) with inputs drawn from the
+//! strategies by a generator seeded deterministically from the test name, so
+//! failures reproduce across runs. There is **no shrinking** — a failing
+//! case panics with the generated inputs formatted into the message. That is
+//! a deliberate simplification: the build environment cannot reach crates.io
+//! and this shim only has to make the existing property suites compile and
+//! run offline.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Config and error types mirroring `proptest::test_runner`.
+
+    use rand::prelude::*;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps an assertion failure message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The deterministic generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator from a test name, so each property has its
+        /// own reproducible stream. Uses FNV-1a rather than the standard
+        /// library's `DefaultHasher`, whose algorithm may change between
+        /// Rust releases — the stream must be stable across toolchains.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T: ?Sized + Strategy> Strategy for Rc<T> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy behind a shared pointer (used by [`prop_oneof!`]).
+    pub fn rc_strategy<S>(s: S) -> Rc<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Rc::new(s)
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A weighted choice between strategies of one value type (built by
+    /// [`prop_oneof!`]).
+    pub struct Union<T> {
+        variants: Vec<(u32, Rc<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; weights must not all be zero.
+        pub fn new(variants: Vec<(u32, Rc<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                variants.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                variants: self.variants.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.variants.iter().map(|(w, _)| w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.variants {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// String strategy from a `&str` pattern.
+    ///
+    /// Real proptest interprets the pattern as a regex; this stand-in only
+    /// honours a trailing `{m,n}` repetition count (as in `"\\PC{0,60}"`)
+    /// and otherwise generates arbitrary printable characters — sufficient
+    /// for the "parser never panics" style fuzz tests that use it.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repetition(self).unwrap_or((0, 32));
+            let len = rng.gen_range(min..=max);
+            (0..len).map(|_| random_char(rng)).collect()
+        }
+    }
+
+    fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let open = body.rfind('{')?;
+        let (min, max) = body[open + 1..].split_once(',')?;
+        Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+    }
+
+    fn random_char(rng: &mut TestRng) -> char {
+        const POOL: &[char] = &[
+            'a',
+            'b',
+            'z',
+            'Q',
+            'R',
+            'S',
+            '0',
+            '1',
+            '9',
+            ' ',
+            '\t',
+            '(',
+            ')',
+            ',',
+            ';',
+            ':',
+            '-',
+            '<',
+            '>',
+            '=',
+            '\'',
+            '"',
+            '%',
+            '_',
+            '.',
+            '[',
+            ']',
+            '!',
+            '|',
+            '\\',
+            'é',
+            'λ',
+            '旁',
+            '\u{1F600}',
+        ];
+        POOL[rng.gen_range(0..POOL.len())]
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection` — vector strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `proptest::option` — optional values.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `None` or `Some` of the inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::rc_strategy($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::rc_strategy($strategy))),+
+        ])
+    };
+}
+
+/// Fallible assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)*), left, right),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each inner `#[test] fn name(arg in strategy, …)`
+/// runs `cases` times with generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand $config; $($rest)*);
+    };
+    (@expand $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\ninputs: {:?}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..5, y in 0.5f64..2.0) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u8..3, 0.1f64..1.0), 1..=4),
+            o in crate::option::of(prop_oneof![1 => Just(1i64), 2 => 5i64..9]),
+            s in "\\PC{0,10}",
+        ) {
+            prop_assert!((1..=4).contains(&v.len()));
+            if let Some(x) = o {
+                prop_assert!(x == 1 || (5..9).contains(&x), "got {x}");
+            }
+            prop_assert!(s.chars().count() <= 10);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn prop_map_and_clone_work() {
+        let base = prop_oneof![Just("x"), Just("y")];
+        let upper = base.clone().prop_map(|s| s.to_uppercase());
+        let mut rng = crate::test_runner::TestRng::deterministic("clone");
+        for _ in 0..10 {
+            let v = upper.generate(&mut rng);
+            assert!(v == "X" || v == "Y");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            @expand ProptestConfig::with_cases(4);
+            fn inner(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

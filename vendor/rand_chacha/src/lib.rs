@@ -1,0 +1,45 @@
+//! Offline stand-in for `rand_chacha`: exposes a [`ChaCha8Rng`] name backed
+//! by the vendored deterministic generator. Callers only rely on the type
+//! being a seedable, reproducible [`rand::RngCore`]; they do not depend on
+//! the actual ChaCha stream, so the xoshiro-based state is a faithful
+//! substitute for every use in this workspace (seeded dataset generation and
+//! randomized tests).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng, Xoshiro256};
+
+/// Deterministic seedable generator standing in for the ChaCha8 stream
+/// cipher RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng(Xoshiro256);
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Domain-separate from StdRng so the two streams differ.
+        ChaCha8Rng(Xoshiro256::new(seed ^ 0xc8ac_8ac8_ac8a_c8ac))
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_distinct_from_stdrng() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = ChaCha8Rng::seed_from_u64(5);
+        let mut d = rand::rngs::StdRng::seed_from_u64(5);
+        assert_ne!(c.next_u64(), d.next_u64());
+        let _: f64 = c.gen_range(0.0..1.0);
+    }
+}
