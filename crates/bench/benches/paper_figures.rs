@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mv_bench::*;
 use mv_index::augmented::AugmentedObdd;
-use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout, QueryView};
 use mv_index::IntersectAlgorithm;
 use mv_mln::McSatSampler;
 use mv_obdd::{ConObddBuilder, SynthesisBuilder};
@@ -47,15 +47,17 @@ fn method_comparison(c: &mut Criterion, name: &str, students_of_advisor: bool) {
         let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
 
         // One benchmark per comparison backend, by construction: anything
-        // added to `comparison_backends()` is measured automatically.
-        for backend in comparison_backends() {
-            group.bench_with_input(BenchmarkId::new(backend.name(), n), &n, |b, _| {
+        // added to `comparison_backends()` is measured automatically. Each
+        // iteration evaluates the workload through a session, the same code
+        // path the figures harness times.
+        for selector in comparison_backends() {
+            let name = selector.instantiate().name();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
                 b.iter(|| {
-                    for q in &queries {
-                        engine
-                            .probability_with(&q.boolean(), backend.as_ref())
-                            .unwrap();
-                    }
+                    engine
+                        .session()
+                        .probabilities_with_backend(&queries, selector)
+                        .unwrap()
                 })
             });
         }
@@ -131,13 +133,13 @@ fn fig9_bench(c: &mut Criterion) {
         let q_obdd = SynthesisBuilder::new(builder.order())
             .from_lineage(&lin_q)
             .unwrap();
-        let q_probs = q_obdd.node_probabilities(prob_of);
+        let q_view = QueryView::new(&q_obdd, prob_of);
 
         group.bench_with_input(BenchmarkId::new("mv_intersect", n), &n, |b, _| {
-            b.iter(|| mv_intersect(&negated, &q_obdd, &q_probs, prob_of))
+            b.iter(|| mv_intersect(&negated, &q_view, prob_of))
         });
         group.bench_with_input(BenchmarkId::new("cc_mv_intersect", n), &n, |b, _| {
-            b.iter(|| cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of))
+            b.iter(|| cc_mv_intersect(&layout, &q_view))
         });
     }
     group.finish();

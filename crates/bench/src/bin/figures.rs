@@ -7,10 +7,17 @@
 //! ```
 //!
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `ablation`, `all`. Options: `--quick` (3 scaling points
-//! instead of 10, fewer queries), `--authors N` (size of the "full" dataset
-//! for fig1/fig10/fig11; default 10000), `--json PATH` (where to write the
+//! `fig10`, `fig11`, `session`, `ablation`, `all`. Options: `--quick` (3
+//! scaling points instead of 10, fewer queries), `--authors N` (size of the
+//! "full" dataset for fig1/fig10/fig11; default 10000), `--threads N`
+//! (worker threads for the exact-backend workloads of fig5/fig6 and the
+//! `session` smoke; default 1), `--json PATH` (where to write the
 //! machine-readable report; default `BENCH_figures.json`), `--no-json`.
+//!
+//! The fig5/fig6 rows and the `session` series include the shared
+//! OBDD-manager counters (nodes allocated, unique-table / apply-cache hit
+//! rates, peak node count), so cache reuse across queries is observable in
+//! `BENCH_figures.json`.
 //!
 //! Besides the human-readable tables on stdout, every run writes a
 //! machine-readable report with one series per figure. Dataset generation is
@@ -24,6 +31,7 @@ use mv_bench::*;
 struct Options {
     quick: bool,
     full_authors: usize,
+    threads: usize,
     json_path: Option<String>,
 }
 
@@ -67,13 +75,14 @@ impl Report {
 
 /// The sub-commands `main` accepts; anything else is an error, not a no-op.
 const KNOWN_FIGURES: &[&str] = &[
-    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "all",
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "session",
+    "ablation", "all",
 ];
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: figures [{}] [--quick] [--authors N] [--json PATH | --no-json]",
+        "usage: figures [{}] [--quick] [--authors N] [--threads N] [--json PATH | --no-json]",
         KNOWN_FIGURES.join("|")
     );
     std::process::exit(2);
@@ -90,6 +99,7 @@ fn main() {
     let mut opts = Options {
         quick: false,
         full_authors: 10_000,
+        threads: 1,
         json_path: Some("BENCH_figures.json".to_string()),
     };
     let mut i = 0;
@@ -102,6 +112,13 @@ fn main() {
                     .get(i)
                     .and_then(|a| a.parse().ok())
                     .unwrap_or_else(|| usage_error("--authors needs a number"));
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage_error("--threads needs a number"));
             }
             "--json" => {
                 i += 1;
@@ -147,10 +164,71 @@ fn main() {
     if wants("fig11") {
         report.add("fig11", fig10_fig11(&opts, true));
     }
+    if wants("session") {
+        report.add("session", session(&opts));
+    }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
     }
     report.write(&opts);
+}
+
+/// The parallel batch-session smoke: a 1-thread and an N-worker session
+/// must agree exactly, and both expose the shared-manager counters.
+fn session(opts: &Options) -> Json {
+    let threads = opts.threads.max(2);
+    let queries = if opts.quick { 3 } else { 10 };
+    println!("== Session: parallel batch evaluation ({threads} workers) ==");
+    println!(
+        "{:>10} {:>9} {:>16} {:>14} {:>12} {:>12}",
+        "aid domain", "queries", "sequential (s)", "parallel (s)", "max |diff|", "mgr nodes"
+    );
+    let mut rows = Vec::new();
+    for n in scales(opts.quick) {
+        let p = session_smoke(n, queries, threads);
+        println!(
+            "{:>10} {:>9} {:>16.6} {:>14.6} {:>12.2e} {:>12}",
+            p.num_authors,
+            p.num_queries,
+            secs(p.sequential),
+            secs(p.parallel),
+            p.max_abs_diff,
+            p.manager.nodes_allocated
+        );
+        let mut row = Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("threads", Json::from(p.threads)),
+            ("num_queries", Json::from(p.num_queries)),
+            ("sequential_s", Json::from(secs(p.sequential))),
+            ("parallel_s", Json::from(secs(p.parallel))),
+            ("max_abs_diff", Json::from(p.max_abs_diff)),
+        ]);
+        row.push("manager", manager_stats_json(&p.manager));
+        rows.push(row);
+    }
+    println!();
+    Json::arr(rows)
+}
+
+/// Serializes shared-OBDD-manager counters for the machine-readable report.
+fn manager_stats_json(s: &mv_obdd::ManagerStats) -> Json {
+    Json::obj([
+        ("nodes_allocated", Json::from(s.nodes_allocated)),
+        ("peak_nodes", Json::from(s.peak_nodes)),
+        ("unique_hits", Json::from(s.unique_hits)),
+        ("unique_misses", Json::from(s.unique_misses)),
+        ("unique_hit_rate", Json::from(s.unique_hit_rate())),
+        ("apply_cache_hits", Json::from(s.apply_cache_hits)),
+        ("apply_cache_misses", Json::from(s.apply_cache_misses)),
+        ("apply_cache_hit_rate", Json::from(s.apply_cache_hit_rate())),
+        ("prob_cache_hits", Json::from(s.prob_cache_hits)),
+        ("prob_cache_misses", Json::from(s.prob_cache_misses)),
+        ("prob_cache_hit_rate", Json::from(s.prob_cache_hit_rate())),
+        ("cache_evictions", Json::from(s.cache_evictions)),
+        // Deep copies between managers; 0 means the apply/concat paths
+        // stayed inside shared arenas for the whole workload.
+        ("imported_nodes", Json::from(s.imported_nodes)),
+    ])
 }
 
 fn ablations(opts: &Options) -> Json {
@@ -346,19 +424,23 @@ fn method_timings_json(t: &MethodTimings) -> Json {
     for b in &t.backends {
         row.push(format!("{}_s", b.name), Json::from(secs(b.total)));
     }
+    row.push("manager", manager_stats_json(&t.manager));
     row
 }
 
 fn method_comparison(opts: &Options, label: &str, advisor_of_student: bool) -> Json {
     let queries = if opts.quick { 2 } else { 5 };
-    println!("== {label} ({queries} queries per point) ==");
+    println!(
+        "== {label} ({queries} queries per point, {} session worker(s)) ==",
+        opts.threads.max(1)
+    );
     let mut rows = Vec::new();
     let mut header_printed = false;
     for n in scales(opts.quick) {
         let t = if advisor_of_student {
-            fig5_advisor_of_student(n, queries)
+            fig5_advisor_of_student(n, queries, opts.threads)
         } else {
-            fig6_students_of_advisor(n, queries)
+            fig6_students_of_advisor(n, queries, opts.threads)
         };
         if !header_printed {
             print_method_header(&t);

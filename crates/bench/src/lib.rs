@@ -32,12 +32,12 @@ pub mod json;
 
 use std::time::{Duration, Instant};
 
-use mv_core::backend::{Backend, MvIndexBackend, ObddPerQuery};
-use mv_core::MvdbEngine;
+use mv_core::backend::MvIndexBackend;
+use mv_core::{EngineBackend, MvdbEngine};
 use mv_dblp::{DblpConfig, DblpDataset};
 use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_mln::{McSatConfig, McSatSampler};
-use mv_obdd::{ConObddBuilder, Obdd, SynthesisBuilder};
+use mv_obdd::{ConObddBuilder, ManagerStats, Obdd, SynthesisBuilder};
 use mv_pdb::{InDb, TupleId};
 use mv_query::lineage::{lineage, Lineage};
 use mv_query::{parse_ucq, Ucq};
@@ -131,6 +131,11 @@ pub struct MethodTimings {
     /// comparable to numbers produced before this change; per-answer
     /// enumeration timings live in the Figure 10/11 harness instead.
     pub backends: Vec<BackendTiming>,
+    /// Shared-OBDD-manager counters accumulated by the MV-index backend's
+    /// workload run (worker query shards plus the index manager): node
+    /// allocations, unique-table / apply-memo / probability-cache hit
+    /// rates, and the peak node count.
+    pub manager: ManagerStats,
 }
 
 /// Configuration of the MC-SAT baseline used by Figures 5–6.
@@ -143,41 +148,52 @@ pub fn baseline_mcsat_config() -> McSatConfig {
     }
 }
 
-/// The exact backends the Figure 5/6 comparison runs, constructed through
-/// the [`Backend`] trait. Adding a strategy to the comparison is one line
-/// here — the harness, the `figures` binary and the Criterion benches all
-/// iterate this list.
-pub fn comparison_backends() -> Vec<Box<dyn Backend>> {
-    vec![Box::new(ObddPerQuery), Box::new(MvIndexBackend::default())]
+/// The exact backend selectors the Figure 5/6 comparison runs. Adding a
+/// strategy to the comparison is one line here — the harness, the `figures`
+/// binary and the Criterion benches all iterate this list.
+pub fn comparison_backends() -> Vec<EngineBackend> {
+    vec![
+        EngineBackend::ObddPerQuery,
+        EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
+    ]
 }
 
-/// Times each backend on the Boolean probability of every workload query,
-/// dispatching through the [`Backend`] trait.
+/// Times each backend on the Boolean probability of every workload query
+/// through an [`MvdbSession`](mv_core::MvdbSession): one shared evaluation
+/// context per backend run (so query diagrams are hash-consed across the
+/// workload, never deep-copied), split across `threads` workers when
+/// `threads > 1`. Returns the per-backend timings together with the
+/// manager counters of the MV-index run.
 pub fn time_backends(
     engine: &MvdbEngine,
     queries: &[Ucq],
-    backends: &[Box<dyn Backend>],
-) -> Vec<BackendTiming> {
-    backends
+    backends: &[EngineBackend],
+    threads: usize,
+) -> (Vec<BackendTiming>, ManagerStats) {
+    let session = engine.session().with_threads(threads);
+    let mut manager = ManagerStats::default();
+    let timings = backends
         .iter()
-        .map(|backend| {
+        .map(|&selector| {
+            let name = selector.instantiate().name();
             let t = Instant::now();
-            for q in queries {
-                engine
-                    .probability_with(&q.boolean(), backend.as_ref())
-                    .expect("backend evaluates");
+            session
+                .probabilities_with_backend(queries, selector)
+                .expect("backend evaluates");
+            let total = t.elapsed();
+            if matches!(selector, EngineBackend::MvIndex(_)) {
+                manager = session.last_manager_stats();
             }
-            BackendTiming {
-                name: backend.name(),
-                total: t.elapsed(),
-            }
+            BackendTiming { name, total }
         })
-        .collect()
+        .collect();
+    (timings, manager)
 }
 
 /// Runs one scaling point of Figure 5 (`advisor of a student X`) or
-/// Figure 6 (`students of an advisor Y`), depending on `queries`.
-pub fn run_method_comparison(data: &DblpDataset, queries: &[Ucq]) -> MethodTimings {
+/// Figure 6 (`students of an advisor Y`), depending on `queries`, spreading
+/// the exact-backend workload over `threads` session workers.
+pub fn run_method_comparison(data: &DblpDataset, queries: &[Ucq], threads: usize) -> MethodTimings {
     // --- MC-SAT baseline (Alchemy stand-in) --------------------------------
     let t0 = Instant::now();
     let ground = data.mvdb.to_ground_mln().expect("grounding succeeds");
@@ -199,7 +215,7 @@ pub fn run_method_comparison(data: &DblpDataset, queries: &[Ucq]) -> MethodTimin
     let t2 = Instant::now();
     let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
     let index_compile = t2.elapsed();
-    let backends = time_backends(&engine, queries, &comparison_backends());
+    let (backends, manager) = time_backends(&engine, queries, &comparison_backends(), threads);
 
     MethodTimings {
         num_authors: data.config.num_authors,
@@ -207,25 +223,34 @@ pub fn run_method_comparison(data: &DblpDataset, queries: &[Ucq]) -> MethodTimin
         alchemy_sampling,
         index_compile,
         backends,
+        manager,
     }
 }
 
 /// Figure 5: *find the advisor of a student X*.
-pub fn fig5_advisor_of_student(num_authors: usize, num_queries: usize) -> MethodTimings {
+pub fn fig5_advisor_of_student(
+    num_authors: usize,
+    num_queries: usize,
+    threads: usize,
+) -> MethodTimings {
     let data = dataset_v1v2(num_authors);
     let queries = data
         .advisor_of_student_workload(num_queries)
         .expect("workload");
-    run_method_comparison(&data, &queries)
+    run_method_comparison(&data, &queries, threads)
 }
 
 /// Figure 6: *find all students of an advisor Y*.
-pub fn fig6_students_of_advisor(num_authors: usize, num_queries: usize) -> MethodTimings {
+pub fn fig6_students_of_advisor(
+    num_authors: usize,
+    num_queries: usize,
+    threads: usize,
+) -> MethodTimings {
     let data = dataset_v1v2(num_authors);
     let queries = data
         .students_of_advisor_workload(num_queries)
         .expect("workload");
-    run_method_comparison(&data, &queries)
+    run_method_comparison(&data, &queries, threads)
 }
 
 /// One row of the Figures 7–8 series.
@@ -299,7 +324,7 @@ pub fn worst_case_lineage(indb: &InDb, order: &mv_obdd::VarOrder, k: usize) -> L
 /// Figure 9: MVIntersect vs CC-MVIntersect on the worst-case query.
 pub fn fig9_intersection(num_authors: usize, repetitions: usize) -> IntersectionPoint {
     use mv_index::augmented::AugmentedObdd;
-    use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+    use mv_index::intersect::{cc_mv_intersect, mv_intersect, CcLayout, QueryView};
 
     let data = dataset_v1v2(num_authors);
     let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
@@ -319,19 +344,19 @@ pub fn fig9_intersection(num_authors: usize, repetitions: usize) -> Intersection
     let q_obdd: Obdd = SynthesisBuilder::new(builder.order())
         .from_lineage(&lin_q)
         .expect("query OBDD");
-    let q_probs = q_obdd.node_probabilities(prob_of);
+    let q_view = QueryView::new(&q_obdd, prob_of);
 
     let t0 = Instant::now();
     let mut p1 = 0.0;
     for _ in 0..repetitions {
-        p1 = mv_intersect(&negated, &q_obdd, &q_probs, prob_of);
+        p1 = mv_intersect(&negated, &q_view, prob_of);
     }
     let mv_time = t0.elapsed() / repetitions as u32;
 
     let t1 = Instant::now();
     let mut p2 = 0.0;
     for _ in 0..repetitions {
-        p2 = cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of);
+        p2 = cc_mv_intersect(&layout, &q_view);
     }
     let cc_time = t1.elapsed() / repetitions as u32;
     assert!(
@@ -469,7 +494,7 @@ pub struct BlockAblationPoint {
 /// query-relevant level (Proposition 3), which grows with the database.
 pub fn ablation_block_index(num_authors: usize, num_queries: usize) -> BlockAblationPoint {
     use mv_index::augmented::AugmentedObdd;
-    use mv_index::intersect::mv_intersect;
+    use mv_index::intersect::{mv_intersect, QueryView};
 
     let data = dataset_v1v2(num_authors);
     let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
@@ -499,8 +524,8 @@ pub fn ablation_block_index(num_authors: usize, num_queries: usize) -> BlockAbla
         let per_answer = mv_query::lineage::answer_lineages(q, indb).expect("lineages");
         for (_row, lin) in per_answer {
             let q_obdd = synth.from_lineage(&lin).expect("query OBDD");
-            let q_probs = q_obdd.node_probabilities(prob_of);
-            let joint = mv_intersect(&negated, &q_obdd, &q_probs, prob_of);
+            let q_view = QueryView::new(&q_obdd, prob_of);
+            let joint = mv_intersect(&negated, &q_view, prob_of);
             let _p = joint / not_w;
         }
     }
@@ -557,6 +582,77 @@ pub fn ablation_pi_order(num_authors: usize) -> PiAblationPoint {
         inferred: (inferred_time, inferred_builder.stats().syntheses),
         identity: (identity_time, identity_builder.stats().syntheses),
         sizes: (inferred_obdd.size(), identity_obdd.size()),
+    }
+}
+
+/// Result of the parallel-session smoke experiment.
+#[derive(Debug, Clone)]
+pub struct SessionPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Number of Boolean queries in the batch.
+    pub num_queries: usize,
+    /// Wall-clock time of the 1-thread session.
+    pub sequential: Duration,
+    /// Wall-clock time of the `threads`-worker session.
+    pub parallel: Duration,
+    /// Largest absolute difference between sequential and parallel results
+    /// (must stay below 1e-9: parallelism is a scheduling choice, never a
+    /// semantics choice).
+    pub max_abs_diff: f64,
+    /// Manager counters accumulated by the parallel run.
+    pub manager: ManagerStats,
+}
+
+/// Smoke-tests the `MvdbSession` batch API: evaluates the same workload
+/// through a 1-thread and an `threads`-worker session and compares results
+/// and wall-clock time. This is the figures-level proof that the shared
+/// manager refactor parallelises without changing any probability.
+pub fn session_smoke(num_authors: usize, num_queries: usize, threads: usize) -> SessionPoint {
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let mut queries = data
+        .students_of_advisor_workload(num_queries)
+        .expect("workload");
+    queries.extend(
+        data.advisor_of_student_workload(num_queries)
+            .expect("workload"),
+    );
+    let queries: Vec<Ucq> = queries.iter().map(|q| q.boolean()).collect();
+
+    let sequential_session = engine.session();
+    let t0 = Instant::now();
+    let sequential = sequential_session
+        .probabilities(&queries)
+        .expect("sequential batch");
+    let sequential_time = t0.elapsed();
+
+    let parallel_session = engine.session().with_threads(threads);
+    let t1 = Instant::now();
+    let parallel = parallel_session
+        .probabilities(&queries)
+        .expect("parallel batch");
+    let parallel_time = t1.elapsed();
+
+    let max_abs_diff = sequential
+        .iter()
+        .zip(&parallel)
+        .map(|(s, p)| (s - p).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_abs_diff < 1e-9,
+        "parallel sessions must match sequential results (diff {max_abs_diff})"
+    );
+    SessionPoint {
+        num_authors,
+        threads,
+        num_queries: queries.len(),
+        sequential: sequential_time,
+        parallel: parallel_time,
+        max_abs_diff,
+        manager: parallel_session.last_manager_stats(),
     }
 }
 
@@ -651,14 +747,19 @@ mod tests {
 
     #[test]
     fn method_comparison_runs_all_baselines() {
-        let t = fig5_advisor_of_student(150, 2);
+        let t = fig5_advisor_of_student(150, 2, 1);
         assert!(t.alchemy_total >= t.alchemy_sampling);
         let names: Vec<_> = t.backends.iter().map(|b| b.name).collect();
         assert_eq!(names, ["augmented-obdd", "mv-index/cc-mv-intersect"]);
         for b in &t.backends {
             assert!(b.total.as_nanos() > 0, "{} reported no time", b.name);
         }
-        let t = fig6_students_of_advisor(150, 2);
+        // The MV-index run reports shared-manager counters, and the whole
+        // workload ran without a single cross-manager deep copy.
+        assert!(t.manager.nodes_allocated > 0);
+        assert!(t.manager.unique_hits + t.manager.unique_misses > 0);
+        assert_eq!(t.manager.imported_nodes, 0, "apply path must not copy");
+        let t = fig6_students_of_advisor(150, 2, 2);
         assert!(t.alchemy_total.as_nanos() > 0);
     }
 
@@ -668,10 +769,21 @@ mod tests {
         let engine = compile_engine(&data, IntersectAlgorithm::CcMvIntersect);
         let queries = data.advisor_of_student_workload(2).expect("workload");
         let backends = comparison_backends();
-        let timings = time_backends(&engine, &queries, &backends);
+        let (timings, manager) = time_backends(&engine, &queries, &backends, 1);
         assert_eq!(timings.len(), backends.len());
-        for (timing, backend) in timings.iter().zip(&backends) {
-            assert_eq!(timing.name, backend.name());
+        for (timing, selector) in timings.iter().zip(&backends) {
+            assert_eq!(timing.name, selector.instantiate().name());
         }
+        assert!(manager.peak_nodes > 0);
+    }
+
+    #[test]
+    fn session_smoke_agrees_across_thread_counts() {
+        let p = session_smoke(150, 2, 4);
+        assert_eq!(p.threads, 4);
+        assert!(p.num_queries >= 2);
+        assert!(p.max_abs_diff < 1e-9);
+        assert!(p.sequential.as_nanos() > 0 && p.parallel.as_nanos() > 0);
+        assert!(p.manager.nodes_allocated > 0);
     }
 }

@@ -55,11 +55,19 @@ impl Backend for MvIndexBackend {
     }
 
     /// One intersection per lineage — this is what makes `answers` a fast
-    /// path: no per-answer query re-evaluation.
+    /// path: no per-answer query re-evaluation. Query diagrams are built in
+    /// the context's manager shard, so the per-answer loop (and any batch
+    /// session reusing the context) shares nodes and memo entries across
+    /// lineages.
     fn lineage_probability(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> Option<Result<f64>> {
         Some(match ctx.index().ok_or(CoreError::MissingIndex) {
             Ok(index) => index
-                .conditional_probability(lineage, ctx.indb(), self.algorithm)
+                .conditional_probability_in(
+                    ctx.query_manager(),
+                    lineage,
+                    ctx.indb(),
+                    self.algorithm,
+                )
                 .map_err(Into::into),
             Err(e) => Err(e),
         })

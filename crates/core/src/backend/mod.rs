@@ -20,8 +20,10 @@
 use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use mv_index::{IntersectAlgorithm, MvIndex};
+use mv_obdd::{ManagerStats, ObddManager, PiOrder};
 use mv_pdb::{InDb, Row};
 use mv_query::eval::EvalContext as QueryEvalContext;
 use mv_query::lineage::{answer_lineages, lineage_with, Lineage};
@@ -59,6 +61,7 @@ pub struct EvalContext<'a> {
     query_ctx: QueryEvalContext<'a>,
     w_lineage: OnceCell<Lineage>,
     scalars: RefCell<HashMap<&'static str, f64>>,
+    query_manager: OnceCell<ObddManager>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -70,6 +73,7 @@ impl<'a> EvalContext<'a> {
             query_ctx: QueryEvalContext::new(translated.indb().database()),
             w_lineage: OnceCell::new(),
             scalars: RefCell::new(HashMap::new()),
+            query_manager: OnceCell::new(),
         }
     }
 
@@ -119,6 +123,37 @@ impl<'a> EvalContext<'a> {
             let _ = self.w_lineage.set(lineage);
         }
         Ok(self.w_lineage.get())
+    }
+
+    /// The context's query-side [`ObddManager`] *shard*, created lazily over
+    /// the index's variable order (or the identity `π` order when no index
+    /// was compiled). Every query diagram built through this context shares
+    /// it, so repeated lineages hit the unique table and apply memo instead
+    /// of rebuilding — and each context (hence each session worker thread)
+    /// owns its own shard, so parallel evaluation never contends on
+    /// query-side writes.
+    pub fn query_manager(&self) -> &ObddManager {
+        self.query_manager.get_or_init(|| match self.index {
+            Some(index) => index.query_manager(),
+            None => ObddManager::new(Arc::new(PiOrder::identity().tuple_order(self.indb()))),
+        })
+    }
+
+    /// Counters of this context's query-side manager shard alone (zero when
+    /// no query diagram was built yet).
+    pub fn query_manager_stats(&self) -> ManagerStats {
+        self.query_manager
+            .get()
+            .map(ObddManager::stats)
+            .unwrap_or_default()
+    }
+
+    /// Combined manager counters attributable to this context: its own
+    /// query-shard stats, plus the shared index manager's stats when an
+    /// index is attached.
+    pub fn manager_stats(&self) -> ManagerStats {
+        let index = self.index.map(|i| i.manager_stats()).unwrap_or_default();
+        self.query_manager_stats() + index
     }
 
     /// Computes a scalar once per context under a caller-chosen key

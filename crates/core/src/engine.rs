@@ -79,6 +79,18 @@ impl MvdbEngine {
         self.index.prob_w()
     }
 
+    /// The intersection algorithm chosen at compile time.
+    pub fn intersect_algorithm(&self) -> IntersectAlgorithm {
+        self.algorithm
+    }
+
+    /// A batch-evaluation session over this engine: evaluate a slice of
+    /// queries with shared per-session state, optionally across worker
+    /// threads (see [`MvdbSession`](crate::MvdbSession)).
+    pub fn session(&self) -> crate::MvdbSession<'_> {
+        crate::MvdbSession::new(self)
+    }
+
     /// An evaluation context over this engine's translated database and
     /// compiled index, ready to hand to any [`Backend`].
     pub fn context(&self) -> EvalContext<'_> {

@@ -23,6 +23,10 @@
 //!   compiles `W` into an MV-index offline and answers queries online via
 //!   `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`, dispatching every
 //!   evaluation through the [`Backend`] trait.
+//! * [`session`] — [`MvdbSession`]: batch evaluation of many queries over
+//!   one engine, sequentially through a shared evaluation context (query
+//!   diagrams hash-consed across the batch) or in parallel with scoped
+//!   threads and per-worker OBDD-manager shards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod mvdb;
+pub mod session;
 pub mod translate;
 pub mod view;
 
@@ -38,6 +43,7 @@ pub use backend::{Backend, EngineBackend, EvalContext};
 pub use engine::MvdbEngine;
 pub use error::CoreError;
 pub use mvdb::{Mvdb, MvdbBuilder};
+pub use session::MvdbSession;
 pub use translate::TranslatedIndb;
 pub use view::{MarkoView, WeightExpr};
 

@@ -10,6 +10,11 @@
 //! Together they allow the probability of `X_i ∧ Φ` to be computed from the
 //! nodes labelled `X_i` alone (`Σ_j u_j.reachability · p · v_j.probUnder`)
 //! when those nodes form a cut of the diagram.
+//!
+//! Since diagrams are handles into a shared [`mv_obdd::ObddManager`] arena,
+//! both annotations are stored *sparsely* (per reachable node of this
+//! diagram), so an augmented block costs memory proportional to the block —
+//! not to the whole arena it shares with every other block.
 
 use std::collections::HashMap;
 
@@ -21,8 +26,8 @@ use mv_pdb::TupleId;
 #[derive(Debug, Clone)]
 pub struct AugmentedObdd {
     obdd: Obdd,
-    prob_under: Vec<f64>,
-    reachability: Vec<f64>,
+    prob_under: HashMap<NodeId, f64>,
+    reachability: HashMap<NodeId, f64>,
     intra: HashMap<TupleId, Vec<NodeId>>,
 }
 
@@ -30,10 +35,13 @@ impl AugmentedObdd {
     /// Annotates an OBDD with the probabilities of the given tuple-probability
     /// function (which may return negative values, Section 3.3).
     pub fn new(obdd: Obdd, prob_of: impl Fn(TupleId) -> f64 + Copy) -> Self {
-        let prob_under = obdd.node_probabilities(prob_of);
-        let reachability = compute_reachability(&obdd, prob_of);
+        // One traversal: the probability map's keys are exactly the
+        // reachable nodes plus the two sinks.
+        let prob_under = obdd.node_probabilities(prob_of).into_map();
+        let reachable: Vec<NodeId> = prob_under.keys().copied().collect();
+        let reachability = compute_reachability(&obdd, &reachable, prob_of);
         let mut intra: HashMap<TupleId, Vec<NodeId>> = HashMap::new();
-        for id in obdd.reachable_ids() {
+        for &id in &reachable {
             if let Some(tuple) = obdd.tuple_of(id) {
                 intra.entry(tuple).or_default().push(id);
             }
@@ -51,14 +59,14 @@ impl AugmentedObdd {
         &self.obdd
     }
 
-    /// `probUnder` of a node.
+    /// `probUnder` of a reachable node.
     pub fn prob_under(&self, id: NodeId) -> f64 {
-        self.prob_under[id as usize]
+        self.prob_under[&id]
     }
 
-    /// `reachability` of a node.
+    /// `reachability` of a reachable node.
     pub fn reachability(&self, id: NodeId) -> f64 {
-        self.reachability[id as usize]
+        self.reachability[&id]
     }
 
     /// The probability of the whole diagram (probUnder of the root).
@@ -78,7 +86,10 @@ impl AugmentedObdd {
 
     /// Number of reachable internal nodes.
     pub fn size(&self) -> usize {
-        self.obdd.size()
+        self.prob_under
+            .keys()
+            .filter(|&&id| id != TRUE && id != FALSE)
+            .count()
     }
 
     /// The fast path of Section 4.1: `P0(X ∧ Φ)` for a single variable `X`,
@@ -96,10 +107,11 @@ impl AugmentedObdd {
             return None;
         }
         let p = prob_of(tuple);
+        let arena = self.obdd.nodes();
         let sum: f64 = nodes
             .iter()
             .map(|&u| {
-                let hi = self.obdd.node(u).hi;
+                let hi = arena.node(u).hi;
                 self.reachability(u) * self.prob_under(hi)
             })
             .sum();
@@ -111,6 +123,7 @@ impl AugmentedObdd {
         let target: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
         // DFS from the root that stops at target nodes; if a sink is reached
         // the target set is not a cut.
+        let arena = self.obdd.nodes();
         let mut stack = vec![self.obdd.root()];
         let mut seen = std::collections::HashSet::new();
         while let Some(id) = stack.pop() {
@@ -123,7 +136,7 @@ impl AugmentedObdd {
             if id == TRUE || id == FALSE {
                 return false;
             }
-            let node = self.obdd.node(id);
+            let node = arena.node(id);
             stack.push(node.lo);
             stack.push(node.hi);
         }
@@ -132,25 +145,31 @@ impl AugmentedObdd {
 }
 
 /// Computes the reachability annotation: the probability mass of all paths
-/// from the root to each node. Nodes are processed top-down (increasing
-/// level), which is a valid order because every edge goes from a smaller
-/// level to a larger one (or to a sink).
-fn compute_reachability(obdd: &Obdd, prob_of: impl Fn(TupleId) -> f64) -> Vec<f64> {
-    let mut reach = vec![0.0; obdd.store_size()];
-    reach[obdd.root() as usize] = 1.0;
-    let mut ids: Vec<NodeId> = obdd
-        .reachable_ids()
-        .into_iter()
+/// from the root to each reachable node. Nodes are processed top-down
+/// (increasing level), which is a valid order because every edge goes from a
+/// smaller level to a larger one (or to a sink).
+fn compute_reachability(
+    obdd: &Obdd,
+    reachable: &[NodeId],
+    prob_of: impl Fn(TupleId) -> f64,
+) -> HashMap<NodeId, f64> {
+    let arena = obdd.nodes();
+    let order = obdd.order();
+    let mut reach: HashMap<NodeId, f64> = reachable.iter().map(|&id| (id, 0.0)).collect();
+    reach.insert(obdd.root(), 1.0);
+    let mut ids: Vec<NodeId> = reachable
+        .iter()
+        .copied()
         .filter(|&id| id != TRUE && id != FALSE)
         .collect();
-    ids.sort_by_key(|&id| obdd.node(id).level);
+    ids.sort_by_key(|&id| arena.level(id));
     for id in ids {
-        let node = obdd.node(id);
-        let tuple = obdd.tuple_of(id).expect("internal nodes have variables");
+        let node = arena.node(id);
+        let tuple = order.tuple_at(node.level);
         let p = prob_of(tuple);
-        let r = reach[id as usize];
-        reach[node.lo as usize] += r * (1.0 - p);
-        reach[node.hi as usize] += r * p;
+        let r = reach[&id];
+        *reach.entry(node.lo).or_insert(0.0) += r * (1.0 - p);
+        *reach.entry(node.hi).or_insert(0.0) += r * p;
     }
     reach
 }
@@ -158,7 +177,7 @@ fn compute_reachability(obdd: &Obdd, prob_of: impl Fn(TupleId) -> f64) -> Vec<f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mv_obdd::VarOrder;
+    use mv_obdd::{ObddManager, VarOrder};
     use std::sync::Arc;
 
     fn order(n: u32) -> Arc<VarOrder> {
@@ -167,9 +186,9 @@ mod tests {
 
     /// Φ = X0X1 ∨ X2 with all probabilities 0.5.
     fn sample() -> AugmentedObdd {
-        let ord = order(3);
-        let c1 = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(1)]).unwrap();
-        let c2 = Obdd::clause(Arc::clone(&ord), &[TupleId(2)]).unwrap();
+        let manager = ObddManager::new(order(3));
+        let c1 = manager.clause(&[TupleId(0), TupleId(1)]).unwrap();
+        let c2 = manager.clause(&[TupleId(2)]).unwrap();
         let obdd = c1.apply_or(&c2).unwrap();
         AugmentedObdd::new(obdd, |_| 0.5)
     }
@@ -227,6 +246,22 @@ mod tests {
         assert!((aug.probability() - (-1.0)).abs() < 1e-12);
         // Path masses still sum to one.
         assert!((aug.reachability(TRUE) + aug.reachability(FALSE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annotations_stay_sparse_in_a_shared_arena() {
+        // Two diagrams in one manager: each augmented view only pays for its
+        // own reachable nodes, not for the sibling's.
+        let manager = ObddManager::new(order(6));
+        let big = manager
+            .clause(&[TupleId(0), TupleId(1), TupleId(2), TupleId(3)])
+            .unwrap();
+        let small = manager.clause(&[TupleId(4), TupleId(5)]).unwrap();
+        let aug_small = AugmentedObdd::new(small.clone(), |_| 0.5);
+        assert_eq!(aug_small.size(), 2);
+        assert!(aug_small.size() < big.store_size() - 2);
+        assert_eq!(aug_small.prob_under.len(), 2 + 2); // nodes + sinks
+        let _ = big;
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use mv_obdd::conobdd::{ConObddBuilder, ConstructionStats};
 use mv_obdd::obdd::FALSE;
-use mv_obdd::{Obdd, PiOrder, SynthesisBuilder, VarOrder};
+use mv_obdd::{ManagerStats, Obdd, ObddManager, PiOrder, SynthesisBuilder, VarOrder};
 use mv_pdb::{InDb, TupleId, Value};
 use mv_query::analysis::find_separator_over;
 use mv_query::lineage::Lineage;
@@ -29,7 +29,7 @@ use mv_query::rewrite::separator_domain;
 use mv_query::{ConjunctiveQuery, Ucq};
 
 use crate::augmented::AugmentedObdd;
-use crate::intersect::{cc_mv_intersect, mv_intersect, CcLayout};
+use crate::intersect::{cc_mv_intersect, mv_intersect, CcLayout, QueryView};
 use crate::Result;
 
 /// Which intersection algorithm to use at query time (Section 4.3 / Fig. 9).
@@ -77,9 +77,15 @@ struct Block {
 }
 
 /// The compiled MV-index for a helper query `W`.
+///
+/// All block diagrams are handles into one shared [`ObddManager`] arena, so
+/// structure common to several blocks is stored once and negation/merging
+/// never copies node stores. The manager is read-mostly after compilation
+/// (multi-block queries append slice diagrams to it at query time) and can
+/// be shared across evaluation threads.
 #[derive(Debug, Clone)]
 pub struct MvIndex {
-    order: Arc<VarOrder>,
+    manager: ObddManager,
     blocks: Vec<Block>,
     inter: HashMap<TupleId, usize>,
     prob_not_w: f64,
@@ -97,7 +103,7 @@ impl MvIndex {
     /// Compiles the index for `W` under an explicit `π`.
     pub fn compile_with_pi(indb: &InDb, w: &Ucq, pi: &PiOrder) -> Result<MvIndex> {
         let mut builder = ConObddBuilder::new(indb, pi);
-        let order = builder.order();
+        let manager = builder.manager().clone();
         let prob_of = |t: TupleId| indb.probability(t);
         let boolean_w = w.boolean();
 
@@ -146,7 +152,7 @@ impl MvIndex {
 
         // Merge parts that (unexpectedly) share variables, so that blocks are
         // guaranteed independent.
-        let merged = merge_overlapping(raw, &order)?;
+        let merged = merge_overlapping(raw)?;
 
         let mut blocks = Vec::with_capacity(merged.len());
         let mut inter = HashMap::new();
@@ -177,7 +183,7 @@ impl MvIndex {
             construction: builder.stats(),
         };
         Ok(MvIndex {
-            order,
+            manager,
             blocks,
             inter,
             prob_not_w,
@@ -189,7 +195,7 @@ impl MvIndex {
     pub fn empty(indb: &InDb) -> MvIndex {
         let order = Arc::new(PiOrder::identity().tuple_order(indb));
         MvIndex {
-            order,
+            manager: ObddManager::new(order),
             blocks: Vec::new(),
             inter: HashMap::new(),
             prob_not_w: 1.0,
@@ -205,7 +211,18 @@ impl MvIndex {
 
     /// The variable order shared by the index and by query OBDDs.
     pub fn order(&self) -> Arc<VarOrder> {
-        Arc::clone(&self.order)
+        Arc::clone(self.manager.order())
+    }
+
+    /// The shared manager every block diagram of the index lives in.
+    pub fn manager(&self) -> &ObddManager {
+        &self.manager
+    }
+
+    /// Counters of the index-side manager (node allocations, unique-table
+    /// and apply/probability cache hit rates).
+    pub fn manager_stats(&self) -> ManagerStats {
+        self.manager.stats()
     }
 
     /// Index statistics.
@@ -260,9 +277,25 @@ impl MvIndex {
         self.blocks[block].variables.iter().copied()
     }
 
-    /// Builds the query-side OBDD for a lineage, in the index's order.
+    /// A fresh query-side manager *shard* over the index's variable order.
+    /// Give one to each evaluation context (or worker thread) and pass it to
+    /// the `_in` methods below so query diagrams are hash-consed and
+    /// memo-cached across queries without contending on the index arena.
+    pub fn query_manager(&self) -> ObddManager {
+        ObddManager::new(self.order())
+    }
+
+    /// Builds the query-side OBDD for a lineage, in the index's order (a
+    /// throwaway manager; see [`MvIndex::query_obdd_in`] for the shared
+    /// variant).
     pub fn query_obdd(&self, lineage: &Lineage) -> Result<Obdd> {
-        Ok(SynthesisBuilder::new(Arc::clone(&self.order)).from_lineage(lineage)?)
+        self.query_obdd_in(&self.query_manager(), lineage)
+    }
+
+    /// Builds the query-side OBDD for a lineage inside the given manager
+    /// shard, reusing nodes and apply-memo entries of earlier queries.
+    pub fn query_obdd_in(&self, manager: &ObddManager, lineage: &Lineage) -> Result<Obdd> {
+        Ok(SynthesisBuilder::with_manager(manager.clone()).from_lineage(lineage)?)
     }
 
     /// Computes `P0(Q ∧ ⋀_{k ∈ touched} ¬W_k)` restricted to the blocks the
@@ -271,13 +304,16 @@ impl MvIndex {
     /// product (their contribution is handled by the callers).
     fn intersect_touched(
         &self,
+        qman: &ObddManager,
         lineage: &Lineage,
         indb: &InDb,
         algo: IntersectAlgorithm,
     ) -> Result<(f64, BTreeSet<usize>)> {
         let prob_of = |t: TupleId| indb.probability(t);
-        let q_obdd = self.query_obdd(lineage)?;
-        let q_probs = q_obdd.node_probabilities(prob_of);
+        let q_obdd = self.query_obdd_in(qman, lineage)?;
+        // The shard's probability cache is keyed to the database weights, so
+        // sub-diagrams shared with earlier queries are not re-expanded.
+        let q_view = QueryView::new_cached(&q_obdd, prob_of);
 
         // Which blocks does the query touch?
         let touched: BTreeSet<usize> = lineage
@@ -287,25 +323,23 @@ impl MvIndex {
             .collect();
 
         if touched.is_empty() {
-            return Ok((q_probs[q_obdd.root() as usize], touched));
+            return Ok((q_view.root_prob(), touched));
         }
 
         if touched.len() == 1 {
             let block = &self.blocks[*touched.iter().next().unwrap()];
             let p = match algo {
-                IntersectAlgorithm::MvIntersect => {
-                    mv_intersect(&block.negated, &q_obdd, &q_probs, prob_of)
-                }
-                IntersectAlgorithm::CcMvIntersect => {
-                    cc_mv_intersect(&block.layout, &q_obdd, &q_probs, prob_of)
-                }
+                IntersectAlgorithm::MvIntersect => mv_intersect(&block.negated, &q_view, prob_of),
+                IntersectAlgorithm::CcMvIntersect => cc_mv_intersect(&block.layout, &q_view),
             };
             return Ok((p, touched));
         }
 
         // Several blocks are touched: combine their ¬W_k diagrams into one
         // slice (blocks are variable-disjoint, and usually level-disjoint so
-        // the combination is a linear concatenation).
+        // the combination is a linear concatenation; the slice lives in the
+        // shared index arena and is memoised there, so repeating queries hit
+        // the concat/apply memo instead of rebuilding).
         let mut slice: Option<Obdd> = None;
         let mut indices: Vec<usize> = touched.iter().copied().collect();
         indices.sort_by_key(|&i| {
@@ -317,22 +351,22 @@ impl MvIndex {
                 .unwrap_or(u32::MAX)
         });
         for i in indices {
-            let next = self.blocks[i].negated.obdd().clone();
+            let next = self.blocks[i].negated.obdd();
             slice = Some(match slice {
-                None => next,
-                Some(acc) => match acc.concat_and(&next) {
+                None => next.clone(),
+                Some(acc) => match acc.concat_and(next) {
                     Ok(r) => r,
-                    Err(_) => acc.apply_and(&next).map_err(crate::MvIndexError::from)?,
+                    Err(_) => acc.apply_and(next).map_err(crate::MvIndexError::from)?,
                 },
             });
         }
         let slice = slice.expect("touched is non-empty");
         let slice_aug = AugmentedObdd::new(slice, prob_of);
         let p = match algo {
-            IntersectAlgorithm::MvIntersect => mv_intersect(&slice_aug, &q_obdd, &q_probs, prob_of),
+            IntersectAlgorithm::MvIntersect => mv_intersect(&slice_aug, &q_view, prob_of),
             IntersectAlgorithm::CcMvIntersect => {
                 let layout = CcLayout::new(&slice_aug, prob_of);
-                cc_mv_intersect(&layout, &q_obdd, &q_probs, prob_of)
+                cc_mv_intersect(&layout, &q_view)
             }
         };
         Ok((p, touched))
@@ -351,10 +385,21 @@ impl MvIndex {
         indb: &InDb,
         algo: IntersectAlgorithm,
     ) -> Result<f64> {
+        self.prob_q_and_not_w_in(&self.query_manager(), lineage, indb, algo)
+    }
+
+    /// [`MvIndex::prob_q_and_not_w`] with an explicit query-manager shard.
+    pub fn prob_q_and_not_w_in(
+        &self,
+        qman: &ObddManager,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<f64> {
         if lineage.is_false() {
             return Ok(0.0);
         }
-        let (intersected, touched) = self.intersect_touched(lineage, indb, algo)?;
+        let (intersected, touched) = self.intersect_touched(qman, lineage, indb, algo)?;
         let mut p = intersected;
         for (i, block) in self.blocks.iter().enumerate() {
             if !touched.contains(&i) {
@@ -387,10 +432,24 @@ impl MvIndex {
         indb: &InDb,
         algo: IntersectAlgorithm,
     ) -> Result<f64> {
+        self.conditional_probability_in(&self.query_manager(), lineage, indb, algo)
+    }
+
+    /// [`MvIndex::conditional_probability`] with an explicit query-manager
+    /// shard — the production entry point: per-context (or per-thread)
+    /// shards make the per-answer loop and batch sessions reuse query-side
+    /// nodes and memo entries across lineages.
+    pub fn conditional_probability_in(
+        &self,
+        qman: &ObddManager,
+        lineage: &Lineage,
+        indb: &InDb,
+        algo: IntersectAlgorithm,
+    ) -> Result<f64> {
         if lineage.is_false() {
             return Ok(0.0);
         }
-        let (intersected, touched) = self.intersect_touched(lineage, indb, algo)?;
+        let (intersected, touched) = self.intersect_touched(qman, lineage, indb, algo)?;
         let mut denominator = 1.0;
         for &i in &touched {
             denominator *= self.blocks[i].prob_not_w;
@@ -401,7 +460,7 @@ impl MvIndex {
 
 /// Merges parts that share tuple variables, so that the final blocks are
 /// pairwise independent.
-fn merge_overlapping(raw: Vec<RawBlock>, order: &Arc<VarOrder>) -> Result<Vec<RawBlock>> {
+fn merge_overlapping(raw: Vec<RawBlock>) -> Result<Vec<RawBlock>> {
     let n = raw.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
@@ -471,7 +530,6 @@ fn merge_overlapping(raw: Vec<RawBlock>, order: &Arc<VarOrder>) -> Result<Vec<Ra
     }
     // Keep a deterministic order (by original position of the first member).
     out.sort_by_key(|(i, _)| *i);
-    let _ = order;
     Ok(out.into_iter().map(|(_, b)| b).collect())
 }
 

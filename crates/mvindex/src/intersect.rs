@@ -13,8 +13,16 @@
 //! * [`cc_mv_intersect`] — **CC-MVIntersect**: the same computation over a
 //!   cache-conscious layout: the index nodes are flattened into a DFS-ordered
 //!   vector and the memo table is a dense array indexed by
-//!   `(flat index position, query node)`, avoiding hash-map lookups and
-//!   pointer chasing.
+//!   `(flat index position, compact query position)`, avoiding hash-map
+//!   lookups and pointer chasing.
+//!
+//! Query diagrams live in shared [`mv_obdd::ObddManager`] arenas whose node
+//! ids are global, so both algorithms consume a [`QueryView`] — a compact,
+//! reachable-only flattening of the query OBDD with per-node sub-diagram
+//! probabilities. Building one is linear in the query diagram and keeps the
+//! dense memo of the cache-conscious path sized by
+//! `|index slice| × |query|`, independent of how many other diagrams share
+//! the arena.
 
 use std::collections::HashMap;
 
@@ -24,26 +32,175 @@ use mv_pdb::TupleId;
 
 use crate::augmented::AugmentedObdd;
 
+/// Compact position of the `false` sink in every flattened diagram form
+/// ([`QueryView`] and [`CcLayout`]).
+pub const QV_FALSE: u32 = u32::MAX;
+/// Compact position of the `true` sink in every flattened diagram form.
+pub const QV_TRUE: u32 = u32::MAX - 1;
+
+/// DFS pre-order (0-edge first) flattening of the internal nodes reachable
+/// from `root`: the visit order plus the `NodeId → compact position` map.
+/// Shared by [`QueryView`] and [`CcLayout`] so the two layouts cannot
+/// drift apart.
+fn flatten_pre_order(
+    root: NodeId,
+    arena: &mv_obdd::ObddNodes<'_>,
+) -> (Vec<NodeId>, HashMap<NodeId, u32>) {
+    let mut position: HashMap<NodeId, u32> = HashMap::new();
+    let mut visited: Vec<NodeId> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if id == TRUE || id == FALSE || position.contains_key(&id) {
+            continue;
+        }
+        position.insert(id, visited.len() as u32);
+        visited.push(id);
+        let node = arena.node(id);
+        // Push hi first so that lo is visited first (pre-order, 0-edge first).
+        stack.push(node.hi);
+        stack.push(node.lo);
+    }
+    (visited, position)
+}
+
+/// Maps an arena id to its compact position (sinks to the shared markers).
+fn compact_of(id: NodeId, position: &HashMap<NodeId, u32>) -> u32 {
+    match id {
+        TRUE => QV_TRUE,
+        FALSE => QV_FALSE,
+        other => position[&other],
+    }
+}
+
+/// One flattened query node.
+#[derive(Debug, Clone, Copy)]
+pub struct QvNode {
+    /// Level of the node's variable.
+    pub level: u32,
+    /// Compact position of the 0-child (or a sink marker).
+    pub lo: u32,
+    /// Compact position of the 1-child (or a sink marker).
+    pub hi: u32,
+    /// Probability of the node's variable.
+    pub p_var: f64,
+    /// Probability of the sub-diagram rooted at the node.
+    pub prob: f64,
+}
+
+/// A compact, reachable-only flattening of a query OBDD, annotated with
+/// variable and sub-diagram probabilities. Build once per lineage, reuse
+/// across every index block the query touches.
+#[derive(Debug, Clone)]
+pub struct QueryView {
+    nodes: Vec<QvNode>,
+    root: u32,
+}
+
+impl QueryView {
+    /// Flattens the reachable part of `query` (DFS pre-order, 0-edge first)
+    /// and computes the per-node Shannon-expansion probabilities from
+    /// scratch.
+    pub fn new(query: &Obdd, prob_of: impl Fn(TupleId) -> f64 + Copy) -> QueryView {
+        let probs = query.node_probabilities(prob_of);
+        Self::build(query, &probs, prob_of)
+    }
+
+    /// Like [`QueryView::new`], but per-node probabilities are served from
+    /// the query manager's weight-epoch cache — sub-diagrams shared with
+    /// earlier queries of the same shard are not re-expanded. `prob_of`
+    /// must be the weight function the manager's current epoch stands for.
+    pub fn new_cached(query: &Obdd, prob_of: impl Fn(TupleId) -> f64 + Copy) -> QueryView {
+        let probs = query.node_probabilities_cached(prob_of);
+        Self::build(query, &probs, prob_of)
+    }
+
+    fn build(
+        query: &Obdd,
+        probs: &mv_obdd::NodeProbs,
+        prob_of: impl Fn(TupleId) -> f64 + Copy,
+    ) -> QueryView {
+        let root = query.root();
+        if root == TRUE || root == FALSE {
+            return QueryView {
+                nodes: Vec::new(),
+                root: if root == TRUE { QV_TRUE } else { QV_FALSE },
+            };
+        }
+        let arena = query.nodes();
+        let order = query.order();
+        let (visited, position) = flatten_pre_order(root, &arena);
+        let nodes: Vec<QvNode> = visited
+            .iter()
+            .map(|&id| {
+                let node = arena.node(id);
+                QvNode {
+                    level: node.level,
+                    lo: compact_of(node.lo, &position),
+                    hi: compact_of(node.hi, &position),
+                    p_var: prob_of(order.tuple_at(node.level)),
+                    prob: probs.get(id),
+                }
+            })
+            .collect();
+        QueryView {
+            nodes,
+            root: position[&root],
+        }
+    }
+
+    /// The compact position of the root (possibly a sink marker).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The node at a compact position.
+    pub fn node(&self, v: u32) -> QvNode {
+        self.nodes[v as usize]
+    }
+
+    /// The probability of the sub-diagram at a compact position (sink
+    /// markers included).
+    pub fn prob(&self, v: u32) -> f64 {
+        match v {
+            QV_TRUE => 1.0,
+            QV_FALSE => 0.0,
+            other => self.nodes[other as usize].prob,
+        }
+    }
+
+    /// The probability of the whole query diagram.
+    pub fn root_prob(&self) -> f64 {
+        self.prob(self.root)
+    }
+
+    /// Number of flattened internal nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the query diagram is constant.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 /// Computes `P0(index ∧ query)` by guided traversal with hash-map
 /// memoisation (the MVIntersect algorithm).
-///
-/// `query_probs` must contain, for every node id of `query`, the probability
-/// of the sub-diagram rooted there (as produced by
-/// [`Obdd::node_probabilities`]).
 pub fn mv_intersect(
     index: &AugmentedObdd,
-    query: &Obdd,
-    query_probs: &[f64],
+    query: &QueryView,
     prob_of: impl Fn(TupleId) -> f64 + Copy,
 ) -> f64 {
     let w = index.obdd();
-    let mut memo: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    let w_arena = w.nodes();
+    let order = w.order();
+    let mut memo: HashMap<(NodeId, u32), f64> = HashMap::new();
 
     // Iterative two-phase traversal (expand / combine) to support very deep
     // index diagrams without recursion.
     enum Frame {
-        Expand(NodeId, NodeId),
-        Combine(NodeId, NodeId, f64),
+        Expand(NodeId, u32),
+        Combine(NodeId, u32, f64),
     }
     let mut stack = vec![Frame::Expand(w.root(), query.root())];
     let mut results: Vec<f64> = Vec::new();
@@ -55,24 +212,24 @@ pub fn mv_intersect(
                     continue;
                 }
                 // Terminal shortcuts.
-                if v == FALSE || u == FALSE {
+                if v == QV_FALSE || u == FALSE {
                     memo.insert((u, v), 0.0);
                     results.push(0.0);
                     continue;
                 }
-                if v == TRUE {
+                if v == QV_TRUE {
                     let p = index.prob_under(u);
                     memo.insert((u, v), p);
                     results.push(p);
                     continue;
                 }
                 if u == TRUE {
-                    let p = query_probs[v as usize];
+                    let p = query.prob(v);
                     memo.insert((u, v), p);
                     results.push(p);
                     continue;
                 }
-                let un = w.node(u);
+                let un = w_arena.node(u);
                 let vn = query.node(v);
                 let m = un.level.min(vn.level);
                 let (u0, u1) = if un.level == m {
@@ -85,8 +242,11 @@ pub fn mv_intersect(
                 } else {
                     (v, v)
                 };
-                let tuple = w.order().tuple_at(m);
-                let p_var = prob_of(tuple);
+                let p_var = if vn.level == m {
+                    vn.p_var
+                } else {
+                    prob_of(order.tuple_at(m))
+                };
                 stack.push(Frame::Combine(u, v, p_var));
                 stack.push(Frame::Expand(u1, v1));
                 stack.push(Frame::Expand(u0, v0));
@@ -118,9 +278,6 @@ struct CcNode {
     p_var: f64,
 }
 
-const CC_FALSE: u32 = u32::MAX;
-const CC_TRUE: u32 = u32::MAX - 1;
-
 /// A flattened, DFS-ordered copy of an augmented OBDD, ready for
 /// cache-conscious intersection. Build it once per index slice and reuse it
 /// across queries.
@@ -137,40 +294,21 @@ impl CcLayout {
         if w.root() == TRUE || w.root() == FALSE {
             return CcLayout {
                 nodes: Vec::new(),
-                root: if w.root() == TRUE { CC_TRUE } else { CC_FALSE },
+                root: if w.root() == TRUE { QV_TRUE } else { QV_FALSE },
             };
         }
-        // First pass: assign DFS pre-order positions.
-        let mut position: HashMap<NodeId, u32> = HashMap::new();
-        let mut order_of_visit: Vec<NodeId> = Vec::new();
-        let mut stack = vec![w.root()];
-        while let Some(id) = stack.pop() {
-            if id == TRUE || id == FALSE || position.contains_key(&id) {
-                continue;
-            }
-            position.insert(id, order_of_visit.len() as u32);
-            order_of_visit.push(id);
-            let node = w.node(id);
-            // Push hi first so that lo is visited first (pre-order, 0-edge first).
-            stack.push(node.hi);
-            stack.push(node.lo);
-        }
-        let translate = |id: NodeId, position: &HashMap<NodeId, u32>| -> u32 {
-            match id {
-                TRUE => CC_TRUE,
-                FALSE => CC_FALSE,
-                other => position[&other],
-            }
-        };
-        let nodes = order_of_visit
+        let arena = w.nodes();
+        let order = w.order();
+        let (visited, position) = flatten_pre_order(w.root(), &arena);
+        let nodes = visited
             .iter()
             .map(|&id| {
-                let node = w.node(id);
-                let tuple = w.tuple_of(id).expect("internal node");
+                let node = arena.node(id);
+                let tuple = order.tuple_at(node.level);
                 CcNode {
                     level: node.level,
-                    lo: translate(node.lo, &position),
-                    hi: translate(node.hi, &position),
+                    lo: compact_of(node.lo, &position),
+                    hi: compact_of(node.hi, &position),
                     prob_under: index.prob_under(id),
                     p_var: prob_of(tuple),
                 }
@@ -194,44 +332,49 @@ impl CcLayout {
 }
 
 /// Computes `P0(index ∧ query)` over a cache-conscious layout
-/// (the CC-MVIntersect algorithm).
-pub fn cc_mv_intersect(
-    layout: &CcLayout,
-    query: &Obdd,
-    query_probs: &[f64],
-    prob_of: impl Fn(TupleId) -> f64 + Copy,
-) -> f64 {
+/// (the CC-MVIntersect algorithm). Both operands are pre-flattened, so the
+/// traversal touches no locks and no hash maps — the memo is a dense
+/// `|layout| × |query|` array.
+pub fn cc_mv_intersect(layout: &CcLayout, query: &QueryView) -> f64 {
     // Constant index diagrams.
     if layout.is_empty() {
-        return if layout.root == CC_TRUE {
-            query_probs[query.root() as usize]
+        return if layout.root == QV_TRUE {
+            query.root_prob()
         } else {
             0.0
         };
     }
-    let q_size = query.store_size();
-    // Dense memo: rows are flattened index positions, columns query node ids.
+    if query.is_empty() {
+        return if query.root() == QV_TRUE {
+            layout.nodes[layout.root as usize].prob_under
+        } else {
+            0.0
+        };
+    }
+    let q_size = query.len();
+    // Dense memo: rows are flattened index positions, columns compact query
+    // positions.
     let mut memo = vec![f64::NAN; layout.len() * q_size];
 
     enum Frame {
-        Expand(u32, NodeId),
-        Combine(u32, NodeId, f64),
+        Expand(u32, u32),
+        Combine(u32, u32, f64),
     }
     let mut stack = vec![Frame::Expand(layout.root, query.root())];
     let mut results: Vec<f64> = Vec::new();
     while let Some(frame) = stack.pop() {
         match frame {
             Frame::Expand(u, v) => {
-                if v == FALSE || u == CC_FALSE {
+                if v == QV_FALSE || u == QV_FALSE {
                     results.push(0.0);
                     continue;
                 }
-                if u == CC_TRUE {
-                    results.push(query_probs[v as usize]);
+                if u == QV_TRUE {
+                    results.push(query.prob(v));
                     continue;
                 }
                 let un = layout.nodes[u as usize];
-                if v == TRUE {
+                if v == QV_TRUE {
                     results.push(un.prob_under);
                     continue;
                 }
@@ -253,14 +396,9 @@ pub fn cc_mv_intersect(
                 } else {
                     (v, v)
                 };
-                // The branching variable's probability is stored on the flat
-                // index node when it owns the level; when only the query
-                // tests this level, look it up through the shared order.
-                let p_var = if un.level == m {
-                    un.p_var
-                } else {
-                    prob_of(query.order().tuple_at(m))
-                };
+                // The branching variable's probability is stored on
+                // whichever flattened side owns the level.
+                let p_var = if un.level == m { un.p_var } else { vn.p_var };
                 stack.push(Frame::Combine(u, v, p_var));
                 stack.push(Frame::Expand(u1, v1));
                 stack.push(Frame::Expand(u0, v0));

@@ -28,6 +28,7 @@ use mv_query::lineage::lineage_with;
 use mv_query::rewrite::{separator_domain, simplify_cq, SimplifiedCq};
 use mv_query::{ConjunctiveQuery, Ucq};
 
+use crate::manager::ObddManager;
 use crate::obdd::Obdd;
 use crate::order::{PiOrder, VarOrder};
 use crate::synthesis::SynthesisBuilder;
@@ -45,21 +46,33 @@ pub struct ConstructionStats {
 }
 
 /// Builds OBDDs for UCQs using the concatenation-based construction.
+///
+/// Every diagram the builder produces — per-value parts, per-disjunct
+/// diagrams, lineage fallbacks — lives in the builder's shared
+/// [`ObddManager`], so combining them concatenates and synthesises in place
+/// without ever copying node stores.
 pub struct ConObddBuilder<'a> {
     indb: &'a InDb,
     ctx: EvalContext<'a>,
-    order: Arc<VarOrder>,
+    manager: ObddManager,
     stats: ConstructionStats,
 }
 
 impl<'a> ConObddBuilder<'a> {
-    /// Creates a builder over the order induced by the given `π`.
+    /// Creates a builder over the order induced by the given `π` (with a
+    /// fresh manager).
     pub fn new(indb: &'a InDb, pi: &PiOrder) -> Self {
         let order = Arc::new(pi.tuple_order(indb));
+        Self::with_manager(indb, ObddManager::new(order))
+    }
+
+    /// Creates a builder that constructs into an existing manager (whose
+    /// order must cover every probabilistic tuple the queries can touch).
+    pub fn with_manager(indb: &'a InDb, manager: ObddManager) -> Self {
         ConObddBuilder {
             indb,
             ctx: EvalContext::new(indb.database()),
-            order,
+            manager,
             stats: ConstructionStats::default(),
         }
     }
@@ -126,7 +139,12 @@ impl<'a> ConObddBuilder<'a> {
 
     /// The variable order used by this builder.
     pub fn order(&self) -> Arc<VarOrder> {
-        Arc::clone(&self.order)
+        Arc::clone(self.manager.order())
+    }
+
+    /// The shared manager every diagram of this builder lives in.
+    pub fn manager(&self) -> &ObddManager {
+        &self.manager
     }
 
     /// Construction statistics accumulated so far.
@@ -141,7 +159,7 @@ impl<'a> ConObddBuilder<'a> {
     }
 
     fn constant(&self, value: bool) -> Obdd {
-        Obdd::constant(Arc::clone(&self.order), value)
+        self.manager.constant(value)
     }
 
     /// Predicate telling probabilistic relations apart from deterministic
@@ -232,7 +250,7 @@ impl<'a> ConObddBuilder<'a> {
                 tuples.push(id);
             }
             self.stats.concatenations += tuples.len().saturating_sub(1);
-            return Obdd::clause(Arc::clone(&self.order), &tuples);
+            return self.manager.clause(&tuples);
         }
 
         // R2: independent components are combined one by one.
@@ -279,7 +297,7 @@ impl<'a> ConObddBuilder<'a> {
         self.stats.lineage_fallbacks += 1;
         let lin = lineage_with(&ucq, self.indb, &self.ctx)?;
         self.stats.syntheses += lin.num_clauses().saturating_sub(1);
-        SynthesisBuilder::new(Arc::clone(&self.order)).from_lineage(&lin)
+        SynthesisBuilder::with_manager(self.manager.clone()).from_lineage(&lin)
     }
 
     /// Disjunction of many parts: concatenate if the level ranges line up,
@@ -288,7 +306,7 @@ impl<'a> ConObddBuilder<'a> {
         if parts.is_empty() {
             return Ok(self.constant(false));
         }
-        match Obdd::concat_many_or(Arc::clone(&self.order), &parts) {
+        match Obdd::concat_many_or(self.order(), &parts) {
             Ok(obdd) => {
                 self.stats.concatenations += parts.len().saturating_sub(1);
                 Ok(obdd)

@@ -1,0 +1,941 @@
+//! The shared, hash-consed OBDD node manager.
+//!
+//! An [`ObddManager`] owns a single append-only arena of `(level, lo, hi)`
+//! nodes together with the global *unique table* that hash-conses them: a
+//! given `(level, lo, hi)` triple exists at most once per manager, so
+//! structurally identical sub-diagrams are shared by **every** diagram built
+//! in the manager — across views, across blocks of the MV-index, and across
+//! queries. An [`Obdd`](crate::Obdd) is just a cheap `{manager, root}`
+//! handle; cloning one never copies nodes.
+//!
+//! Besides the arena the manager keeps four persistent caches:
+//!
+//! * the **unique table** (`(level, lo, hi) → NodeId`) — canonicity;
+//! * the **apply memo** (`(op, a, b) → NodeId`, operands normalised for
+//!   commutativity) — repeated synthesis steps are O(1);
+//! * the **negate / concat memos** — negation and concatenation rebuild a
+//!   node at most once per (node, redirect target);
+//! * the **probability cache** (`NodeId → f64`, keyed by the manager's
+//!   *weight epoch*) — Shannon-expansion probabilities are computed once per
+//!   node and reused by every diagram sharing that node, until
+//!   [`ObddManager::bump_weight_epoch`] declares the tuple weights changed.
+//!
+//! # Memory model
+//!
+//! The arena is **append-only**: nodes are never mutated or freed while the
+//! manager is alive, which is what makes handles cheap and lets concurrent
+//! readers traverse diagrams lock-free of each other (a [`std::sync::RwLock`]
+//! guards growth; read-only operations take a shared guard once per
+//! operation, not per node). Unreachable nodes are reclaimed only when the
+//! last handle drops the manager. The unique table grows with the arena and
+//! is never evicted (evicting it would break canonicity); the apply/concat
+//! memos are bounded — when they exceed [`ObddManager::MEMO_CAPACITY`]
+//! entries they are cleared wholesale and the eviction is counted in
+//! [`ManagerStats::cache_evictions`]. The probability cache is cleared
+//! whenever the weight epoch changes.
+//!
+//! Structural memo entries (apply/negate/concat) remain valid forever
+//! because they only reference immutable arena nodes; clearing them is a
+//! pure performance trade, never a correctness one.
+//!
+//! # Threading
+//!
+//! `ObddManager` is `Send + Sync`; handles can be shared across threads.
+//! Building operations serialise on the manager's write lock, so parallel
+//! workloads should give each worker its own manager *shard* (see
+//! `MvdbSession` in `mv-core`) and share only read-mostly managers such as
+//! the compiled MV-index. Combining diagrams from two different managers
+//! with equal variable orders transparently imports one side into the other
+//! — correct, but a copy; keep hot paths inside one manager.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
+
+use mv_pdb::TupleId;
+
+use crate::error::ObddError;
+use crate::obdd::{Obdd, ObddNode, FALSE, SINK_LEVEL, TRUE};
+use crate::order::VarOrder;
+use crate::{NodeId, Result};
+
+/// The two Boolean synthesis operators the apply memo distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BoolOp {
+    /// Disjunction.
+    Or,
+    /// Conjunction.
+    And,
+}
+
+impl BoolOp {
+    fn tag(self) -> u8 {
+        match self {
+            BoolOp::Or => 0,
+            BoolOp::And => 1,
+        }
+    }
+}
+
+/// Counters describing a manager's workload, exposed by
+/// [`ObddManager::stats`]. All counters are cumulative since the manager was
+/// created; rates are derived through [`ManagerStats::unique_hit_rate`] and
+/// [`ManagerStats::apply_cache_hit_rate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Internal nodes ever allocated in the arena (sinks excluded).
+    pub nodes_allocated: u64,
+    /// Largest arena size observed (sinks included). For a single manager
+    /// the arena is append-only, so this equals the current size; aggregated
+    /// stats ([`ManagerStats`] addition) keep the **maximum** over the
+    /// summed managers — the largest single arena, not a sum of peaks.
+    pub peak_nodes: u64,
+    /// `mk` calls answered by the unique table (an existing node was reused).
+    pub unique_hits: u64,
+    /// `mk` calls that allocated a fresh node.
+    pub unique_misses: u64,
+    /// Apply/negate/concat steps answered by a structural memo.
+    pub apply_cache_hits: u64,
+    /// Apply/negate/concat steps that had to compute a result node.
+    pub apply_cache_misses: u64,
+    /// Per-node probabilities served from the weight-epoch cache.
+    pub prob_cache_hits: u64,
+    /// Per-node probabilities computed and inserted into the cache.
+    pub prob_cache_misses: u64,
+    /// Times a structural memo overflowed [`ObddManager::MEMO_CAPACITY`] and
+    /// was cleared.
+    pub cache_evictions: u64,
+    /// Internal nodes copied into this arena from a *different* manager —
+    /// the only remaining deep-copy path. Zero on production pipelines,
+    /// which keep each diagram family inside one manager.
+    pub imported_nodes: u64,
+}
+
+impl ManagerStats {
+    /// Fraction of `mk` calls that reused an existing node (0 when no `mk`
+    /// calls were made).
+    pub fn unique_hit_rate(&self) -> f64 {
+        rate(self.unique_hits, self.unique_misses)
+    }
+
+    /// Fraction of apply/negate/concat steps answered by a memo.
+    pub fn apply_cache_hit_rate(&self) -> f64 {
+        rate(self.apply_cache_hits, self.apply_cache_misses)
+    }
+
+    /// Fraction of per-node probability lookups served from the cache.
+    pub fn prob_cache_hit_rate(&self) -> f64 {
+        rate(self.prob_cache_hits, self.prob_cache_misses)
+    }
+
+    /// The work done since an `earlier` snapshot of the *same* manager:
+    /// cumulative counters are subtracted (saturating), while `peak_nodes`
+    /// keeps the current value — a high-water mark has no meaningful delta.
+    pub fn since(&self, earlier: &ManagerStats) -> ManagerStats {
+        ManagerStats {
+            nodes_allocated: self.nodes_allocated.saturating_sub(earlier.nodes_allocated),
+            peak_nodes: self.peak_nodes,
+            unique_hits: self.unique_hits.saturating_sub(earlier.unique_hits),
+            unique_misses: self.unique_misses.saturating_sub(earlier.unique_misses),
+            apply_cache_hits: self
+                .apply_cache_hits
+                .saturating_sub(earlier.apply_cache_hits),
+            apply_cache_misses: self
+                .apply_cache_misses
+                .saturating_sub(earlier.apply_cache_misses),
+            prob_cache_hits: self.prob_cache_hits.saturating_sub(earlier.prob_cache_hits),
+            prob_cache_misses: self
+                .prob_cache_misses
+                .saturating_sub(earlier.prob_cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            imported_nodes: self.imported_nodes.saturating_sub(earlier.imported_nodes),
+        }
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl std::ops::Add for ManagerStats {
+    type Output = ManagerStats;
+
+    /// Aggregates counters across managers. Cumulative counters add;
+    /// `peak_nodes` takes the maximum (the largest single arena — summing
+    /// high-water marks of independent arenas has no physical meaning).
+    fn add(self, rhs: ManagerStats) -> ManagerStats {
+        ManagerStats {
+            nodes_allocated: self.nodes_allocated + rhs.nodes_allocated,
+            peak_nodes: self.peak_nodes.max(rhs.peak_nodes),
+            unique_hits: self.unique_hits + rhs.unique_hits,
+            unique_misses: self.unique_misses + rhs.unique_misses,
+            apply_cache_hits: self.apply_cache_hits + rhs.apply_cache_hits,
+            apply_cache_misses: self.apply_cache_misses + rhs.apply_cache_misses,
+            prob_cache_hits: self.prob_cache_hits + rhs.prob_cache_hits,
+            prob_cache_misses: self.prob_cache_misses + rhs.prob_cache_misses,
+            cache_evictions: self.cache_evictions + rhs.cache_evictions,
+            imported_nodes: self.imported_nodes + rhs.imported_nodes,
+        }
+    }
+}
+
+impl std::iter::Sum for ManagerStats {
+    fn sum<I: Iterator<Item = ManagerStats>>(iter: I) -> ManagerStats {
+        iter.fold(ManagerStats::default(), |a, b| a + b)
+    }
+}
+
+/// Everything behind the manager's lock.
+struct Store {
+    nodes: Vec<ObddNode>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    /// `(op tag, a, b) → result`, operands normalised (`a ≤ b`).
+    apply_memo: HashMap<(u8, NodeId, NodeId), NodeId>,
+    /// `node → ¬node` (sinks pre-seeded).
+    negate_memo: HashMap<NodeId, NodeId>,
+    /// `(and?, node, redirected sink target) → rebuilt node`.
+    concat_memo: HashMap<(bool, NodeId, NodeId), NodeId>,
+    /// Probabilities valid for the current [`Store::weight_epoch`].
+    prob_cache: HashMap<NodeId, f64>,
+    weight_epoch: u64,
+    stats: ManagerStats,
+}
+
+impl Store {
+    fn new() -> Store {
+        let nodes = vec![
+            ObddNode {
+                level: SINK_LEVEL,
+                lo: FALSE,
+                hi: FALSE,
+            },
+            ObddNode {
+                level: SINK_LEVEL,
+                lo: TRUE,
+                hi: TRUE,
+            },
+        ];
+        let mut negate_memo = HashMap::new();
+        negate_memo.insert(FALSE, TRUE);
+        negate_memo.insert(TRUE, FALSE);
+        Store {
+            nodes,
+            unique: HashMap::new(),
+            apply_memo: HashMap::new(),
+            negate_memo,
+            concat_memo: HashMap::new(),
+            prob_cache: HashMap::new(),
+            weight_epoch: 0,
+            stats: ManagerStats {
+                peak_nodes: 2,
+                ..ManagerStats::default()
+            },
+        }
+    }
+
+    fn node(&self, id: NodeId) -> ObddNode {
+        self.nodes[id as usize]
+    }
+
+    fn level(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].level
+    }
+
+    /// Creates (or reuses) a node, applying the standard reduction rules.
+    fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
+            self.stats.unique_hits += 1;
+            return id;
+        }
+        self.stats.unique_misses += 1;
+        self.stats.nodes_allocated += 1;
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(ObddNode { level, lo, hi });
+        self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len() as u64);
+        self.unique.insert((level, lo, hi), id);
+        id
+    }
+
+    /// Ids reachable from `root` (iterative DFS; includes sinks).
+    fn reachable(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            out.push(id);
+            if id != TRUE && id != FALSE {
+                let node = self.node(id);
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        out
+    }
+
+    fn level_range(&self, root: NodeId) -> Option<(u32, u32)> {
+        let mut min = None;
+        let mut max = None;
+        for id in self.reachable(root) {
+            let level = self.level(id);
+            if level == SINK_LEVEL {
+                continue;
+            }
+            min = Some(min.map_or(level, |m: u32| m.min(level)));
+            max = Some(max.map_or(level, |m: u32| m.max(level)));
+        }
+        Some((min?, max?))
+    }
+
+    /// Sink-level shortcuts of `apply`; `None` means both operands need
+    /// expansion. Sharing one arena lets non-sink operands short-circuit too
+    /// (`x ∨ x = x`).
+    fn apply_terminal(op: BoolOp, a: NodeId, b: NodeId) -> Option<NodeId> {
+        if a == b {
+            return Some(a);
+        }
+        match op {
+            BoolOp::Or => match (a, b) {
+                (TRUE, _) | (_, TRUE) => Some(TRUE),
+                (FALSE, x) | (x, FALSE) => Some(x),
+                _ => None,
+            },
+            BoolOp::And => match (a, b) {
+                (FALSE, _) | (_, FALSE) => Some(FALSE),
+                (TRUE, x) | (x, TRUE) => Some(x),
+                _ => None,
+            },
+        }
+    }
+
+    /// Classical synthesis inside one arena, memoised persistently.
+    fn apply(&mut self, op: BoolOp, a: NodeId, b: NodeId) -> NodeId {
+        enum Frame {
+            Expand(NodeId, NodeId),
+            Combine(NodeId, NodeId, u32),
+        }
+        let key = |u: NodeId, v: NodeId| (op.tag(), u.min(v), u.max(v));
+        let mut stack = vec![Frame::Expand(a, b)];
+        let mut results: Vec<NodeId> = Vec::new();
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Expand(u, v) => {
+                    if let Some(r) = Store::apply_terminal(op, u, v) {
+                        results.push(r);
+                        continue;
+                    }
+                    if let Some(&r) = self.apply_memo.get(&key(u, v)) {
+                        self.stats.apply_cache_hits += 1;
+                        results.push(r);
+                        continue;
+                    }
+                    let lu = self.level(u);
+                    let lv = self.level(v);
+                    let m = lu.min(lv);
+                    let (u0, u1) = if lu == m {
+                        (self.node(u).lo, self.node(u).hi)
+                    } else {
+                        (u, u)
+                    };
+                    let (v0, v1) = if lv == m {
+                        (self.node(v).lo, self.node(v).hi)
+                    } else {
+                        (v, v)
+                    };
+                    stack.push(Frame::Combine(u, v, m));
+                    stack.push(Frame::Expand(u1, v1));
+                    stack.push(Frame::Expand(u0, v0));
+                }
+                Frame::Combine(u, v, m) => {
+                    let r1 = results.pop().expect("hi result available");
+                    let r0 = results.pop().expect("lo result available");
+                    let r = self.mk(m, r0, r1);
+                    self.stats.apply_cache_misses += 1;
+                    self.apply_memo.insert(key(u, v), r);
+                    results.push(r);
+                }
+            }
+        }
+        self.maybe_evict();
+        results.pop().expect("apply produces a root")
+    }
+
+    /// Negation: rebuilds the reachable part bottom-up with the persistent
+    /// negate memo (children always have strictly larger levels).
+    fn negate(&mut self, root: NodeId) -> NodeId {
+        if let Some(&r) = self.negate_memo.get(&root) {
+            self.stats.apply_cache_hits += 1;
+            return r;
+        }
+        let mut ids = self.reachable(root);
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        for id in ids {
+            if self.negate_memo.contains_key(&id) {
+                self.stats.apply_cache_hits += 1;
+                continue;
+            }
+            let node = self.node(id);
+            let lo = self.negate_memo[&node.lo];
+            let hi = self.negate_memo[&node.hi];
+            let neg = self.mk(node.level, lo, hi);
+            self.stats.apply_cache_misses += 1;
+            self.negate_memo.insert(id, neg);
+            // Negation is an involution; record both directions.
+            self.negate_memo.entry(neg).or_insert(id);
+        }
+        self.negate_memo[&root]
+    }
+
+    /// Concatenation (Section 4.2): rebuilds the reachable part of `a`,
+    /// redirecting its `0`-sink (`and = false`) or `1`-sink (`and = true`)
+    /// to `b`. The nodes of `b` are reused as-is — sharing one arena is what
+    /// removed the old deep copy of the second operand.
+    fn concat(&mut self, and: bool, a: NodeId, b: NodeId) -> NodeId {
+        let (redirected, kept) = if and { (TRUE, FALSE) } else { (FALSE, TRUE) };
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        map.insert(redirected, b);
+        map.insert(kept, kept);
+        let mut ids = self.reachable(a);
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        for id in ids {
+            if id == TRUE || id == FALSE {
+                continue;
+            }
+            if let Some(&r) = self.concat_memo.get(&(and, id, b)) {
+                self.stats.apply_cache_hits += 1;
+                map.insert(id, r);
+                continue;
+            }
+            let node = self.node(id);
+            let lo = map[&node.lo];
+            let hi = map[&node.hi];
+            let rebuilt = self.mk(node.level, lo, hi);
+            self.stats.apply_cache_misses += 1;
+            self.concat_memo.insert((and, id, b), rebuilt);
+            map.insert(id, rebuilt);
+        }
+        self.maybe_evict();
+        map[&a]
+    }
+
+    /// Copies the reachable part of `src_root` (in `src`) into this store.
+    /// The only remaining copy path — used when combining diagrams from two
+    /// different managers with equal variable orders.
+    fn import(&mut self, src: &Store, src_root: NodeId) -> NodeId {
+        if src_root == TRUE || src_root == FALSE {
+            return src_root;
+        }
+        let mut ids = src.reachable(src_root);
+        ids.sort_by_key(|&id| std::cmp::Reverse(src.level(id)));
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        map.insert(FALSE, FALSE);
+        map.insert(TRUE, TRUE);
+        for id in ids {
+            if id == TRUE || id == FALSE {
+                continue;
+            }
+            let node = src.node(id);
+            let lo = map[&node.lo];
+            let hi = map[&node.hi];
+            let new_id = self.mk(node.level, lo, hi);
+            self.stats.imported_nodes += 1;
+            map.insert(id, new_id);
+        }
+        map[&src_root]
+    }
+
+    /// Bottom-up Shannon-expansion probabilities of every node reachable
+    /// from `root`, without touching the cache.
+    fn node_probs(
+        &self,
+        order: &VarOrder,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> HashMap<NodeId, f64> {
+        let mut ids = self.reachable(root);
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        let mut out: HashMap<NodeId, f64> = HashMap::with_capacity(ids.len() + 2);
+        out.insert(FALSE, 0.0);
+        out.insert(TRUE, 1.0);
+        for id in ids {
+            if id == TRUE || id == FALSE {
+                continue;
+            }
+            let node = self.node(id);
+            let p = prob_of(order.tuple_at(node.level));
+            let value = (1.0 - p) * out[&node.lo] + p * out[&node.hi];
+            out.insert(id, value);
+        }
+        out
+    }
+
+    /// Like [`Store::node_probs`] but served from / stored into the
+    /// weight-epoch probability cache. Callers must pass the probability
+    /// function the current epoch stands for.
+    fn node_probs_cached(
+        &mut self,
+        order: &VarOrder,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> HashMap<NodeId, f64> {
+        let mut ids = self.reachable(root);
+        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
+        let mut out: HashMap<NodeId, f64> = HashMap::with_capacity(ids.len() + 2);
+        out.insert(FALSE, 0.0);
+        out.insert(TRUE, 1.0);
+        for id in ids {
+            if id == TRUE || id == FALSE {
+                continue;
+            }
+            if let Some(&p) = self.prob_cache.get(&id) {
+                self.stats.prob_cache_hits += 1;
+                out.insert(id, p);
+                continue;
+            }
+            let node = self.node(id);
+            let p = prob_of(order.tuple_at(node.level));
+            let value = (1.0 - p) * out[&node.lo] + p * out[&node.hi];
+            self.stats.prob_cache_misses += 1;
+            self.prob_cache.insert(id, value);
+            out.insert(id, value);
+        }
+        out
+    }
+
+    /// Clears the bounded structural memos once they outgrow the cap.
+    fn maybe_evict(&mut self) {
+        if self.apply_memo.len() > ObddManager::MEMO_CAPACITY {
+            self.apply_memo = HashMap::new();
+            self.stats.cache_evictions += 1;
+        }
+        if self.concat_memo.len() > ObddManager::MEMO_CAPACITY {
+            self.concat_memo = HashMap::new();
+            self.stats.cache_evictions += 1;
+        }
+    }
+}
+
+struct Shared {
+    order: Arc<VarOrder>,
+    store: RwLock<Store>,
+}
+
+/// A shared, hash-consed OBDD node store over one [`VarOrder`]. Cloning is
+/// cheap (an `Arc` bump); all clones address the same arena.
+#[derive(Clone)]
+pub struct ObddManager {
+    shared: Arc<Shared>,
+}
+
+impl ObddManager {
+    /// Upper bound on the apply/concat memo sizes before they are cleared
+    /// (see the module-level memory model).
+    pub const MEMO_CAPACITY: usize = 1 << 20;
+
+    /// An empty manager over the given variable order.
+    pub fn new(order: Arc<VarOrder>) -> ObddManager {
+        ObddManager {
+            shared: Arc::new(Shared {
+                order,
+                store: RwLock::new(Store::new()),
+            }),
+        }
+    }
+
+    /// The variable order every diagram of this manager lives on.
+    pub fn order(&self) -> &Arc<VarOrder> {
+        &self.shared.order
+    }
+
+    /// `true` when both handles address the same arena.
+    pub fn same_store(&self, other: &ObddManager) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// Current arena size (internal nodes plus the two sinks).
+    pub fn num_nodes(&self) -> usize {
+        self.read().nodes.len()
+    }
+
+    /// A snapshot of the manager's counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.read().stats
+    }
+
+    /// The current weight epoch of the probability cache.
+    pub fn weight_epoch(&self) -> u64 {
+        self.read().weight_epoch
+    }
+
+    /// Declares that tuple weights changed: clears the per-node probability
+    /// cache and starts a new epoch. Structural caches survive (they do not
+    /// depend on weights).
+    pub fn bump_weight_epoch(&self) -> u64 {
+        let mut store = self.write();
+        store.prob_cache.clear();
+        store.weight_epoch += 1;
+        store.weight_epoch
+    }
+
+    /// The constant diagram `true` or `false`.
+    pub fn constant(&self, value: bool) -> Obdd {
+        Obdd::from_parts(self.clone(), if value { TRUE } else { FALSE })
+    }
+
+    /// The diagram of a single positive literal.
+    pub fn literal(&self, tuple: TupleId) -> Result<Obdd> {
+        let level = self
+            .shared
+            .order
+            .level_of(tuple)
+            .ok_or_else(|| ObddError::UnknownVariable(tuple.to_string()))?;
+        let root = self.write().mk(level, FALSE, TRUE);
+        Ok(Obdd::from_parts(self.clone(), root))
+    }
+
+    /// The diagram of a conjunction of positive literals (one DNF clause).
+    pub fn clause(&self, clause: &[TupleId]) -> Result<Obdd> {
+        let mut levels: Vec<u32> = clause
+            .iter()
+            .map(|&t| {
+                self.shared
+                    .order
+                    .level_of(t)
+                    .ok_or_else(|| ObddError::UnknownVariable(t.to_string()))
+            })
+            .collect::<Result<_>>()?;
+        levels.sort_unstable();
+        levels.dedup();
+        let mut store = self.write();
+        let mut child = TRUE;
+        for &level in levels.iter().rev() {
+            child = store.mk(level, FALSE, child);
+        }
+        drop(store);
+        Ok(Obdd::from_parts(self.clone(), child))
+    }
+
+    /// Scans the arena for canonicity violations: a duplicate
+    /// `(level, lo, hi)` triple, a redundant node with `lo == hi`, a child
+    /// whose level does not strictly exceed its parent's, or a unique-table
+    /// entry out of sync with the arena. Returns the first violation found.
+    pub fn canonicity_violation(&self) -> Option<String> {
+        let store = self.read();
+        let mut seen: HashMap<(u32, NodeId, NodeId), NodeId> = HashMap::new();
+        for (i, node) in store.nodes.iter().enumerate().skip(2) {
+            let id = i as NodeId;
+            if node.lo == node.hi {
+                return Some(format!("node {id} is redundant (lo == hi == {})", node.lo));
+            }
+            if let Some(&first) = seen.get(&(node.level, node.lo, node.hi)) {
+                return Some(format!(
+                    "nodes {first} and {id} duplicate ({}, {}, {})",
+                    node.level, node.lo, node.hi
+                ));
+            }
+            seen.insert((node.level, node.lo, node.hi), id);
+            for child in [node.lo, node.hi] {
+                if child as usize >= store.nodes.len() {
+                    return Some(format!("node {id} points past the arena ({child})"));
+                }
+                let child_level = store.level(child);
+                if child_level != SINK_LEVEL && child_level <= node.level {
+                    return Some(format!(
+                        "node {id} (level {}) has child {child} at level {child_level}",
+                        node.level
+                    ));
+                }
+            }
+            match store.unique.get(&(node.level, node.lo, node.hi)) {
+                Some(&u) if u == id => {}
+                other => return Some(format!("unique table maps node {id}'s triple to {other:?}")),
+            }
+        }
+        None
+    }
+
+    /// A read guard over the node arena for tight traversal loops; hold it
+    /// instead of calling [`Obdd::node`] per step.
+    pub fn nodes(&self) -> ObddNodes<'_> {
+        ObddNodes { guard: self.read() }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Store> {
+        self.shared
+            .store
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Store> {
+        self.shared
+            .store
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ---- crate-internal operations on roots -------------------------------
+
+    pub(crate) fn node_of(&self, id: NodeId) -> ObddNode {
+        self.read().node(id)
+    }
+
+    pub(crate) fn reachable_of(&self, root: NodeId) -> Vec<NodeId> {
+        self.read().reachable(root)
+    }
+
+    pub(crate) fn level_range_of(&self, root: NodeId) -> Option<(u32, u32)> {
+        self.read().level_range(root)
+    }
+
+    pub(crate) fn apply_roots(&self, op: BoolOp, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(r) = Store::apply_terminal(op, a, b) {
+            return r;
+        }
+        self.write().apply(op, a, b)
+    }
+
+    pub(crate) fn negate_root(&self, root: NodeId) -> NodeId {
+        self.write().negate(root)
+    }
+
+    pub(crate) fn concat_roots(&self, and: bool, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(r) = concat_trivial(and, a, b) {
+            return r;
+        }
+        self.write().concat(and, a, b)
+    }
+
+    /// Imports `root` of `other` into this manager (no-op for sinks or when
+    /// both handles share the arena).
+    pub(crate) fn import_root(&self, other: &ObddManager, root: NodeId) -> NodeId {
+        if self.same_store(other) || root == TRUE || root == FALSE {
+            return root;
+        }
+        // Lock order: write on the destination, then read on the source.
+        // Distinct managers, so this cannot self-deadlock; concurrent
+        // cross-imports in opposite directions are not supported (imports
+        // only happen on cold cross-manager fallbacks).
+        let mut dst = self.write();
+        let src = other.read();
+        dst.import(&src, root)
+    }
+
+    pub(crate) fn node_probs_of(
+        &self,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> HashMap<NodeId, f64> {
+        self.read().node_probs(&self.shared.order, root, prob_of)
+    }
+
+    pub(crate) fn node_probs_cached_of(
+        &self,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> HashMap<NodeId, f64> {
+        self.write()
+            .node_probs_cached(&self.shared.order, root, prob_of)
+    }
+}
+
+impl fmt::Debug for ObddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let store = self.read();
+        f.debug_struct("ObddManager")
+            .field("order_len", &self.shared.order.len())
+            .field("nodes", &store.nodes.len())
+            .field("weight_epoch", &store.weight_epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The one place the sink special cases of concatenation live (both
+/// `concat_or` and `concat_and` route through it): `None` means real
+/// rebuilding is required.
+pub(crate) fn concat_trivial(and: bool, a: NodeId, b: NodeId) -> Option<NodeId> {
+    let (identity, absorbing) = if and { (TRUE, FALSE) } else { (FALSE, TRUE) };
+    if a == identity {
+        // false ∨ b = b, true ∧ b = b.
+        return Some(b);
+    }
+    if a == absorbing {
+        // true ∨ b = true, false ∧ b = false.
+        return Some(a);
+    }
+    if b == identity {
+        // a ∨ false = a, a ∧ true = a: nothing to redirect.
+        return Some(a);
+    }
+    None
+}
+
+/// A read guard over a manager's arena. Holds the shared lock, so keep its
+/// lifetime to one traversal; do not call building operations on the same
+/// manager while it is alive.
+pub struct ObddNodes<'a> {
+    guard: RwLockReadGuard<'a, Store>,
+}
+
+impl ObddNodes<'_> {
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> ObddNode {
+        self.guard.node(id)
+    }
+
+    /// The level of a node ([`SINK_LEVEL`] for sinks).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.guard.level(id)
+    }
+
+    /// Current arena size.
+    pub fn len(&self) -> usize {
+        self.guard.nodes.len()
+    }
+
+    /// `true` when the arena holds only the two sinks.
+    pub fn is_empty(&self) -> bool {
+        self.guard.nodes.len() <= 2
+    }
+}
+
+/// Sparse per-node Shannon-expansion probabilities for one diagram: every
+/// node reachable from the root (sinks included) has an entry. Returned by
+/// [`Obdd::node_probabilities`]; sized by the *diagram*, not by the shared
+/// arena.
+#[derive(Debug, Clone)]
+pub struct NodeProbs {
+    map: HashMap<NodeId, f64>,
+}
+
+impl NodeProbs {
+    pub(crate) fn from_map(map: HashMap<NodeId, f64>) -> NodeProbs {
+        NodeProbs { map }
+    }
+
+    /// The probability of the sub-diagram rooted at `id`. Panics when `id`
+    /// was not reachable from the root the probabilities were computed for.
+    pub fn get(&self, id: NodeId) -> f64 {
+        self.map[&id]
+    }
+
+    /// Like [`NodeProbs::get`] without the reachability requirement.
+    pub fn try_get(&self, id: NodeId) -> Option<f64> {
+        self.map.get(&id).copied()
+    }
+
+    /// Consumes the probabilities as a plain map (keys: reachable nodes plus
+    /// the two sinks), for callers that store them long-term.
+    pub fn into_map(self) -> HashMap<NodeId, f64> {
+        self.map
+    }
+
+    /// Number of nodes covered (reachable nodes plus the two sinks).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no node is covered (never the case for valid diagrams).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(n: u32) -> Arc<VarOrder> {
+        Arc::new(VarOrder::from_tuples((0..n).map(TupleId)))
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes_across_diagrams() {
+        let m = ObddManager::new(order(4));
+        let a = m.clause(&[TupleId(1), TupleId(2)]).unwrap();
+        let b = m.clause(&[TupleId(1), TupleId(2)]).unwrap();
+        assert_eq!(a.root(), b.root());
+        let stats = m.stats();
+        assert!(stats.unique_hits >= 2, "second clause must hit the table");
+        assert_eq!(stats.nodes_allocated, 2);
+    }
+
+    #[test]
+    fn apply_memo_hits_on_repetition() {
+        let m = ObddManager::new(order(4));
+        let x = m.literal(TupleId(0)).unwrap();
+        let y = m.literal(TupleId(3)).unwrap();
+        let first = x.apply_or(&y).unwrap();
+        let before = m.stats().apply_cache_hits;
+        let second = x.apply_or(&y).unwrap();
+        assert_eq!(first.root(), second.root());
+        assert!(m.stats().apply_cache_hits > before);
+    }
+
+    #[test]
+    fn negate_is_a_memoised_involution() {
+        let m = ObddManager::new(order(3));
+        let c = m.clause(&[TupleId(0), TupleId(2)]).unwrap();
+        let n = c.negate();
+        let back = n.negate();
+        assert_eq!(back.root(), c.root());
+        // The involution direction is answered entirely from the memo.
+        let before = m.stats().apply_cache_misses;
+        let again = c.negate();
+        assert_eq!(again.root(), n.root());
+        assert_eq!(m.stats().apply_cache_misses, before);
+    }
+
+    #[test]
+    fn weight_epoch_invalidates_probability_cache() {
+        let m = ObddManager::new(order(2));
+        let c = m.clause(&[TupleId(0), TupleId(1)]).unwrap();
+        let p1 = c.probability_cached(|_| 0.5);
+        assert!((p1 - 0.25).abs() < 1e-12);
+        // Same epoch: cached value is reused even for a new closure.
+        let hits = m.stats().prob_cache_hits;
+        let _ = c.probability_cached(|_| 0.5);
+        assert!(m.stats().prob_cache_hits > hits);
+        // New epoch: the cache is dropped and the new weights take effect.
+        m.bump_weight_epoch();
+        let p2 = c.probability_cached(|_| 0.1);
+        assert!((p2 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicity_holds_after_mixed_operations() {
+        let m = ObddManager::new(order(6));
+        let a = m.clause(&[TupleId(0), TupleId(1)]).unwrap();
+        let b = m.clause(&[TupleId(2), TupleId(3)]).unwrap();
+        let c = m.clause(&[TupleId(4), TupleId(5)]).unwrap();
+        let ab = a.concat_or(&b).unwrap();
+        let abc = ab.apply_or(&c).unwrap();
+        let _n = abc.negate();
+        assert_eq!(m.canonicity_violation(), None);
+    }
+
+    #[test]
+    fn concat_trivial_covers_both_operators() {
+        // Left identity and absorbing sinks.
+        assert_eq!(concat_trivial(false, FALSE, 7), Some(7));
+        assert_eq!(concat_trivial(false, TRUE, 7), Some(TRUE));
+        assert_eq!(concat_trivial(true, TRUE, 7), Some(7));
+        assert_eq!(concat_trivial(true, FALSE, 7), Some(FALSE));
+        // Right identity.
+        assert_eq!(concat_trivial(false, 7, FALSE), Some(7));
+        assert_eq!(concat_trivial(true, 7, TRUE), Some(7));
+        // Real work.
+        assert_eq!(concat_trivial(false, 7, 9), None);
+        assert_eq!(concat_trivial(true, 7, 9), None);
+    }
+}

@@ -1,34 +1,44 @@
-//! The OBDD data structure.
+//! The OBDD handle type.
 //!
 //! An [`Obdd`] is a reduced, ordered binary decision diagram over the tuple
-//! variables of a probabilistic database, together with the [`VarOrder`] that
-//! fixes the variable order `Π`. Each diagram owns its node store; nodes are
-//! hash-consed so that structurally identical sub-diagrams are shared.
+//! variables of a probabilistic database. Since the manager refactor it is a
+//! cheap `{manager, root}` handle into a shared, hash-consed
+//! [`ObddManager`](crate::ObddManager) arena: cloning a diagram, combining
+//! two diagrams, or keeping thousands of per-view diagrams alive never
+//! duplicates node storage.
 //!
 //! Operations:
 //!
 //! * [`Obdd::apply_or`] / [`Obdd::apply_and`] — classical synthesis, running
-//!   in `O(|G1| · |G2|)`;
+//!   in `O(|G1| · |G2|)` and memoised persistently in the manager;
 //! * [`Obdd::concat_or`] / [`Obdd::concat_and`] and the n-ary
 //!   [`Obdd::concat_many_or`] — the *concatenation* operation of Section 4.2
-//!   for diagrams over disjoint, level-separated variable ranges: the
-//!   `0`-sink (resp. `1`-sink) of the first diagram is redirected to the root
-//!   of the second. Linear in the total size;
-//! * [`Obdd::negate`] — swaps the sinks;
+//!   for diagrams over disjoint, level-separated variable ranges: edges to
+//!   the `0`-sink (resp. `1`-sink) of the first diagram are redirected to
+//!   the root of the second. Linear in the *first* diagram only — the
+//!   second diagram's nodes are reused in place;
+//! * [`Obdd::negate`] — swaps the sinks (memoised involution);
 //! * [`Obdd::probability`] — Shannon-expansion probability, computed
-//!   bottom-up without recursion so that very deep (concatenated) diagrams do
-//!   not overflow the stack; correct for negative probabilities.
+//!   bottom-up without recursion so that very deep (concatenated) diagrams
+//!   do not overflow the stack; correct for negative probabilities.
+//!   [`Obdd::probability_cached`] additionally reuses the manager's
+//!   per-node probability cache (keyed by the weight epoch).
+//!
+//! Combining handles from two *different* managers is supported when their
+//! variable orders are equal: the other operand is imported (copied) into
+//! this handle's manager first. That fallback is the only remaining copy
+//! path; production code keeps each pipeline inside one manager.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use mv_pdb::TupleId;
 
 use crate::error::ObddError;
+use crate::manager::{concat_trivial, BoolOp, NodeProbs, ObddManager, ObddNodes};
 use crate::order::VarOrder;
 use crate::Result;
 
-/// Index of a node inside an [`Obdd`] store.
+/// Index of a node inside an [`ObddManager`] arena.
 pub type NodeId = u32;
 
 /// The `false` sink.
@@ -51,80 +61,45 @@ pub struct ObddNode {
     pub hi: NodeId,
 }
 
-/// A reduced ordered binary decision diagram.
+/// A reduced ordered binary decision diagram: a root inside a shared
+/// [`ObddManager`]. Cloning is O(1).
 #[derive(Debug, Clone)]
 pub struct Obdd {
-    order: Arc<VarOrder>,
-    nodes: Vec<ObddNode>,
-    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    manager: ObddManager,
     root: NodeId,
 }
 
 impl Obdd {
-    fn empty(order: Arc<VarOrder>) -> Self {
-        let nodes = vec![
-            ObddNode {
-                level: SINK_LEVEL,
-                lo: FALSE,
-                hi: FALSE,
-            },
-            ObddNode {
-                level: SINK_LEVEL,
-                lo: TRUE,
-                hi: TRUE,
-            },
-        ];
-        Obdd {
-            order,
-            nodes,
-            unique: HashMap::new(),
-            root: FALSE,
-        }
+    pub(crate) fn from_parts(manager: ObddManager, root: NodeId) -> Obdd {
+        Obdd { manager, root }
     }
 
-    /// The constant diagram `true` or `false`.
+    /// The constant diagram `true` or `false` (in a fresh single-diagram
+    /// manager; use [`ObddManager::constant`] to build into a shared one).
     pub fn constant(order: Arc<VarOrder>, value: bool) -> Self {
-        let mut o = Obdd::empty(order);
-        o.root = if value { TRUE } else { FALSE };
-        o
+        ObddManager::new(order).constant(value)
     }
 
-    /// The diagram of a single positive literal.
+    /// The diagram of a single positive literal (fresh manager; see
+    /// [`ObddManager::literal`] for the shared-arena variant).
     pub fn literal(order: Arc<VarOrder>, tuple: TupleId) -> Result<Self> {
-        let level = order
-            .level_of(tuple)
-            .ok_or_else(|| ObddError::UnknownVariable(tuple.to_string()))?;
-        let mut o = Obdd::empty(order);
-        let root = o.mk(level, FALSE, TRUE);
-        o.root = root;
-        Ok(o)
+        ObddManager::new(order).literal(tuple)
     }
 
-    /// The diagram of a conjunction of positive literals (one DNF clause).
+    /// The diagram of a conjunction of positive literals (fresh manager; see
+    /// [`ObddManager::clause`] for the shared-arena variant).
     pub fn clause(order: Arc<VarOrder>, clause: &[TupleId]) -> Result<Self> {
-        let mut levels: Vec<u32> = clause
-            .iter()
-            .map(|&t| {
-                order
-                    .level_of(t)
-                    .ok_or_else(|| ObddError::UnknownVariable(t.to_string()))
-            })
-            .collect::<Result<_>>()?;
-        levels.sort_unstable();
-        levels.dedup();
-        let mut o = Obdd::empty(order);
-        // Build bottom-up: the deepest literal points to TRUE.
-        let mut child = TRUE;
-        for &level in levels.iter().rev() {
-            child = o.mk(level, FALSE, child);
-        }
-        o.root = child;
-        Ok(o)
+        ObddManager::new(order).clause(clause)
+    }
+
+    /// The manager this handle lives in.
+    pub fn manager(&self) -> &ObddManager {
+        &self.manager
     }
 
     /// The shared variable order.
     pub fn order(&self) -> &Arc<VarOrder> {
-        &self.order
+        self.manager.order()
     }
 
     /// The root node.
@@ -132,9 +107,15 @@ impl Obdd {
         self.root
     }
 
-    /// The node behind an id.
+    /// The node behind an id (one shared-lock acquisition per call; use
+    /// [`Obdd::nodes`] in traversal loops).
     pub fn node(&self, id: NodeId) -> ObddNode {
-        self.nodes[id as usize]
+        self.manager.node_of(id)
+    }
+
+    /// A read guard over the manager's arena for tight loops.
+    pub fn nodes(&self) -> ObddNodes<'_> {
+        self.manager.nodes()
     }
 
     /// `true` when the id denotes a sink.
@@ -148,14 +129,15 @@ impl Obdd {
         if node.level == SINK_LEVEL {
             None
         } else {
-            Some(self.order.tuple_at(node.level))
+            Some(self.order().tuple_at(node.level))
         }
     }
 
-    /// Total number of nodes in the store (including the two sinks and any
-    /// unreachable intermediate nodes).
+    /// Total number of nodes in the *shared* arena (including the two sinks
+    /// and every node of every other diagram in the manager). A capacity
+    /// figure, not the size of this diagram — see [`Obdd::size`].
     pub fn store_size(&self) -> usize {
-        self.nodes.len()
+        self.manager.num_nodes()
     }
 
     /// Number of internal nodes reachable from the root ("the size of the
@@ -170,11 +152,13 @@ impl Obdd {
     /// The width of the diagram: the maximum number of reachable nodes
     /// labelled with the same variable.
     pub fn width(&self) -> usize {
-        let mut per_level: HashMap<u32, usize> = HashMap::new();
-        for id in self.reachable_ids() {
-            let node = self.node(id);
-            if node.level != SINK_LEVEL {
-                *per_level.entry(node.level).or_default() += 1;
+        let ids = self.manager.reachable_of(self.root);
+        let nodes = self.nodes();
+        let mut per_level: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for id in ids {
+            let level = nodes.level(id);
+            if level != SINK_LEVEL {
+                *per_level.entry(level).or_default() += 1;
             }
         }
         per_level.values().copied().max().unwrap_or(0)
@@ -182,173 +166,59 @@ impl Obdd {
 
     /// Ids of all nodes reachable from the root (iterative DFS).
     pub fn reachable_ids(&self) -> Vec<NodeId> {
-        let mut seen = vec![false; self.nodes.len()];
-        let mut stack = vec![self.root];
-        let mut out = Vec::new();
-        while let Some(id) = stack.pop() {
-            if seen[id as usize] {
-                continue;
-            }
-            seen[id as usize] = true;
-            out.push(id);
-            if !self.is_sink(id) {
-                let node = self.node(id);
-                stack.push(node.lo);
-                stack.push(node.hi);
-            }
-        }
-        out
+        self.manager.reachable_of(self.root)
     }
 
     /// The smallest and largest levels of reachable internal nodes, if any.
     pub fn level_range(&self) -> Option<(u32, u32)> {
-        let mut min = None;
-        let mut max = None;
-        for id in self.reachable_ids() {
-            let node = self.node(id);
-            if node.level == SINK_LEVEL {
-                continue;
-            }
-            min = Some(min.map_or(node.level, |m: u32| m.min(node.level)));
-            max = Some(max.map_or(node.level, |m: u32| m.max(node.level)));
-        }
-        Some((min?, max?))
+        self.manager.level_range_of(self.root)
     }
 
-    /// Creates (or reuses) a node, applying the standard reduction rules.
-    pub(crate) fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
-        if lo == hi {
-            return lo;
+    /// Resolves `other` into this handle's manager: a no-op when the arena
+    /// is shared, an import (the only copy path left) when only the orders
+    /// match, an [`ObddError::OrderMismatch`] otherwise.
+    fn coresident_root(&self, other: &Obdd) -> Result<NodeId> {
+        if self.manager.same_store(&other.manager) {
+            return Ok(other.root);
         }
-        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
-            return id;
-        }
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(ObddNode { level, lo, hi });
-        self.unique.insert((level, lo, hi), id);
-        id
+        self.check_same_order(other)?;
+        Ok(self.manager.import_root(&other.manager, other.root))
     }
 
     fn check_same_order(&self, other: &Obdd) -> Result<()> {
-        if Arc::ptr_eq(&self.order, &other.order) || self.order == other.order {
+        let a = self.order();
+        let b = other.order();
+        if Arc::ptr_eq(a, b) || a == b {
             Ok(())
         } else {
             Err(ObddError::OrderMismatch)
         }
     }
 
-    fn level(&self, id: NodeId) -> u32 {
-        self.nodes[id as usize].level
-    }
-
-    /// Generic binary synthesis (`apply`).
-    fn apply(&self, other: &Obdd, op: impl Fn(bool, bool) -> bool + Copy) -> Result<Obdd> {
-        self.check_same_order(other)?;
-        let mut result = Obdd::empty(Arc::clone(&self.order));
-        let mut memo: HashMap<(NodeId, NodeId), NodeId> = HashMap::new();
-
-        // Iterative two-phase (expand / combine) traversal to avoid deep
-        // recursion on long chains.
-        enum Frame {
-            Expand(NodeId, NodeId),
-            Combine(NodeId, NodeId, u32),
-        }
-        let mut stack = vec![Frame::Expand(self.root, other.root)];
-        let mut results: Vec<NodeId> = Vec::new();
-        while let Some(frame) = stack.pop() {
-            match frame {
-                Frame::Expand(u, v) => {
-                    if let Some(&r) = memo.get(&(u, v)) {
-                        results.push(r);
-                        continue;
-                    }
-                    let u_sink = self.is_sink(u);
-                    let v_sink = other.is_sink(v);
-                    if u_sink && v_sink {
-                        let r = if op(u == TRUE, v == TRUE) {
-                            TRUE
-                        } else {
-                            FALSE
-                        };
-                        memo.insert((u, v), r);
-                        results.push(r);
-                        continue;
-                    }
-                    let lu = self.level(u);
-                    let lv = other.level(v);
-                    let m = lu.min(lv);
-                    let (u0, u1) = if lu == m {
-                        (self.node(u).lo, self.node(u).hi)
-                    } else {
-                        (u, u)
-                    };
-                    let (v0, v1) = if lv == m {
-                        (other.node(v).lo, other.node(v).hi)
-                    } else {
-                        (v, v)
-                    };
-                    stack.push(Frame::Combine(u, v, m));
-                    stack.push(Frame::Expand(u1, v1));
-                    stack.push(Frame::Expand(u0, v0));
-                }
-                Frame::Combine(u, v, m) => {
-                    let r1 = results.pop().expect("hi result available");
-                    let r0 = results.pop().expect("lo result available");
-                    let r = result.mk(m, r0, r1);
-                    memo.insert((u, v), r);
-                    results.push(r);
-                }
-            }
-        }
-        result.root = results.pop().expect("apply produces a root");
-        Ok(result)
-    }
-
     /// Synthesis of the disjunction `self ∨ other`.
     pub fn apply_or(&self, other: &Obdd) -> Result<Obdd> {
-        self.apply(other, |a, b| a || b)
+        let b = self.coresident_root(other)?;
+        let root = self.manager.apply_roots(BoolOp::Or, self.root, b);
+        Ok(Obdd::from_parts(self.manager.clone(), root))
     }
 
     /// Synthesis of the conjunction `self ∧ other`.
     pub fn apply_and(&self, other: &Obdd) -> Result<Obdd> {
-        self.apply(other, |a, b| a && b)
+        let b = self.coresident_root(other)?;
+        let root = self.manager.apply_roots(BoolOp::And, self.root, b);
+        Ok(Obdd::from_parts(self.manager.clone(), root))
     }
 
     /// The negation of the diagram (the two sinks are swapped).
     pub fn negate(&self) -> Obdd {
-        let mut result = Obdd::empty(Arc::clone(&self.order));
-        if self.root == TRUE {
-            result.root = FALSE;
-            return result;
-        }
-        if self.root == FALSE {
-            result.root = TRUE;
-            return result;
-        }
-        // Rebuild bottom-up (children have strictly larger levels, so
-        // processing ids in decreasing level order is safe).
-        let mut ids = self.reachable_ids();
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
-        map.insert(FALSE, TRUE);
-        map.insert(TRUE, FALSE);
-        for id in ids {
-            if self.is_sink(id) {
-                continue;
-            }
-            let node = self.node(id);
-            let lo = map[&node.lo];
-            let hi = map[&node.hi];
-            let new_id = result.mk(node.level, lo, hi);
-            map.insert(id, new_id);
-        }
-        result.root = map[&self.root];
-        result
+        let root = self.manager.negate_root(self.root);
+        Obdd::from_parts(self.manager.clone(), root)
     }
 
     /// Concatenation for disjunction (Section 4.2): every edge to the
     /// `0`-sink of `self` is redirected to the root of `other`, computing
-    /// `self ∨ other` in time linear in the two diagrams.
+    /// `self ∨ other` in time linear in `self` (the nodes of `other` are
+    /// shared, not copied).
     ///
     /// Requires the two diagrams to live on disjoint level ranges with every
     /// level of `self` smaller than every level of `other`; otherwise the
@@ -358,36 +228,19 @@ impl Obdd {
         self.concat(other, false)
     }
 
-    /// Concatenation for conjunction: every edge to the `1`-sink of `self` is
-    /// redirected to the root of `other`, computing `self ∧ other`.
+    /// Concatenation for conjunction: every edge to the `1`-sink of `self`
+    /// is redirected to the root of `other`, computing `self ∧ other`.
     pub fn concat_and(&self, other: &Obdd) -> Result<Obdd> {
         self.concat(other, true)
     }
 
     fn concat(&self, other: &Obdd, and: bool) -> Result<Obdd> {
-        self.check_same_order(other)?;
         if !self.levels_precede(other) {
             return Err(ObddError::OrderMismatch);
         }
-        // Trivial cases.
-        match (and, self.root) {
-            (false, FALSE) | (true, TRUE) => return Ok(other.clone()),
-            (false, TRUE) | (true, FALSE) => return Ok(self.clone()),
-            _ => {}
-        }
-        let mut result = Obdd::empty(Arc::clone(&self.order));
-        // Copy `other` first.
-        let other_root = copy_into(other, &mut result, &HashMap::new());
-        // Copy `self`, redirecting the appropriate sink to `other_root`.
-        let mut redirect = HashMap::new();
-        if and {
-            redirect.insert(TRUE, other_root);
-        } else {
-            redirect.insert(FALSE, other_root);
-        }
-        let self_root = copy_into(self, &mut result, &redirect);
-        result.root = self_root;
-        Ok(result)
+        let b = self.coresident_root(other)?;
+        let root = self.manager.concat_roots(and, self.root, b);
+        Ok(Obdd::from_parts(self.manager.clone(), root))
     }
 
     /// `true` when every reachable internal level of `self` is strictly less
@@ -401,45 +254,58 @@ impl Obdd {
     }
 
     /// n-ary disjunctive concatenation: combines `parts` (ordered by level
-    /// range) into a single diagram in one pass. Parts are connected by
-    /// redirecting `0`-sinks of each part to the root of the next, so the
-    /// total cost is linear in the sum of the part sizes.
+    /// range) into a single diagram in one pass, linear in the sum of the
+    /// part sizes. When all parts share one manager the result lives there
+    /// and no nodes are copied; otherwise a fresh manager over `order` is
+    /// populated by import.
     pub fn concat_many_or(order: Arc<VarOrder>, parts: &[Obdd]) -> Result<Obdd> {
-        let mut result = Obdd::empty(Arc::clone(&order));
-        let mut tail = FALSE;
-        // Verify level separation pairwise (adjacent suffices since parts are
-        // processed in order) and build from the last part backwards.
-        for pair in parts.windows(2) {
-            if !pair[0].levels_precede(&pair[1]) {
+        for part in parts {
+            let po = part.order();
+            if !(Arc::ptr_eq(po, &order) || **po == *order) {
                 return Err(ObddError::OrderMismatch);
             }
         }
+        // Level separation must hold across *all* pairs; walking back to
+        // front with a running minimum handles constant parts in between.
+        let mut min_later = u32::MAX;
         for part in parts.iter().rev() {
-            if Arc::ptr_eq(&part.order, &order) || part.order == order {
-                if part.root == TRUE {
-                    tail = TRUE;
-                    continue;
+            if let Some((lo, hi)) = part.level_range() {
+                if hi >= min_later {
+                    return Err(ObddError::OrderMismatch);
                 }
-                if part.root == FALSE {
-                    continue;
-                }
-                let mut redirect = HashMap::new();
-                redirect.insert(FALSE, tail);
-                tail = copy_into(part, &mut result, &redirect);
-            } else {
-                return Err(ObddError::OrderMismatch);
+                min_later = lo;
             }
         }
-        result.root = tail;
-        Ok(result)
+        let manager = match parts.first() {
+            Some(first) if parts.iter().all(|p| first.manager.same_store(&p.manager)) => {
+                first.manager.clone()
+            }
+            _ => ObddManager::new(Arc::clone(&order)),
+        };
+        let mut tail = FALSE;
+        for part in parts.iter().rev() {
+            let root = manager.import_root(&part.manager, part.root);
+            if root == TRUE {
+                // X ∨ true = true, whatever the later parts contributed.
+                tail = TRUE;
+                continue;
+            }
+            tail = match concat_trivial(false, root, tail) {
+                Some(t) => t,
+                None => manager.concat_roots(false, root, tail),
+            };
+        }
+        Ok(Obdd::from_parts(manager, tail))
     }
 
     /// Evaluates the diagram under a truth assignment of the tuple variables.
     pub fn eval(&self, assignment: impl Fn(TupleId) -> bool) -> bool {
+        let nodes = self.nodes();
+        let order = self.order();
         let mut id = self.root;
-        while !self.is_sink(id) {
-            let node = self.node(id);
-            let tuple = self.order.tuple_at(node.level);
+        while id != TRUE && id != FALSE {
+            let node = nodes.node(id);
+            let tuple = order.tuple_at(node.level);
             id = if assignment(tuple) { node.hi } else { node.lo };
         }
         id == TRUE
@@ -447,57 +313,33 @@ impl Obdd {
 
     /// The probability of the Boolean function represented by the diagram,
     /// under the given per-tuple probabilities (Shannon expansion,
-    /// Section 4.1). Valid for negative probabilities.
+    /// Section 4.1). Valid for negative probabilities. Computed from
+    /// scratch; see [`Obdd::probability_cached`] when `prob_of` is the
+    /// database weight function shared by every diagram of the manager.
     pub fn probability(&self, prob_of: impl Fn(TupleId) -> f64) -> f64 {
-        self.node_probabilities(prob_of)[self.root as usize]
+        self.manager.node_probs_of(self.root, &prob_of)[&self.root]
     }
 
-    /// The probability of the sub-diagram rooted at every node
-    /// (`probUnder` in the paper's terminology). Index `i` of the returned
-    /// vector is the probability of node `i`; unreachable nodes get correct
-    /// values too (they are simply never used).
-    pub fn node_probabilities(&self, prob_of: impl Fn(TupleId) -> f64) -> Vec<f64> {
-        let mut prob = vec![0.0; self.nodes.len()];
-        prob[TRUE as usize] = 1.0;
-        prob[FALSE as usize] = 0.0;
-        // Children always have strictly larger levels, so processing nodes by
-        // decreasing level is a valid bottom-up order.
-        let mut ids: Vec<NodeId> = (2..self.nodes.len() as NodeId).collect();
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        for id in ids {
-            let node = self.node(id);
-            let p = prob_of(self.order.tuple_at(node.level));
-            prob[id as usize] = (1.0 - p) * prob[node.lo as usize] + p * prob[node.hi as usize];
-        }
-        prob
+    /// Like [`Obdd::probability`], but per-node results are served from and
+    /// stored into the manager's probability cache for the current weight
+    /// epoch. `prob_of` **must** be the weight function the epoch stands
+    /// for; call [`ObddManager::bump_weight_epoch`] when weights change.
+    pub fn probability_cached(&self, prob_of: impl Fn(TupleId) -> f64) -> f64 {
+        self.manager.node_probs_cached_of(self.root, &prob_of)[&self.root]
     }
-}
 
-/// Copies the reachable part of `src` into `dst`, mapping sink ids through
-/// `redirect` (entries default to the identity), and returns the id of the
-/// copied root.
-fn copy_into(src: &Obdd, dst: &mut Obdd, redirect: &HashMap<NodeId, NodeId>) -> NodeId {
-    let map_sink =
-        |id: NodeId, map: &HashMap<NodeId, NodeId>| -> NodeId { *map.get(&id).unwrap_or(&id) };
-    if src.is_sink(src.root) {
-        return map_sink(src.root, redirect);
+    /// The probability of the sub-diagram rooted at every reachable node
+    /// (`probUnder` in the paper's terminology), sinks included. Sparse:
+    /// sized by this diagram, not by the shared arena.
+    pub fn node_probabilities(&self, prob_of: impl Fn(TupleId) -> f64) -> NodeProbs {
+        NodeProbs::from_map(self.manager.node_probs_of(self.root, &prob_of))
     }
-    let mut ids = src.reachable_ids();
-    ids.sort_by_key(|&id| std::cmp::Reverse(src.level(id)));
-    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
-    map.insert(FALSE, map_sink(FALSE, redirect));
-    map.insert(TRUE, map_sink(TRUE, redirect));
-    for id in ids {
-        if src.is_sink(id) {
-            continue;
-        }
-        let node = src.node(id);
-        let lo = map[&node.lo];
-        let hi = map[&node.hi];
-        let new_id = dst.mk(node.level, lo, hi);
-        map.insert(id, new_id);
+
+    /// Cached variant of [`Obdd::node_probabilities`]; the same epoch
+    /// contract as [`Obdd::probability_cached`] applies.
+    pub fn node_probabilities_cached(&self, prob_of: impl Fn(TupleId) -> f64) -> NodeProbs {
+        NodeProbs::from_map(self.manager.node_probs_cached_of(self.root, &prob_of))
     }
-    map[&src.root]
 }
 
 #[cfg(test)]
@@ -578,8 +420,9 @@ mod tests {
     #[test]
     fn concatenation_matches_synthesis_on_disjoint_blocks() {
         let ord = order(4);
-        let a = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(1)]).unwrap();
-        let b = Obdd::clause(Arc::clone(&ord), &[TupleId(2), TupleId(3)]).unwrap();
+        let manager = ObddManager::new(Arc::clone(&ord));
+        let a = manager.clause(&[TupleId(0), TupleId(1)]).unwrap();
+        let b = manager.clause(&[TupleId(2), TupleId(3)]).unwrap();
         let by_concat = a.concat_or(&b).unwrap();
         let by_apply = a.apply_or(&b).unwrap();
         for mask in 0..16u8 {
@@ -587,6 +430,8 @@ mod tests {
             assert_eq!(by_concat.eval(assign), by_apply.eval(assign));
         }
         assert!((by_concat.probability(|_| 0.5) - by_apply.probability(|_| 0.5)).abs() < 1e-12);
+        // Canonicity in a shared arena: both routes reach the same root.
+        assert_eq!(by_concat.root(), by_apply.root());
         // Size of a concatenation is the sum of the parts.
         assert_eq!(by_concat.size(), a.size() + b.size());
     }
@@ -615,10 +460,17 @@ mod tests {
     #[test]
     fn concat_many_or_combines_blocks_linearly() {
         let ord = order(6);
+        let manager = ObddManager::new(Arc::clone(&ord));
         let parts: Vec<Obdd> = (0..3)
-            .map(|i| Obdd::clause(Arc::clone(&ord), &[TupleId(2 * i), TupleId(2 * i + 1)]).unwrap())
+            .map(|i| {
+                manager
+                    .clause(&[TupleId(2 * i), TupleId(2 * i + 1)])
+                    .unwrap()
+            })
             .collect();
         let combined = Obdd::concat_many_or(Arc::clone(&ord), &parts).unwrap();
+        // All parts share the manager, so no fresh arena was created.
+        assert!(combined.manager().same_store(&manager));
         assert_eq!(combined.size(), 6);
         // P = 1 - (1 - 0.25)^3 with p = 0.5 everywhere.
         let p = combined.probability(|_| 0.5);
@@ -645,6 +497,28 @@ mod tests {
     }
 
     #[test]
+    fn concat_many_or_on_empty_and_singleton_lists() {
+        // Regression: the n-ary fold must behave on degenerate part lists.
+        let ord = order(3);
+        let empty = Obdd::concat_many_or(Arc::clone(&ord), &[]).unwrap();
+        assert_eq!(empty.root(), FALSE);
+        assert_eq!(empty.size(), 0);
+        let single = Obdd::clause(Arc::clone(&ord), &[TupleId(0), TupleId(2)]).unwrap();
+        let combined =
+            Obdd::concat_many_or(Arc::clone(&ord), std::slice::from_ref(&single)).unwrap();
+        assert_eq!(combined.size(), single.size());
+        for mask in 0..8u8 {
+            let assign = |t: TupleId| mask & (1 << t.0) != 0;
+            assert_eq!(combined.eval(assign), single.eval(assign));
+        }
+        // A singleton in its own manager is passed through without copying.
+        let same_manager =
+            Obdd::concat_many_or(single.order().clone(), std::slice::from_ref(&single)).unwrap();
+        assert!(same_manager.manager().same_store(single.manager()));
+        assert_eq!(same_manager.root(), single.root());
+    }
+
+    #[test]
     fn order_mismatch_is_detected() {
         let a = Obdd::literal(order(2), TupleId(0)).unwrap();
         let b = Obdd::literal(order(3), TupleId(0)).unwrap();
@@ -652,9 +526,23 @@ mod tests {
     }
 
     #[test]
+    fn cross_manager_apply_imports_the_other_operand() {
+        // Equal orders in two different managers: the result is computed in
+        // the left operand's manager.
+        let ord = order(2);
+        let a = Obdd::literal(Arc::clone(&ord), TupleId(0)).unwrap();
+        let b = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
+        assert!(!a.manager().same_store(b.manager()));
+        let or = a.apply_or(&b).unwrap();
+        assert!(or.manager().same_store(a.manager()));
+        assert!((or.probability(|_| 0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn figure3_obdd_probability() {
         // Lineage X1Y1 ∨ X1Y2 ∨ X2Y3 ∨ X2Y4 in the order X1,Y1,Y2,X2,Y3,Y4.
         let ord = order(6);
+        let manager = ObddManager::new(Arc::clone(&ord));
         let x1 = 0u32;
         let y1 = 1u32;
         let y2 = 2u32;
@@ -667,9 +555,9 @@ mod tests {
             vec![TupleId(x2), TupleId(y3)],
             vec![TupleId(x2), TupleId(y4)],
         ];
-        let mut acc = Obdd::constant(Arc::clone(&ord), false);
+        let mut acc = manager.constant(false);
         for c in &clauses {
-            let clause = Obdd::clause(Arc::clone(&ord), c).unwrap();
+            let clause = manager.clause(c).unwrap();
             acc = acc.apply_or(&clause).unwrap();
         }
         // P = 1 - (1 - p(1-(1-p)^2))^2 with p = 0.5.
@@ -698,8 +586,11 @@ mod tests {
         let x1 = Obdd::literal(Arc::clone(&ord), TupleId(1)).unwrap();
         let or = x0.apply_or(&x1).unwrap();
         let probs = or.node_probabilities(|_| 0.5);
-        assert_eq!(probs[TRUE as usize], 1.0);
-        assert_eq!(probs[FALSE as usize], 0.0);
-        assert!((probs[or.root() as usize] - 0.75).abs() < 1e-12);
+        assert_eq!(probs.get(TRUE), 1.0);
+        assert_eq!(probs.get(FALSE), 0.0);
+        assert!((probs.get(or.root()) - 0.75).abs() < 1e-12);
+        // Sparse: sized by the diagram (2 internal nodes + 2 sinks), not by
+        // the arena.
+        assert_eq!(probs.len(), or.size() + 2);
     }
 }

@@ -14,35 +14,54 @@ use mv_pdb::InDb;
 use mv_query::lineage::{lineage, Lineage};
 use mv_query::Ucq;
 
+use crate::manager::ObddManager;
 use crate::obdd::Obdd;
 use crate::order::VarOrder;
 use crate::Result;
 
-/// Builds OBDDs from lineage by pairwise synthesis.
+/// Builds OBDDs from lineage by pairwise synthesis. All diagrams a builder
+/// produces live in one shared [`ObddManager`], so clause diagrams and
+/// intermediate synthesis results are hash-consed against each other and
+/// repeated apply steps hit the manager's persistent memo.
 #[derive(Debug, Clone)]
 pub struct SynthesisBuilder {
-    order: Arc<VarOrder>,
+    manager: ObddManager,
 }
 
 impl SynthesisBuilder {
-    /// Creates a builder over the given variable order.
+    /// Creates a builder over the given variable order (with a fresh
+    /// manager).
     pub fn new(order: Arc<VarOrder>) -> Self {
-        SynthesisBuilder { order }
+        SynthesisBuilder {
+            manager: ObddManager::new(order),
+        }
+    }
+
+    /// Creates a builder that synthesises into an existing manager — the way
+    /// to share query-side diagrams across many lineages (e.g. the
+    /// per-answer loop of the MV-index backend).
+    pub fn with_manager(manager: ObddManager) -> Self {
+        SynthesisBuilder { manager }
     }
 
     /// The variable order used by this builder.
     pub fn order(&self) -> &Arc<VarOrder> {
-        &self.order
+        self.manager.order()
+    }
+
+    /// The shared manager diagrams are built into.
+    pub fn manager(&self) -> &ObddManager {
+        &self.manager
     }
 
     /// Builds the OBDD of a DNF lineage by synthesising one clause at a time.
     pub fn from_lineage(&self, lineage: &Lineage) -> Result<Obdd> {
         if lineage.is_true() {
-            return Ok(Obdd::constant(Arc::clone(&self.order), true));
+            return Ok(self.manager.constant(true));
         }
-        let mut acc = Obdd::constant(Arc::clone(&self.order), false);
+        let mut acc = self.manager.constant(false);
         for clause in lineage.clauses() {
-            let clause_obdd = Obdd::clause(Arc::clone(&self.order), clause)?;
+            let clause_obdd = self.manager.clause(clause)?;
             acc = acc.apply_or(&clause_obdd)?;
         }
         Ok(acc)

@@ -9,8 +9,10 @@
 //!   databases (INDBs), including support for negative probabilities.
 //! * [`query`] — unions of conjunctive queries (UCQs): AST, datalog parser,
 //!   lineage computation, safety analysis and the safe-plan (lifted) evaluator.
-//! * [`obdd`] — an Ordered Binary Decision Diagram engine with the paper's
-//!   concatenation-based `ConOBDD` construction and a synthesis-only baseline.
+//! * [`obdd`] — an Ordered Binary Decision Diagram engine built around a
+//!   shared, hash-consed `ObddManager` arena (diagrams are cheap
+//!   `{manager, root}` handles), with the paper's concatenation-based
+//!   `ConOBDD` construction and a synthesis-only baseline.
 //! * [`mvindex`] — the MV-index: augmented OBDDs plus the `MVIntersect` and
 //!   cache-conscious `CC-MVIntersect` algorithms.
 //! * [`mln`] — a Markov Logic Network engine with exact enumeration inference
@@ -55,11 +57,13 @@ pub mod prelude {
     pub use mv_core::backend::{
         Backend, BruteForce, EvalContext, MvIndexBackend, ObddPerQuery, SafePlan, Shannon,
     };
-    pub use mv_core::{EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, TranslatedIndb};
+    pub use mv_core::{
+        EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, MvdbSession, TranslatedIndb,
+    };
     pub use mv_dblp::{DblpConfig, DblpDataset};
     pub use mv_index::{IntersectAlgorithm, MvIndex};
     pub use mv_mln::{GroundMln, McSatConfig, McSatSampler, Mln};
-    pub use mv_obdd::{ConObddBuilder, Obdd, PiOrder, SynthesisBuilder};
+    pub use mv_obdd::{ConObddBuilder, ManagerStats, Obdd, ObddManager, PiOrder, SynthesisBuilder};
     pub use mv_pdb::{
         Database, InDb, PossibleTuple, Relation, Row, Schema, TupleId, Value, Weight,
     };

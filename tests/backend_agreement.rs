@@ -88,6 +88,48 @@ proptest! {
     }
 
     #[test]
+    fn parallel_sessions_agree_with_sequential_evaluation(desc in mvdb_strategy()) {
+        // The MvdbSession batch API must be a pure scheduling choice: for
+        // every backend, evaluating the workload across worker threads
+        // (per-thread OBDD-manager shards) returns the same probabilities
+        // as the one-query-at-a-time engine API, within 1e-9.
+        let mvdb = build(&desc);
+        let engine = match MvdbEngine::compile(&mvdb) {
+            Ok(e) => e,
+            Err(_) => return Ok(()),
+        };
+        let queries: Vec<_> = [
+            "Q() :- R(x), S(x, y)",
+            "Q() :- R(x)",
+            "Q() :- S(x, y)",
+            "Q() :- R(x) ; Q() :- S(x, y)",
+            "Q() :- R(0)",
+            "Q() :- S(0, y)",
+        ]
+        .iter()
+        .map(|q| parse_ucq(q).unwrap())
+        .collect();
+        let sequential: Vec<f64> = queries
+            .iter()
+            .map(|q| engine.probability(q).unwrap())
+            .collect();
+        for selector in suite() {
+            let batch = engine
+                .session()
+                .with_threads(3)
+                .probabilities_with_backend(&queries, selector)
+                .unwrap();
+            for ((q, s), p) in queries.iter().zip(&sequential).zip(&batch) {
+                prop_assert!(
+                    (s - p).abs() < 1e-9,
+                    "{} via {:?} in a 3-thread session: {} vs sequential {}",
+                    q, selector, p, s
+                );
+            }
+        }
+    }
+
+    #[test]
     fn backend_answers_agree_on_random_mvdbs(desc in mvdb_strategy()) {
         let mvdb = build(&desc);
         let engine = match MvdbEngine::compile(&mvdb) {
