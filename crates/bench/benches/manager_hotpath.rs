@@ -1,0 +1,89 @@
+//! Microbenchmarks of the OBDD manager's hot paths.
+//!
+//! Two phases, each measured for the production
+//! [`mv_obdd::ObddManager`] (FxHash unique table, lossy direct-mapped
+//! computed table, dense epoch-stamped side tables, explicit-stack
+//! traversals) *and* for the pre-rework-style hash-map reference
+//! ([`mv_obdd::RefManager`], SipHash `HashMap`s + recursion):
+//!
+//! * `apply_negate` — OR-fold a DBLP-style workload of two-literal clauses
+//!   into per-query diagrams inside one shared arena, then negate every
+//!   other diagram (the compile-shaped half of the hot path);
+//! * `bulk_probability_{warm,cold}` — sum the cached Shannon probability of
+//!   every diagram; `cold` starts a new weight epoch each iteration (full
+//!   recomputation), `warm` reuses the epoch cache (the per-query half).
+//!
+//! The scale is small so `cargo bench --bench manager_hotpath` doubles as a
+//! CI smoke run; the `figures microbench` subcommand runs the full scale
+//! and records the speedups in `BENCH_figures.json`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mv_bench::{
+    hotpath_prob, hotpath_workload, manager_bulk_probability, manager_hotpath_build,
+    reference_bulk_probability, reference_hotpath_build,
+};
+use mv_obdd::VarOrder;
+use mv_pdb::TupleId;
+
+const NUM_VARS: usize = 600;
+const NUM_QUERIES: usize = 24;
+const CLAUSES_PER_QUERY: usize = 8;
+
+fn order() -> Arc<VarOrder> {
+    Arc::new(VarOrder::from_tuples((0..NUM_VARS as u32).map(TupleId)))
+}
+
+fn apply_negate_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_hotpath_apply_negate");
+    group.sample_size(10);
+    let ord = order();
+    let workload = hotpath_workload(NUM_VARS, NUM_QUERIES, CLAUSES_PER_QUERY);
+    group.bench_with_input(BenchmarkId::new("manager", NUM_VARS), &NUM_VARS, |b, _| {
+        b.iter(|| manager_hotpath_build(&ord, &workload))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("reference_hashmap", NUM_VARS),
+        &NUM_VARS,
+        |b, _| b.iter(|| reference_hotpath_build(&ord, &workload)),
+    );
+    group.finish();
+}
+
+fn bulk_probability_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_hotpath_bulk_probability");
+    group.sample_size(20);
+    let ord = order();
+    let workload = hotpath_workload(NUM_VARS, NUM_QUERIES, CLAUSES_PER_QUERY);
+    let prob_of = hotpath_prob(NUM_VARS);
+
+    let (manager, diagrams) = manager_hotpath_build(&ord, &workload);
+    group.bench_with_input(
+        BenchmarkId::new("manager_cold", NUM_VARS),
+        &NUM_VARS,
+        |b, _| b.iter(|| manager_bulk_probability(&manager, &diagrams, prob_of, true)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("manager_warm", NUM_VARS),
+        &NUM_VARS,
+        |b, _| b.iter(|| manager_bulk_probability(&manager, &diagrams, prob_of, false)),
+    );
+
+    let (mut reference, roots) = reference_hotpath_build(&ord, &workload);
+    group.bench_with_input(
+        BenchmarkId::new("reference_cold", NUM_VARS),
+        &NUM_VARS,
+        |b, _| b.iter(|| reference_bulk_probability(&mut reference, &roots, prob_of, true)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reference_warm", NUM_VARS),
+        &NUM_VARS,
+        |b, _| b.iter(|| reference_bulk_probability(&mut reference, &roots, prob_of, false)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, apply_negate_bench, bulk_probability_bench);
+criterion_main!(benches);

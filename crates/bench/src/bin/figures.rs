@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `session`, `ablation`, `all`. Options: `--quick` (3
+//! `fig10`, `fig11`, `session`, `microbench`, `ablation`, `all`. Options: `--quick` (3
 //! scaling points instead of 10, fewer queries), `--authors N` (size of the
 //! "full" dataset for fig1/fig10/fig11; default 10000), `--threads N`
 //! (worker threads for the exact-backend workloads of fig5/fig6 and the
@@ -75,8 +75,19 @@ impl Report {
 
 /// The sub-commands `main` accepts; anything else is an error, not a no-op.
 const KNOWN_FIGURES: &[&str] = &[
-    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "session",
-    "ablation", "all",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "session",
+    "microbench",
+    "ablation",
+    "all",
 ];
 
 fn usage_error(message: &str) -> ! {
@@ -167,6 +178,9 @@ fn main() {
     if wants("session") {
         report.add("session", session(&opts));
     }
+    if wants("microbench") {
+        report.add("microbench", microbench(&opts));
+    }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
     }
@@ -210,6 +224,69 @@ fn session(opts: &Options) -> Json {
     Json::arr(rows)
 }
 
+/// The `manager_hotpath` microbenchmark: the same apply+negate+bulk-
+/// probability workload through the cache-conscious manager and through the
+/// pre-rework hash-map reference, with the speedups and the manager's
+/// probe/eviction counters recorded in the report.
+fn microbench(opts: &Options) -> Json {
+    let (num_vars, num_queries, clauses, reps) = microbench_scale(opts.quick);
+    println!("== Microbench: manager hot paths (dense tables vs SipHash hash maps) ==");
+    println!(
+        "  workload: {num_queries} queries x {clauses} two-literal clauses over {num_vars} vars, {reps} probability passes"
+    );
+    let p = microbench_manager_hotpath(num_vars, num_queries, clauses, reps);
+    println!(
+        "{:>24} {:>14} {:>14} {:>10}",
+        "phase", "manager (s)", "reference (s)", "speedup"
+    );
+    println!(
+        "{:>24} {:>14.6} {:>14.6} {:>9.2}x",
+        "apply + negate",
+        secs(p.manager_apply),
+        secs(p.reference_apply),
+        p.speedup_apply()
+    );
+    println!(
+        "{:>24} {:>14.6} {:>14.6} {:>9.2}x",
+        "bulk probability",
+        secs(p.manager_prob),
+        secs(p.reference_prob),
+        p.speedup_prob()
+    );
+    println!(
+        "{:>24} {:>14.6} {:>14.6} {:>9.2}x",
+        "total",
+        secs(p.manager_apply + p.manager_prob),
+        secs(p.reference_apply + p.reference_prob),
+        p.speedup_total()
+    );
+    println!(
+        "  manager stats: {} nodes, apply hit rate {:.3}, prob hit rate {:.3}, {} lossy evictions, {} table resizes",
+        p.manager.nodes_allocated,
+        p.manager.apply_cache_hit_rate(),
+        p.manager.prob_cache_hit_rate(),
+        p.manager.cache_evictions,
+        p.manager.computed_resizes,
+    );
+    println!();
+    let mut row = Json::obj([
+        ("num_vars", Json::from(p.num_vars)),
+        ("num_queries", Json::from(p.num_queries)),
+        ("clauses_per_query", Json::from(p.clauses_per_query)),
+        ("prob_reps", Json::from(p.prob_reps)),
+        ("manager_apply_s", Json::from(secs(p.manager_apply))),
+        ("manager_prob_s", Json::from(secs(p.manager_prob))),
+        ("reference_apply_s", Json::from(secs(p.reference_apply))),
+        ("reference_prob_s", Json::from(secs(p.reference_prob))),
+        ("speedup_apply", Json::from(p.speedup_apply())),
+        ("speedup_prob", Json::from(p.speedup_prob())),
+        ("speedup_total", Json::from(p.speedup_total())),
+        ("max_abs_diff", Json::from(p.max_abs_diff)),
+    ]);
+    row.push("manager", manager_stats_json(&p.manager));
+    Json::arr([row])
+}
+
 /// Serializes shared-OBDD-manager counters for the machine-readable report.
 fn manager_stats_json(s: &mv_obdd::ManagerStats) -> Json {
     Json::obj([
@@ -224,7 +301,10 @@ fn manager_stats_json(s: &mv_obdd::ManagerStats) -> Json {
         ("prob_cache_hits", Json::from(s.prob_cache_hits)),
         ("prob_cache_misses", Json::from(s.prob_cache_misses)),
         ("prob_cache_hit_rate", Json::from(s.prob_cache_hit_rate())),
+        // Lossy overwrites in the direct-mapped computed table and the
+        // doublings it went through while tracking arena growth.
         ("cache_evictions", Json::from(s.cache_evictions)),
+        ("computed_resizes", Json::from(s.computed_resizes)),
         // Deep copies between managers; 0 means the apply/concat paths
         // stayed inside shared arenas for the whole workload.
         ("imported_nodes", Json::from(s.imported_nodes)),

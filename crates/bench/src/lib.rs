@@ -656,6 +656,268 @@ pub fn session_smoke(num_authors: usize, num_queries: usize, threads: usize) -> 
     }
 }
 
+// ---------------------------------------------------------------------------
+// The `manager_hotpath` microbenchmark
+// ---------------------------------------------------------------------------
+
+/// One run of the `manager_hotpath` microbenchmark: the same DBLP-style
+/// workload (OR-folds of two-literal clauses, negation, then bulk cached
+/// probability passes over changing weight epochs) executed twice — once
+/// through the production [`ObddManager`](mv_obdd::ObddManager) (FxHash
+/// unique table, lossy direct-mapped computed table, dense side tables,
+/// explicit-stack traversals) and once through the pre-rework-style
+/// [`mv_obdd::RefManager`] (SipHash `HashMap` caches, recursion). The
+/// speedups are the recorded proof of the cache-conscious design.
+#[derive(Debug, Clone)]
+pub struct MicrobenchPoint {
+    /// Number of tuple variables in the order.
+    pub num_vars: usize,
+    /// Number of query diagrams built.
+    pub num_queries: usize,
+    /// Two-literal clauses OR-folded into each query diagram.
+    pub clauses_per_query: usize,
+    /// Bulk-probability passes over all diagrams (every fourth pass starts
+    /// a new weight epoch, so the runs mix cold recomputation with warm
+    /// cache hits).
+    pub prob_reps: usize,
+    /// Apply + negate time through the production manager.
+    pub manager_apply: Duration,
+    /// Bulk cached-probability time through the production manager.
+    pub manager_prob: Duration,
+    /// Apply + negate time through the hash-map reference.
+    pub reference_apply: Duration,
+    /// Bulk cached-probability time through the hash-map reference.
+    pub reference_prob: Duration,
+    /// Largest |manager − reference| difference over all per-pass
+    /// probability sums (the two implementations must agree exactly).
+    pub max_abs_diff: f64,
+    /// Production-manager counters for the run (probe hits/misses, lossy
+    /// evictions, computed-table resizes).
+    pub manager: ManagerStats,
+}
+
+impl MicrobenchPoint {
+    /// Reference / manager wall-clock ratio on the apply+negate phase.
+    pub fn speedup_apply(&self) -> f64 {
+        secs(self.reference_apply) / secs(self.manager_apply).max(1e-12)
+    }
+
+    /// Reference / manager wall-clock ratio on the bulk-probability phase.
+    pub fn speedup_prob(&self) -> f64 {
+        secs(self.reference_prob) / secs(self.manager_prob).max(1e-12)
+    }
+
+    /// Reference / manager wall-clock ratio over both phases combined (the
+    /// "apply + probability path" number the acceptance gate checks).
+    pub fn speedup_total(&self) -> f64 {
+        secs(self.reference_apply + self.reference_prob)
+            / secs(self.manager_apply + self.manager_prob).max(1e-12)
+    }
+}
+
+/// The deterministic DBLP-style workload of the microbenchmark: per query, a
+/// list of two-literal clauses (an "advisor" variable joined with a nearby
+/// "student" variable, like the per-answer lineages of Figures 5/6). Three
+/// properties mirror the real online phase: clause variable pairs span at
+/// most a few levels (the π order keeps groundings level-local, so diagrams
+/// stay narrow instead of blowing up); clauses repeat across queries; and
+/// every distinct query recurs ~10× across the batch (hot queries under
+/// production traffic) — the sharing patterns the shared-arena unique table,
+/// the computed table and the epoch-stamped probability cache exist for.
+pub fn hotpath_workload(
+    num_vars: usize,
+    num_queries: usize,
+    clauses_per_query: usize,
+) -> Vec<Vec<[TupleId; 2]>> {
+    // The largest id emitted is 2*(half-1) + 3; below 8 variables that
+    // bound cannot be honoured, so fail here with a clear message instead
+    // of deep inside a diagram build with an UnknownVariable error.
+    assert!(
+        num_vars >= 8,
+        "hotpath_workload needs at least 8 variables (got {num_vars})"
+    );
+    let half = (num_vars / 2).saturating_sub(2).max(1);
+    let distinct = (num_queries / 10).max(1);
+    (0..num_queries)
+        .map(|i| {
+            let q = i % distinct;
+            (0..clauses_per_query)
+                .map(|j| {
+                    let a = 2 * ((q * 13 + j * 5) % half);
+                    let b = a + 1 + (q + j) % 3;
+                    [TupleId(a as u32), TupleId(b as u32)]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The weight function of the microbenchmark (distinct per variable).
+pub fn hotpath_prob(num_vars: usize) -> impl Fn(TupleId) -> f64 + Copy {
+    move |t: TupleId| 0.05 + 0.9 * (f64::from(t.0) / num_vars.max(1) as f64)
+}
+
+/// Builds every workload diagram in one shared [`ObddManager`] (OR-fold of
+/// the clauses), then negates every other diagram — the compile-shaped half
+/// of the hot path. Returns the manager and all roots (negations included).
+pub fn manager_hotpath_build(
+    order: &std::sync::Arc<mv_obdd::VarOrder>,
+    workload: &[Vec<[TupleId; 2]>],
+) -> (mv_obdd::ObddManager, Vec<Obdd>) {
+    let manager = mv_obdd::ObddManager::new(std::sync::Arc::clone(order));
+    let mut diagrams: Vec<Obdd> = workload
+        .iter()
+        .map(|clauses| manager.dnf(clauses).expect("dnf builds"))
+        .collect();
+    let negated: Vec<Obdd> = diagrams.iter().step_by(2).map(Obdd::negate).collect();
+    diagrams.extend(negated);
+    (manager, diagrams)
+}
+
+/// The same build through the recursive hash-map reference implementation.
+pub fn reference_hotpath_build(
+    order: &std::sync::Arc<mv_obdd::VarOrder>,
+    workload: &[Vec<[TupleId; 2]>],
+) -> (mv_obdd::RefManager, Vec<mv_obdd::NodeId>) {
+    let mut reference = mv_obdd::RefManager::new(std::sync::Arc::clone(order));
+    let mut roots: Vec<mv_obdd::NodeId> = workload
+        .iter()
+        .map(|clauses| {
+            let mut acc = mv_obdd::RefManager::constant(false);
+            for pair in clauses {
+                let clause = reference.clause(pair).expect("clause builds");
+                acc = reference.apply_or(acc, clause);
+            }
+            acc
+        })
+        .collect();
+    let negated: Vec<mv_obdd::NodeId> = roots
+        .iter()
+        .step_by(2)
+        .copied()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|r| reference.negate(r))
+        .collect();
+    roots.extend(negated);
+    (reference, roots)
+}
+
+/// One bulk-probability pass over all manager diagrams (cached, one lock
+/// acquisition for the whole batch); bumps the weight epoch first when
+/// `new_epoch` is set.
+pub fn manager_bulk_probability(
+    manager: &mv_obdd::ObddManager,
+    diagrams: &[Obdd],
+    prob_of: impl Fn(TupleId) -> f64 + Copy,
+    new_epoch: bool,
+) -> f64 {
+    if new_epoch {
+        manager.bump_weight_epoch();
+    }
+    manager
+        .bulk_probability_cached(diagrams, prob_of)
+        .into_iter()
+        .sum()
+}
+
+/// One bulk-probability pass through the reference implementation; clears
+/// its hash-map cache first when `new_epoch` is set (the reference's
+/// analogue of an epoch bump).
+pub fn reference_bulk_probability(
+    reference: &mut mv_obdd::RefManager,
+    roots: &[mv_obdd::NodeId],
+    prob_of: impl Fn(TupleId) -> f64 + Copy,
+    new_epoch: bool,
+) -> f64 {
+    if new_epoch {
+        reference.clear_prob_cache();
+    }
+    roots
+        .iter()
+        .map(|&r| reference.probability(r, &prob_of))
+        .sum()
+}
+
+/// Runs the full microbenchmark at one scale: apply+negate and
+/// `prob_reps` bulk-probability passes (a new weight epoch every fourth
+/// pass), through the production manager and through the reference, with an
+/// exact agreement check on every per-pass sum.
+pub fn microbench_manager_hotpath(
+    num_vars: usize,
+    num_queries: usize,
+    clauses_per_query: usize,
+    prob_reps: usize,
+) -> MicrobenchPoint {
+    let order = std::sync::Arc::new(mv_obdd::VarOrder::from_tuples(
+        (0..num_vars as u32).map(TupleId),
+    ));
+    let workload = hotpath_workload(num_vars, num_queries, clauses_per_query);
+    let prob_of = hotpath_prob(num_vars);
+
+    // Untimed warmup of both code paths (allocator, branch predictors), so
+    // the first timed phase is not penalised for going first.
+    {
+        let mini = hotpath_workload(num_vars, (num_queries / 8).max(1), clauses_per_query);
+        let (manager, diagrams) = manager_hotpath_build(&order, &mini);
+        let _ = manager_bulk_probability(&manager, &diagrams, prob_of, true);
+        let (mut reference, roots) = reference_hotpath_build(&order, &mini);
+        let _ = reference_bulk_probability(&mut reference, &roots, prob_of, true);
+    }
+
+    let t0 = Instant::now();
+    let (manager, diagrams) = manager_hotpath_build(&order, &workload);
+    let manager_apply = t0.elapsed();
+    let t1 = Instant::now();
+    let manager_sums: Vec<f64> = (0..prob_reps)
+        .map(|rep| manager_bulk_probability(&manager, &diagrams, prob_of, rep % 4 == 0))
+        .collect();
+    let manager_prob = t1.elapsed();
+    let stats = manager.stats();
+
+    let t2 = Instant::now();
+    let (mut reference, roots) = reference_hotpath_build(&order, &workload);
+    let reference_apply = t2.elapsed();
+    let t3 = Instant::now();
+    let reference_sums: Vec<f64> = (0..prob_reps)
+        .map(|rep| reference_bulk_probability(&mut reference, &roots, prob_of, rep % 4 == 0))
+        .collect();
+    let reference_prob = t3.elapsed();
+
+    let max_abs_diff = manager_sums
+        .iter()
+        .zip(&reference_sums)
+        .map(|(m, r)| (m - r).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_abs_diff < 1e-9,
+        "manager and reference disagree by {max_abs_diff}"
+    );
+
+    MicrobenchPoint {
+        num_vars,
+        num_queries,
+        clauses_per_query,
+        prob_reps,
+        manager_apply,
+        manager_prob,
+        reference_apply,
+        reference_prob,
+        max_abs_diff,
+        manager: stats,
+    }
+}
+
+/// The microbenchmark scale used by the figures binary: quick mode stays
+/// under a second, full mode a few seconds.
+pub fn microbench_scale(quick: bool) -> (usize, usize, usize, usize) {
+    if quick {
+        (2000, 3000, 8, 50)
+    } else {
+        (4000, 10000, 10, 100)
+    }
+}
+
 /// Formats a duration in seconds with millisecond precision (the unit of the
 /// paper's plots).
 pub fn secs(d: Duration) -> f64 {
@@ -775,6 +1037,30 @@ mod tests {
             assert_eq!(timing.name, selector.instantiate().name());
         }
         assert!(manager.peak_nodes > 0);
+    }
+
+    #[test]
+    fn microbench_agrees_and_reports_stats() {
+        // Tiny debug-mode scale; the figures binary runs the real one.
+        let p = microbench_manager_hotpath(120, 8, 5, 8);
+        assert!(p.max_abs_diff < 1e-9);
+        assert!(p.manager.nodes_allocated > 0);
+        assert!(p.manager.prob_cache_hits > 0, "warm passes must hit");
+        assert!(
+            p.manager.prob_cache_misses > 0,
+            "epoch bumps must recompute"
+        );
+        assert!(p.manager.apply_cache_hits + p.manager.apply_cache_misses > 0);
+        assert!(p.speedup_total() > 0.0);
+        // The workload is deterministic.
+        let w1 = hotpath_workload(50, 4, 3);
+        let w2 = hotpath_workload(50, 4, 3);
+        assert_eq!(w1, w2);
+        for clauses in &w1 {
+            for [a, b] in clauses {
+                assert_ne!(a, b, "clause literals must be distinct");
+            }
+        }
     }
 
     #[test]

@@ -18,10 +18,10 @@
 //! [`EngineBackend::comparison_suite`].
 
 use std::cell::{OnceCell, RefCell};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use fxhash::FxHashMap;
 use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_obdd::{ManagerStats, ObddManager, PiOrder};
 use mv_pdb::{InDb, Row};
@@ -60,7 +60,7 @@ pub struct EvalContext<'a> {
     index: Option<&'a MvIndex>,
     query_ctx: QueryEvalContext<'a>,
     w_lineage: OnceCell<Lineage>,
-    scalars: RefCell<HashMap<&'static str, f64>>,
+    scalars: RefCell<FxHashMap<&'static str, f64>>,
     query_manager: OnceCell<ObddManager>,
 }
 
@@ -72,7 +72,7 @@ impl<'a> EvalContext<'a> {
             index: None,
             query_ctx: QueryEvalContext::new(translated.indb().database()),
             w_lineage: OnceCell::new(),
-            scalars: RefCell::new(HashMap::new()),
+            scalars: RefCell::new(FxHashMap::default()),
             query_manager: OnceCell::new(),
         }
     }

@@ -12,6 +12,11 @@
 //!   manager is behind an `Arc`'d lock) is shared by reference, while each
 //!   worker owns a private `EvalContext` — and therefore a private manager
 //!   shard — so query-side construction never contends across threads.
+//!   Queries are assigned to workers in **stripes** (round-robin: worker `w`
+//!   takes queries `w`, `w + workers`, `w + 2·workers`, …) rather than
+//!   contiguous chunks, so a run of expensive queries at one end of the
+//!   batch — common when callers sort workloads by key or size — is spread
+//!   across all workers instead of serialising one of them.
 //!
 //! Parallel results are **identical** to sequential ones (the same
 //! deterministic per-query computation runs either way; only the shard a
@@ -43,7 +48,8 @@ impl<'e> MvdbSession<'e> {
     }
 
     /// Sets the number of worker threads (clamped to at least 1). The batch
-    /// is split into contiguous chunks, one per worker.
+    /// is striped round-robin over the workers, so neighbouring (often
+    /// similarly expensive) queries land on different threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -112,28 +118,38 @@ impl<'e> MvdbSession<'e> {
         workers: usize,
     ) -> Result<Vec<f64>> {
         let index_before = self.engine.index().manager_stats();
-        let chunk = queries.len().div_ceil(workers);
         let mut results: Vec<Option<Result<f64>>> = (0..queries.len()).map(|_| None).collect();
-        let mut stats: Vec<ManagerStats> = vec![ManagerStats::default(); workers];
+        let mut stats: Vec<ManagerStats> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let engine = self.engine;
-            let work = queries
-                .chunks(chunk)
-                .zip(results.chunks_mut(chunk))
-                .zip(stats.iter_mut());
-            for ((qs, slots), stat) in work {
-                scope.spawn(move || {
-                    // Per-worker backend and context: the context's lazy
-                    // query manager is this worker's private shard.
-                    let backend: Box<dyn Backend> = selector.instantiate();
-                    let ctx: EvalContext<'_> = engine.context();
-                    for (q, slot) in qs.iter().zip(slots.iter_mut()) {
-                        *slot = Some(backend.probability(&q.boolean(), &ctx));
-                    }
-                    // Only this worker's shard; the shared index manager's
-                    // stats are added once below.
-                    *stat = ctx.query_manager_stats();
-                });
+            // Striped (round-robin) assignment: worker `w` evaluates queries
+            // `w, w + workers, …`, so a contiguous run of heavy queries is
+            // spread over all workers instead of serialising one of them.
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        // Per-worker backend and context: the context's lazy
+                        // query manager is this worker's private shard.
+                        let backend: Box<dyn Backend> = selector.instantiate();
+                        let ctx: EvalContext<'_> = engine.context();
+                        let stripe: Vec<Result<f64>> = queries
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|q| backend.probability(&q.boolean(), &ctx))
+                            .collect();
+                        // Only this worker's shard; the shared index
+                        // manager's stats are added once below.
+                        (stripe, ctx.query_manager_stats())
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                let (stripe, stat) = handle.join().expect("session worker panicked");
+                for (j, value) in stripe.into_iter().enumerate() {
+                    results[w + j * workers] = Some(value);
+                }
+                stats.push(stat);
             }
         });
         let shard_total: ManagerStats = stats.into_iter().sum();
@@ -236,6 +252,37 @@ mod tests {
         assert!(stats.nodes_allocated > 0);
         assert!(stats.peak_nodes > 0);
         assert!(stats.unique_hits + stats.unique_misses > 0);
+    }
+
+    #[test]
+    fn striped_assignment_preserves_positional_alignment() {
+        // A workload of queries with pairwise-distinct probabilities: any
+        // mix-up between a worker's stripe and the result slots would show
+        // up as a permutation. Exercises worker counts that do and do not
+        // divide the batch length.
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| engine.probability(q).unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<String> =
+            reference.iter().map(|p| format!("{p:.12}")).collect();
+        assert!(distinct.len() >= 5, "workload must disambiguate positions");
+        for threads in [2, 3, 5, queries.len(), queries.len() + 3] {
+            let batch = engine
+                .session()
+                .with_threads(threads)
+                .probabilities(&queries)
+                .unwrap();
+            for (i, (r, p)) in reference.iter().zip(&batch).enumerate() {
+                assert!(
+                    (r - p).abs() < 1e-12,
+                    "{threads} threads permuted slot {i}: {p} vs {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,7 @@
 //! diagram), so an augmented block costs memory proportional to the block —
 //! not to the whole arena it shares with every other block.
 
-use std::collections::HashMap;
-
+use fxhash::{FxHashMap, FxHashSet};
 use mv_obdd::obdd::{FALSE, TRUE};
 use mv_obdd::{NodeId, Obdd};
 use mv_pdb::TupleId;
@@ -26,9 +25,9 @@ use mv_pdb::TupleId;
 #[derive(Debug, Clone)]
 pub struct AugmentedObdd {
     obdd: Obdd,
-    prob_under: HashMap<NodeId, f64>,
-    reachability: HashMap<NodeId, f64>,
-    intra: HashMap<TupleId, Vec<NodeId>>,
+    prob_under: FxHashMap<NodeId, f64>,
+    reachability: FxHashMap<NodeId, f64>,
+    intra: FxHashMap<TupleId, Vec<NodeId>>,
 }
 
 impl AugmentedObdd {
@@ -40,7 +39,7 @@ impl AugmentedObdd {
         let prob_under = obdd.node_probabilities(prob_of).into_map();
         let reachable: Vec<NodeId> = prob_under.keys().copied().collect();
         let reachability = compute_reachability(&obdd, &reachable, prob_of);
-        let mut intra: HashMap<TupleId, Vec<NodeId>> = HashMap::new();
+        let mut intra: FxHashMap<TupleId, Vec<NodeId>> = FxHashMap::default();
         for &id in &reachable {
             if let Some(tuple) = obdd.tuple_of(id) {
                 intra.entry(tuple).or_default().push(id);
@@ -120,12 +119,12 @@ impl AugmentedObdd {
 
     /// `true` when every root-to-sink path passes through one of `nodes`.
     fn is_cut(&self, nodes: &[NodeId]) -> bool {
-        let target: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        let target: FxHashSet<NodeId> = nodes.iter().copied().collect();
         // DFS from the root that stops at target nodes; if a sink is reached
         // the target set is not a cut.
         let arena = self.obdd.nodes();
         let mut stack = vec![self.obdd.root()];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         while let Some(id) = stack.pop() {
             if !seen.insert(id) {
                 continue;
@@ -152,10 +151,10 @@ fn compute_reachability(
     obdd: &Obdd,
     reachable: &[NodeId],
     prob_of: impl Fn(TupleId) -> f64,
-) -> HashMap<NodeId, f64> {
+) -> FxHashMap<NodeId, f64> {
     let arena = obdd.nodes();
     let order = obdd.order();
-    let mut reach: HashMap<NodeId, f64> = reachable.iter().map(|&id| (id, 0.0)).collect();
+    let mut reach: FxHashMap<NodeId, f64> = reachable.iter().map(|&id| (id, 0.0)).collect();
     reach.insert(obdd.root(), 1.0);
     let mut ids: Vec<NodeId> = reachable
         .iter()

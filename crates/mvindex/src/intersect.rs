@@ -24,8 +24,7 @@
 //! `|index slice| × |query|`, independent of how many other diagrams share
 //! the arena.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use mv_obdd::obdd::{FALSE, TRUE};
 use mv_obdd::{NodeId, Obdd};
 use mv_pdb::TupleId;
@@ -45,8 +44,8 @@ pub const QV_TRUE: u32 = u32::MAX - 1;
 fn flatten_pre_order(
     root: NodeId,
     arena: &mv_obdd::ObddNodes<'_>,
-) -> (Vec<NodeId>, HashMap<NodeId, u32>) {
-    let mut position: HashMap<NodeId, u32> = HashMap::new();
+) -> (Vec<NodeId>, FxHashMap<NodeId, u32>) {
+    let mut position: FxHashMap<NodeId, u32> = FxHashMap::default();
     let mut visited: Vec<NodeId> = Vec::new();
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
@@ -64,7 +63,7 @@ fn flatten_pre_order(
 }
 
 /// Maps an arena id to its compact position (sinks to the shared markers).
-fn compact_of(id: NodeId, position: &HashMap<NodeId, u32>) -> u32 {
+fn compact_of(id: NodeId, position: &FxHashMap<NodeId, u32>) -> u32 {
     match id {
         TRUE => QV_TRUE,
         FALSE => QV_FALSE,
@@ -194,7 +193,7 @@ pub fn mv_intersect(
     let w = index.obdd();
     let w_arena = w.nodes();
     let order = w.order();
-    let mut memo: HashMap<(NodeId, u32), f64> = HashMap::new();
+    let mut memo: FxHashMap<(NodeId, u32), f64> = FxHashMap::default();
 
     // Iterative two-phase traversal (expand / combine) to support very deep
     // index diagrams without recursion.

@@ -18,9 +18,9 @@
 //! (Proposition 2) — this is what makes the construction two orders of
 //! magnitude faster than generic synthesis in Figure 8.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use fxhash::FxHashMap;
 use mv_pdb::{InDb, TupleId, Value};
 use mv_query::analysis::{find_separator_over, independent_atom_components};
 use mv_query::eval::EvalContext;
@@ -89,7 +89,7 @@ impl<'a> ConObddBuilder<'a> {
     /// position it occupies; those positions are placed first, in discovery
     /// order.
     pub fn infer_pi(ucq: &Ucq, indb: &InDb) -> PiOrder {
-        let mut partial: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut partial: FxHashMap<String, Vec<usize>> = FxHashMap::default();
         let mut current = ucq.boolean();
         for depth in 0..16 {
             let is_prob = |name: &str| {

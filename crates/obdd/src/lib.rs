@@ -21,6 +21,10 @@
 //! * [`synthesis`] — [`SynthesisBuilder`], the generic bottom-up builder that
 //!   synthesises an OBDD from a DNF lineage clause by clause. This is the
 //!   stand-in for native CUDD used as the baseline of Figure 8.
+//! * [`reference`] — [`RefManager`], a deliberately unoptimised recursive
+//!   implementation with SipHash hash-map caches: the agreement oracle for
+//!   the manager's iterative hot paths and the baseline the
+//!   `manager_hotpath` microbenchmark measures speedups against.
 //! * [`conobdd`] — [`ConObddBuilder`], the `ConOBDD(π, Q)` construction of
 //!   Section 4.2 (rules R1–R4): it recurses over the query structure,
 //!   expands separator variables over the active domain and *concatenates*
@@ -37,6 +41,7 @@ pub mod error;
 pub mod manager;
 pub mod obdd;
 pub mod order;
+pub mod reference;
 pub mod synthesis;
 
 pub use conobdd::{ConObddBuilder, ConstructionStats};
@@ -44,6 +49,7 @@ pub use error::ObddError;
 pub use manager::{ManagerStats, NodeProbs, ObddManager, ObddNodes};
 pub use obdd::{NodeId, Obdd, ObddNode};
 pub use order::{PiOrder, VarOrder};
+pub use reference::RefManager;
 pub use synthesis::SynthesisBuilder;
 
 /// Result alias used throughout the crate.

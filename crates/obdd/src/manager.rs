@@ -8,17 +8,33 @@
 //! queries. An [`Obdd`](crate::Obdd) is just a cheap `{manager, root}`
 //! handle; cloning one never copies nodes.
 //!
-//! Besides the arena the manager keeps four persistent caches:
+//! # Cache architecture
 //!
-//! * the **unique table** (`(level, lo, hi) → NodeId`) — canonicity;
-//! * the **apply memo** (`(op, a, b) → NodeId`, operands normalised for
-//!   commutativity) — repeated synthesis steps are O(1);
-//! * the **negate / concat memos** — negation and concatenation rebuild a
-//!   node at most once per (node, redirect target);
-//! * the **probability cache** (`NodeId → f64`, keyed by the manager's
-//!   *weight epoch*) — Shannon-expansion probabilities are computed once per
-//!   node and reused by every diagram sharing that node, until
-//!   [`ObddManager::bump_weight_epoch`] declares the tuple weights changed.
+//! The arena is append-only with dense `u32` ids, and every hot-path cache
+//! exploits that instead of going through a general-purpose hash map:
+//!
+//! * the **unique table** (`(level, lo, hi) → NodeId`) — the one table that
+//!   must stay exact forever (evicting it would break canonicity). It is a
+//!   hash map, but keyed with the vendored FxHash mix instead of SipHash;
+//! * the **computed table** — a bounded, *lossy*, direct-mapped table shared
+//!   by `apply` (∨/∧) and `concat` steps, in the style of mature BDD
+//!   packages (CUDD/BuDDy). Exactly one slot is probed per lookup; a
+//!   colliding insert overwrites the previous entry and is counted in
+//!   [`ManagerStats::cache_evictions`]. Losing an entry only means a later
+//!   step may be recomputed — results always flow through the operation's
+//!   own explicit stack, so correctness never depends on the table. The
+//!   table starts at [`ObddManager::COMPUTED_TABLE_MIN`] slots and doubles
+//!   with arena growth up to [`ObddManager::COMPUTED_TABLE_MAX`]
+//!   ([`ManagerStats::computed_resizes`] counts the doublings), so memory
+//!   stays bounded no matter how long a manager lives;
+//! * the **negate memo** — a dense `Vec<NodeId>` side table indexed by node
+//!   id (`NONE` = not negated yet). Negation is an involution, so both
+//!   directions are recorded; the memo is exact and never evicted;
+//! * the **probability cache** — a dense `Vec` side table of
+//!   `(epoch stamp, value)` pairs indexed by node id. Entries are valid only
+//!   when their stamp matches the manager's current *weight epoch*;
+//!   [`ObddManager::bump_weight_epoch`] therefore invalidates the whole
+//!   cache in O(1) by bumping a counter — nothing is cleared or freed.
 //!
 //! # Memory model
 //!
@@ -27,16 +43,18 @@
 //! readers traverse diagrams lock-free of each other (a [`std::sync::RwLock`]
 //! guards growth; read-only operations take a shared guard once per
 //! operation, not per node). Unreachable nodes are reclaimed only when the
-//! last handle drops the manager. The unique table grows with the arena and
-//! is never evicted (evicting it would break canonicity); the apply/concat
-//! memos are bounded — when they exceed [`ObddManager::MEMO_CAPACITY`]
-//! entries they are cleared wholesale and the eviction is counted in
-//! [`ManagerStats::cache_evictions`]. The probability cache is cleared
-//! whenever the weight epoch changes.
+//! last handle drops the manager. The dense side tables grow in lockstep
+//! with the arena (a few bytes per node); the computed table is bounded as
+//! described above.
 //!
-//! Structural memo entries (apply/negate/concat) remain valid forever
-//! because they only reference immutable arena nodes; clearing them is a
-//! pure performance trade, never a correctness one.
+//! # Traversal discipline
+//!
+//! Every operation — `apply`, `negate`, `concat`, the probability pass, and
+//! reachability — runs on an **explicit stack**, never on the call stack, so
+//! chain diagrams hundreds of thousands of levels deep (the output of
+//! repeated concatenation) cannot overflow the thread stack. The regression
+//! suite builds 100 000-level chains and runs all of the above with the
+//! default stack size.
 //!
 //! # Threading
 //!
@@ -48,10 +66,10 @@
 //! with equal variable orders transparently imports one side into the other
 //! — correct, but a copy; keep hot paths inside one manager.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
 
+use fxhash::{FxHashMap, FxHashSet};
 use mv_pdb::TupleId;
 
 use crate::error::ObddError;
@@ -59,7 +77,11 @@ use crate::obdd::{Obdd, ObddNode, FALSE, SINK_LEVEL, TRUE};
 use crate::order::VarOrder;
 use crate::{NodeId, Result};
 
-/// The two Boolean synthesis operators the apply memo distinguishes.
+/// Sentinel for "no entry" in dense side tables indexed by [`NodeId`].
+const NONE: NodeId = NodeId::MAX;
+
+/// The two Boolean synthesis operators the computed table distinguishes
+/// (concatenation adds two more tags internally).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum BoolOp {
     /// Disjunction.
@@ -69,13 +91,112 @@ pub(crate) enum BoolOp {
 }
 
 impl BoolOp {
-    fn tag(self) -> u8 {
+    fn tag(self) -> u32 {
         match self {
-            BoolOp::Or => 0,
-            BoolOp::And => 1,
+            BoolOp::Or => TAG_OR,
+            BoolOp::And => TAG_AND,
         }
     }
 }
+
+/// Computed-table operation tags. `TAG_EMPTY` marks a vacant slot.
+const TAG_OR: u32 = 0;
+const TAG_AND: u32 = 1;
+const TAG_CONCAT_OR: u32 = 2;
+const TAG_CONCAT_AND: u32 = 3;
+const TAG_EMPTY: u32 = u32::MAX;
+
+/// One slot of the direct-mapped computed table: the full key (operation
+/// tag + operands) plus the result, 16 bytes per slot.
+#[derive(Debug, Clone, Copy)]
+struct ComputedSlot {
+    tag: u32,
+    a: NodeId,
+    b: NodeId,
+    result: NodeId,
+}
+
+const EMPTY_SLOT: ComputedSlot = ComputedSlot {
+    tag: TAG_EMPTY,
+    a: 0,
+    b: 0,
+    result: 0,
+};
+
+/// The bounded, lossy, direct-mapped computed table shared by apply and
+/// concat. Exactly one slot is probed per lookup; collisions overwrite.
+#[derive(Debug)]
+struct ComputedTable {
+    slots: Vec<ComputedSlot>,
+    mask: usize,
+}
+
+impl ComputedTable {
+    fn with_capacity(capacity: usize) -> ComputedTable {
+        debug_assert!(capacity.is_power_of_two());
+        ComputedTable {
+            slots: vec![EMPTY_SLOT; capacity],
+            mask: capacity - 1,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The one slot a key maps to: an FxHash-style multiply-rotate mix of
+    /// the packed key, taking the high bits (where the multiply concentrates
+    /// entropy).
+    #[inline]
+    fn slot_of(&self, tag: u32, a: NodeId, b: NodeId) -> usize {
+        let key = ((u64::from(a) << 32) | u64::from(b)).rotate_left(5) ^ u64::from(tag);
+        let h = key.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        ((h >> 32) as usize) & self.mask
+    }
+
+    #[inline]
+    fn lookup(&self, tag: u32, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let slot = self.slots[self.slot_of(tag, a, b)];
+        (slot.tag == tag && slot.a == a && slot.b == b).then_some(slot.result)
+    }
+
+    /// Stores a result, returning `true` when a *different* live entry was
+    /// evicted (the lossy part of the design).
+    #[inline]
+    fn insert(&mut self, tag: u32, a: NodeId, b: NodeId, result: NodeId) -> bool {
+        let index = self.slot_of(tag, a, b);
+        let previous = self.slots[index];
+        self.slots[index] = ComputedSlot { tag, a, b, result };
+        previous.tag != TAG_EMPTY && (previous.tag, previous.a, previous.b) != (tag, a, b)
+    }
+
+    /// Doubles the table and rehashes the live entries (colliding survivors
+    /// are dropped — the table is lossy by contract).
+    fn grow_to(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two() && capacity > self.capacity());
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; capacity]);
+        self.mask = capacity - 1;
+        for slot in old {
+            if slot.tag != TAG_EMPTY {
+                let index = self.slot_of(slot.tag, slot.a, slot.b);
+                self.slots[index] = slot;
+            }
+        }
+    }
+}
+
+/// One entry of the dense probability cache: the value is valid only when
+/// `stamp` equals the current weight epoch's stamp (0 = never written).
+#[derive(Debug, Clone, Copy)]
+struct ProbSlot {
+    stamp: u64,
+    value: f64,
+}
+
+const EMPTY_PROB: ProbSlot = ProbSlot {
+    stamp: 0,
+    value: 0.0,
+};
 
 /// Counters describing a manager's workload, exposed by
 /// [`ObddManager::stats`]. All counters are cumulative since the manager was
@@ -94,17 +215,26 @@ pub struct ManagerStats {
     pub unique_hits: u64,
     /// `mk` calls that allocated a fresh node.
     pub unique_misses: u64,
-    /// Apply/negate/concat steps answered by a structural memo.
+    /// Apply/negate/concat steps answered by the computed table or the
+    /// negate memo.
     pub apply_cache_hits: u64,
     /// Apply/negate/concat steps that had to compute a result node.
     pub apply_cache_misses: u64,
     /// Per-node probabilities served from the weight-epoch cache.
     pub prob_cache_hits: u64,
-    /// Per-node probabilities computed and inserted into the cache.
+    /// Per-node probabilities computed and stamped into the cache.
     pub prob_cache_misses: u64,
-    /// Times a structural memo overflowed [`ObddManager::MEMO_CAPACITY`] and
-    /// was cleared.
+    /// Live computed-table entries overwritten by a colliding insert. The
+    /// apply/concat table is direct-mapped and lossy: an eviction means the
+    /// overwritten step may be recomputed later, never that a result is
+    /// wrong. A high rate relative to `apply_cache_misses` suggests the
+    /// table capped out at [`ObddManager::COMPUTED_TABLE_MAX`] under a
+    /// working set larger than the table.
     pub cache_evictions: u64,
+    /// Times the computed table doubled to track arena growth (bounded by
+    /// `log2(COMPUTED_TABLE_MAX / COMPUTED_TABLE_MIN)` per manager). Live
+    /// entries are rehashed on growth; colliding survivors are dropped.
+    pub computed_resizes: u64,
     /// Internal nodes copied into this arena from a *different* manager —
     /// the only remaining deep-copy path. Zero on production pipelines,
     /// which keep each diagram family inside one manager.
@@ -148,6 +278,9 @@ impl ManagerStats {
                 .prob_cache_misses
                 .saturating_sub(earlier.prob_cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            computed_resizes: self
+                .computed_resizes
+                .saturating_sub(earlier.computed_resizes),
             imported_nodes: self.imported_nodes.saturating_sub(earlier.imported_nodes),
         }
     }
@@ -179,6 +312,7 @@ impl std::ops::Add for ManagerStats {
             prob_cache_hits: self.prob_cache_hits + rhs.prob_cache_hits,
             prob_cache_misses: self.prob_cache_misses + rhs.prob_cache_misses,
             cache_evictions: self.cache_evictions + rhs.cache_evictions,
+            computed_resizes: self.computed_resizes + rhs.computed_resizes,
             imported_nodes: self.imported_nodes + rhs.imported_nodes,
         }
     }
@@ -193,15 +327,16 @@ impl std::iter::Sum for ManagerStats {
 /// Everything behind the manager's lock.
 struct Store {
     nodes: Vec<ObddNode>,
-    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
-    /// `(op tag, a, b) → result`, operands normalised (`a ≤ b`).
-    apply_memo: HashMap<(u8, NodeId, NodeId), NodeId>,
-    /// `node → ¬node` (sinks pre-seeded).
-    negate_memo: HashMap<NodeId, NodeId>,
-    /// `(and?, node, redirected sink target) → rebuilt node`.
-    concat_memo: HashMap<(bool, NodeId, NodeId), NodeId>,
-    /// Probabilities valid for the current [`Store::weight_epoch`].
-    prob_cache: HashMap<NodeId, f64>,
+    /// The exact unique table (FxHash-keyed): canonicity.
+    unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
+    /// The lossy, direct-mapped computed table for apply and concat steps.
+    computed: ComputedTable,
+    /// Dense `node → ¬node` side table (`NONE` = not negated yet; sinks
+    /// pre-seeded). Exact and never evicted.
+    negate_memo: Vec<NodeId>,
+    /// Dense per-node probability cache; entries are valid only for the
+    /// current weight epoch's stamp.
+    prob_cache: Vec<ProbSlot>,
     weight_epoch: u64,
     stats: ManagerStats,
 }
@@ -220,22 +355,26 @@ impl Store {
                 hi: TRUE,
             },
         ];
-        let mut negate_memo = HashMap::new();
-        negate_memo.insert(FALSE, TRUE);
-        negate_memo.insert(TRUE, FALSE);
         Store {
             nodes,
-            unique: HashMap::new(),
-            apply_memo: HashMap::new(),
-            negate_memo,
-            concat_memo: HashMap::new(),
-            prob_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            computed: ComputedTable::with_capacity(ObddManager::COMPUTED_TABLE_MIN),
+            // ¬false = true, ¬true = false.
+            negate_memo: vec![TRUE, FALSE],
+            prob_cache: vec![EMPTY_PROB; 2],
             weight_epoch: 0,
             stats: ManagerStats {
                 peak_nodes: 2,
                 ..ManagerStats::default()
             },
         }
+    }
+
+    /// The stamp marking probability-cache entries of the current epoch
+    /// (offset by one so the zero-initialised slots are always invalid).
+    #[inline]
+    fn epoch_stamp(&self) -> u64 {
+        self.weight_epoch + 1
     }
 
     fn node(&self, id: NodeId) -> ObddNode {
@@ -247,6 +386,8 @@ impl Store {
     }
 
     /// Creates (or reuses) a node, applying the standard reduction rules.
+    /// The dense side tables grow in lockstep with the arena, and the
+    /// computed table doubles (up to its cap) when the arena outgrows it.
     fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
         if lo == hi {
             return lo;
@@ -259,14 +400,34 @@ impl Store {
         self.stats.nodes_allocated += 1;
         let id = self.nodes.len() as NodeId;
         self.nodes.push(ObddNode { level, lo, hi });
+        self.negate_memo.push(NONE);
+        self.prob_cache.push(EMPTY_PROB);
         self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len() as u64);
         self.unique.insert((level, lo, hi), id);
+        // Keep the computed table at ≥ 2× the arena (like CUDD's computed
+        // table, sized as a multiple of the unique table): apply generates
+        // more subproblems than nodes, and a too-small direct-mapped table
+        // turns into an eviction mill.
+        let capacity = self.computed.capacity();
+        if self.nodes.len() * 2 > capacity && capacity < ObddManager::COMPUTED_TABLE_MAX {
+            self.computed.grow_to(capacity * 2);
+            self.stats.computed_resizes += 1;
+        }
         id
+    }
+
+    /// The root of a conjunction chain over sorted, deduplicated levels.
+    fn clause_root(&mut self, levels: &[u32]) -> NodeId {
+        let mut child = TRUE;
+        for &level in levels.iter().rev() {
+            child = self.mk(level, FALSE, child);
+        }
+        child
     }
 
     /// Ids reachable from `root` (iterative DFS; includes sinks).
     fn reachable(&self, root: NodeId) -> Vec<NodeId> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![root];
         let mut out = Vec::new();
         while let Some(id) = stack.pop() {
@@ -318,13 +479,16 @@ impl Store {
         }
     }
 
-    /// Classical synthesis inside one arena, memoised persistently.
+    /// Classical synthesis inside one arena on an explicit stack, memoised
+    /// through the lossy computed table (operands normalised for
+    /// commutativity).
     fn apply(&mut self, op: BoolOp, a: NodeId, b: NodeId) -> NodeId {
         enum Frame {
             Expand(NodeId, NodeId),
             Combine(NodeId, NodeId, u32),
         }
-        let key = |u: NodeId, v: NodeId| (op.tag(), u.min(v), u.max(v));
+        let tag = op.tag();
+        let key = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
         let mut stack = vec![Frame::Expand(a, b)];
         let mut results: Vec<NodeId> = Vec::new();
         while let Some(frame) = stack.pop() {
@@ -334,7 +498,8 @@ impl Store {
                         results.push(r);
                         continue;
                     }
-                    if let Some(&r) = self.apply_memo.get(&key(u, v)) {
+                    let (ka, kb) = key(u, v);
+                    if let Some(r) = self.computed.lookup(tag, ka, kb) {
                         self.stats.apply_cache_hits += 1;
                         results.push(r);
                         continue;
@@ -361,70 +526,103 @@ impl Store {
                     let r0 = results.pop().expect("lo result available");
                     let r = self.mk(m, r0, r1);
                     self.stats.apply_cache_misses += 1;
-                    self.apply_memo.insert(key(u, v), r);
+                    let (ka, kb) = key(u, v);
+                    if self.computed.insert(tag, ka, kb, r) {
+                        self.stats.cache_evictions += 1;
+                    }
                     results.push(r);
                 }
             }
         }
-        self.maybe_evict();
         results.pop().expect("apply produces a root")
     }
 
-    /// Negation: rebuilds the reachable part bottom-up with the persistent
-    /// negate memo (children always have strictly larger levels).
+    /// Negation on an explicit stack: rebuilds the reachable part bottom-up
+    /// with the dense, exact negate memo (children always have strictly
+    /// larger levels, so a node's negation is ready once both children's
+    /// are).
     fn negate(&mut self, root: NodeId) -> NodeId {
-        if let Some(&r) = self.negate_memo.get(&root) {
+        if self.negate_memo[root as usize] != NONE {
             self.stats.apply_cache_hits += 1;
-            return r;
+            return self.negate_memo[root as usize];
         }
-        let mut ids = self.reachable(root);
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        for id in ids {
-            if self.negate_memo.contains_key(&id) {
-                self.stats.apply_cache_hits += 1;
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if self.negate_memo[id as usize] != NONE {
+                stack.pop();
                 continue;
             }
             let node = self.node(id);
-            let lo = self.negate_memo[&node.lo];
-            let hi = self.negate_memo[&node.hi];
-            let neg = self.mk(node.level, lo, hi);
-            self.stats.apply_cache_misses += 1;
-            self.negate_memo.insert(id, neg);
-            // Negation is an involution; record both directions.
-            self.negate_memo.entry(neg).or_insert(id);
+            let lo = self.negate_memo[node.lo as usize];
+            let hi = self.negate_memo[node.hi as usize];
+            if lo != NONE && hi != NONE {
+                let neg = self.mk(node.level, lo, hi);
+                self.stats.apply_cache_misses += 1;
+                self.negate_memo[id as usize] = neg;
+                // Negation is an involution; record both directions.
+                if self.negate_memo[neg as usize] == NONE {
+                    self.negate_memo[neg as usize] = id;
+                }
+                stack.pop();
+            } else {
+                if hi == NONE {
+                    stack.push(node.hi);
+                }
+                if lo == NONE {
+                    stack.push(node.lo);
+                }
+            }
         }
-        self.negate_memo[&root]
+        self.negate_memo[root as usize]
     }
 
-    /// Concatenation (Section 4.2): rebuilds the reachable part of `a`,
-    /// redirecting its `0`-sink (`and = false`) or `1`-sink (`and = true`)
-    /// to `b`. The nodes of `b` are reused as-is — sharing one arena is what
-    /// removed the old deep copy of the second operand.
+    /// Concatenation (Section 4.2) on an explicit stack: rebuilds the
+    /// reachable part of `a`, redirecting its `0`-sink (`and = false`) or
+    /// `1`-sink (`and = true`) to `b`. The nodes of `b` are reused as-is —
+    /// sharing one arena is what removed the old deep copy of the second
+    /// operand. The per-call rebuild map is exact; the computed table only
+    /// accelerates repeats across calls.
     fn concat(&mut self, and: bool, a: NodeId, b: NodeId) -> NodeId {
+        let tag = if and { TAG_CONCAT_AND } else { TAG_CONCAT_OR };
         let (redirected, kept) = if and { (TRUE, FALSE) } else { (FALSE, TRUE) };
-        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut map: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         map.insert(redirected, b);
         map.insert(kept, kept);
-        let mut ids = self.reachable(a);
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        for id in ids {
-            if id == TRUE || id == FALSE {
+        let mut stack = vec![a];
+        while let Some(&id) = stack.last() {
+            if map.contains_key(&id) {
+                stack.pop();
                 continue;
             }
-            if let Some(&r) = self.concat_memo.get(&(and, id, b)) {
+            if let Some(r) = self.computed.lookup(tag, id, b) {
                 self.stats.apply_cache_hits += 1;
                 map.insert(id, r);
+                stack.pop();
                 continue;
             }
             let node = self.node(id);
-            let lo = map[&node.lo];
-            let hi = map[&node.hi];
-            let rebuilt = self.mk(node.level, lo, hi);
-            self.stats.apply_cache_misses += 1;
-            self.concat_memo.insert((and, id, b), rebuilt);
-            map.insert(id, rebuilt);
+            let lo = map.get(&node.lo).copied();
+            let hi = map.get(&node.hi).copied();
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let rebuilt = self.mk(node.level, lo, hi);
+                    self.stats.apply_cache_misses += 1;
+                    if self.computed.insert(tag, id, b, rebuilt) {
+                        self.stats.cache_evictions += 1;
+                    }
+                    map.insert(id, rebuilt);
+                    stack.pop();
+                }
+                (lo, hi) => {
+                    if hi.is_none() {
+                        stack.push(node.hi);
+                    }
+                    if lo.is_none() {
+                        stack.push(node.lo);
+                    }
+                }
+            }
         }
-        self.maybe_evict();
         map[&a]
     }
 
@@ -437,7 +635,7 @@ impl Store {
         }
         let mut ids = src.reachable(src_root);
         ids.sort_by_key(|&id| std::cmp::Reverse(src.level(id)));
-        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut map: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         map.insert(FALSE, FALSE);
         map.insert(TRUE, TRUE);
         for id in ids {
@@ -455,73 +653,167 @@ impl Store {
     }
 
     /// Bottom-up Shannon-expansion probabilities of every node reachable
-    /// from `root`, without touching the cache.
+    /// from `root`, computed in one explicit-stack DFS without touching the
+    /// epoch cache. The result map is sized by the diagram, not the arena.
     fn node_probs(
         &self,
         order: &VarOrder,
         root: NodeId,
         prob_of: &dyn Fn(TupleId) -> f64,
-    ) -> HashMap<NodeId, f64> {
-        let mut ids = self.reachable(root);
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        let mut out: HashMap<NodeId, f64> = HashMap::with_capacity(ids.len() + 2);
+    ) -> FxHashMap<NodeId, f64> {
+        let mut out: FxHashMap<NodeId, f64> = FxHashMap::default();
         out.insert(FALSE, 0.0);
         out.insert(TRUE, 1.0);
-        for id in ids {
-            if id == TRUE || id == FALSE {
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if out.contains_key(&id) {
+                stack.pop();
                 continue;
             }
             let node = self.node(id);
-            let p = prob_of(order.tuple_at(node.level));
-            let value = (1.0 - p) * out[&node.lo] + p * out[&node.hi];
-            out.insert(id, value);
+            let lo = out.get(&node.lo).copied();
+            let hi = out.get(&node.hi).copied();
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let p = prob_of(order.tuple_at(node.level));
+                    out.insert(id, (1.0 - p) * lo + p * hi);
+                    stack.pop();
+                }
+                (lo, hi) => {
+                    if hi.is_none() {
+                        stack.push(node.hi);
+                    }
+                    if lo.is_none() {
+                        stack.push(node.lo);
+                    }
+                }
+            }
         }
         out
     }
 
-    /// Like [`Store::node_probs`] but served from / stored into the
+    /// Like [`Store::node_probs`] but served from / stamped into the dense
     /// weight-epoch probability cache. Callers must pass the probability
-    /// function the current epoch stands for.
+    /// function the current epoch stands for. Every reachable node lands in
+    /// the returned map (cache hits included — the traversal descends
+    /// through hits instead of pruning at them), so the result is a
+    /// complete per-diagram annotation.
     fn node_probs_cached(
         &mut self,
         order: &VarOrder,
         root: NodeId,
         prob_of: &dyn Fn(TupleId) -> f64,
-    ) -> HashMap<NodeId, f64> {
-        let mut ids = self.reachable(root);
-        ids.sort_by_key(|&id| std::cmp::Reverse(self.level(id)));
-        let mut out: HashMap<NodeId, f64> = HashMap::with_capacity(ids.len() + 2);
+    ) -> FxHashMap<NodeId, f64> {
+        let stamp = self.epoch_stamp();
+        let mut out: FxHashMap<NodeId, f64> = FxHashMap::default();
         out.insert(FALSE, 0.0);
         out.insert(TRUE, 1.0);
-        for id in ids {
-            if id == TRUE || id == FALSE {
-                continue;
-            }
-            if let Some(&p) = self.prob_cache.get(&id) {
-                self.stats.prob_cache_hits += 1;
-                out.insert(id, p);
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if out.contains_key(&id) {
+                stack.pop();
                 continue;
             }
             let node = self.node(id);
-            let p = prob_of(order.tuple_at(node.level));
-            let value = (1.0 - p) * out[&node.lo] + p * out[&node.hi];
-            self.stats.prob_cache_misses += 1;
-            self.prob_cache.insert(id, value);
-            out.insert(id, value);
+            let slot = self.prob_cache[id as usize];
+            if slot.stamp == stamp {
+                self.stats.prob_cache_hits += 1;
+                out.insert(id, slot.value);
+                stack.pop();
+                // Completeness: descendants must appear in the map too.
+                // Their slots carry the same stamp (a node is only stamped
+                // after its children), so each costs one O(1) cache hit.
+                if !out.contains_key(&node.hi) {
+                    stack.push(node.hi);
+                }
+                if !out.contains_key(&node.lo) {
+                    stack.push(node.lo);
+                }
+                continue;
+            }
+            let lo = out.get(&node.lo).copied();
+            let hi = out.get(&node.hi).copied();
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let p = prob_of(order.tuple_at(node.level));
+                    let value = (1.0 - p) * lo + p * hi;
+                    self.stats.prob_cache_misses += 1;
+                    self.prob_cache[id as usize] = ProbSlot { stamp, value };
+                    out.insert(id, value);
+                    stack.pop();
+                }
+                (lo, hi) => {
+                    if hi.is_none() {
+                        stack.push(node.hi);
+                    }
+                    if lo.is_none() {
+                        stack.push(node.lo);
+                    }
+                }
+            }
         }
         out
     }
 
-    /// Clears the bounded structural memos once they outgrow the cap.
-    fn maybe_evict(&mut self) {
-        if self.apply_memo.len() > ObddManager::MEMO_CAPACITY {
-            self.apply_memo = HashMap::new();
-            self.stats.cache_evictions += 1;
+    /// The cached probability of `id` for the current epoch: `None` when it
+    /// has to be computed first. Sinks are constant.
+    #[inline]
+    fn prob_slot_value(&self, id: NodeId, stamp: u64) -> Option<f64> {
+        if id == FALSE {
+            return Some(0.0);
         }
-        if self.concat_memo.len() > ObddManager::MEMO_CAPACITY {
-            self.concat_memo = HashMap::new();
-            self.stats.cache_evictions += 1;
+        if id == TRUE {
+            return Some(1.0);
         }
+        let slot = self.prob_cache[id as usize];
+        (slot.stamp == stamp).then_some(slot.value)
+    }
+
+    /// The probability of the diagram rooted at `root` alone, served from /
+    /// stamped into the epoch cache. Unlike [`Store::node_probs_cached`]
+    /// this prunes at cache hits and allocates **no per-call map** — the
+    /// dense epoch cache itself is the traversal state, so a warm root is a
+    /// single array probe and a cold pass is straight `Vec` arithmetic.
+    /// This is what makes bulk probability over a cached workload fast.
+    fn root_prob_cached(
+        &mut self,
+        order: &VarOrder,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> f64 {
+        let stamp = self.epoch_stamp();
+        if let Some(value) = self.prob_slot_value(root, stamp) {
+            self.stats.prob_cache_hits += 1;
+            return value;
+        }
+        let mut stack = vec![root];
+        while let Some(&id) = stack.last() {
+            if self.prob_slot_value(id, stamp).is_some() {
+                stack.pop();
+                continue;
+            }
+            let node = self.node(id);
+            let lo = self.prob_slot_value(node.lo, stamp);
+            let hi = self.prob_slot_value(node.hi, stamp);
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let p = prob_of(order.tuple_at(node.level));
+                    let value = (1.0 - p) * lo + p * hi;
+                    self.stats.prob_cache_misses += 1;
+                    self.prob_cache[id as usize] = ProbSlot { stamp, value };
+                    stack.pop();
+                }
+                (lo, hi) => {
+                    if hi.is_none() {
+                        stack.push(node.hi);
+                    }
+                    if lo.is_none() {
+                        stack.push(node.lo);
+                    }
+                }
+            }
+        }
+        self.prob_cache[root as usize].value
     }
 }
 
@@ -538,9 +830,14 @@ pub struct ObddManager {
 }
 
 impl ObddManager {
-    /// Upper bound on the apply/concat memo sizes before they are cleared
-    /// (see the module-level memory model).
-    pub const MEMO_CAPACITY: usize = 1 << 20;
+    /// Initial slot count of the lossy apply/concat computed table. Small
+    /// managers (per-query shards) stay at a few kilobytes.
+    pub const COMPUTED_TABLE_MIN: usize = 1 << 10;
+
+    /// Upper bound on the computed-table slot count; the table doubles with
+    /// arena growth until it reaches this cap (16 bytes per slot — 16 MiB at
+    /// the cap), then stays bounded and lossy forever.
+    pub const COMPUTED_TABLE_MAX: usize = 1 << 20;
 
     /// An empty manager over the given variable order.
     pub fn new(order: Arc<VarOrder>) -> ObddManager {
@@ -572,17 +869,24 @@ impl ObddManager {
         self.read().stats
     }
 
+    /// Current slot count of the lossy computed table (between
+    /// [`ObddManager::COMPUTED_TABLE_MIN`] and
+    /// [`ObddManager::COMPUTED_TABLE_MAX`], tracking arena growth).
+    pub fn computed_table_capacity(&self) -> usize {
+        self.read().computed.capacity()
+    }
+
     /// The current weight epoch of the probability cache.
     pub fn weight_epoch(&self) -> u64 {
         self.read().weight_epoch
     }
 
-    /// Declares that tuple weights changed: clears the per-node probability
-    /// cache and starts a new epoch. Structural caches survive (they do not
-    /// depend on weights).
+    /// Declares that tuple weights changed: starts a new epoch, which
+    /// invalidates every probability-cache entry in O(1) (entries are
+    /// stamped with their epoch; nothing is cleared or freed). Structural
+    /// caches survive — they do not depend on weights.
     pub fn bump_weight_epoch(&self) -> u64 {
         let mut store = self.write();
-        store.prob_cache.clear();
         store.weight_epoch += 1;
         store.weight_epoch
     }
@@ -605,6 +909,16 @@ impl ObddManager {
 
     /// The diagram of a conjunction of positive literals (one DNF clause).
     pub fn clause(&self, clause: &[TupleId]) -> Result<Obdd> {
+        let levels = self.clause_levels(clause)?;
+        let mut store = self.write();
+        let root = store.clause_root(&levels);
+        drop(store);
+        Ok(Obdd::from_parts(self.clone(), root))
+    }
+
+    /// Sorted, deduplicated levels of a clause (order lookups happen outside
+    /// the store lock).
+    fn clause_levels(&self, clause: &[TupleId]) -> Result<Vec<u32>> {
         let mut levels: Vec<u32> = clause
             .iter()
             .map(|&t| {
@@ -616,13 +930,31 @@ impl ObddManager {
             .collect::<Result<_>>()?;
         levels.sort_unstable();
         levels.dedup();
+        Ok(levels)
+    }
+
+    /// The diagram of a whole DNF — the OR-fold of its clauses — built under
+    /// **one** lock acquisition. For lineages of many small clauses (the
+    /// per-query hot path), per-clause locking costs more than the fold
+    /// itself; batch builders (`SynthesisBuilder::from_lineage`, the
+    /// microbenchmark) should prefer this entry point. Produces exactly the
+    /// diagram the clause-by-clause fold produces.
+    pub fn dnf<C: AsRef<[TupleId]>>(&self, clauses: &[C]) -> Result<Obdd> {
+        let levels: Vec<Vec<u32>> = clauses
+            .iter()
+            .map(|c| self.clause_levels(c.as_ref()))
+            .collect::<Result<_>>()?;
         let mut store = self.write();
-        let mut child = TRUE;
-        for &level in levels.iter().rev() {
-            child = store.mk(level, FALSE, child);
+        let mut acc = FALSE;
+        for clause in &levels {
+            let clause_root = store.clause_root(clause);
+            acc = match Store::apply_terminal(BoolOp::Or, acc, clause_root) {
+                Some(r) => r,
+                None => store.apply(BoolOp::Or, acc, clause_root),
+            };
         }
         drop(store);
-        Ok(Obdd::from_parts(self.clone(), child))
+        Ok(Obdd::from_parts(self.clone(), acc))
     }
 
     /// Scans the arena for canonicity violations: a duplicate
@@ -631,7 +963,7 @@ impl ObddManager {
     /// entry out of sync with the arena. Returns the first violation found.
     pub fn canonicity_violation(&self) -> Option<String> {
         let store = self.read();
-        let mut seen: HashMap<(u32, NodeId, NodeId), NodeId> = HashMap::new();
+        let mut seen: FxHashMap<(u32, NodeId, NodeId), NodeId> = FxHashMap::default();
         for (i, node) in store.nodes.iter().enumerate().skip(2) {
             let id = i as NodeId;
             if node.lo == node.hi {
@@ -735,7 +1067,7 @@ impl ObddManager {
         &self,
         root: NodeId,
         prob_of: &dyn Fn(TupleId) -> f64,
-    ) -> HashMap<NodeId, f64> {
+    ) -> FxHashMap<NodeId, f64> {
         self.read().node_probs(&self.shared.order, root, prob_of)
     }
 
@@ -743,9 +1075,47 @@ impl ObddManager {
         &self,
         root: NodeId,
         prob_of: &dyn Fn(TupleId) -> f64,
-    ) -> HashMap<NodeId, f64> {
+    ) -> FxHashMap<NodeId, f64> {
         self.write()
             .node_probs_cached(&self.shared.order, root, prob_of)
+    }
+
+    pub(crate) fn root_prob_cached_of(
+        &self,
+        root: NodeId,
+        prob_of: &dyn Fn(TupleId) -> f64,
+    ) -> f64 {
+        self.write()
+            .root_prob_cached(&self.shared.order, root, prob_of)
+    }
+
+    /// Cached probabilities of many diagrams of **this** manager under one
+    /// lock acquisition (the bulk analogue of
+    /// [`Obdd::probability_cached`](crate::Obdd::probability_cached)):
+    /// per-diagram locking costs more than the probes themselves once the
+    /// epoch cache is warm, so batch evaluators should prefer this entry
+    /// point. The same epoch contract applies — `prob_of` must be the
+    /// weight function the current epoch stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a diagram belongs to a different manager.
+    pub fn bulk_probability_cached(
+        &self,
+        diagrams: &[Obdd],
+        prob_of: impl Fn(TupleId) -> f64,
+    ) -> Vec<f64> {
+        let mut store = self.write();
+        diagrams
+            .iter()
+            .map(|d| {
+                assert!(
+                    self.same_store(d.manager()),
+                    "bulk_probability_cached requires diagrams of this manager"
+                );
+                store.root_prob_cached(&self.shared.order, d.root(), &prob_of)
+            })
+            .collect()
     }
 }
 
@@ -756,6 +1126,7 @@ impl fmt::Debug for ObddManager {
             .field("order_len", &self.shared.order.len())
             .field("nodes", &store.nodes.len())
             .field("weight_epoch", &store.weight_epoch)
+            .field("computed_slots", &store.computed.capacity())
             .finish_non_exhaustive()
     }
 }
@@ -815,11 +1186,11 @@ impl ObddNodes<'_> {
 /// arena.
 #[derive(Debug, Clone)]
 pub struct NodeProbs {
-    map: HashMap<NodeId, f64>,
+    map: FxHashMap<NodeId, f64>,
 }
 
 impl NodeProbs {
-    pub(crate) fn from_map(map: HashMap<NodeId, f64>) -> NodeProbs {
+    pub(crate) fn from_map(map: FxHashMap<NodeId, f64>) -> NodeProbs {
         NodeProbs { map }
     }
 
@@ -836,7 +1207,7 @@ impl NodeProbs {
 
     /// Consumes the probabilities as a plain map (keys: reachable nodes plus
     /// the two sinks), for callers that store them long-term.
-    pub fn into_map(self) -> HashMap<NodeId, f64> {
+    pub fn into_map(self) -> FxHashMap<NodeId, f64> {
         self.map
     }
 
@@ -906,7 +1277,7 @@ mod tests {
         let hits = m.stats().prob_cache_hits;
         let _ = c.probability_cached(|_| 0.5);
         assert!(m.stats().prob_cache_hits > hits);
-        // New epoch: the cache is dropped and the new weights take effect.
+        // New epoch: the stamps go stale and the new weights take effect.
         m.bump_weight_epoch();
         let p2 = c.probability_cached(|_| 0.1);
         assert!((p2 - 0.01).abs() < 1e-12);
@@ -937,5 +1308,84 @@ mod tests {
         // Real work.
         assert_eq!(concat_trivial(false, 7, 9), None);
         assert_eq!(concat_trivial(true, 7, 9), None);
+    }
+
+    #[test]
+    fn computed_table_is_direct_mapped_and_lossy() {
+        let mut table = ComputedTable::with_capacity(8);
+        assert!(!table.insert(TAG_OR, 2, 3, 7));
+        assert_eq!(table.lookup(TAG_OR, 2, 3), Some(7));
+        // Same key, new value: overwrite without an eviction.
+        assert!(!table.insert(TAG_OR, 2, 3, 9));
+        assert_eq!(table.lookup(TAG_OR, 2, 3), Some(9));
+        // A different key mapping to the same slot evicts. Find one by
+        // scanning — with 8 slots a collision exists among a few hundred
+        // keys.
+        let slot = table.slot_of(TAG_OR, 2, 3);
+        let colliding = (0..1000u32)
+            .map(|i| (100 + i, 200 + i))
+            .find(|&(a, b)| table.slot_of(TAG_OR, a, b) == slot)
+            .expect("a colliding key exists");
+        assert!(table.insert(TAG_OR, colliding.0, colliding.1, 11));
+        assert_eq!(table.lookup(TAG_OR, 2, 3), None, "evicted by collision");
+        assert_eq!(table.lookup(TAG_OR, colliding.0, colliding.1), Some(11));
+    }
+
+    #[test]
+    fn computed_table_grows_with_the_arena() {
+        let n = (ObddManager::COMPUTED_TABLE_MIN + 8) as u32;
+        let m = ObddManager::new(order(n));
+        assert_eq!(m.computed_table_capacity(), ObddManager::COMPUTED_TABLE_MIN);
+        // A single clause over more variables than the minimum table size
+        // allocates one node per level; the table doubles to stay at ≥ 2×
+        // the arena.
+        let clause: Vec<TupleId> = (0..n).map(TupleId).collect();
+        let c = m.clause(&clause).unwrap();
+        assert_eq!(c.size(), n as usize);
+        assert!(m.computed_table_capacity() >= 2 * m.num_nodes());
+        assert_eq!(m.stats().computed_resizes, 2);
+        assert!(m.computed_table_capacity() <= ObddManager::COMPUTED_TABLE_MAX);
+    }
+
+    #[test]
+    fn dnf_fold_matches_clause_by_clause_fold() {
+        let m = ObddManager::new(order(8));
+        let clauses: Vec<Vec<TupleId>> = vec![
+            vec![TupleId(0), TupleId(4)],
+            vec![TupleId(1), TupleId(5)],
+            vec![TupleId(2), TupleId(6)],
+            vec![TupleId(0), TupleId(7)],
+        ];
+        let folded = m.dnf(&clauses).unwrap();
+        let mut acc = m.constant(false);
+        for c in &clauses {
+            let clause = m.clause(c).unwrap();
+            acc = acc.apply_or(&clause).unwrap();
+        }
+        assert_eq!(folded.root(), acc.root());
+        // Degenerate inputs.
+        assert_eq!(m.dnf::<Vec<TupleId>>(&[]).unwrap().root(), FALSE);
+        assert_eq!(m.dnf(&[Vec::<TupleId>::new()]).unwrap().root(), TRUE);
+        assert!(m.dnf(&[vec![TupleId(99)]]).is_err());
+    }
+
+    #[test]
+    fn dense_side_tables_stay_in_lockstep_with_the_arena() {
+        let m = ObddManager::new(order(16));
+        let mut diagrams = Vec::new();
+        for i in 0..8 {
+            diagrams.push(m.clause(&[TupleId(i), TupleId(i + 8)]).unwrap());
+        }
+        let mut acc = m.constant(false);
+        for d in &diagrams {
+            acc = acc.apply_or(d).unwrap();
+        }
+        let negated = acc.negate();
+        // Every node (old and new) must be addressable in the side tables:
+        // probabilities on the negation exercise the full arena range.
+        let p = acc.probability_cached(|_| 0.5);
+        let np = negated.probability_cached(|_| 0.5);
+        assert!((p + np - 1.0).abs() < 1e-12);
+        assert_eq!(m.canonicity_violation(), None);
     }
 }

@@ -154,7 +154,7 @@ impl Obdd {
     pub fn width(&self) -> usize {
         let ids = self.manager.reachable_of(self.root);
         let nodes = self.nodes();
-        let mut per_level: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut per_level: fxhash::FxHashMap<u32, usize> = fxhash::FxHashMap::default();
         for id in ids {
             let level = nodes.level(id);
             if level != SINK_LEVEL {
@@ -324,8 +324,10 @@ impl Obdd {
     /// stored into the manager's probability cache for the current weight
     /// epoch. `prob_of` **must** be the weight function the epoch stands
     /// for; call [`ObddManager::bump_weight_epoch`] when weights change.
+    /// A root whose value is already cached for the epoch costs a single
+    /// array probe.
     pub fn probability_cached(&self, prob_of: impl Fn(TupleId) -> f64) -> f64 {
-        self.manager.node_probs_cached_of(self.root, &prob_of)[&self.root]
+        self.manager.root_prob_cached_of(self.root, &prob_of)
     }
 
     /// The probability of the sub-diagram rooted at every reachable node

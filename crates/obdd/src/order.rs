@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use fxhash::FxHashMap;
 use mv_pdb::{InDb, RelId, TupleId, Value};
 
 /// The per-relation attribute permutations `π`.
@@ -95,7 +96,9 @@ fn lex_prefix_cmp(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarOrder {
     by_level: Vec<TupleId>,
-    level_of: HashMap<TupleId, u32>,
+    /// `tuple → level`; FxHash-keyed because clause construction probes it
+    /// once per literal.
+    level_of: FxHashMap<TupleId, u32>,
 }
 
 impl VarOrder {

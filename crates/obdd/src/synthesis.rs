@@ -54,17 +54,14 @@ impl SynthesisBuilder {
         &self.manager
     }
 
-    /// Builds the OBDD of a DNF lineage by synthesising one clause at a time.
+    /// Builds the OBDD of a DNF lineage by synthesising one clause at a
+    /// time — through [`ObddManager::dnf`], so the whole fold runs under a
+    /// single manager-lock acquisition.
     pub fn from_lineage(&self, lineage: &Lineage) -> Result<Obdd> {
         if lineage.is_true() {
             return Ok(self.manager.constant(true));
         }
-        let mut acc = self.manager.constant(false);
-        for clause in lineage.clauses() {
-            let clause_obdd = self.manager.clause(clause)?;
-            acc = acc.apply_or(&clause_obdd)?;
-        }
-        Ok(acc)
+        self.manager.dnf(lineage.clauses())
     }
 
     /// Computes the lineage of a Boolean UCQ and builds its OBDD.

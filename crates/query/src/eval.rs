@@ -11,9 +11,9 @@
 //! comparison predicates are applied as soon as both sides are bound.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::ops::ControlFlow;
 
+use fxhash::FxHashMap;
 use mv_pdb::{Database, RelId, Row, Value};
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, Ucq};
@@ -27,11 +27,12 @@ pub struct Answer {
     pub row: Row,
 }
 
-/// A variable binding environment.
-pub type Bindings = HashMap<String, Value>;
+/// A variable binding environment (FxHash-keyed: probed per atom term on
+/// the lineage hot path).
+pub type Bindings = FxHashMap<String, Value>;
 
 /// Lazily built column index: `(relation, column) → value → row positions`.
-type ColumnIndexes = HashMap<(RelId, usize), HashMap<Value, Vec<usize>>>;
+type ColumnIndexes = FxHashMap<(RelId, usize), FxHashMap<Value, Vec<usize>>>;
 
 /// Per-database evaluation context with lazily built column indexes.
 ///
@@ -47,7 +48,7 @@ impl<'a> EvalContext<'a> {
     pub fn new(db: &'a Database) -> Self {
         EvalContext {
             db,
-            indexes: RefCell::new(HashMap::new()),
+            indexes: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -59,7 +60,7 @@ impl<'a> EvalContext<'a> {
     fn ensure_index(&self, rel: RelId, column: usize) {
         let mut indexes = self.indexes.borrow_mut();
         indexes.entry((rel, column)).or_insert_with(|| {
-            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
             for (i, row) in self.db.relation(rel).iter() {
                 index.entry(row[column].clone()).or_default().push(i);
             }
@@ -120,7 +121,7 @@ pub fn for_each_match<B>(
         }
     }
 
-    let mut bindings: Bindings = HashMap::new();
+    let mut bindings: Bindings = Bindings::default();
     let mut matched: Vec<(RelId, usize)> = vec![(RelId(0), 0); cq.atoms.len()];
     let mut used: Vec<bool> = vec![false; cq.atoms.len()];
     let result = search(
@@ -276,7 +277,7 @@ pub fn evaluate_ucq(ucq: &Ucq, db: &Database) -> Result<Vec<Answer>> {
 
 /// Like [`evaluate_ucq`] but reuses an existing [`EvalContext`].
 pub fn evaluate_ucq_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = fxhash::FxHashSet::default();
     let mut answers = Vec::new();
     for disjunct in &ucq.disjuncts {
         for_each_match::<()>(disjunct, ctx, |bindings, _| {

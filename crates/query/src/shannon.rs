@@ -12,8 +12,9 @@
 //! expansion — remain valid when some probabilities are negative
 //! (Section 3.3), so this evaluator is also used on translated databases.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
+use fxhash::FxHashMap;
 use mv_pdb::{InDb, TupleId};
 
 use crate::lineage::{Clause, Lineage};
@@ -22,7 +23,7 @@ use crate::lineage::{Clause, Lineage};
 /// tuple-probability function.
 pub fn probability_with(lineage: &Lineage, prob_of: &impl Fn(TupleId) -> f64) -> f64 {
     let clauses: Vec<Clause> = lineage.clauses().to_vec();
-    let mut memo: HashMap<Vec<Clause>, f64> = HashMap::new();
+    let mut memo: FxHashMap<Vec<Clause>, f64> = FxHashMap::default();
     dnf_probability(&clauses, prob_of, &mut memo)
 }
 
@@ -35,7 +36,7 @@ pub fn shannon_probability(lineage: &Lineage, indb: &InDb) -> f64 {
 fn dnf_probability(
     clauses: &[Clause],
     prob_of: &impl Fn(TupleId) -> f64,
-    memo: &mut HashMap<Vec<Clause>, f64>,
+    memo: &mut FxHashMap<Vec<Clause>, f64>,
 ) -> f64 {
     if clauses.is_empty() {
         return 0.0;
@@ -111,7 +112,7 @@ fn connected_components(clauses: &[Clause]) -> Vec<Vec<Clause>> {
         }
         parent[i]
     }
-    let mut owner: HashMap<TupleId, usize> = HashMap::new();
+    let mut owner: FxHashMap<TupleId, usize> = FxHashMap::default();
     for (i, clause) in clauses.iter().enumerate() {
         for &t in clause {
             match owner.get(&t) {

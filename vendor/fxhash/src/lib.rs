@@ -1,0 +1,147 @@
+//! Offline stand-in for the `fxhash` crate: the FxHash function used by the
+//! Rust compiler (a multiply-and-rotate mix, not SipHash), behind the usual
+//! names — [`FxHasher`], [`FxBuildHasher`], [`FxHashMap`], [`FxHashSet`].
+//!
+//! FxHash trades DoS resistance for raw speed: a single rotate/xor/multiply
+//! per word instead of SipHash's four rounds. That is the right trade for
+//! every *internal* table of this workspace — tables keyed by dense ids,
+//! tuple ids or small tuples the process itself generated, where an
+//! adversary controls nothing. Do **not** use it for tables keyed by
+//! untrusted external input.
+//!
+//! The implementation follows the classic `rustc-hash`/`fxhash` scheme: the
+//! state is one `u64`, and each word `w` is folded in as
+//! `state = (state.rotate_left(5) ^ w) * SEED` with the pi-derived seed
+//! `0x51_7c_c1_b7_27_22_0a_95`. Byte slices are consumed eight bytes at a
+//! time, so hashing a `(u32, u32, u32)` key costs a handful of arithmetic
+//! instructions.
+
+#![forbid(unsafe_code)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative seed of the Fx mix (from `rustc-hash`; derived from
+/// pi and chosen for good bit dispersion under multiplication).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher (the rustc FxHash function).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`std::collections::HashMap`] using FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] using FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with FxHash (convenience for ad-hoc slot selection in
+/// open-addressed tables).
+pub fn hash64(value: impl std::hash::Hash) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave_like_std() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i.wrapping_mul(31)), i);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&(i, i.wrapping_mul(31))), Some(&i));
+        }
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+        assert!(set.contains(&42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_disperses() {
+        assert_eq!(hash64(12345u64), hash64(12345u64));
+        assert_ne!(hash64(1u64), hash64(2u64));
+        // Sequential keys should not collide in the low bits (the property
+        // direct-mapped tables rely on).
+        let mask = (1u64 << 16) - 1;
+        let slots: FxHashSet<u64> = (0..1000u64).map(|i| (hash64(i) >> 32) & mask).collect();
+        assert!(slots.len() > 900, "only {} distinct slots", slots.len());
+    }
+
+    #[test]
+    fn byte_slices_of_different_lengths_differ() {
+        assert_ne!(hash64([0u8; 3].as_slice()), hash64([0u8; 4].as_slice()));
+        assert_ne!(hash64(b"hello".as_slice()), hash64(b"hellp".as_slice()));
+    }
+}
