@@ -1,0 +1,137 @@
+//! Microbenchmarks of the UCQ evaluator: compiled slot-based physical
+//! plans (`mv_query::plan`) versus the legacy `String`-keyed backtracking
+//! evaluator, on the Figure 5/6 DBLP workload.
+//!
+//! Three phases, each measured for both evaluators:
+//!
+//! * `lineage_w` — lineage of the translated helper query `W` (the
+//!   `Advisor` self-join whose satisfying assignments dominate the offline
+//!   phase, Figure 4);
+//! * `lineage_workload` — Boolean lineage of the workload queries;
+//! * `answers_workload` — distinct-answer enumeration of the non-Boolean
+//!   workload queries.
+//!
+//! The scale is small so `cargo bench --bench query_eval` doubles as a CI
+//! smoke run; the `figures microbench` subcommand runs the full scale and
+//! records the speedups (and the interner/plan statistics) in
+//! `BENCH_figures.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mv_bench::{dataset_v1v2, query_eval_workload};
+use mv_core::TranslatedIndb;
+use mv_query::eval::{evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext};
+use mv_query::lineage::{lineage_legacy_with, lineage_with};
+use mv_query::Ucq;
+
+const NUM_AUTHORS: usize = 400;
+const NUM_QUERIES: usize = 3;
+
+struct Setup {
+    translated: TranslatedIndb,
+    answer_queries: Vec<Ucq>,
+}
+
+fn setup() -> Setup {
+    let data = dataset_v1v2(NUM_AUTHORS);
+    let translated = TranslatedIndb::new(&data.mvdb).expect("translates");
+    let answer_queries = query_eval_workload(&data, NUM_QUERIES);
+    Setup {
+        translated,
+        answer_queries,
+    }
+}
+
+fn lineage_w_bench(c: &mut Criterion) {
+    let s = setup();
+    let indb = s.translated.indb();
+    let w = s.translated.w().expect("W exists").clone();
+    let mut group = c.benchmark_group("query_eval_lineage_w");
+    group.sample_size(10);
+    let compiled_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", NUM_AUTHORS),
+        &NUM_AUTHORS,
+        |b, _| b.iter(|| lineage_with(&w, indb, &compiled_ctx).expect("lineage")),
+    );
+    let legacy_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("legacy_backtracking", NUM_AUTHORS),
+        &NUM_AUTHORS,
+        |b, _| b.iter(|| lineage_legacy_with(&w, indb, &legacy_ctx).expect("lineage")),
+    );
+    group.finish();
+}
+
+fn lineage_workload_bench(c: &mut Criterion) {
+    let s = setup();
+    let indb = s.translated.indb();
+    let boolean: Vec<Ucq> = s.answer_queries.iter().map(|q| q.boolean()).collect();
+    let mut group = c.benchmark_group("query_eval_lineage_workload");
+    group.sample_size(20);
+    let compiled_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", boolean.len()),
+        &boolean,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = lineage_with(q, indb, &compiled_ctx).expect("lineage");
+                }
+            })
+        },
+    );
+    let legacy_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("legacy_backtracking", boolean.len()),
+        &boolean,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = lineage_legacy_with(q, indb, &legacy_ctx).expect("lineage");
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+fn answers_workload_bench(c: &mut Criterion) {
+    let s = setup();
+    let db = s.translated.indb().database();
+    let mut group = c.benchmark_group("query_eval_answers_workload");
+    group.sample_size(20);
+    let compiled_ctx = EvalContext::new(db);
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", s.answer_queries.len()),
+        &s.answer_queries,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = evaluate_ucq_with(q, &compiled_ctx).expect("answers");
+                }
+            })
+        },
+    );
+    let legacy_ctx = EvalContext::new(db);
+    group.bench_with_input(
+        BenchmarkId::new("legacy_backtracking", s.answer_queries.len()),
+        &s.answer_queries,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = evaluate_ucq_legacy_with(q, &legacy_ctx).expect("answers");
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lineage_w_bench,
+    lineage_workload_bench,
+    answers_workload_bench
+);
+criterion_main!(benches);

@@ -180,6 +180,7 @@ fn main() {
     }
     if wants("microbench") {
         report.add("microbench", microbench(&opts));
+        report.add("query_eval", query_eval(&opts));
     }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
@@ -285,6 +286,74 @@ fn microbench(opts: &Options) -> Json {
     ]);
     row.push("manager", manager_stats_json(&p.manager));
     Json::arr([row])
+}
+
+/// The `query_eval` microbenchmark: the Figure 5/6 workload (plus the
+/// helper query `W`) evaluated through the compiled slot-based plans and
+/// through the legacy backtracking evaluator, with the speedups and the
+/// interner/plan statistics recorded in the report. Results are asserted
+/// identical inside the harness before anything is timed.
+fn query_eval(opts: &Options) -> Json {
+    println!("== Microbench: query evaluation (compiled slot plans vs legacy backtracking) ==");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9} {:>9}",
+        "aid domain",
+        "queries",
+        "legacy lin(s)",
+        "plan lin(s)",
+        "legacy ans(s)",
+        "plan ans(s)",
+        "lin x",
+        "ans x",
+        "total x"
+    );
+    let mut rows = Vec::new();
+    for (num_authors, num_queries, reps) in query_eval_scale(opts.quick) {
+        let p = microbench_query_eval(num_authors, num_queries, reps);
+        println!(
+            "{:>10} {:>8} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>8.2}x {:>8.2}x {:>8.2}x",
+            p.num_authors,
+            p.num_boolean_queries + p.num_answer_queries,
+            secs(p.legacy_lineage),
+            secs(p.compiled_lineage),
+            secs(p.legacy_answers),
+            secs(p.compiled_answers),
+            p.speedup_lineage(),
+            p.speedup_answers(),
+            p.speedup_total()
+        );
+        println!(
+            "             interner: {} values; plans: {} compiled, {} steps ({} probe / {} scan), {} slots",
+            p.interner_values,
+            p.plans_compiled,
+            p.plan.steps,
+            p.plan.probe_steps,
+            p.plan.scan_steps,
+            p.plan.slots,
+        );
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("num_boolean_queries", Json::from(p.num_boolean_queries)),
+            ("num_answer_queries", Json::from(p.num_answer_queries)),
+            ("reps", Json::from(p.reps)),
+            ("legacy_lineage_s", Json::from(secs(p.legacy_lineage))),
+            ("compiled_lineage_s", Json::from(secs(p.compiled_lineage))),
+            ("legacy_answers_s", Json::from(secs(p.legacy_answers))),
+            ("compiled_answers_s", Json::from(secs(p.compiled_answers))),
+            ("query_speedup_lineage", Json::from(p.speedup_lineage())),
+            ("query_speedup_answers", Json::from(p.speedup_answers())),
+            ("query_speedup_total", Json::from(p.speedup_total())),
+            ("interner_values", Json::from(p.interner_values)),
+            ("plans_compiled", Json::from(p.plans_compiled)),
+            ("plan_steps", Json::from(p.plan.steps)),
+            ("plan_probe_steps", Json::from(p.plan.probe_steps)),
+            ("plan_scan_steps", Json::from(p.plan.scan_steps)),
+            ("plan_slots", Json::from(p.plan.slots)),
+            ("plan_never_matching", Json::from(p.plan.never_matching)),
+        ]));
+    }
+    println!();
+    Json::arr(rows)
 }
 
 /// Serializes shared-OBDD-manager counters for the machine-readable report.

@@ -39,7 +39,11 @@ use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_mln::{McSatConfig, McSatSampler};
 use mv_obdd::{ConObddBuilder, ManagerStats, Obdd, SynthesisBuilder};
 use mv_pdb::{InDb, TupleId};
-use mv_query::lineage::{lineage, Lineage};
+use mv_query::eval::{
+    evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext as QueryEvalContext,
+};
+use mv_query::lineage::{lineage, lineage_legacy_with, lineage_with, Lineage};
+use mv_query::plan::PlanStats;
 use mv_query::{parse_ucq, Ucq};
 
 /// The `aid` domains used by the scaling experiments (Figures 4–9).
@@ -918,6 +922,181 @@ pub fn microbench_scale(quick: bool) -> (usize, usize, usize, usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The `query_eval` microbenchmark
+// ---------------------------------------------------------------------------
+
+/// One run of the `query_eval` microbenchmark: the Figure 5/6 workload
+/// queries (Boolean lineage collection — including the helper query `W`,
+/// whose self-join dominates the offline phase — and per-answer
+/// enumeration) executed twice over the translated DBLP database: once
+/// through the compiled slot-based plans of `mv_query::plan` and once
+/// through the legacy `String`-keyed backtracking evaluator. Each evaluator
+/// gets a fresh [`mv_query::eval::EvalContext`], so the compiled timings
+/// *include* plan compilation and one-pass index construction, and the
+/// legacy timings include its own lazy index construction — the comparison
+/// is end-to-end per context, exactly how the engines consume them.
+#[derive(Debug, Clone)]
+pub struct QueryEvalPoint {
+    /// The `aid` domain of the corpus.
+    pub num_authors: usize,
+    /// Boolean queries per repetition (workload queries plus `W`).
+    pub num_boolean_queries: usize,
+    /// Non-Boolean (answer-enumeration) queries per repetition.
+    pub num_answer_queries: usize,
+    /// Repetitions of each phase.
+    pub reps: usize,
+    /// Lineage collection through the legacy evaluator.
+    pub legacy_lineage: Duration,
+    /// Lineage collection through compiled plans.
+    pub compiled_lineage: Duration,
+    /// Answer enumeration through the legacy evaluator.
+    pub legacy_answers: Duration,
+    /// Answer enumeration through compiled plans.
+    pub compiled_answers: Duration,
+    /// Distinct values in the database-wide dictionary.
+    pub interner_values: usize,
+    /// Distinct plans the compiled context cached.
+    pub plans_compiled: usize,
+    /// Aggregate shape of those plans (steps, probes, scans, slots).
+    pub plan: PlanStats,
+}
+
+impl QueryEvalPoint {
+    /// Legacy / compiled wall-clock ratio on the lineage phase.
+    pub fn speedup_lineage(&self) -> f64 {
+        secs(self.legacy_lineage) / secs(self.compiled_lineage).max(1e-12)
+    }
+
+    /// Legacy / compiled wall-clock ratio on the answer phase.
+    pub fn speedup_answers(&self) -> f64 {
+        secs(self.legacy_answers) / secs(self.compiled_answers).max(1e-12)
+    }
+
+    /// Legacy / compiled ratio over both phases combined (the number the
+    /// CI acceptance gate checks against 2x).
+    pub fn speedup_total(&self) -> f64 {
+        secs(self.legacy_lineage + self.legacy_answers)
+            / secs(self.compiled_lineage + self.compiled_answers).max(1e-12)
+    }
+}
+
+/// The Figure 5/6 query workload used by the `query_eval` microbenchmark:
+/// `num_queries` *advisor of a student* and `num_queries` *students of an
+/// advisor* queries over the given corpus.
+pub fn query_eval_workload(data: &DblpDataset, num_queries: usize) -> Vec<Ucq> {
+    let mut queries = data
+        .advisor_of_student_workload(num_queries)
+        .expect("workload");
+    queries.extend(
+        data.students_of_advisor_workload(num_queries)
+            .expect("workload"),
+    );
+    queries
+}
+
+/// Runs the `query_eval` microbenchmark at one scale. Before timing, every
+/// query is evaluated through both paths and the results are asserted
+/// **identical** — exact lineage equality and exact answer-set equality,
+/// the same contract the agreement suites pin.
+pub fn microbench_query_eval(
+    num_authors: usize,
+    num_queries: usize,
+    reps: usize,
+) -> QueryEvalPoint {
+    let data = dataset_v1v2(num_authors);
+    let translated = mv_core::TranslatedIndb::new(&data.mvdb).expect("translates");
+    let indb = translated.indb();
+    let db = indb.database();
+
+    let answer_queries = query_eval_workload(&data, num_queries);
+    let mut boolean_queries: Vec<Ucq> = answer_queries.iter().map(|q| q.boolean()).collect();
+    boolean_queries.push(translated.w().expect("the DBLP MVDB has views").clone());
+
+    // Exact agreement check (doubles as an untimed warmup of allocator and
+    // branch predictors for both code paths).
+    let check_ctx = QueryEvalContext::new(db);
+    for q in &boolean_queries {
+        let compiled = lineage_with(q, indb, &check_ctx).expect("lineage");
+        let legacy = lineage_legacy_with(q, indb, &check_ctx).expect("lineage");
+        assert_eq!(compiled, legacy, "lineage diverges on {q}");
+    }
+    for q in &answer_queries {
+        let mut compiled: Vec<mv_pdb::Row> = evaluate_ucq_with(q, &check_ctx)
+            .expect("answers")
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
+        let mut legacy: Vec<mv_pdb::Row> = evaluate_ucq_legacy_with(q, &check_ctx)
+            .expect("answers")
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
+        compiled.sort();
+        legacy.sort();
+        assert_eq!(compiled, legacy, "answers diverge on {q}");
+    }
+
+    // Timed phases, each through a fresh context of its own.
+    let legacy_ctx = QueryEvalContext::new(db);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for q in &boolean_queries {
+            let _ = lineage_legacy_with(q, indb, &legacy_ctx).expect("lineage");
+        }
+    }
+    let legacy_lineage = t0.elapsed();
+
+    let compiled_ctx = QueryEvalContext::new(db);
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        for q in &boolean_queries {
+            let _ = lineage_with(q, indb, &compiled_ctx).expect("lineage");
+        }
+    }
+    let compiled_lineage = t1.elapsed();
+
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        for q in &answer_queries {
+            let _ = evaluate_ucq_legacy_with(q, &legacy_ctx).expect("answers");
+        }
+    }
+    let legacy_answers = t2.elapsed();
+
+    let t3 = Instant::now();
+    for _ in 0..reps {
+        for q in &answer_queries {
+            let _ = evaluate_ucq_with(q, &compiled_ctx).expect("answers");
+        }
+    }
+    let compiled_answers = t3.elapsed();
+
+    QueryEvalPoint {
+        num_authors,
+        num_boolean_queries: boolean_queries.len(),
+        num_answer_queries: answer_queries.len(),
+        reps,
+        legacy_lineage,
+        compiled_lineage,
+        legacy_answers,
+        compiled_answers,
+        interner_values: db.interner().len(),
+        plans_compiled: compiled_ctx.compiled_plans(),
+        plan: compiled_ctx.plan_stats(),
+    }
+}
+
+/// The `query_eval` scales used by the figures binary:
+/// `(num_authors, queries per family, repetitions)` per point.
+pub fn query_eval_scale(quick: bool) -> Vec<(usize, usize, usize)> {
+    if quick {
+        vec![(1000, 3, 3), (2000, 3, 3)]
+    } else {
+        vec![(2000, 5, 5), (5000, 5, 5), (10000, 5, 3)]
+    }
+}
+
 /// Formats a duration in seconds with millisecond precision (the unit of the
 /// paper's plots).
 pub fn secs(d: Duration) -> f64 {
@@ -1061,6 +1240,23 @@ mod tests {
                 assert_ne!(a, b, "clause literals must be distinct");
             }
         }
+    }
+
+    #[test]
+    fn query_eval_microbench_agrees_and_reports_stats() {
+        // Tiny debug-mode scale; the figures binary runs the real one. The
+        // exact-agreement asserts inside the harness are the test.
+        let p = microbench_query_eval(120, 2, 2);
+        assert_eq!(p.num_answer_queries, 4);
+        assert_eq!(p.num_boolean_queries, 5); // workload + W
+        assert!(p.interner_values > 0);
+        assert!(p.plans_compiled >= p.num_boolean_queries + p.num_answer_queries);
+        assert!(p.plan.steps > 0);
+        assert!(p.plan.probe_steps > 0, "workload queries must probe");
+        assert!(p.plan.slots > 0);
+        assert!(p.speedup_total() > 0.0);
+        assert!(p.compiled_lineage.as_nanos() > 0);
+        assert!(p.legacy_answers.as_nanos() > 0);
     }
 
     #[test]

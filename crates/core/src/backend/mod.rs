@@ -26,7 +26,7 @@ use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_obdd::{ManagerStats, ObddManager, PiOrder};
 use mv_pdb::{InDb, Row};
 use mv_query::eval::EvalContext as QueryEvalContext;
-use mv_query::lineage::{answer_lineages, lineage_with, Lineage};
+use mv_query::lineage::{answer_lineages_with, lineage_with, Lineage};
 use mv_query::Ucq;
 
 use crate::error::CoreError;
@@ -105,9 +105,19 @@ impl<'a> EvalContext<'a> {
         self.index
     }
 
-    /// The lineage of `query` over the translated database.
+    /// The lineage of `query` over the translated database, computed by the
+    /// compiled slot-based matcher. Physical plans and the column indexes
+    /// they probe are cached in this context, so a workload query is
+    /// compiled once per context no matter how many times the harnesses or
+    /// a batch session evaluate it.
     pub fn lineage(&self, query: &Ucq) -> Result<Lineage> {
         Ok(lineage_with(query, self.indb(), &self.query_ctx)?)
+    }
+
+    /// The per-answer lineages of a non-Boolean query, through this
+    /// context's compiled-plan cache (one compilation per distinct query).
+    pub fn answer_lineages(&self, query: &Ucq) -> Result<std::collections::BTreeMap<Row, Lineage>> {
+        Ok(answer_lineages_with(query, self.indb(), &self.query_ctx)?)
     }
 
     /// The lineage of the helper query `W`, computed once per context
@@ -219,7 +229,7 @@ pub trait Backend: fmt::Debug {
     /// lineage it binds the head to the answer tuple and evaluates the
     /// resulting Boolean query through [`Backend::probability`].
     fn answers(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<(Row, f64)>> {
-        let per_answer = answer_lineages(q, ctx.indb())?;
+        let per_answer = ctx.answer_lineages(q)?;
         let mut out = Vec::with_capacity(per_answer.len());
         for (row, lineage) in per_answer {
             let p = match self.lineage_probability(&lineage, ctx) {

@@ -7,16 +7,20 @@
 //! * the instance `I_poss` of *all possible tuples* against which MarkoViews
 //!   are materialised and query lineage is computed (Section 2.4).
 
+use crate::interner::ValueInterner;
 use crate::relation::Relation;
 use crate::schema::{RelId, Schema};
 use crate::value::{Row, Value};
 use crate::{PdbError, Result};
 
-/// A deterministic database: a schema plus an instance for every relation.
+/// A deterministic database: a schema plus an instance for every relation,
+/// sharing one database-wide [`ValueInterner`] so that dictionary codes are
+/// comparable across relations (a join key hashes and compares as a `u32`).
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     schema: Schema,
     relations: Vec<Relation>,
+    interner: ValueInterner,
 }
 
 impl Database {
@@ -31,12 +35,23 @@ impl Database {
             .relations()
             .map(|(id, _)| Relation::new(id))
             .collect();
-        Database { schema, relations }
+        Database {
+            schema,
+            relations,
+            interner: ValueInterner::new(),
+        }
     }
 
     /// The schema of this database.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The database-wide value dictionary. Codes are shared by every
+    /// relation, so equality of codes is equality of values across the whole
+    /// database.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
     }
 
     /// Adds a relation to the schema and returns its id.
@@ -62,7 +77,7 @@ impl Database {
                 actual: row.len(),
             });
         }
-        Ok(self.relations[rel.index()].insert(row))
+        Ok(self.relations[rel.index()].insert(row, &mut self.interner))
     }
 
     /// Inserts a row into a relation identified by name.
@@ -111,8 +126,28 @@ impl Database {
     }
 
     /// The active domain restricted to the given column of the given relation.
+    ///
+    /// Computed over the dictionary-encoded column: codes are deduplicated
+    /// as integers and only the distinct survivors are decoded, so wide
+    /// separator-domain computations (safe plans, the ConOBDD construction)
+    /// never hash or clone per row.
     pub fn column_domain(&self, rel: RelId, column: usize) -> Vec<Value> {
-        let mut vals = self.relations[rel.index()].column_values(column);
+        let relation = &self.relations[rel.index()];
+        let codes = relation.column_codes(column);
+        if codes.len() != relation.len() {
+            // Zero-arity or out-of-range column: fall back to the row store.
+            let mut vals = relation.column_values(column);
+            vals.sort();
+            return vals;
+        }
+        let mut distinct = codes.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut vals: Vec<Value> = distinct
+            .into_iter()
+            .map(|c| self.interner.value(c).clone())
+            .collect();
+        // Code order is first-appearance order, not value order.
         vals.sort();
         vals
     }

@@ -6,7 +6,11 @@
 //! * [`Value`], [`Row`] — typed constants and tuples of constants.
 //! * [`Schema`], [`RelationSchema`], [`RelId`] — relation names and attributes.
 //! * [`Relation`], [`Database`] — in-memory deterministic instances with
-//!   duplicate elimination and simple scan/lookup access paths.
+//!   duplicate elimination and simple scan/lookup access paths, each row
+//!   stored twice: row-major `Value`s and column-major dictionary codes.
+//! * [`ValueInterner`] — the database-wide dictionary (`Value` ↔ dense
+//!   `u32` code) behind the columnar store; join keys compare and hash as
+//!   integers in the compiled query evaluator.
 //! * [`Weight`] — the weight (odds) representation of Definition 2 of the
 //!   paper, with the `w = p / (1 - p)` correspondence, hard (infinite)
 //!   weights, and support for the *negative* weights produced by the
@@ -24,6 +28,7 @@
 pub mod database;
 pub mod error;
 pub mod indb;
+pub mod interner;
 pub mod relation;
 pub mod schema;
 pub mod value;
@@ -33,6 +38,7 @@ pub mod worlds;
 pub use database::Database;
 pub use error::PdbError;
 pub use indb::{InDb, InDbBuilder, PossibleTuple, TupleId};
+pub use interner::ValueInterner;
 pub use relation::Relation;
 pub use schema::{RelId, RelationSchema, Schema};
 pub use value::{Row, Value};

@@ -4,9 +4,17 @@
 //! (duplicate elimination), preserving insertion order so that other crates
 //! can assign stable, dense row indices — the per-relation row index is what
 //! the tuple-independent layer uses to identify possible tuples.
+//!
+//! Alongside the row-major `Vec<Row>` store, every relation keeps
+//! *dictionary-encoded columns*: one `Vec<u32>` of interner codes per
+//! attribute, filled through the database-wide
+//! [`ValueInterner`](crate::interner::ValueInterner) at insert time. The
+//! columnar code arrays are what the compiled query evaluator scans, probes
+//! and compares — integer loads instead of `Value` hashing and cloning.
 
 use std::collections::HashMap;
 
+use crate::interner::ValueInterner;
 use crate::schema::RelId;
 use crate::value::{Row, Value};
 
@@ -16,6 +24,9 @@ pub struct Relation {
     rel: Option<RelId>,
     rows: Vec<Row>,
     index: HashMap<Row, usize>,
+    /// Column-major dictionary codes: `columns[c][i]` is the interner code of
+    /// `rows[i][c]`. Sized lazily from the first inserted row.
+    columns: Vec<Vec<u32>>,
 }
 
 impl Relation {
@@ -25,6 +36,7 @@ impl Relation {
             rel: Some(rel),
             rows: Vec::new(),
             index: HashMap::new(),
+            columns: Vec::new(),
         }
     }
 
@@ -34,11 +46,20 @@ impl Relation {
         self.rel
     }
 
-    /// Inserts a row, returning its dense index. Inserting a duplicate row
-    /// returns the index of the existing copy.
-    pub fn insert(&mut self, row: Row) -> usize {
+    /// Inserts a row, returning its dense index; the row's values are
+    /// interned into `interner` and their codes appended to the columnar
+    /// store. Inserting a duplicate row returns the index of the existing
+    /// copy.
+    pub fn insert(&mut self, row: Row, interner: &mut ValueInterner) -> usize {
         if let Some(&i) = self.index.get(&row) {
             return i;
+        }
+        if self.columns.is_empty() && !row.is_empty() {
+            self.columns = vec![Vec::new(); row.len()];
+        }
+        debug_assert_eq!(self.columns.len(), row.len(), "arity must be stable");
+        for (column, value) in self.columns.iter_mut().zip(row.iter()) {
+            column.push(interner.intern(value));
         }
         let i = self.rows.len();
         self.index.insert(row.clone(), i);
@@ -64,6 +85,18 @@ impl Relation {
     /// All rows in insertion order.
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// The dictionary codes of one column, aligned with row indices. Empty
+    /// when the relation has no rows (or the column is out of range).
+    pub fn column_codes(&self, column: usize) -> &[u32] {
+        self.columns.get(column).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The dictionary code stored at `(row, column)` — a plain array load.
+    #[inline]
+    pub fn code_at(&self, row: usize, column: usize) -> u32 {
+        self.columns[column][row]
     }
 
     /// Number of rows.
@@ -101,10 +134,11 @@ mod tests {
 
     #[test]
     fn insert_deduplicates_and_assigns_dense_indices() {
+        let mut interner = ValueInterner::new();
         let mut rel = Relation::new(RelId(0));
-        let a = rel.insert(row([1i64, 2]));
-        let b = rel.insert(row([3i64, 4]));
-        let a_again = rel.insert(row([1i64, 2]));
+        let a = rel.insert(row([1i64, 2]), &mut interner);
+        let b = rel.insert(row([3i64, 4]), &mut interner);
+        let a_again = rel.insert(row([1i64, 2]), &mut interner);
         assert_eq!(a, 0);
         assert_eq!(b, 1);
         assert_eq!(a_again, 0);
@@ -116,11 +150,33 @@ mod tests {
     }
 
     #[test]
-    fn column_values_returns_distinct_values_in_order() {
+    fn columnar_codes_mirror_the_row_store() {
+        let mut interner = ValueInterner::new();
         let mut rel = Relation::new(RelId(0));
-        rel.insert(row([1i64, 10]));
-        rel.insert(row([2i64, 10]));
-        rel.insert(row([1i64, 20]));
+        rel.insert(row([1i64, 10]), &mut interner);
+        rel.insert(row([2i64, 10]), &mut interner);
+        rel.insert(row([1i64, 20]), &mut interner);
+        assert_eq!(rel.column_codes(0).len(), 3);
+        assert_eq!(rel.column_codes(1).len(), 3);
+        for (i, r) in rel.iter() {
+            for (c, v) in r.iter().enumerate() {
+                assert_eq!(interner.value(rel.code_at(i, c)), v);
+            }
+        }
+        // Equal values share a code; distinct values do not.
+        assert_eq!(rel.code_at(0, 1), rel.code_at(1, 1));
+        assert_ne!(rel.code_at(0, 0), rel.code_at(1, 0));
+        // Out-of-range columns read as empty, not a panic.
+        assert!(rel.column_codes(7).is_empty());
+    }
+
+    #[test]
+    fn column_values_returns_distinct_values_in_order() {
+        let mut interner = ValueInterner::new();
+        let mut rel = Relation::new(RelId(0));
+        rel.insert(row([1i64, 10]), &mut interner);
+        rel.insert(row([2i64, 10]), &mut interner);
+        rel.insert(row([1i64, 20]), &mut interner);
         assert_eq!(rel.column_values(0), vec![Value::int(1), Value::int(2)]);
         assert_eq!(rel.column_values(1), vec![Value::int(10), Value::int(20)]);
     }
@@ -131,5 +187,6 @@ mod tests {
         assert!(rel.is_empty());
         assert_eq!(rel.rel_id(), Some(RelId(3)));
         assert_eq!(rel.iter().count(), 0);
+        assert!(rel.column_codes(0).is_empty());
     }
 }

@@ -8,7 +8,8 @@
 use mv_pdb::{InDb, TupleId};
 
 use crate::error::QueryError;
-use crate::lineage::{lineage, Lineage};
+use crate::eval::EvalContext;
+use crate::lineage::{lineage, lineage_with, Lineage};
 use crate::Result;
 
 /// Maximum number of distinct lineage variables the brute-force evaluator
@@ -70,12 +71,27 @@ pub fn brute_force_lineage_probability(lineage: &Lineage, indb: &InDb) -> f64 {
 }
 
 /// Computes the probability of a Boolean UCQ over an [`InDb`] by computing
-/// its lineage and enumerating the lineage variables.
+/// its lineage (through a compiled physical plan) and enumerating the
+/// lineage variables.
 pub fn brute_force_query_probability(ucq: &crate::ast::Ucq, indb: &InDb) -> Result<f64> {
     if !ucq.is_boolean() {
         return Err(QueryError::NotBoolean(ucq.name.clone()));
     }
     let lin = lineage(ucq, indb)?;
+    Ok(brute_force_lineage_probability(&lin, indb))
+}
+
+/// [`brute_force_query_probability`] reusing an [`EvalContext`]'s cached
+/// plans and column indexes.
+pub fn brute_force_query_probability_with(
+    ucq: &crate::ast::Ucq,
+    indb: &InDb,
+    ctx: &EvalContext<'_>,
+) -> Result<f64> {
+    if !ucq.is_boolean() {
+        return Err(QueryError::NotBoolean(ucq.name.clone()));
+    }
+    let lin = lineage_with(ucq, indb, ctx)?;
     Ok(brute_force_lineage_probability(&lin, indb))
 }
 

@@ -1,23 +1,38 @@
 //! Evaluation of (unions of) conjunctive queries over deterministic databases.
 //!
 //! This module plays the role Postgres plays in the paper: it computes the
-//! set of answers of a UCQ over a database instance, and — through
-//! [`for_each_match`] — enumerates the satisfying assignments that the
-//! lineage computation in [`crate::lineage`] turns into Boolean provenance.
+//! set of answers of a UCQ over a database instance, and — through the
+//! match enumeration driving [`crate::lineage`] — the satisfying
+//! assignments that become Boolean provenance.
 //!
-//! The evaluator is a backtracking join: atoms are processed in an order that
-//! greedily prefers atoms with the most bound terms, each atom probes a
-//! hash index on one bound column (built lazily per relation/column), and
-//! comparison predicates are applied as soon as both sides are bound.
+//! Two evaluators live side by side:
+//!
+//! * the **compiled** evaluator ([`crate::plan`]): [`EvalContext::compile`]
+//!   lowers a query once into a slot-based [`PhysicalPlan`] over the
+//!   dictionary-encoded columnar store, and every production entry point
+//!   ([`evaluate_ucq`], [`evaluate_boolean`], the lineage functions) runs
+//!   the plan's iterative operator loop;
+//! * the **legacy** backtracking evaluator ([`for_each_match`]): `String`
+//!   → [`Value`] bindings, greedy per-call atom ranking, recursive search.
+//!   It is retained as the independently-implemented oracle the agreement
+//!   tests and the `query_eval` microbenchmark compare against (the role
+//!   `RefManager` plays for the OBDD manager).
+//!
+//! Plans and the column hash indexes they probe are cached in the
+//! [`EvalContext`]; reusing a context across queries amortises both, which
+//! the MV-index compilation driver, the `mv-core` backends and the batch
+//! sessions all rely on.
 
 use std::cell::RefCell;
 use std::ops::ControlFlow;
+use std::rc::Rc;
 
 use fxhash::FxHashMap;
 use mv_pdb::{Database, RelId, Row, Value};
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, Ucq};
 use crate::error::QueryError;
+use crate::plan::{CodeIndex, CompiledUcq, PlanStats};
 use crate::Result;
 
 /// One answer of a non-Boolean query.
@@ -27,20 +42,36 @@ pub struct Answer {
     pub row: Row,
 }
 
-/// A variable binding environment (FxHash-keyed: probed per atom term on
-/// the lineage hot path).
+/// A variable binding environment of the legacy evaluator (FxHash-keyed;
+/// the compiled evaluator replaces this with a register file of codes).
 pub type Bindings = FxHashMap<String, Value>;
 
-/// Lazily built column index: `(relation, column) → value → row positions`.
-type ColumnIndexes = FxHashMap<(RelId, usize), FxHashMap<Value, Vec<usize>>>;
+/// One `Value`-keyed column index of the legacy evaluator
+/// (`value → row positions`).
+type LegacyIndex = FxHashMap<Value, Vec<usize>>;
 
-/// Per-database evaluation context with lazily built column indexes.
+/// Lazily built legacy indexes: `(relation, column) → index`. Each index
+/// sits behind an `Rc` so a search can hold cheap handles to the indexes
+/// it probes without keeping the cache's `RefCell` borrowed — reentrant
+/// evaluation through the same context (an `on_match` callback issuing
+/// another query) stays safe.
+type ColumnIndexes = FxHashMap<(RelId, usize), Rc<LegacyIndex>>;
+
+/// Per-database evaluation context: compiled-plan cache, shared
+/// code-indexes for the compiled evaluator, and the legacy evaluator's
+/// `Value`-keyed indexes.
 ///
-/// Reusing a context across queries amortises the index construction; the
-/// MV-index compilation and the benchmark harness both take advantage of it.
+/// Reusing a context across queries amortises plan compilation and index
+/// construction; the MV-index compilation and the benchmark harness both
+/// take advantage of it.
 pub struct EvalContext<'a> {
     db: &'a Database,
+    /// Legacy-path indexes (`Value`-keyed).
     indexes: RefCell<ColumnIndexes>,
+    /// Compiled-path indexes (code-keyed), shared across plans.
+    code_indexes: RefCell<FxHashMap<(RelId, usize), Rc<CodeIndex>>>,
+    /// Compiled plans, keyed by the query's canonical text.
+    plans: RefCell<FxHashMap<String, Rc<CompiledUcq>>>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -49,6 +80,8 @@ impl<'a> EvalContext<'a> {
         EvalContext {
             db,
             indexes: RefCell::new(FxHashMap::default()),
+            code_indexes: RefCell::new(FxHashMap::default()),
+            plans: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -57,31 +90,75 @@ impl<'a> EvalContext<'a> {
         self.db
     }
 
-    fn ensure_index(&self, rel: RelId, column: usize) {
-        let mut indexes = self.indexes.borrow_mut();
-        indexes.entry((rel, column)).or_insert_with(|| {
-            let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
-            for (i, row) in self.db.relation(rel).iter() {
-                index.entry(row[column].clone()).or_default().push(i);
-            }
-            index
-        });
+    /// Compiles `ucq` into a physical plan, or returns the cached plan if
+    /// this context has compiled the same query before. The cache key is
+    /// the query's canonical display form, so syntactically identical
+    /// queries share one plan per context regardless of how often callers
+    /// re-parse or re-bind them.
+    pub fn compile(&self, ucq: &Ucq) -> Result<Rc<CompiledUcq>> {
+        let key = ucq.to_string();
+        if let Some(plan) = self.plans.borrow().get(&key) {
+            return Ok(Rc::clone(plan));
+        }
+        let plan = Rc::new(CompiledUcq::compile(ucq, self)?);
+        self.plans.borrow_mut().insert(key, Rc::clone(&plan));
+        Ok(plan)
     }
 
-    /// Row indexes of `rel` whose `column` equals `value`.
-    fn probe(&self, rel: RelId, column: usize, value: &Value) -> Vec<usize> {
-        self.ensure_index(rel, column);
-        self.indexes
+    /// Number of distinct plans this context has compiled.
+    pub fn compiled_plans(&self) -> usize {
+        self.plans.borrow().len()
+    }
+
+    /// Aggregate shape statistics over every cached plan.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plans
             .borrow()
-            .get(&(rel, column))
-            .and_then(|ix| ix.get(value))
-            .cloned()
-            .unwrap_or_default()
+            .values()
+            .map(|p| p.stats())
+            .fold(PlanStats::default(), |a, b| a + b)
+    }
+
+    /// The shared code index of `(rel, column)`, built in one pass over the
+    /// dictionary-encoded column on first use.
+    pub(crate) fn code_index(&self, rel: RelId, column: usize) -> Rc<CodeIndex> {
+        if let Some(index) = self.code_indexes.borrow().get(&(rel, column)) {
+            return Rc::clone(index);
+        }
+        let codes = self.db.relation(rel).column_codes(column);
+        let mut map: CodeIndex = FxHashMap::default();
+        map.reserve(codes.len());
+        for (i, &code) in codes.iter().enumerate() {
+            map.entry(code).or_default().push(i as u32);
+        }
+        let index = Rc::new(map);
+        self.code_indexes
+            .borrow_mut()
+            .insert((rel, column), Rc::clone(&index));
+        index
+    }
+
+    /// The legacy `Value`-keyed index of `(rel, column)`, built on first
+    /// use. The `RefCell` is only borrowed transiently — the returned
+    /// handle owns the index for as long as a search needs it.
+    fn legacy_index(&self, rel: RelId, column: usize) -> Rc<LegacyIndex> {
+        if let Some(index) = self.indexes.borrow().get(&(rel, column)) {
+            return Rc::clone(index);
+        }
+        let mut index: LegacyIndex = FxHashMap::default();
+        for (i, row) in self.db.relation(rel).iter() {
+            index.entry(row[column].clone()).or_default().push(i);
+        }
+        let index = Rc::new(index);
+        self.indexes
+            .borrow_mut()
+            .insert((rel, column), Rc::clone(&index));
+        index
     }
 }
 
 /// Resolves the relation of an atom and checks its arity.
-fn resolve_atom(db: &Database, atom: &Atom) -> Result<RelId> {
+pub(crate) fn resolve_atom(db: &Database, atom: &Atom) -> Result<RelId> {
     let rel = db
         .schema()
         .relation_id(&atom.relation)
@@ -97,11 +174,71 @@ fn resolve_atom(db: &Database, atom: &Atom) -> Result<RelId> {
     Ok(rel)
 }
 
+/// One step of the static join order: which atom to match next, and which
+/// column (if any) to probe through a hash index.
+pub(crate) struct JoinStep {
+    /// Atom position in the original query.
+    pub(crate) atom: usize,
+    /// Column probed through a hash index, or `None` for a full scan.
+    pub(crate) probe: Option<usize>,
+}
+
+/// Computes the join order both evaluators execute: greedy
+/// most-bound-terms-first, ties broken by original position, probing the
+/// first bound column of each chosen atom. The choice depends only on which
+/// atoms have been processed (never on the values bound), so fixing it up
+/// front is exact — and sharing this one function between the legacy
+/// evaluator and the plan compiler makes their enumeration orders identical
+/// by construction, not by parallel maintenance.
+pub(crate) fn static_join_order(cq: &ConjunctiveQuery) -> Vec<JoinStep> {
+    let n = cq.atoms.len();
+    let mut used = vec![false; n];
+    let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, atom) in cq.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let count = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v.as_str()),
+                })
+                .count();
+            if best.map(|(_, b)| count > b).unwrap_or(true) {
+                best = Some((i, count));
+            }
+        }
+        let (atom_idx, _) = best.expect("there is at least one unused atom");
+        used[atom_idx] = true;
+        let atom = &cq.atoms[atom_idx];
+        let probe = atom.terms.iter().position(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v.as_str()),
+        });
+        bound.extend(atom.variables());
+        order.push(JoinStep {
+            atom: atom_idx,
+            probe,
+        });
+    }
+    order
+}
+
 /// Calls `on_match` for every satisfying assignment of the conjunctive
 /// query's body. The callback receives the bindings and, for each atom (in
 /// the original atom order), the `(relation, row_index)` of the matched row.
 ///
 /// Returning [`ControlFlow::Break`] from the callback stops the enumeration.
+///
+/// This is the **legacy** backtracking evaluator, retained as the test
+/// oracle for the compiled plans of [`crate::plan`]; production callers go
+/// through [`EvalContext::compile`] (the lineage and answer functions do so
+/// internally).
 pub fn for_each_match<B>(
     cq: &ConjunctiveQuery,
     ctx: &EvalContext<'_>,
@@ -121,30 +258,57 @@ pub fn for_each_match<B>(
         }
     }
 
+    // The atom order is value-independent; fix it up front and grab a
+    // handle to every probed index before the search, so probing borrows
+    // posting lists for the whole enumeration instead of cloning them per
+    // call (and no `RefCell` borrow is held while `on_match` runs).
+    let order = static_join_order(cq);
+    let probed: Vec<Option<Rc<LegacyIndex>>> = order
+        .iter()
+        .map(|step| step.probe.map(|col| ctx.legacy_index(rels[step.atom], col)))
+        .collect();
+
     let mut bindings: Bindings = Bindings::default();
     let mut matched: Vec<(RelId, usize)> = vec![(RelId(0), 0); cq.atoms.len()];
-    let mut used: Vec<bool> = vec![false; cq.atoms.len()];
     let result = search(
         cq,
-        ctx,
+        db,
         &rels,
+        &order,
+        &probed,
         &mut bindings,
         &mut matched,
-        &mut used,
         0,
         &mut on_match,
     );
     Ok(result)
 }
 
+/// Candidate rows of one legacy step: a borrowed posting list or a scan.
+enum Candidates<'x> {
+    Probe(std::slice::Iter<'x, usize>),
+    Scan(std::ops::Range<usize>),
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Candidates::Probe(iter) => iter.next().copied(),
+            Candidates::Scan(range) => range.next(),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn search<B>(
     cq: &ConjunctiveQuery,
-    ctx: &EvalContext<'_>,
+    db: &Database,
     rels: &[RelId],
+    order: &[JoinStep],
+    probed: &[Option<Rc<LegacyIndex>>],
     bindings: &mut Bindings,
     matched: &mut Vec<(RelId, usize)>,
-    used: &mut Vec<bool>,
     depth: usize,
     on_match: &mut impl FnMut(&Bindings, &[(RelId, usize)]) -> ControlFlow<B>,
 ) -> Option<B> {
@@ -163,43 +327,28 @@ fn search<B>(
         };
     }
 
-    // Pick the unprocessed atom with the most bound terms (constants or
-    // already-bound variables); ties are broken by original order.
-    let mut best: Option<(usize, usize)> = None;
-    for (i, atom) in cq.atoms.iter().enumerate() {
-        if used[i] {
-            continue;
-        }
-        let bound = atom
-            .terms
-            .iter()
-            .filter(|t| match t {
-                Term::Const(_) => true,
-                Term::Var(v) => bindings.contains_key(v),
-            })
-            .count();
-        if best.map(|(_, b)| bound > b).unwrap_or(true) {
-            best = Some((i, bound));
-        }
-    }
-    let (atom_idx, _) = best.expect("there is at least one unused atom");
-    used[atom_idx] = true;
-    let atom = &cq.atoms[atom_idx];
-    let rel = rels[atom_idx];
+    let step = &order[depth];
+    let atom = &cq.atoms[step.atom];
+    let rel = rels[step.atom];
 
-    // Choose an access path: probe an index on the first bound column, or
-    // scan the whole relation if nothing is bound.
-    let bound_col = atom.terms.iter().enumerate().find_map(|(i, t)| match t {
-        Term::Const(c) => Some((i, c.clone())),
-        Term::Var(v) => bindings.get(v).map(|val| (i, val.clone())),
-    });
-    let candidates: Vec<usize> = match bound_col {
-        Some((col, value)) => ctx.probe(rel, col, &value),
-        None => (0..ctx.database().relation(rel).len()).collect(),
+    // Choose the access path fixed at order time: probe the index on the
+    // first bound column (borrowing its posting list — no clone, and no
+    // `Value` clone for the key either), or scan the whole relation.
+    let candidates = match step.probe {
+        Some(col) => {
+            let key: &Value = match &atom.terms[col] {
+                Term::Const(c) => c,
+                Term::Var(v) => &bindings[v],
+            };
+            let index = probed[depth].as_ref().expect("probe step has its index");
+            let posting = index.get(key).map(|rows| rows.as_slice()).unwrap_or(&[]);
+            Candidates::Probe(posting.iter())
+        }
+        None => Candidates::Scan(0..db.relation(rel).len()),
     };
 
     for row_index in candidates {
-        let row = ctx.database().relation(rel).row(row_index);
+        let row = db.relation(rel).row(row_index);
         // Unify the atom's terms with the row.
         let mut new_bindings: Vec<String> = Vec::new();
         let mut ok = true;
@@ -232,13 +381,21 @@ fn search<B>(
                 .iter()
                 .any(|cmp| is_ground_under(cmp, bindings) && !ground_comparison(cmp, bindings));
             if !prune {
-                matched[atom_idx] = (rel, row_index);
-                if let Some(b) = search(cq, ctx, rels, bindings, matched, used, depth + 1, on_match)
-                {
+                matched[step.atom] = (rel, row_index);
+                if let Some(b) = search(
+                    cq,
+                    db,
+                    rels,
+                    order,
+                    probed,
+                    bindings,
+                    matched,
+                    depth + 1,
+                    on_match,
+                ) {
                     for v in new_bindings {
                         bindings.remove(&v);
                     }
-                    used[atom_idx] = false;
                     return Some(b);
                 }
             }
@@ -247,7 +404,6 @@ fn search<B>(
             bindings.remove(&v);
         }
     }
-    used[atom_idx] = false;
     None
 }
 
@@ -269,14 +425,35 @@ fn ground_comparison(cmp: &crate::ast::Comparison, bindings: &Bindings) -> bool 
 }
 
 /// Evaluates a (possibly non-Boolean) UCQ over a deterministic database,
-/// returning the distinct answers.
+/// returning the distinct answers (through a freshly compiled plan).
 pub fn evaluate_ucq(ucq: &Ucq, db: &Database) -> Result<Vec<Answer>> {
     let ctx = EvalContext::new(db);
     evaluate_ucq_with(ucq, &ctx)
 }
 
-/// Like [`evaluate_ucq`] but reuses an existing [`EvalContext`].
+/// Like [`evaluate_ucq`] but reuses an existing [`EvalContext`] (and hence
+/// its compiled-plan and index caches).
 pub fn evaluate_ucq_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
+    let plan = ctx.compile(ucq)?;
+    let db = ctx.database();
+    let interner = db.interner();
+    let mut seen = fxhash::FxHashSet::default();
+    let mut answers = Vec::new();
+    for disjunct in plan.disjuncts() {
+        disjunct.for_each_match::<()>(db, |regs, _| {
+            let row = disjunct.decode_head(regs, interner);
+            if seen.insert(row.clone()) {
+                answers.push(Answer { row });
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    Ok(answers)
+}
+
+/// [`evaluate_ucq`] through the legacy backtracking evaluator (test
+/// oracle; reuses the context's `Value`-keyed indexes).
+pub fn evaluate_ucq_legacy_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
     let mut seen = fxhash::FxHashSet::default();
     let mut answers = Vec::new();
     for disjunct in &ucq.disjuncts {
@@ -301,11 +478,19 @@ pub fn evaluate_ucq_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>
 /// Evaluates a Boolean UCQ over a deterministic database.
 pub fn evaluate_boolean(ucq: &Ucq, db: &Database) -> Result<bool> {
     let ctx = EvalContext::new(db);
+    evaluate_boolean_with(ucq, &ctx)
+}
+
+/// Like [`evaluate_boolean`] but reuses an existing [`EvalContext`].
+pub fn evaluate_boolean_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<bool> {
     for disjunct in &ucq.disjuncts {
         if !disjunct.is_boolean() {
             return Err(QueryError::NotBoolean(disjunct.name.clone()));
         }
-        let hit = for_each_match(disjunct, &ctx, |_, _| ControlFlow::Break(()))?;
+    }
+    let plan = ctx.compile(ucq)?;
+    for disjunct in plan.disjuncts() {
+        let hit = disjunct.for_each_match(ctx.database(), |_, _| ControlFlow::Break(()));
         if hit.is_some() {
             return Ok(true);
         }
@@ -386,6 +571,15 @@ mod tests {
     }
 
     #[test]
+    fn constants_absent_from_the_database_yield_no_answers() {
+        let db = db();
+        // 99 appears nowhere: the plan is proven empty at compile time.
+        let q = parse_ucq("Q(y) :- S(99, y)").unwrap();
+        assert!(evaluate_ucq(&q, &db).unwrap().is_empty());
+        assert!(!evaluate_boolean(&parse_ucq("Q() :- S(99, y)").unwrap(), &db).unwrap());
+    }
+
+    #[test]
     fn repeated_variables_enforce_equality() {
         let mut db = Database::new();
         let e = db.add_relation("E", &["a", "b"]).unwrap();
@@ -459,5 +653,99 @@ mod tests {
         })
         .unwrap();
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn ast_constructed_unbound_comparison_variables_error_at_compile() {
+        // The parser rejects comparisons over variables absent from the
+        // atoms; AST-constructed queries get an explicit compile error
+        // instead of silently matching nothing.
+        use crate::ast::{CmpOp, Comparison};
+        let db = db();
+        let cq = ConjunctiveQuery::new(
+            "Q",
+            vec![],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![Comparison::new(
+                Term::var("y"),
+                CmpOp::Gt,
+                Term::constant(5i64),
+            )],
+        );
+        let ctx = EvalContext::new(&db);
+        assert!(matches!(
+            ctx.compile(&Ucq::from_cq(cq)),
+            Err(QueryError::UnboundComparisonVariable(v)) if v == "y"
+        ));
+    }
+
+    #[test]
+    fn legacy_evaluation_is_reentrant_on_one_context() {
+        // An `on_match` callback may issue another legacy query on the same
+        // context — including one that builds a new index — without
+        // tripping a `RefCell` borrow (the search holds `Rc` handles to its
+        // probed indexes, never the cache borrow itself).
+        let db = db();
+        let ctx = EvalContext::new(&db);
+        let outer = parse_query("Q() :- R(x), S(x, y)").unwrap();
+        let inner = parse_ucq("Q() :- T(b), S(a, b)").unwrap();
+        let mut inner_hits = 0;
+        for_each_match::<()>(&outer, &ctx, |_, _| {
+            if evaluate_ucq_legacy_with(&inner, &ctx).unwrap().len() == 1 {
+                inner_hits += 1;
+            }
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(inner_hits, 3);
+    }
+
+    #[test]
+    fn plan_cache_reuses_compiled_plans() {
+        let db = db();
+        let ctx = EvalContext::new(&db);
+        let q = parse_ucq("Q(x, y) :- R(x), S(x, y)").unwrap();
+        let p1 = ctx.compile(&q).unwrap();
+        let p2 = ctx.compile(&q).unwrap();
+        assert!(Rc::ptr_eq(&p1, &p2));
+        assert_eq!(ctx.compiled_plans(), 1);
+        let stats = ctx.plan_stats();
+        assert_eq!(stats.disjuncts, 1);
+        assert_eq!(stats.steps, 2);
+        // R is scanned, S is probed on the bound join column.
+        assert_eq!(stats.scan_steps, 1);
+        assert_eq!(stats.probe_steps, 1);
+        assert_eq!(stats.slots, 2);
+    }
+
+    #[test]
+    fn compiled_and_legacy_agree_on_every_sample_query() {
+        let db = db();
+        let ctx = EvalContext::new(&db);
+        for text in [
+            "Q(x, y) :- R(x), S(x, y)",
+            "Q(x, y) :- R(x), S(x, y), y >= 20",
+            "Q(y) :- S(1, y)",
+            "Q(y) :- S(99, y)",
+            "Q(x) :- R(x) ; Q(x) :- S(x, y), y = 30",
+            "Q() :- R(x), S(x, y), T(y)",
+            "Q(b) :- T(b), S(a, b), R(a)",
+            "Q(x) :- S(x, 30), T(30)",
+        ] {
+            let q = parse_ucq(text).unwrap();
+            let mut compiled: Vec<Row> = evaluate_ucq_with(&q, &ctx)
+                .unwrap()
+                .into_iter()
+                .map(|a| a.row)
+                .collect();
+            let mut legacy: Vec<Row> = evaluate_ucq_legacy_with(&q, &ctx)
+                .unwrap()
+                .into_iter()
+                .map(|a| a.row)
+                .collect();
+            compiled.sort();
+            legacy.sort();
+            assert_eq!(compiled, legacy, "{text}");
+        }
     }
 }

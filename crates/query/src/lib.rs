@@ -8,7 +8,12 @@
 //!   ([`ConjunctiveQuery`]) and unions of conjunctive queries ([`Ucq`]).
 //! * [`parser`] — a datalog-style parser: `Q(x) :- R(x, y), S(y), y > 5`.
 //! * [`eval`] — evaluation of (unions of) conjunctive queries over
-//!   deterministic [`mv_pdb::Database`] instances.
+//!   deterministic [`mv_pdb::Database`] instances: the [`eval::EvalContext`]
+//!   with its compiled-plan cache, plus the legacy backtracking evaluator
+//!   kept as the agreement oracle.
+//! * [`plan`] — the compile→execute split: slot-based physical plans over
+//!   the dictionary-encoded columnar store (static atom order, scan/probe
+//!   access paths, register files of `u32` codes, iterative operator loop).
 //! * [`lineage`] — lineage computation: the Boolean provenance formula
 //!   `Φ_Q` of a Boolean query over an [`mv_pdb::InDb`], in DNF over
 //!   [`mv_pdb::TupleId`] variables.
@@ -32,6 +37,7 @@ pub mod error;
 pub mod eval;
 pub mod lineage;
 pub mod parser;
+pub mod plan;
 pub mod rewrite;
 pub mod safe_plan;
 pub mod shannon;
@@ -42,9 +48,10 @@ pub use error::QueryError;
 pub use eval::{evaluate_boolean, evaluate_ucq, Answer};
 pub use lineage::{Clause, Lineage};
 pub use parser::{parse_query, parse_ucq};
+pub use plan::{CompiledUcq, PhysicalPlan, PlanStats};
 pub use rewrite::{separator_domain, simplify_cq, SimplifiedCq};
 pub use safe_plan::{safe_probability, SafePlanError};
-pub use shannon::shannon_probability;
+pub use shannon::{shannon_probability, shannon_query_probability_with};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

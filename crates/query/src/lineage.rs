@@ -5,10 +5,18 @@
 //! (Section 2.1 / Figure 3): each satisfying assignment of the query body
 //! contributes one clause containing the probabilistic tuples it used;
 //! deterministic tuples contribute nothing (they are always present).
+//!
+//! Clause collection runs through the compiled slot-based matcher of
+//! [`crate::plan`], with hash-based duplicate elimination (each clause is
+//! sorted, then deduplicated through an `FxHashSet`) instead of a `BTreeSet`
+//! — the clause set is only ordered once, at the end, to keep the canonical
+//! sorted form. The legacy backtracking evaluator remains reachable through
+//! [`lineage_legacy_with`] as the agreement-test oracle.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
+use fxhash::FxHashSet;
 use mv_pdb::{InDb, Row, TupleId};
 
 use crate::ast::{Term, Ucq};
@@ -43,11 +51,13 @@ impl Lineage {
     }
 
     /// Builds a lineage from clauses, normalising each clause (sort + dedup)
-    /// and removing duplicate clauses.
+    /// and removing duplicate clauses through hash-based deduplication. The
+    /// surviving clauses are sorted once, so the result is canonical:
+    /// lineages are equal iff their clause sets are.
     pub fn from_clauses(clauses: impl IntoIterator<Item = Clause>) -> Self {
-        let mut set: BTreeSet<Clause> = BTreeSet::new();
+        let mut set: FxHashSet<Clause> = FxHashSet::default();
         for mut c in clauses {
-            c.sort();
+            c.sort_unstable();
             c.dedup();
             set.insert(c);
         }
@@ -55,9 +65,20 @@ impl Lineage {
         if set.contains(&Vec::new()) {
             return Lineage::constant_true();
         }
-        Lineage {
-            clauses: set.into_iter().collect(),
+        let mut clauses: Vec<Clause> = set.into_iter().collect();
+        clauses.sort_unstable();
+        Lineage { clauses }
+    }
+
+    /// Builds a lineage from clauses that are already individually sorted,
+    /// deduplicated and pairwise distinct (the compiled matcher maintains
+    /// this while collecting); only the final clause ordering remains.
+    fn from_distinct_clauses(mut clauses: Vec<Clause>) -> Self {
+        if clauses.iter().any(Vec::is_empty) {
+            return Lineage::constant_true();
         }
+        clauses.sort_unstable();
+        Lineage { clauses }
     }
 
     /// The clauses of the DNF.
@@ -81,7 +102,7 @@ impl Lineage {
     }
 
     /// The distinct tuple variables mentioned by the lineage.
-    pub fn variables(&self) -> BTreeSet<TupleId> {
+    pub fn variables(&self) -> std::collections::BTreeSet<TupleId> {
         self.clauses.iter().flatten().copied().collect()
     }
 
@@ -126,19 +147,71 @@ impl Lineage {
     }
 }
 
+/// Collects the clauses of one Boolean UCQ through the compiled matcher,
+/// deduplicating as it goes. Returns `None` when an empty clause was found
+/// (the lineage is certainly `true`, so enumeration stopped early).
+fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Option<Vec<Clause>>> {
+    for disjunct in &ucq.disjuncts {
+        if !disjunct.is_boolean() {
+            return Err(QueryError::NotBoolean(disjunct.name.clone()));
+        }
+    }
+    let plan = ctx.compile(ucq)?;
+    let db = ctx.database();
+    // The set is the only store: clauses are moved in (duplicates are
+    // dropped without ever being cloned) and moved out at the end.
+    let mut seen: FxHashSet<Clause> = FxHashSet::default();
+    for disjunct in plan.disjuncts() {
+        let certainly_true = disjunct.for_each_match(db, |_, matched| {
+            let mut clause: Clause = matched
+                .iter()
+                .filter_map(|&(rel, row_index)| indb.tuple_id(rel, row_index))
+                .collect();
+            clause.sort_unstable();
+            clause.dedup();
+            if clause.is_empty() {
+                // A match over deterministic tuples alone: Φ is `true` and
+                // absorbs every other clause — stop enumerating.
+                return ControlFlow::Break(());
+            }
+            seen.insert(clause);
+            ControlFlow::Continue(())
+        });
+        if certainly_true.is_some() {
+            return Ok(None);
+        }
+    }
+    Ok(Some(seen.into_iter().collect()))
+}
+
 /// Computes the lineage of a Boolean UCQ over the tuple-independent database.
 ///
 /// The query is evaluated against the instance of *possible* tuples
-/// (`indb.database()`); each satisfying assignment contributes the clause of
-/// probabilistic tuples it matched.
+/// (`indb.database()`) through a compiled physical plan; each satisfying
+/// assignment contributes the clause of probabilistic tuples it matched.
 pub fn lineage(ucq: &Ucq, indb: &InDb) -> Result<Lineage> {
     let ctx = EvalContext::new(indb.database());
     lineage_with(ucq, indb, &ctx)
 }
 
 /// Like [`lineage`] but reuses an [`EvalContext`] built on
-/// `indb.database()`.
+/// `indb.database()` (plans are compiled once per context and reused).
 pub fn lineage_with(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Lineage> {
+    Ok(match collect_clauses(ucq, indb, ctx)? {
+        None => Lineage::constant_true(),
+        Some(clauses) => Lineage::from_distinct_clauses(clauses),
+    })
+}
+
+/// [`lineage`] through the legacy backtracking evaluator — the agreement
+/// oracle for the compiled path.
+pub fn lineage_legacy(ucq: &Ucq, indb: &InDb) -> Result<Lineage> {
+    let ctx = EvalContext::new(indb.database());
+    lineage_legacy_with(ucq, indb, &ctx)
+}
+
+/// [`lineage_with`] through the legacy backtracking evaluator.
+pub fn lineage_legacy_with(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Lineage> {
     let mut clauses: Vec<Clause> = Vec::new();
     for disjunct in &ucq.disjuncts {
         if !disjunct.is_boolean() {
@@ -161,6 +234,46 @@ pub fn lineage_with(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Lin
 /// Computes, for every answer `ā` of a non-Boolean UCQ, the lineage of the
 /// Boolean query `Q(ā)`. Answers are keyed by their head row.
 pub fn answer_lineages(ucq: &Ucq, indb: &InDb) -> Result<BTreeMap<Row, Lineage>> {
+    let ctx = EvalContext::new(indb.database());
+    answer_lineages_with(ucq, indb, &ctx)
+}
+
+/// Like [`answer_lineages`] but reuses an [`EvalContext`] built on
+/// `indb.database()` — the `mv-core` backends hold one per evaluation
+/// context so the per-answer loop compiles each workload query only once.
+pub fn answer_lineages_with(
+    ucq: &Ucq,
+    indb: &InDb,
+    ctx: &EvalContext<'_>,
+) -> Result<BTreeMap<Row, Lineage>> {
+    let plan = ctx.compile(ucq)?;
+    let db = ctx.database();
+    let interner = db.interner();
+    let mut per_answer: BTreeMap<Row, FxHashSet<Clause>> = BTreeMap::new();
+    for disjunct in plan.disjuncts() {
+        disjunct.for_each_match::<()>(db, |regs, matched| {
+            let row = disjunct.decode_head(regs, interner);
+            let mut clause: Clause = matched
+                .iter()
+                .filter_map(|&(rel, row_index)| indb.tuple_id(rel, row_index))
+                .collect();
+            clause.sort_unstable();
+            clause.dedup();
+            per_answer.entry(row).or_default().insert(clause);
+            ControlFlow::Continue(())
+        });
+    }
+    Ok(per_answer
+        .into_iter()
+        .map(|(row, clauses)| {
+            let lineage = Lineage::from_distinct_clauses(clauses.into_iter().collect());
+            (row, lineage)
+        })
+        .collect())
+}
+
+/// [`answer_lineages`] through the legacy backtracking evaluator (oracle).
+pub fn answer_lineages_legacy(ucq: &Ucq, indb: &InDb) -> Result<BTreeMap<Row, Lineage>> {
     let ctx = EvalContext::new(indb.database());
     let mut per_answer: BTreeMap<Row, Vec<Clause>> = BTreeMap::new();
     for disjunct in &ucq.disjuncts {
@@ -230,6 +343,8 @@ mod tests {
             vec![TupleId(1), TupleId(5)],
         ]);
         assert_eq!(lin, expected);
+        // The legacy oracle computes the identical canonical lineage.
+        assert_eq!(lineage_legacy(&q, &indb).unwrap(), lin);
     }
 
     #[test]
@@ -254,6 +369,7 @@ mod tests {
         let q = parse_ucq("Q() :- D(x)").unwrap();
         let lin = lineage(&q, &indb).unwrap();
         assert!(lin.is_true());
+        assert_eq!(lineage_legacy(&q, &indb).unwrap(), lin);
     }
 
     #[test]
@@ -308,6 +424,8 @@ mod tests {
         assert_eq!(l_a1.num_clauses(), 2);
         assert!(l_a1.variables().contains(&TupleId(0)));
         assert!(!l_a1.variables().contains(&TupleId(1)));
+        // Exact agreement with the legacy oracle, per answer.
+        assert_eq!(answer_lineages_legacy(&q, &indb).unwrap(), per_answer);
     }
 
     #[test]

@@ -17,7 +17,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use fxhash::FxHashMap;
 use mv_pdb::{InDb, TupleId};
 
-use crate::lineage::{Clause, Lineage};
+use crate::ast::Ucq;
+use crate::eval::EvalContext;
+use crate::lineage::{lineage_with, Clause, Lineage};
+use crate::Result;
 
 /// Computes the exact probability of a DNF lineage under the given
 /// tuple-probability function.
@@ -31,6 +34,18 @@ pub fn probability_with(lineage: &Lineage, prob_of: &impl Fn(TupleId) -> f64) ->
 /// database's marginal tuple probabilities, which may be negative).
 pub fn shannon_probability(lineage: &Lineage, indb: &InDb) -> f64 {
     probability_with(lineage, &|t| indb.probability(t))
+}
+
+/// Computes the exact probability of a Boolean UCQ: the lineage is collected
+/// through the compiled slot-based matcher of `ctx` (plans and column
+/// indexes are cached there), then Shannon-expanded.
+pub fn shannon_query_probability_with(
+    ucq: &Ucq,
+    indb: &InDb,
+    ctx: &EvalContext<'_>,
+) -> Result<f64> {
+    let lin = lineage_with(ucq, indb, ctx)?;
+    Ok(shannon_probability(&lin, indb))
 }
 
 fn dnf_probability(
@@ -147,6 +162,38 @@ mod tests {
 
     fn t(i: u32) -> TupleId {
         TupleId(i)
+    }
+
+    #[test]
+    fn query_entry_points_share_one_compiled_plan() {
+        use crate::brute::brute_force_query_probability_with;
+        use crate::eval::EvalContext;
+        use crate::parser::parse_ucq;
+        use mv_pdb::value::row;
+        use mv_pdb::{InDbBuilder, Weight};
+
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["a"]).unwrap();
+        let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
+        b.insert_weighted(r, row(["a1"]), Weight::new(3.0)).unwrap(); // p = 0.75
+        b.insert_weighted(s, row(["a1", "b1"]), Weight::new(1.0))
+            .unwrap(); // p = 0.5
+        b.insert_weighted(s, row(["a1", "b2"]), Weight::new(1.0))
+            .unwrap(); // p = 0.5
+        let indb = b.build();
+        let ctx = EvalContext::new(indb.database());
+        let q = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
+        // P = 0.75 * (1 - 0.5 * 0.5) = 0.5625.
+        let via_shannon = shannon_query_probability_with(&q, &indb, &ctx).unwrap();
+        let via_brute = brute_force_query_probability_with(&q, &indb, &ctx).unwrap();
+        assert!((via_shannon - 0.5625).abs() < 1e-12);
+        assert!((via_shannon - via_brute).abs() < 1e-12);
+        // Both entry points went through the same cached physical plan.
+        assert_eq!(ctx.compiled_plans(), 1);
+        // Non-Boolean queries are rejected, not silently mangled.
+        let bad = parse_ucq("Q(x) :- R(x)").unwrap();
+        assert!(shannon_query_probability_with(&bad, &indb, &ctx).is_err());
+        assert!(brute_force_query_probability_with(&bad, &indb, &ctx).is_err());
     }
 
     #[test]
