@@ -86,6 +86,7 @@ const KNOWN_FIGURES: &[&str] = &[
     "fig11",
     "session",
     "microbench",
+    "approx",
     "ablation",
     "all",
 ];
@@ -181,6 +182,9 @@ fn main() {
     if wants("microbench") {
         report.add("microbench", microbench(&opts));
         report.add("query_eval", query_eval(&opts));
+    }
+    if wants("approx") {
+        report.add("approx", approx(&opts));
     }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
@@ -350,6 +354,65 @@ fn query_eval(opts: &Options) -> Json {
             ("plan_scan_steps", Json::from(p.plan.scan_steps)),
             ("plan_slots", Json::from(p.plan.slots)),
             ("plan_never_matching", Json::from(p.plan.never_matching)),
+        ]));
+    }
+    println!();
+    Json::arr(rows)
+}
+
+/// The `approx` series: the Monte Carlo backend on the Figure 5/6 workload
+/// — exact-vs-approx error against the MV-index oracle, CI width at each
+/// sample budget, interval-method usage and sampling throughput.
+fn approx(opts: &Options) -> Json {
+    let queries = if opts.quick { 2 } else { 3 };
+    let ladder = approx_ladder(opts.quick);
+    println!("== Approx: Monte Carlo vs exact on the Figure 5/6 workload ==");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12} {:>10} {:>14}",
+        "aid domain", "queries", "max |err|", "mean width", "covered", "methods", "samples/sec"
+    );
+    let mut rows = Vec::new();
+    for n in scales(opts.quick) {
+        let p = approx_accuracy(n, queries, opts.threads.max(1), &ladder);
+        let last = p.rungs.last().expect("ladder is non-empty");
+        println!(
+            "{:>10} {:>8} {:>12.5} {:>12.5} {:>9}/{:<2} {:>3}w{:>2}h{:>2}n {:>14.0}",
+            p.num_authors,
+            p.num_queries,
+            p.abs_err_max,
+            last.mean_half_width,
+            p.covered,
+            p.num_queries,
+            p.methods[0],
+            p.methods[1],
+            p.methods[2],
+            p.samples_per_sec,
+        );
+        let rungs: Vec<Json> = p
+            .rungs
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("samples", Json::from(r.samples)),
+                    ("mean_half_width", Json::from(r.mean_half_width)),
+                    ("max_half_width", Json::from(r.max_half_width)),
+                    ("max_abs_err", Json::from(r.max_abs_err)),
+                ])
+            })
+            .collect();
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("num_queries", Json::from(p.num_queries)),
+            ("seed", Json::from(p.seed)),
+            ("rungs", Json::arr(rungs)),
+            ("samples_per_sec", Json::from(p.samples_per_sec)),
+            ("total_samples", Json::from(p.total_samples)),
+            ("approx_abs_err_max", Json::from(p.abs_err_max)),
+            ("approx_abs_err_mean", Json::from(p.abs_err_mean)),
+            ("covered", Json::from(p.covered)),
+            ("method_wilson", Json::from(p.methods[0])),
+            ("method_hoeffding", Json::from(p.methods[1])),
+            ("method_normal", Json::from(p.methods[2])),
         ]));
     }
     println!();

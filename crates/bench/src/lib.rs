@@ -33,7 +33,7 @@ pub mod json;
 use std::time::{Duration, Instant};
 
 use mv_core::backend::MvIndexBackend;
-use mv_core::{EngineBackend, MvdbEngine};
+use mv_core::{ApproxConfig, EngineBackend, IntervalMethod, MvdbEngine};
 use mv_dblp::{DblpConfig, DblpDataset};
 use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_mln::{McSatConfig, McSatSampler};
@@ -1097,6 +1097,145 @@ pub fn query_eval_scale(quick: bool) -> Vec<(usize, usize, usize)> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The `approx` accuracy/throughput series
+// ---------------------------------------------------------------------------
+
+/// One rung of the CI-width-vs-sample-count ladder of the `approx` series.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxRung {
+    /// Per-query sample budget of this rung.
+    pub samples: u64,
+    /// Mean CI half-width over the workload.
+    pub mean_half_width: f64,
+    /// Largest CI half-width over the workload.
+    pub max_half_width: f64,
+    /// Largest |estimate − exact| over the workload.
+    pub max_abs_err: f64,
+}
+
+/// One scaling point of the `approx` series: the Monte Carlo backend on the
+/// Figure 5/6 workload, with exact-vs-approx error, CI width per sample
+/// budget, and sampling throughput.
+#[derive(Debug, Clone)]
+pub struct ApproxPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Boolean workload queries (Figure 5 + Figure 6 families).
+    pub num_queries: usize,
+    /// The fixed stream seed of the run.
+    pub seed: u64,
+    /// CI width vs sample count, smallest budget first.
+    pub rungs: Vec<ApproxRung>,
+    /// Worlds drawn per second across the whole run.
+    pub samples_per_sec: f64,
+    /// Total worlds drawn across all rungs and queries.
+    pub total_samples: u64,
+    /// Largest |estimate − exact| at the final (largest) rung.
+    pub abs_err_max: f64,
+    /// Mean |estimate − exact| at the final rung.
+    pub abs_err_mean: f64,
+    /// Queries whose final CI contains the exact probability.
+    pub covered: usize,
+    /// Interval-method usage at the final rung (Wilson / Hoeffding / Normal).
+    pub methods: [usize; 3],
+}
+
+/// The sample-budget ladder of the `approx` series.
+pub fn approx_ladder(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1_000, 4_000, 16_000]
+    } else {
+        vec![2_000, 8_000, 32_000]
+    }
+}
+
+/// Runs the `approx` series at one scale: estimates every Figure 5/6
+/// workload query with the Monte Carlo backend at each budget of `ladder`,
+/// against the exact probabilities of the MV-index backend.
+pub fn approx_accuracy(
+    num_authors: usize,
+    num_queries: usize,
+    threads: usize,
+    ladder: &[u64],
+) -> ApproxPoint {
+    let data = dataset_v1v2(num_authors);
+    let engine = MvdbEngine::compile(&data.mvdb).expect("compiles");
+    let queries: Vec<Ucq> = query_eval_workload(&data, num_queries)
+        .iter()
+        .map(|q| q.boolean())
+        .collect();
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| engine.probability(q).expect("exact probability"))
+        .collect();
+
+    let session = engine.session().with_threads(threads);
+    let seed = 0xA402_0C25u64;
+    let mut rungs = Vec::with_capacity(ladder.len());
+    let mut total_samples = 0u64;
+    let mut final_answers = Vec::new();
+    let t0 = Instant::now();
+    for &samples in ladder {
+        let config = ApproxConfig {
+            seed,
+            confidence: 0.99,
+            target_half_width: 0.0, // fixed budgets: the ladder measures width vs n
+            max_samples: samples,
+            ..ApproxConfig::default()
+        };
+        let answers = session
+            .approx_probabilities(&queries, &config)
+            .expect("batch estimates");
+        total_samples += answers.iter().map(|a| a.samples).sum::<u64>();
+        let widths: Vec<f64> = answers.iter().map(|a| a.half_width).collect();
+        let errors: Vec<f64> = answers
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a.clamped() - e).abs())
+            .collect();
+        rungs.push(ApproxRung {
+            samples,
+            mean_half_width: widths.iter().sum::<f64>() / widths.len() as f64,
+            max_half_width: widths.iter().copied().fold(0.0, f64::max),
+            max_abs_err: errors.iter().copied().fold(0.0, f64::max),
+        });
+        final_answers = answers;
+    }
+    let elapsed = t0.elapsed();
+
+    let errors: Vec<f64> = final_answers
+        .iter()
+        .zip(&exact)
+        .map(|(a, e)| (a.clamped() - e).abs())
+        .collect();
+    let mut methods = [0usize; 3];
+    for a in &final_answers {
+        let slot = match a.method {
+            IntervalMethod::Wilson => 0,
+            IntervalMethod::Hoeffding => 1,
+            IntervalMethod::Normal => 2,
+        };
+        methods[slot] += 1;
+    }
+    ApproxPoint {
+        num_authors,
+        num_queries: queries.len(),
+        seed,
+        rungs,
+        samples_per_sec: total_samples as f64 / secs(elapsed).max(1e-9),
+        total_samples,
+        abs_err_max: errors.iter().copied().fold(0.0, f64::max),
+        abs_err_mean: errors.iter().sum::<f64>() / errors.len().max(1) as f64,
+        covered: final_answers
+            .iter()
+            .zip(&exact)
+            .filter(|(a, e)| a.contains(**e))
+            .count(),
+        methods,
+    }
+}
+
 /// Formats a duration in seconds with millisecond precision (the unit of the
 /// paper's plots).
 pub fn secs(d: Duration) -> f64 {
@@ -1257,6 +1396,23 @@ mod tests {
         assert!(p.speedup_total() > 0.0);
         assert!(p.compiled_lineage.as_nanos() > 0);
         assert!(p.legacy_answers.as_nanos() > 0);
+    }
+
+    #[test]
+    fn approx_point_reports_coverage_and_throughput() {
+        // Tiny debug-mode scale; the figures binary runs the real ladder.
+        let p = approx_accuracy(150, 2, 2, &[500, 2_000]);
+        assert_eq!(p.num_queries, 4);
+        assert_eq!(p.rungs.len(), 2);
+        assert!(p.samples_per_sec > 0.0);
+        assert!(p.total_samples >= 4 * 2_500);
+        // Quadrupling the budget must not widen the intervals.
+        assert!(p.rungs[1].mean_half_width < p.rungs[0].mean_half_width);
+        // Every query's exact probability inside its final 99% CI, and the
+        // estimates close to exact (deterministic under the fixed seed).
+        assert_eq!(p.covered, p.num_queries);
+        assert!(p.abs_err_max < 0.05, "abs err {}", p.abs_err_max);
+        assert_eq!(p.methods.iter().sum::<usize>(), p.num_queries);
     }
 
     #[test]

@@ -35,15 +35,19 @@ use crate::Result;
 
 pub mod brute;
 pub mod index;
+pub mod monte_carlo;
 pub mod obdd;
 pub mod safe_plan;
 pub mod shannon;
 
 pub use brute::BruteForce;
 pub use index::MvIndexBackend;
+pub use monte_carlo::{MonteCarlo, MonteCarloParams};
 pub use obdd::ObddPerQuery;
 pub use safe_plan::SafePlan;
 pub use shannon::Shannon;
+
+pub use mv_query::approx::{ApproxAccumulator, ApproxAnswer, ApproxConfig, IntervalMethod};
 
 /// Smallest `P0(¬W)` treated as consistent.
 const MIN_NOT_W: f64 = 1e-300;
@@ -274,6 +278,12 @@ pub enum EngineBackend {
     /// Exhaustive truth-table enumeration over the lineage variables (the
     /// ground-truth validator; exponential, small inputs only).
     BruteForce,
+    /// Seedable Monte Carlo world sampling with confidence intervals — the
+    /// *approximate* backend for queries the exact strategies refuse. The
+    /// point estimate flows through [`Backend::probability`]; use
+    /// [`MonteCarlo::approx`] (or the engine/session `approx_*` entry
+    /// points) for the interval.
+    MonteCarlo(MonteCarloParams),
 }
 
 impl EngineBackend {
@@ -285,13 +295,16 @@ impl EngineBackend {
             EngineBackend::Shannon => Box::new(Shannon),
             EngineBackend::SafePlan => Box::new(SafePlan),
             EngineBackend::BruteForce => Box::new(BruteForce),
+            EngineBackend::MonteCarlo(params) => Box::new(MonteCarlo::with_params(params)),
         }
     }
 
     /// The backends expected to agree on *every* query: both intersection
     /// algorithms of the MV-index, the per-query OBDD baseline, Shannon
     /// expansion, and brute-force enumeration. (Safe plans are excluded —
-    /// they legitimately fail on unsafe queries.)
+    /// they legitimately fail on unsafe queries; Monte Carlo is excluded —
+    /// it agrees only up to its confidence interval, which the statistical
+    /// agreement suite checks separately.)
     pub fn comparison_suite() -> Vec<EngineBackend> {
         vec![
             EngineBackend::MvIndex(IntersectAlgorithm::MvIntersect),
@@ -321,15 +334,15 @@ mod tests {
     #[test]
     fn every_selector_instantiates_a_named_backend() {
         let mut names = std::collections::BTreeSet::new();
-        for selector in EngineBackend::comparison_suite()
-            .into_iter()
-            .chain([EngineBackend::SafePlan])
-        {
+        for selector in EngineBackend::comparison_suite().into_iter().chain([
+            EngineBackend::SafePlan,
+            EngineBackend::MonteCarlo(MonteCarloParams::default()),
+        ]) {
             let backend = selector.instantiate();
             assert!(!backend.name().is_empty());
             names.insert(backend.name());
         }
         // Both intersection algorithms share the index backend name family.
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
     }
 }

@@ -24,7 +24,9 @@ use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_pdb::Row;
 use mv_query::Ucq;
 
-use crate::backend::{Backend, EvalContext, MvIndexBackend};
+use crate::backend::{
+    ApproxAnswer, ApproxConfig, Backend, EvalContext, MonteCarlo, MvIndexBackend,
+};
 use crate::error::CoreError;
 use crate::mvdb::Mvdb;
 use crate::translate::TranslatedIndb;
@@ -119,6 +121,17 @@ impl MvdbEngine {
     /// implementation.
     pub fn probability_with(&self, query: &Ucq, backend: &dyn Backend) -> Result<f64> {
         backend.probability(query, &self.context())
+    }
+
+    /// Estimates the probability of a Boolean query by Monte Carlo world
+    /// sampling, returning the full `(estimate, half_width)` confidence
+    /// interval. This is the fallback for queries whose exact OBDD
+    /// synthesis is refused or intractable; see
+    /// [`MonteCarlo`](crate::backend::MonteCarlo) for the estimator design
+    /// and [`MvdbSession`](crate::MvdbSession) for batch and multi-worker
+    /// variants.
+    pub fn approx_probability(&self, query: &Ucq, config: &ApproxConfig) -> Result<ApproxAnswer> {
+        MonteCarlo::new(*config).approx(query, &self.context())
     }
 
     /// Evaluates a non-Boolean query: returns every answer tuple together

@@ -17,8 +17,10 @@
 //!   helper query `W`.
 //! * [`backend`] — the pluggable [`Backend`] trait and its implementations:
 //!   the MV-index (the paper's proposal), the per-query augmented-OBDD
-//!   baseline, Shannon expansion, safe plans, and brute-force enumeration.
-//!   Each strategy lives in its own module; adding one is a drop-in.
+//!   baseline, Shannon expansion, safe plans, brute-force enumeration, and
+//!   seedable Monte Carlo world sampling with confidence intervals (the
+//!   approximate fallback for queries exact synthesis refuses). Each
+//!   strategy lives in its own module; adding one is a drop-in.
 //! * [`engine`] — [`MvdbEngine`]: the end-to-end query processor. It
 //!   compiles `W` into an MV-index offline and answers queries online via
 //!   `P(Q) = (P0(Q ∨ W) − P0(W)) / (1 − P0(W))`, dispatching every
@@ -39,7 +41,10 @@ pub mod session;
 pub mod translate;
 pub mod view;
 
-pub use backend::{Backend, EngineBackend, EvalContext};
+pub use backend::{
+    ApproxAnswer, ApproxConfig, Backend, EngineBackend, EvalContext, IntervalMethod, MonteCarlo,
+    MonteCarloParams,
+};
 pub use engine::MvdbEngine;
 pub use error::CoreError;
 pub use mvdb::{Mvdb, MvdbBuilder};

@@ -24,9 +24,10 @@
 //! unobservable). The agreement suite asserts equality within 1e-9.
 
 use mv_obdd::ManagerStats;
+use mv_query::approx::{derive_seed, ApproxAccumulator, ApproxAnswer, ApproxConfig};
 use mv_query::Ucq;
 
-use crate::backend::{Backend, EngineBackend, EvalContext};
+use crate::backend::{Backend, EngineBackend, EvalContext, MonteCarlo};
 use crate::engine::MvdbEngine;
 use crate::Result;
 
@@ -109,6 +110,121 @@ impl<'e> MvdbSession<'e> {
         let index_delta = self.engine.index().manager_stats().since(&index_before);
         self.stats.set(ctx.query_manager_stats() + index_delta);
         Ok(out)
+    }
+
+    /// Estimates every query's probability by Monte Carlo sampling,
+    /// returning full confidence intervals positionally aligned with
+    /// `queries`.
+    ///
+    /// Each query gets its own decorrelated ChaCha stream derived from
+    /// `config.seed` and the query's batch position, so the results are
+    /// **bit-identical for every worker-thread count** — parallelism only
+    /// re-schedules whole queries (striped, like
+    /// [`MvdbSession::probabilities`]); it never splits a query's stream.
+    pub fn approx_probabilities(
+        &self,
+        queries: &[Ucq],
+        config: &ApproxConfig,
+    ) -> Result<Vec<ApproxAnswer>> {
+        let workers = self.threads.min(queries.len()).max(1);
+        let estimate_one = |ctx: &EvalContext<'_>, index: usize, q: &Ucq| -> Result<ApproxAnswer> {
+            let per_query = ApproxConfig {
+                seed: derive_seed(config.seed, index as u64),
+                ..*config
+            };
+            MonteCarlo::new(per_query).approx(&q.boolean(), ctx)
+        };
+        if workers <= 1 {
+            let ctx = self.engine.context();
+            return queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| estimate_one(&ctx, i, q))
+                .collect();
+        }
+        let mut results: Vec<Option<Result<ApproxAnswer>>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let engine = self.engine;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let ctx = engine.context();
+                        queries
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, q)| estimate_one(&ctx, i, q))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                let stripe = handle.join().expect("session worker panicked");
+                for (j, value) in stripe.into_iter().enumerate() {
+                    results[w + j * workers] = Some(value);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect()
+    }
+
+    /// Estimates one query's probability with the sample budget **split
+    /// across the session's workers**: each worker draws from an
+    /// independent ChaCha stream (seeds striped off `config.seed`) and the
+    /// partial sums are merged — the weighted average of the per-worker
+    /// estimates — before the interval is computed. Deterministic for a
+    /// fixed `(seed, threads)` pair.
+    ///
+    /// Workers early-stop at `target_half_width · √workers` (merging
+    /// `k` independent streams shrinks the half-width by about `√k`); the
+    /// interval reported here is computed from the *merged* sums, so the
+    /// target may be overshot slightly but never trusted blindly.
+    pub fn approx_probability(&self, query: &Ucq, config: &ApproxConfig) -> Result<ApproxAnswer> {
+        let workers = self.threads.max(1);
+        let q = query.boolean();
+        // The sampler is compiled once (lineage collection, variable
+        // classification, component pruning) and shared by reference: it
+        // only borrows the translated database, so worker threads run its
+        // tight sampling loop without per-worker recompilation.
+        let ctx = self.engine.context();
+        let backend = MonteCarlo::new(*config);
+        let lin_q = ctx.lineage(&q)?;
+        let sampler = backend.sampler(&lin_q, &q, &ctx)?;
+        if workers <= 1 {
+            return Ok(sampler.estimate(config));
+        }
+        // Exact split of the hard budget: the first `remainder` workers
+        // take one extra sample, so the merged total equals `max_samples`
+        // for every (budget, workers) pair.
+        let base = config.max_samples / workers as u64;
+        let remainder = (config.max_samples % workers as u64) as usize;
+        let worker_config = |w: usize| ApproxConfig {
+            seed: derive_seed(config.seed, w as u64),
+            max_samples: base + u64::from(w < remainder),
+            min_samples: (config.min_samples / workers as u64).max(64),
+            target_half_width: config.target_half_width * (workers as f64).sqrt(),
+            ..*config
+        };
+        let partials: Vec<ApproxAccumulator> = std::thread::scope(|scope| {
+            let sampler = &sampler;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || sampler.collect(&worker_config(w))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session worker panicked"))
+                .collect()
+        });
+        let mut merged = ApproxAccumulator::default();
+        for partial in &partials {
+            merged.merge(partial);
+        }
+        Ok(sampler.answer_from(&merged, config))
     }
 
     fn run_parallel(
@@ -283,6 +399,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn approx_batches_are_bit_identical_across_thread_counts() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let config = ApproxConfig {
+            seed: 42,
+            target_half_width: 0.0,
+            max_samples: 4_096,
+            ..ApproxConfig::default()
+        };
+        let sequential = engine
+            .session()
+            .approx_probabilities(&queries, &config)
+            .unwrap();
+        // Every query stream is derived from the seed and batch position,
+        // so re-scheduling across workers cannot change a single bit.
+        for threads in [2, 3, 16] {
+            let parallel = engine
+                .session()
+                .with_threads(threads)
+                .approx_probabilities(&queries, &config)
+                .unwrap();
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.estimate.to_bits(), p.estimate.to_bits());
+                assert_eq!(s.half_width.to_bits(), p.half_width.to_bits());
+                assert_eq!(s.samples, p.samples);
+            }
+        }
+        // And the intervals actually cover the exact probabilities.
+        for (q, answer) in queries.iter().zip(&sequential) {
+            let exact = engine.probability(q).unwrap();
+            assert!(
+                answer.contains(exact),
+                "{q}: CI [{}, {}] misses exact {exact}",
+                answer.lower(),
+                answer.upper()
+            );
+        }
+    }
+
+    #[test]
+    fn split_budget_estimation_merges_worker_streams() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let exact = engine.probability(&q).unwrap();
+        // A budget that does not divide by the worker count: the split must
+        // still land exactly on the hard budget.
+        let config = ApproxConfig {
+            seed: 7,
+            target_half_width: 0.0,
+            max_samples: 8_191,
+            ..ApproxConfig::default()
+        };
+        let session = engine.session().with_threads(4);
+        let merged = session.approx_probability(&q, &config).unwrap();
+        // The full budget is split over the workers.
+        assert_eq!(merged.samples, 8_191);
+        assert!(merged.contains(exact));
+        // Deterministic for a fixed (seed, threads) pair.
+        let again = session.approx_probability(&q, &config).unwrap();
+        assert_eq!(merged.estimate.to_bits(), again.estimate.to_bits());
+        // Single-threaded sessions take the plain sequential path.
+        let solo = engine.session().approx_probability(&q, &config).unwrap();
+        assert_eq!(solo.samples, 8_191);
+        assert!(solo.contains(exact));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! entirely (end of Section 3.2), and output tuples with weight exactly `1`
 //! (independence) are skipped because their translated weight is `0`.
 
-use mv_pdb::{InDb, InDbBuilder, Weight};
+use mv_pdb::{InDb, InDbBuilder, RelId, TupleId, Weight};
 use mv_query::{Atom, ConjunctiveQuery, Ucq};
 
 use crate::mvdb::Mvdb;
@@ -32,6 +32,7 @@ pub struct TranslatedIndb {
     indb: InDb,
     w: Option<Ucq>,
     nv_relations: Vec<String>,
+    nv_rel_ids: Vec<RelId>,
 }
 
 impl TranslatedIndb {
@@ -61,6 +62,7 @@ impl TranslatedIndb {
 
         // Create one NV relation per (non-denial) view and populate it.
         let mut nv_relations = Vec::with_capacity(mvdb.views().len());
+        let mut nv_rel_ids = Vec::new();
         let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
         for (i, view) in mvdb.views().iter().enumerate() {
             let nv_name = view.nv_relation_name();
@@ -75,6 +77,7 @@ impl TranslatedIndb {
             let attrs: Vec<String> = (0..view.arity()).map(|p| format!("a{p}")).collect();
             let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
             let nv_rel = builder.probabilistic_relation(&nv_name, &attr_refs)?;
+            nv_rel_ids.push(nv_rel);
             let outputs = mvdb.view_output(view)?;
             for (row, weight) in outputs {
                 let translated = Weight::new(weight).negated_view_weight();
@@ -100,6 +103,7 @@ impl TranslatedIndb {
             indb,
             w,
             nv_relations,
+            nv_rel_ids,
         })
     }
 
@@ -122,6 +126,18 @@ impl TranslatedIndb {
     /// `NV` tuples).
     pub fn num_tuples(&self) -> usize {
         self.indb.num_tuples()
+    }
+
+    /// `true` when the possible tuple is an `NV` tuple introduced by the
+    /// translation (as opposed to a base tuple of the original MVDB).
+    ///
+    /// The Monte Carlo backend integrates exactly these variables out of
+    /// each sampled world: every clause of `W`'s lineage carries at most one
+    /// of them, so their residual probability is a plain product — which is
+    /// also what makes sampling sound despite their (possibly negative)
+    /// translated weights.
+    pub fn is_nv_tuple(&self, id: TupleId) -> bool {
+        self.nv_rel_ids.contains(&self.indb.tuple(id).rel)
     }
 }
 
@@ -270,6 +286,23 @@ mod tests {
         let p_w = brute_force_lineage_probability(&lin_w, t.indb());
         let translated = (p_q_or_w - p_w) / (1.0 - p_w);
         assert!((translated - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nv_tuples_are_identified_by_relation() {
+        let mvdb = example1(0.5);
+        let t = TranslatedIndb::new(&mvdb).unwrap();
+        // Tuples 0 and 1 are the base R(a)/S(a) rows; tuple 2 is the NV row.
+        assert!(!t.is_nv_tuple(TupleId(0)));
+        assert!(!t.is_nv_tuple(TupleId(1)));
+        assert!(t.is_nv_tuple(TupleId(2)));
+        // Denial views create no NV relation, so nothing is flagged.
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 1.0).unwrap();
+        b.marko_view("V(x)[0] :- R(x)").unwrap();
+        let t = TranslatedIndb::new(&b.build().unwrap()).unwrap();
+        assert!(!t.is_nv_tuple(TupleId(0)));
     }
 
     #[test]

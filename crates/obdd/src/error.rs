@@ -9,6 +9,16 @@ pub enum ObddError {
     OrderMismatch,
     /// A tuple variable is missing from the variable order.
     UnknownVariable(String),
+    /// A bounded synthesis allocated more nodes than its budget allowed:
+    /// the lineage has no small OBDD under the current variable order, and
+    /// the caller asked for refusal instead of a blow-up. Approximate
+    /// backends (Monte Carlo) remain available for such queries.
+    NodeBudgetExceeded {
+        /// Arena nodes allocated by the abandoned synthesis.
+        allocated: usize,
+        /// The budget it exceeded.
+        budget: usize,
+    },
     /// A query-level error surfaced during construction.
     Query(mv_query::QueryError),
 }
@@ -25,6 +35,11 @@ impl fmt::Display for ObddError {
             ObddError::UnknownVariable(v) => {
                 write!(f, "tuple variable {v} is not part of the variable order")
             }
+            ObddError::NodeBudgetExceeded { allocated, budget } => write!(
+                f,
+                "OBDD synthesis refused: allocated {allocated} nodes, exceeding the budget of \
+                 {budget} (no small diagram under this variable order; use an approximate backend)"
+            ),
             ObddError::Query(e) => write!(f, "query error during OBDD construction: {e}"),
         }
     }
@@ -50,5 +65,11 @@ mod tests {
         assert!(ObddError::UnknownVariable("X7".into())
             .to_string()
             .contains("X7"));
+        let refusal = ObddError::NodeBudgetExceeded {
+            allocated: 4096,
+            budget: 1000,
+        };
+        assert!(refusal.to_string().contains("4096"));
+        assert!(refusal.to_string().contains("refused"));
     }
 }

@@ -940,11 +940,36 @@ impl ObddManager {
     /// microbenchmark) should prefer this entry point. Produces exactly the
     /// diagram the clause-by-clause fold produces.
     pub fn dnf<C: AsRef<[TupleId]>>(&self, clauses: &[C]) -> Result<Obdd> {
+        self.dnf_with_budget(clauses, usize::MAX)
+    }
+
+    /// [`ObddManager::dnf`] with a **node budget**: the fold is abandoned
+    /// with [`ObddError::NodeBudgetExceeded`] as soon as it has allocated
+    /// more than `node_budget` fresh arena nodes. This is how exact
+    /// synthesis *refuses* a lineage with no small OBDD under the current
+    /// order (instead of exhausting memory), so callers can fall back to
+    /// approximate inference. The budget is checked between clause folds;
+    /// nodes already interned stay in the arena (hash-consing makes them
+    /// reusable, never wrong).
+    pub fn dnf_bounded<C: AsRef<[TupleId]>>(
+        &self,
+        clauses: &[C],
+        node_budget: usize,
+    ) -> Result<Obdd> {
+        self.dnf_with_budget(clauses, node_budget)
+    }
+
+    fn dnf_with_budget<C: AsRef<[TupleId]>>(
+        &self,
+        clauses: &[C],
+        node_budget: usize,
+    ) -> Result<Obdd> {
         let levels: Vec<Vec<u32>> = clauses
             .iter()
             .map(|c| self.clause_levels(c.as_ref()))
             .collect::<Result<_>>()?;
         let mut store = self.write();
+        let start = store.nodes.len();
         let mut acc = FALSE;
         for clause in &levels {
             let clause_root = store.clause_root(clause);
@@ -952,6 +977,13 @@ impl ObddManager {
                 Some(r) => r,
                 None => store.apply(BoolOp::Or, acc, clause_root),
             };
+            let allocated = store.nodes.len() - start;
+            if allocated > node_budget {
+                return Err(ObddError::NodeBudgetExceeded {
+                    allocated,
+                    budget: node_budget,
+                });
+            }
         }
         drop(store);
         Ok(Obdd::from_parts(self.clone(), acc))

@@ -132,6 +132,20 @@ impl InDb {
     /// all deterministic rows plus the probabilistic rows present in `mask`
     /// (bit `i` of the mask corresponds to `TupleId(i)`).
     pub fn materialize_world(&self, mask: u64) -> Database {
+        self.materialize_world_where(|id| mask & (1u64 << id.0) != 0)
+    }
+
+    /// Materialises the possible world described by an arbitrary membership
+    /// predicate over tuple ids: all deterministic rows plus every
+    /// probabilistic row for which `in_world` returns `true`.
+    ///
+    /// Unlike [`InDb::materialize_world`] this is not limited to 64 tuples,
+    /// so samplers can materialise worlds of databases of any size (the
+    /// Monte Carlo backend's plan-evaluation mode drives compiled physical
+    /// plans over these worlds). The world is a fresh [`Database`] with its
+    /// own dictionary: rows are re-interned on insert, so the world's
+    /// columnar code arrays are dense over the values it actually contains.
+    pub fn materialize_world_where(&self, in_world: impl Fn(TupleId) -> bool) -> Database {
         let mut world = Database::with_schema(self.schema().clone());
         for (rel_id, _) in self.schema().relations() {
             if self.is_deterministic(rel_id) {
@@ -143,7 +157,7 @@ impl InDb {
             }
         }
         for (id, t) in self.tuples() {
-            if mask & (1u64 << id.0) != 0 {
+            if in_world(id) {
                 let row = self.database.relation(t.rel).row(t.row_index).clone();
                 world
                     .insert(t.rel, row)
@@ -361,6 +375,18 @@ mod tests {
         assert_eq!(w_full.rows(r).len(), 1);
         assert!(db.is_deterministic(d));
         assert!(!db.is_deterministic(r));
+    }
+
+    #[test]
+    fn materialize_world_where_agrees_with_mask_worlds() {
+        let db = two_tuple_db();
+        for mask in 0..4u64 {
+            let by_mask = db.materialize_world(mask);
+            let by_pred = db.materialize_world_where(|id| mask & (1u64 << id.0) != 0);
+            for (rel, _) in db.schema().relations() {
+                assert_eq!(by_mask.rows(rel), by_pred.rows(rel), "mask {mask}");
+            }
+        }
     }
 
     #[test]

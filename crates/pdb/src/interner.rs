@@ -47,11 +47,32 @@ impl ValueInterner {
         self.codes.get(value).copied()
     }
 
+    /// The value behind a code (an array probe; no hashing), or `None` when
+    /// the code is out of range for this interner.
+    ///
+    /// Codes are only meaningful relative to the interner that produced
+    /// them; a code obtained from a *foreign* interner (another database's
+    /// dictionary) is at best a different value and at worst out of range.
+    /// This is the total decoding API: callers that cannot prove provenance
+    /// of a code — anything that crosses a database boundary — must use it
+    /// instead of [`ValueInterner::value`] and handle `None`.
+    pub fn decode(&self, code: u32) -> Option<&Value> {
+        self.values.get(code as usize)
+    }
+
     /// The value behind a code (an array probe; no hashing).
     ///
-    /// Panics when the code was not produced by this interner.
+    /// Panics when the code was not produced by this interner; reserved for
+    /// hot paths where provenance is guaranteed by construction (e.g. a
+    /// compiled plan decoding registers filled from its own database).
     pub fn value(&self, code: u32) -> &Value {
-        &self.values[code as usize]
+        self.decode(code).unwrap_or_else(|| {
+            panic!(
+                "code {code} was not produced by this interner ({} values interned); \
+                 decoding a foreign interner's code requires `decode`",
+                self.values.len()
+            )
+        })
     }
 
     /// Number of distinct interned values.
@@ -81,6 +102,25 @@ mod tests {
         assert_eq!(interner.len(), 2);
         assert_eq!(interner.value(a), &Value::int(7));
         assert_eq!(interner.value(b), &Value::str("x"));
+    }
+
+    #[test]
+    fn decode_is_total_over_arbitrary_codes() {
+        let mut interner = ValueInterner::new();
+        let a = interner.intern(&Value::str("a"));
+        assert_eq!(interner.decode(a), Some(&Value::str("a")));
+        assert_eq!(interner.decode(1), None);
+        assert_eq!(interner.decode(u32::MAX), None);
+        // An empty interner decodes nothing.
+        assert_eq!(ValueInterner::new().decode(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign interner")]
+    fn value_panics_with_provenance_message_on_foreign_codes() {
+        let mut interner = ValueInterner::new();
+        interner.intern(&Value::int(1));
+        let _ = interner.value(7);
     }
 
     #[test]

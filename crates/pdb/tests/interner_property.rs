@@ -1,0 +1,78 @@
+//! Property suite for the value dictionary.
+//!
+//! Pins the two contracts compiled plans and columnar code arrays rely on:
+//! interning round-trips (`intern` → `decode` returns the original value,
+//! with codes dense in first-appearance order), and decoding is *total* —
+//! a code that did not come from this interner (a foreign database's
+//! dictionary, a corrupted register) yields `None` from
+//! [`ValueInterner::decode`] instead of a panic.
+
+use mv_pdb::{Value, ValueInterner};
+use proptest::prelude::*;
+
+/// A small mixed value domain: integers and strings, with overlap across
+/// runs so re-interning duplicates is exercised.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-20i64..20).prop_map(Value::int),
+        "[a-z]{0,3}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interning_round_trips_and_codes_are_dense(values in proptest::collection::vec(value_strategy(), 0..40)) {
+        let mut interner = ValueInterner::new();
+        let codes: Vec<u32> = values.iter().map(|v| interner.intern(v)).collect();
+
+        // Round trip: every code decodes back to the value that produced it.
+        for (value, &code) in values.iter().zip(&codes) {
+            prop_assert_eq!(interner.decode(code), Some(value));
+            prop_assert_eq!(interner.value(code), value);
+            prop_assert_eq!(interner.code_of(value), Some(code));
+        }
+
+        // Codes are equal exactly when values are equal, and dense:
+        // the distinct values occupy 0..len in first-appearance order.
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(codes[i] == codes[j], a == b);
+            }
+        }
+        let distinct: std::collections::BTreeSet<u32> = codes.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), interner.len());
+        if let Some(max) = distinct.iter().max() {
+            prop_assert_eq!(*max as usize, interner.len() - 1);
+        }
+    }
+
+    #[test]
+    fn foreign_and_out_of_range_codes_decode_to_none(
+        ours in proptest::collection::vec(value_strategy(), 0..10),
+        theirs in proptest::collection::vec(value_strategy(), 0..25),
+    ) {
+        let mut a = ValueInterner::new();
+        for v in &ours {
+            a.intern(v);
+        }
+        let mut b = ValueInterner::new();
+        let foreign_codes: Vec<u32> = theirs.iter().map(|v| b.intern(v)).collect();
+
+        // Decoding a foreign interner's codes never panics: small codes may
+        // alias a (different) value of ours, larger ones are out of range.
+        for &code in &foreign_codes {
+            match a.decode(code) {
+                Some(v) => prop_assert_eq!(a.code_of(v), Some(code)),
+                None => prop_assert!(code as usize >= a.len()),
+            }
+        }
+
+        // Strictly out-of-range codes are always `None`.
+        for offset in 0..3u32 {
+            prop_assert_eq!(a.decode(a.len() as u32 + offset), None);
+        }
+        prop_assert_eq!(a.decode(u32::MAX), None);
+    }
+}

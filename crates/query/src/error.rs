@@ -37,6 +37,9 @@ pub enum QueryError {
     /// An operation that requires a Boolean query was given a query with
     /// head variables.
     NotBoolean(String),
+    /// A Monte Carlo estimator could not be constructed over the database
+    /// (unsatisfiable condition, non-finite tuple probability, …).
+    Unsampleable(String),
     /// A lower-level database error.
     Pdb(mv_pdb::PdbError),
 }
@@ -69,6 +72,9 @@ impl fmt::Display for QueryError {
             ),
             QueryError::NotBoolean(name) => {
                 write!(f, "query `{name}` has head variables but a Boolean query is required")
+            }
+            QueryError::Unsampleable(reason) => {
+                write!(f, "cannot sample possible worlds: {reason}")
             }
             QueryError::Pdb(e) => write!(f, "database error: {e}"),
         }

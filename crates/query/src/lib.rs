@@ -26,11 +26,16 @@
 //!   negative probabilities).
 //! * [`brute`] — exhaustive truth-table evaluation over the lineage
 //!   variables, used as the ground-truth oracle in tests.
+//! * [`approx`] — Monte Carlo approximate inference: a seedable possible-
+//!   world sampler for the Theorem 1 conditional with Rao-Blackwellised
+//!   `NV` variables, component pruning, and Wilson / Hoeffding / Normal
+//!   confidence intervals with early stopping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod approx;
 pub mod ast;
 pub mod brute;
 pub mod error;
@@ -43,6 +48,10 @@ pub mod safe_plan;
 pub mod shannon;
 
 pub use analysis::QueryAnalysis;
+pub use approx::{
+    approx_lineage_probability, ApproxAccumulator, ApproxAnswer, ApproxConfig, ConditionalSampler,
+    IntervalMethod,
+};
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, Ucq};
 pub use error::QueryError;
 pub use eval::{evaluate_boolean, evaluate_ucq, Answer};

@@ -4,11 +4,21 @@
 //! evaluator; the String-keyed backtracking evaluator remains as the
 //! independently-implemented oracle. This suite pins their contract over
 //! random databases and a fixed family of queries covering joins, unions,
-//! constants (present and absent), self-joins, repeated variables and every
-//! comparison kind: **exact set equality** of answers and **exact equality**
-//! of canonical lineages — not approximate agreement.
+//! constants (present and absent), self-joins, repeated variables (within
+//! one atom and across a whole body), atoms shared across disjuncts,
+//! all-constant atoms and every comparison kind: **exact set equality** of
+//! answers and **exact equality** of canonical lineages — not approximate
+//! agreement.
+//!
+//! A third implementation joins the differential loop: the Monte Carlo
+//! estimator of `mv_query::approx`, checked *statistically* — the
+//! brute-force lineage probability must fall inside its high-confidence
+//! interval (seeds are derived from the database content, so any
+//! counterexample is reproducible).
 
 use mv_pdb::{InDbBuilder, Row, Value, Weight};
+use mv_query::approx::{approx_lineage_probability, ApproxConfig};
+use mv_query::brute::brute_force_lineage_probability;
 use mv_query::eval::{evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext};
 use mv_query::lineage::{
     answer_lineages, answer_lineages_legacy, lineage_legacy_with, lineage_with,
@@ -86,6 +96,25 @@ fn queries() -> Vec<&'static str> {
         "Q(x) :- S(x, y) ; Q(x) :- R(x)",
         "Q(x) :- S(x, x), R(x)",
         "Q(x, z) :- S(x, y), S(y, z), x <= z",
+        // --- under-covered shapes -----------------------------------------
+        // Repeated variables: within one atom, chained through a body, and
+        // combined with a diagonal self-join.
+        "Q() :- S(x, x), S(x, y), S(y, y)",
+        "Q(x) :- S(x, x), S(x, x)",
+        "Q() :- S(x, y), S(y, x)",
+        // Cross-disjunct shared atoms: the same atom appears in several
+        // disjuncts, so clause deduplication across disjuncts matters.
+        "Q() :- R(x), S(x, y) ; Q() :- R(x), T(x)",
+        "Q(x) :- R(x), S(x, y) ; Q(x) :- R(x), S(x, 2)",
+        "Q() :- S(1, y) ; Q() :- S(1, y), T(y) ; Q() :- S(x, 1)",
+        // All-constant atoms: ground bodies, present and absent, alone and
+        // joined with variable atoms.
+        "Q() :- S(1, 2)",
+        "Q() :- S(99, 99)",
+        "Q() :- S(1, 2), R(1)",
+        "Q() :- S(1, 2), S(2, 1)",
+        "Q(x) :- R(x), S(2, 2)",
+        "Q() :- R(1), R(1) ; Q() :- S(2, 2)",
     ]
 }
 
@@ -93,6 +122,27 @@ fn sorted_rows(answers: Vec<mv_query::Answer>) -> Vec<Row> {
     let mut rows: Vec<Row> = answers.into_iter().map(|a| a.row).collect();
     rows.sort();
     rows
+}
+
+/// A deterministic seed from the database description, so a CI miss in the
+/// statistical check reproduces on re-run instead of flaking.
+fn content_seed(desc: &RandomDb) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: i64| {
+        h ^= v as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &x in &desc.r_rows {
+        mix(x);
+    }
+    for &(x, y) in &desc.s_rows {
+        mix(x);
+        mix(y);
+    }
+    for &y in &desc.t_rows {
+        mix(y);
+    }
+    h
 }
 
 proptest! {
@@ -103,6 +153,13 @@ proptest! {
         let indb = build(&desc);
         let db = indb.database();
         let ctx = EvalContext::new(db);
+        let approx_config = ApproxConfig {
+            seed: content_seed(&desc),
+            confidence: 0.9999,
+            target_half_width: 0.0,
+            max_samples: 4_096,
+            ..ApproxConfig::default()
+        };
         for text in queries() {
             let q = parse_ucq(text).unwrap();
 
@@ -116,6 +173,19 @@ proptest! {
                 let lin_compiled = lineage_with(&q, &indb, &ctx).unwrap();
                 let lin_legacy = lineage_legacy_with(&q, &indb, &ctx).unwrap();
                 prop_assert_eq!(&lin_compiled, &lin_legacy, "lineage diverges on {}", text);
+
+                // The Monte Carlo estimator agrees statistically: the exact
+                // (brute-force) probability falls inside its 99.99% CI. The
+                // generous-margin fallback keeps the expected false-alarm
+                // rate of the whole suite far below one in a million runs.
+                let exact = brute_force_lineage_probability(&lin_compiled, &indb);
+                let approx = approx_lineage_probability(&lin_compiled, &indb, &approx_config)
+                    .unwrap();
+                prop_assert!(
+                    approx.contains(exact) || (approx.estimate - exact).abs() < 0.06,
+                    "approx diverges on {}: CI [{}, {}] vs exact {}",
+                    text, approx.lower(), approx.upper(), exact
+                );
             } else {
                 // Per-answer lineages agree exactly, including the key set.
                 let per_compiled = answer_lineages(&q, &indb).unwrap();

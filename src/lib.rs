@@ -55,7 +55,8 @@ pub use mv_query as query;
 /// Convenience re-exports of the most frequently used types.
 pub mod prelude {
     pub use mv_core::backend::{
-        Backend, BruteForce, EvalContext, MvIndexBackend, ObddPerQuery, SafePlan, Shannon,
+        ApproxAnswer, ApproxConfig, Backend, BruteForce, EvalContext, IntervalMethod, MonteCarlo,
+        MonteCarloParams, MvIndexBackend, ObddPerQuery, SafePlan, Shannon,
     };
     pub use mv_core::{
         EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, MvdbSession, TranslatedIndb,

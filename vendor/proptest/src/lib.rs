@@ -29,14 +29,27 @@ pub mod test_runner {
 
     impl ProptestConfig {
         /// A config running `cases` random cases per property.
+        ///
+        /// As in the real `proptest`, the `PROPTEST_CASES` environment
+        /// variable can raise the count: the effective number of cases is
+        /// `max(cases, PROPTEST_CASES)`, so nightly-style CI jobs can deepen
+        /// every suite at once without touching the per-suite settings
+        /// (which act as minima, not exact counts).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: cases.max(Self::env_cases().unwrap_or(0)),
+            }
+        }
+
+        /// The `PROPTEST_CASES` override, if set and parseable.
+        fn env_cases() -> Option<u32> {
+            std::env::var("PROPTEST_CASES").ok()?.parse().ok()
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            Self::with_cases(64)
         }
     }
 
