@@ -1,0 +1,139 @@
+//! Microbenchmarks of the vectorized batch executor: CSR-indexed
+//! batch-at-a-time plans with per-block zone maps versus the
+//! tuple-at-a-time compiled plan loop (the PR-4 path, kept as the exact
+//! oracle), on the Figure 5/6 DBLP workload.
+//!
+//! Three phases, each measured for both executors:
+//!
+//! * `lineage_w` — lineage of the translated helper query `W` (the
+//!   `Advisor` self-join whose satisfying assignments dominate the offline
+//!   phase, Figure 4);
+//! * `lineage_workload` — Boolean lineage of the workload queries;
+//! * `answers_workload` — distinct-answer enumeration of the non-Boolean
+//!   workload queries plus the selection-shaped zone-map probes.
+//!
+//! The scale is small so `cargo bench --bench query_vectorized` doubles as
+//! a CI smoke run; the `figures microbench` subcommand runs the full scale
+//! and records the speedups (and the zone-map/CSR work counters) in
+//! `BENCH_figures.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mv_bench::{dataset_v1v2, query_eval_workload, query_filter_workload};
+use mv_core::TranslatedIndb;
+use mv_query::eval::{evaluate_ucq_compiled_with, evaluate_ucq_with, EvalContext};
+use mv_query::lineage::{lineage_compiled_with, lineage_with};
+use mv_query::Ucq;
+
+const NUM_AUTHORS: usize = 400;
+const NUM_QUERIES: usize = 3;
+
+struct Setup {
+    translated: TranslatedIndb,
+    answer_queries: Vec<Ucq>,
+}
+
+fn setup() -> Setup {
+    let data = dataset_v1v2(NUM_AUTHORS);
+    let translated = TranslatedIndb::new(&data.mvdb).expect("translates");
+    let mut answer_queries = query_eval_workload(&data, NUM_QUERIES);
+    answer_queries.extend(query_filter_workload(&data, NUM_QUERIES));
+    Setup {
+        translated,
+        answer_queries,
+    }
+}
+
+fn lineage_w_bench(c: &mut Criterion) {
+    let s = setup();
+    let indb = s.translated.indb();
+    let w = s.translated.w().expect("W exists").clone();
+    let mut group = c.benchmark_group("query_vectorized_lineage_w");
+    group.sample_size(10);
+    let vectorized_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("vectorized", NUM_AUTHORS),
+        &NUM_AUTHORS,
+        |b, _| b.iter(|| lineage_with(&w, indb, &vectorized_ctx).expect("lineage")),
+    );
+    let compiled_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", NUM_AUTHORS),
+        &NUM_AUTHORS,
+        |b, _| b.iter(|| lineage_compiled_with(&w, indb, &compiled_ctx).expect("lineage")),
+    );
+    group.finish();
+}
+
+fn lineage_workload_bench(c: &mut Criterion) {
+    let s = setup();
+    let indb = s.translated.indb();
+    let boolean: Vec<Ucq> = s.answer_queries.iter().map(|q| q.boolean()).collect();
+    let mut group = c.benchmark_group("query_vectorized_lineage_workload");
+    group.sample_size(20);
+    let vectorized_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("vectorized", boolean.len()),
+        &boolean,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = lineage_with(q, indb, &vectorized_ctx).expect("lineage");
+                }
+            })
+        },
+    );
+    let compiled_ctx = EvalContext::new(indb.database());
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", boolean.len()),
+        &boolean,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = lineage_compiled_with(q, indb, &compiled_ctx).expect("lineage");
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+fn answers_workload_bench(c: &mut Criterion) {
+    let s = setup();
+    let db = s.translated.indb().database();
+    let mut group = c.benchmark_group("query_vectorized_answers_workload");
+    group.sample_size(20);
+    let vectorized_ctx = EvalContext::new(db);
+    group.bench_with_input(
+        BenchmarkId::new("vectorized", s.answer_queries.len()),
+        &s.answer_queries,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = evaluate_ucq_with(q, &vectorized_ctx).expect("answers");
+                }
+            })
+        },
+    );
+    let compiled_ctx = EvalContext::new(db);
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan", s.answer_queries.len()),
+        &s.answer_queries,
+        |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    let _ = evaluate_ucq_compiled_with(q, &compiled_ctx).expect("answers");
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lineage_w_bench,
+    lineage_workload_bench,
+    answers_workload_bench
+);
+criterion_main!(benches);

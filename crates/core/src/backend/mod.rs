@@ -170,6 +170,20 @@ impl<'a> EvalContext<'a> {
         self.query_manager_stats() + index
     }
 
+    /// Shape statistics of every query plan compiled through this context
+    /// (disjuncts, scan/probe steps, slots).
+    pub fn query_plan_stats(&self) -> mv_query::PlanStats {
+        self.query_ctx.plan_stats()
+    }
+
+    /// Counters of the vectorized batch executor accumulated on this
+    /// context: zone-map blocks scanned and skipped, CSR probes, batches.
+    /// Every lineage and answer computation made through this context —
+    /// including the `W`-lineage join — contributes.
+    pub fn query_exec_stats(&self) -> mv_query::ExecStats {
+        self.query_ctx.exec_stats()
+    }
+
     /// Computes a scalar once per context under a caller-chosen key
     /// (backends use it to cache their answer-independent `P0(W)` across
     /// the per-answer loop of [`Backend::answers`]).

@@ -48,7 +48,7 @@ pub use backend::{
 pub use engine::MvdbEngine;
 pub use error::CoreError;
 pub use mvdb::{Mvdb, MvdbBuilder};
-pub use session::MvdbSession;
+pub use session::{MvdbSession, QueryStats};
 pub use translate::TranslatedIndb;
 pub use view::{MarkoView, WeightExpr};
 

@@ -25,11 +25,33 @@
 
 use mv_obdd::ManagerStats;
 use mv_query::approx::{derive_seed, ApproxAccumulator, ApproxAnswer, ApproxConfig};
-use mv_query::Ucq;
+use mv_query::{ExecStats, PlanStats, Ucq};
 
 use crate::backend::{Backend, EngineBackend, EvalContext, MonteCarlo};
 use crate::engine::MvdbEngine;
 use crate::Result;
+
+/// Query-layer counters of one session batch: the shape of every compiled
+/// plan plus the vectorized executor's behaviour (zone-map blocks scanned
+/// and skipped, CSR probes, batches). Summed over every worker context, so
+/// skipping effectiveness is visible at `threads > 1` too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Shape statistics of the plans compiled by the batch's contexts.
+    pub plan: PlanStats,
+    /// Vectorized-executor counters accumulated by the batch's contexts.
+    pub exec: ExecStats,
+}
+
+impl std::ops::Add for QueryStats {
+    type Output = QueryStats;
+    fn add(self, rhs: QueryStats) -> QueryStats {
+        QueryStats {
+            plan: self.plan + rhs.plan,
+            exec: self.exec + rhs.exec,
+        }
+    }
+}
 
 /// A batch-evaluation session over a compiled [`MvdbEngine`].
 #[derive(Debug)]
@@ -37,6 +59,7 @@ pub struct MvdbSession<'e> {
     engine: &'e MvdbEngine,
     threads: usize,
     stats: std::cell::Cell<ManagerStats>,
+    query_stats: std::cell::Cell<QueryStats>,
 }
 
 impl<'e> MvdbSession<'e> {
@@ -45,6 +68,7 @@ impl<'e> MvdbSession<'e> {
             engine,
             threads: 1,
             stats: std::cell::Cell::new(ManagerStats::default()),
+            query_stats: std::cell::Cell::new(QueryStats::default()),
         }
     }
 
@@ -73,6 +97,13 @@ impl<'e> MvdbSession<'e> {
     /// largest single arena touched. Zero before the first batch.
     pub fn last_manager_stats(&self) -> ManagerStats {
         self.stats.get()
+    }
+
+    /// Query-layer counters of the most recent batch: plan shapes plus the
+    /// vectorized executor's zone-map skipping and CSR-probe counters,
+    /// summed over every worker's context. Zero before the first batch.
+    pub fn last_query_stats(&self) -> QueryStats {
+        self.query_stats.get()
     }
 
     /// Evaluates every query's Boolean probability with the engine's default
@@ -109,6 +140,10 @@ impl<'e> MvdbSession<'e> {
         }
         let index_delta = self.engine.index().manager_stats().since(&index_before);
         self.stats.set(ctx.query_manager_stats() + index_delta);
+        self.query_stats.set(QueryStats {
+            plan: ctx.query_plan_stats(),
+            exec: ctx.query_exec_stats(),
+        });
         Ok(out)
     }
 
@@ -236,6 +271,7 @@ impl<'e> MvdbSession<'e> {
         let index_before = self.engine.index().manager_stats();
         let mut results: Vec<Option<Result<f64>>> = (0..queries.len()).map(|_| None).collect();
         let mut stats: Vec<ManagerStats> = Vec::with_capacity(workers);
+        let mut query_stats: Vec<QueryStats> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let engine = self.engine;
             // Striped (round-robin) assignment: worker `w` evaluates queries
@@ -256,21 +292,31 @@ impl<'e> MvdbSession<'e> {
                             .collect();
                         // Only this worker's shard; the shared index
                         // manager's stats are added once below.
-                        (stripe, ctx.query_manager_stats())
+                        let worker_query_stats = QueryStats {
+                            plan: ctx.query_plan_stats(),
+                            exec: ctx.query_exec_stats(),
+                        };
+                        (stripe, ctx.query_manager_stats(), worker_query_stats)
                     })
                 })
                 .collect();
             for (w, handle) in handles.into_iter().enumerate() {
-                let (stripe, stat) = handle.join().expect("session worker panicked");
+                let (stripe, stat, query_stat) = handle.join().expect("session worker panicked");
                 for (j, value) in stripe.into_iter().enumerate() {
                     results[w + j * workers] = Some(value);
                 }
                 stats.push(stat);
+                query_stats.push(query_stat);
             }
         });
         let shard_total: ManagerStats = stats.into_iter().sum();
         let index_delta = self.engine.index().manager_stats().since(&index_before);
         self.stats.set(shard_total + index_delta);
+        self.query_stats.set(
+            query_stats
+                .into_iter()
+                .fold(QueryStats::default(), |a, b| a + b),
+        );
         results
             .into_iter()
             .map(|slot| slot.expect("every query slot is filled"))
@@ -368,6 +414,27 @@ mod tests {
         assert!(stats.nodes_allocated > 0);
         assert!(stats.peak_nodes > 0);
         assert!(stats.unique_hits + stats.unique_misses > 0);
+    }
+
+    #[test]
+    fn sessions_expose_query_stats_at_any_thread_count() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        for threads in [1, 2, 4] {
+            let session = engine.session().with_threads(threads);
+            assert_eq!(session.last_query_stats(), QueryStats::default());
+            session.probabilities(&queries).unwrap();
+            let stats = session.last_query_stats();
+            // Every worker compiled plans and drove the vectorized executor:
+            // the workload's joins probe CSR indexes and its scans touch
+            // zone-map blocks.
+            assert!(stats.plan.disjuncts > 0, "{threads} threads");
+            assert!(stats.plan.steps > 0, "{threads} threads");
+            assert!(stats.exec.csr_probe_steps > 0, "{threads} threads");
+            assert!(stats.exec.blocks_scanned > 0, "{threads} threads");
+            assert!(stats.exec.batches > 0, "{threads} threads");
+        }
     }
 
     #[test]

@@ -57,9 +57,18 @@ pub struct InDb {
     deterministic: Vec<bool>,
     tuples: Vec<PossibleTuple>,
     by_row: HashMap<(RelId, usize), TupleId>,
+    /// Dense per-relation tuple-id columns: `tuple_ids[rel][row_index]` is
+    /// the raw id of the probabilistic row, or [`InDb::NO_TUPLE_ID`] for
+    /// deterministic rows. Built once at [`InDbBuilder::build`]; the hot
+    /// clause-collection loop of `mv-query` reads these instead of hashing
+    /// `(rel, row_index)` pairs per match.
+    tuple_ids: Vec<Vec<u32>>,
 }
 
 impl InDb {
+    /// Sentinel in [`InDb::tuple_id_column`] marking a row without a Boolean
+    /// variable (a deterministic row).
+    pub const NO_TUPLE_ID: u32 = u32::MAX;
     /// The deterministic instance `I_poss` containing every possible tuple.
     pub fn database(&self) -> &Database {
         &self.database
@@ -108,6 +117,14 @@ impl InDb {
         self.by_row.get(&(rel, row_index)).copied()
     }
 
+    /// The dense tuple-id column of one relation, aligned with its row
+    /// indices: entry `i` is `tuple_id(rel, i).map(|t| t.0)` with
+    /// [`InDb::NO_TUPLE_ID`] standing in for `None` — an array load instead
+    /// of a hash lookup on the per-match lineage path.
+    pub fn tuple_id_column(&self, rel: RelId) -> &[u32] {
+        &self.tuple_ids[rel.index()]
+    }
+
     /// The tuple id of a probabilistic row identified by its values.
     pub fn tuple_id_by_values(&self, rel: RelId, row: &[Value]) -> Option<TupleId> {
         let idx = self.database.relation(rel).position(row)?;
@@ -131,7 +148,20 @@ impl InDb {
     /// Materialises one possible world as a deterministic [`Database`]:
     /// all deterministic rows plus the probabilistic rows present in `mask`
     /// (bit `i` of the mask corresponds to `TupleId(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database has more than 64 probabilistic tuples: a
+    /// `u64` mask cannot address `TupleId(64)` and beyond (`1 << 64` would
+    /// silently wrap, folding distinct worlds onto each other). Databases of
+    /// any size go through [`InDb::materialize_world_where`].
     pub fn materialize_world(&self, mask: u64) -> Database {
+        assert!(
+            self.num_tuples() <= 64,
+            "a u64 world mask addresses at most 64 tuples ({} present); \
+             use materialize_world_where for larger databases",
+            self.num_tuples()
+        );
         self.materialize_world_where(|id| mask & (1u64 << id.0) != 0)
     }
 
@@ -172,7 +202,17 @@ impl InDb {
     ///
     /// Valid for negative probabilities as well (the products are simply
     /// signed numbers; Section 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database has more than 64 probabilistic tuples — the
+    /// same `u64`-mask addressing limit as [`InDb::materialize_world`].
     pub fn world_probability(&self, mask: u64) -> f64 {
+        assert!(
+            self.num_tuples() <= 64,
+            "a u64 world mask addresses at most 64 tuples ({} present)",
+            self.num_tuples()
+        );
         let mut p = 1.0;
         for (id, t) in self.tuples() {
             let pt = t.weight.probability();
@@ -281,11 +321,26 @@ impl InDbBuilder {
 
     /// Finishes the build.
     pub fn build(self) -> InDb {
+        debug_assert!(
+            (self.tuples.len() as u64) < u64::from(InDb::NO_TUPLE_ID),
+            "tuple-id space exhausted"
+        );
+        // Freeze the dense per-relation tuple-id columns.
+        let mut tuple_ids: Vec<Vec<u32>> = self
+            .database
+            .schema()
+            .relations()
+            .map(|(rel, _)| vec![InDb::NO_TUPLE_ID; self.database.relation(rel).len()])
+            .collect();
+        for (&(rel, row_index), &id) in &self.by_row {
+            tuple_ids[rel.index()][row_index] = id.0;
+        }
         InDb {
             database: self.database,
             deterministic: self.deterministic,
             tuples: self.tuples,
             by_row: self.by_row,
+            tuple_ids,
         }
     }
 }
@@ -395,5 +450,59 @@ mod tests {
         let mut b = InDbBuilder::new();
         let r = b.probabilistic_relation("R", &["x"]).unwrap();
         let _ = b.insert_fact(r, row(["a"]));
+    }
+
+    /// 65 probabilistic tuples: one more than a u64 mask can address.
+    fn sixty_five_tuple_db() -> InDb {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        for i in 0..65i64 {
+            b.insert_weighted(r, row([i]), Weight::ONE).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 tuples")]
+    fn materialize_world_rejects_databases_beyond_the_mask_width() {
+        // Regression: `1u64 << 64` used to wrap silently, so TupleId(64)
+        // aliased TupleId(0) and the materialised world was wrong.
+        let db = sixty_five_tuple_db();
+        let _ = db.materialize_world(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 tuples")]
+    fn world_probability_rejects_databases_beyond_the_mask_width() {
+        let db = sixty_five_tuple_db();
+        let _ = db.world_probability(0);
+    }
+
+    #[test]
+    fn oversized_databases_still_materialize_through_the_predicate_api() {
+        let db = sixty_five_tuple_db();
+        let r = db.schema().relation_id("R").unwrap();
+        let world = db.materialize_world_where(|id| id.0 >= 64);
+        assert_eq!(world.rows(r).len(), 1);
+        assert_eq!(world.rows(r)[0], row([64i64]));
+    }
+
+    #[test]
+    fn tuple_id_columns_mirror_the_by_row_map() {
+        let mut b = InDbBuilder::new();
+        let d = b.deterministic_relation("D", &["x"]).unwrap();
+        let r = b.probabilistic_relation("R", &["x"]).unwrap();
+        b.insert_fact(d, row(["c"])).unwrap();
+        b.insert_weighted(r, row(["a"]), Weight::ONE).unwrap();
+        b.insert_weighted(r, row(["b"]), Weight::ONE).unwrap();
+        let db = b.build();
+        assert_eq!(db.tuple_id_column(d), &[InDb::NO_TUPLE_ID]);
+        assert_eq!(db.tuple_id_column(r).len(), 2);
+        for (rel, _) in db.schema().relations() {
+            for (i, &raw) in db.tuple_id_column(rel).iter().enumerate() {
+                let expected = db.tuple_id(rel, i).map(|t| t.0);
+                assert_eq!(raw, expected.unwrap_or(InDb::NO_TUPLE_ID));
+            }
+        }
     }
 }

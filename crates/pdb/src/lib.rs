@@ -34,6 +34,7 @@ pub mod schema;
 pub mod value;
 pub mod weight;
 pub mod worlds;
+pub mod zonemap;
 
 pub use database::Database;
 pub use error::PdbError;
@@ -44,6 +45,7 @@ pub use schema::{RelId, RelationSchema, Schema};
 pub use value::{Row, Value};
 pub use weight::Weight;
 pub use worlds::{PossibleWorld, WorldIter};
+pub use zonemap::{ColumnZone, RelationZones, ZONE_BLOCK_ROWS};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, PdbError>;

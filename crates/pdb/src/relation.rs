@@ -99,6 +99,12 @@ impl Relation {
         self.columns[column][row]
     }
 
+    /// Number of dictionary-encoded columns (zero until the first non-empty
+    /// row is inserted — the columnar store is sized lazily).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -114,13 +120,46 @@ impl Relation {
         self.rows.iter().enumerate()
     }
 
+    /// The distinct dictionary codes appearing in the given column, in
+    /// first-appearance (row) order. Deduplication happens on the integer
+    /// codes — no `Value` is hashed or cloned. Empty when the column has no
+    /// codes (zero-arity or out-of-range columns).
+    pub fn distinct_codes(&self, column: usize) -> Vec<u32> {
+        let codes = self.column_codes(column);
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &code in codes {
+            if seen.insert(code) {
+                out.push(code);
+            }
+        }
+        out
+    }
+
     /// All distinct values appearing in the given column, in row order.
+    ///
+    /// Deduplicates on the dictionary codes ([`Relation::distinct_codes`])
+    /// and clones only the surviving values; the slow `Value`-hashing path
+    /// remains only for columns without a code array (zero-arity relations).
     pub fn column_values(&self, column: usize) -> Vec<Value> {
+        let codes = self.column_codes(column);
+        if codes.len() == self.rows.len() && !self.rows.is_empty() {
+            let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for (i, &code) in codes.iter().enumerate() {
+                if seen.insert(code) {
+                    out.push(self.rows[i][column].clone());
+                }
+            }
+            return out;
+        }
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for r in &self.rows {
-            if seen.insert(r[column].clone()) {
-                out.push(r[column].clone());
+            if let Some(v) = r.get(column) {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
             }
         }
         out

@@ -23,16 +23,18 @@
 //! the MV-index compilation driver, the `mv-core` backends and the batch
 //! sessions all rely on.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::ops::ControlFlow;
 use std::rc::Rc;
 
 use fxhash::FxHashMap;
+use mv_pdb::zonemap::RelationZones;
 use mv_pdb::{Database, RelId, Row, Value};
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, Ucq};
 use crate::error::QueryError;
 use crate::plan::{CodeIndex, CompiledUcq, PlanStats};
+use crate::vec_exec::{CsrIndex, ExecStats, PairIndex, VecCompiledUcq};
 use crate::Result;
 
 /// One answer of a non-Boolean query.
@@ -72,6 +74,19 @@ pub struct EvalContext<'a> {
     code_indexes: RefCell<FxHashMap<(RelId, usize), Rc<CodeIndex>>>,
     /// Compiled plans, keyed by the query's canonical text.
     plans: RefCell<FxHashMap<String, Rc<CompiledUcq>>>,
+    /// Vectorized plans lowered from the compiled plans (same cache key).
+    vec_plans: RefCell<FxHashMap<String, Rc<VecCompiledUcq>>>,
+    /// CSR join indexes of the vectorized executor, shared across plans.
+    csr_indexes: RefCell<FxHashMap<(RelId, usize), Rc<CsrIndex>>>,
+
+    pair_indexes: RefCell<FxHashMap<(RelId, usize, usize), Rc<PairIndex>>>,
+    /// Per-relation zone maps consulted for block skipping.
+    zone_maps: RefCell<FxHashMap<RelId, Rc<RelationZones>>>,
+    /// Distinct-code counts per `(rel, column)` — the probe-key selectivity
+    /// estimate of the vectorized lowering.
+    distinct_counts: RefCell<FxHashMap<(RelId, usize), usize>>,
+    /// Executor counters accumulated across every vectorized run.
+    exec: Cell<ExecStats>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -82,6 +97,12 @@ impl<'a> EvalContext<'a> {
             indexes: RefCell::new(FxHashMap::default()),
             code_indexes: RefCell::new(FxHashMap::default()),
             plans: RefCell::new(FxHashMap::default()),
+            vec_plans: RefCell::new(FxHashMap::default()),
+            csr_indexes: RefCell::new(FxHashMap::default()),
+            pair_indexes: RefCell::new(FxHashMap::default()),
+            zone_maps: RefCell::new(FxHashMap::default()),
+            distinct_counts: RefCell::new(FxHashMap::default()),
+            exec: Cell::new(ExecStats::default()),
         }
     }
 
@@ -117,6 +138,88 @@ impl<'a> EvalContext<'a> {
             .values()
             .map(|p| p.stats())
             .fold(PlanStats::default(), |a, b| a + b)
+    }
+
+    /// Lowers `ucq` into a vectorized plan (compiling it first if needed),
+    /// or returns the cached lowering. Shares the compiled-plan cache key.
+    pub fn compile_vec(&self, ucq: &Ucq) -> Result<Rc<VecCompiledUcq>> {
+        let key = ucq.to_string();
+        if let Some(plan) = self.vec_plans.borrow().get(&key) {
+            return Ok(Rc::clone(plan));
+        }
+        let base = self.compile(ucq)?;
+        let plan = Rc::new(VecCompiledUcq::lower(&base, self));
+        self.vec_plans.borrow_mut().insert(key, Rc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The shared CSR join index of `(rel, column)`, flattened from the
+    /// dictionary-encoded column on first use.
+    pub(crate) fn csr_index(&self, rel: RelId, column: usize) -> Rc<CsrIndex> {
+        if let Some(index) = self.csr_indexes.borrow().get(&(rel, column)) {
+            return Rc::clone(index);
+        }
+        let index = Rc::new(CsrIndex::build(self.db.relation(rel).column_codes(column)));
+        self.csr_indexes
+            .borrow_mut()
+            .insert((rel, column), Rc::clone(&index));
+        index
+    }
+
+    /// The shared composite join index of `(rel, col_a, col_b)`, built on
+    /// first use for probe steps that arrive with both columns bound.
+    pub(crate) fn pair_index(&self, rel: RelId, col_a: usize, col_b: usize) -> Rc<PairIndex> {
+        if let Some(index) = self.pair_indexes.borrow().get(&(rel, col_a, col_b)) {
+            return Rc::clone(index);
+        }
+        let relation = self.db.relation(rel);
+        let index = Rc::new(PairIndex::build(
+            relation.column_codes(col_a),
+            relation.column_codes(col_b),
+        ));
+        self.pair_indexes
+            .borrow_mut()
+            .insert((rel, col_a, col_b), Rc::clone(&index));
+        index
+    }
+
+    /// Distinct codes in `(rel, column)`, counted once and cached — the
+    /// selectivity score the vectorized lowering ranks candidate probe keys
+    /// by (more distinct codes → shorter expected posting lists).
+    pub(crate) fn distinct_count(&self, rel: RelId, column: usize) -> usize {
+        if let Some(&count) = self.distinct_counts.borrow().get(&(rel, column)) {
+            return count;
+        }
+        let codes = self.db.relation(rel).column_codes(column);
+        let mut seen: fxhash::FxHashSet<u32> = fxhash::FxHashSet::default();
+        seen.reserve(codes.len());
+        seen.extend(codes.iter().copied());
+        let count = seen.len();
+        self.distinct_counts
+            .borrow_mut()
+            .insert((rel, column), count);
+        count
+    }
+
+    /// The shared zone maps of a relation, built on first use.
+    pub(crate) fn zone_map(&self, rel: RelId) -> Rc<RelationZones> {
+        if let Some(zones) = self.zone_maps.borrow().get(&rel) {
+            return Rc::clone(zones);
+        }
+        let zones = Rc::new(RelationZones::build(self.db.relation(rel)));
+        self.zone_maps.borrow_mut().insert(rel, Rc::clone(&zones));
+        zones
+    }
+
+    /// Executor counters accumulated across every vectorized run on this
+    /// context (block skipping, CSR probes, batches).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.get()
+    }
+
+    /// Folds one run's counters into the context totals.
+    pub(crate) fn record_exec(&self, stats: ExecStats) {
+        self.exec.set(self.exec.get() + stats);
     }
 
     /// The shared code index of `(rel, column)`, built in one pass over the
@@ -432,8 +535,47 @@ pub fn evaluate_ucq(ucq: &Ucq, db: &Database) -> Result<Vec<Answer>> {
 }
 
 /// Like [`evaluate_ucq`] but reuses an existing [`EvalContext`] (and hence
-/// its compiled-plan and index caches).
+/// its compiled-plan, lowered-plan and index caches).
+///
+/// This is the vectorized production path: each disjunct's batch plan is
+/// driven batch-at-a-time, answers are deduplicated on raw head codes
+/// before any `Value` is decoded (exact — the interner is bijective), and
+/// only the per-disjunct-distinct survivors reach the global row set. The
+/// tuple-at-a-time plan loop remains available as
+/// [`evaluate_ucq_compiled_with`] (the exact-equality oracle).
 pub fn evaluate_ucq_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
+    let plan = ctx.compile_vec(ucq)?;
+    let db = ctx.database();
+    let interner = db.interner();
+    let mut stats = crate::vec_exec::ExecStats::default();
+    let mut seen = fxhash::FxHashSet::default();
+    let mut answers = Vec::new();
+    for disjunct in plan.disjuncts() {
+        let head_slots = disjunct.head_slots();
+        let mut code_seen: fxhash::FxHashSet<Vec<u32>> = fxhash::FxHashSet::default();
+        disjunct.for_each_batch::<()>(db, &mut stats, |batch| {
+            for entry in 0..batch.len() {
+                let regs = batch.regs(entry);
+                let key: Vec<u32> = head_slots.iter().map(|&s| regs[usize::from(s)]).collect();
+                if !code_seen.insert(key) {
+                    continue;
+                }
+                let row = disjunct.decode_head(regs, interner);
+                if seen.insert(row.clone()) {
+                    answers.push(Answer { row });
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    ctx.record_exec(stats);
+    Ok(answers)
+}
+
+/// [`evaluate_ucq`] through the tuple-at-a-time compiled plan loop — the
+/// PR-4 path, preserved as the exact-equality oracle for the vectorized
+/// executor (and as the baseline of the `query_vectorized` microbenchmark).
+pub fn evaluate_ucq_compiled_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<Vec<Answer>> {
     let plan = ctx.compile(ucq)?;
     let db = ctx.database();
     let interner = db.interner();
@@ -481,21 +623,29 @@ pub fn evaluate_boolean(ucq: &Ucq, db: &Database) -> Result<bool> {
     evaluate_boolean_with(ucq, &ctx)
 }
 
-/// Like [`evaluate_boolean`] but reuses an existing [`EvalContext`].
+/// Like [`evaluate_boolean`] but reuses an existing [`EvalContext`]. Runs
+/// the vectorized executor, stopping at the first complete batch (which
+/// the executor emits as soon as any match exists).
 pub fn evaluate_boolean_with(ucq: &Ucq, ctx: &EvalContext<'_>) -> Result<bool> {
     for disjunct in &ucq.disjuncts {
         if !disjunct.is_boolean() {
             return Err(QueryError::NotBoolean(disjunct.name.clone()));
         }
     }
-    let plan = ctx.compile(ucq)?;
+    let plan = ctx.compile_vec(ucq)?;
+    let mut stats = crate::vec_exec::ExecStats::default();
+    let mut hit = false;
     for disjunct in plan.disjuncts() {
-        let hit = disjunct.for_each_match(ctx.database(), |_, _| ControlFlow::Break(()));
-        if hit.is_some() {
-            return Ok(true);
+        if disjunct
+            .for_each_batch(ctx.database(), &mut stats, |_| ControlFlow::Break(()))
+            .is_some()
+        {
+            hit = true;
+            break;
         }
     }
-    Ok(false)
+    ctx.record_exec(stats);
+    Ok(hit)
 }
 
 #[cfg(test)]

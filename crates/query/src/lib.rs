@@ -14,6 +14,12 @@
 //! * [`plan`] — the compile→execute split: slot-based physical plans over
 //!   the dictionary-encoded columnar store (static atom order, scan/probe
 //!   access paths, register files of `u32` codes, iterative operator loop).
+//! * [`vec_exec`] — the vectorized batch executor the production entry
+//!   points run: fixed-size batches of partial matches over the code
+//!   columns, CSR join indexes with a spill-aware hybrid hash fallback,
+//!   and zone-map block skipping driven by the plan's interned constants
+//!   and join-key bounds. The tuple-at-a-time plan loop stays as the
+//!   exact-equality oracle.
 //! * [`lineage`] — lineage computation: the Boolean provenance formula
 //!   `Φ_Q` of a Boolean query over an [`mv_pdb::InDb`], in DNF over
 //!   [`mv_pdb::TupleId`] variables.
@@ -46,6 +52,7 @@ pub mod plan;
 pub mod rewrite;
 pub mod safe_plan;
 pub mod shannon;
+pub mod vec_exec;
 
 pub use analysis::QueryAnalysis;
 pub use approx::{
@@ -61,6 +68,7 @@ pub use plan::{CompiledUcq, PhysicalPlan, PlanStats};
 pub use rewrite::{separator_domain, simplify_cq, SimplifiedCq};
 pub use safe_plan::{safe_probability, SafePlanError};
 pub use shannon::{shannon_probability, shannon_query_probability_with};
+pub use vec_exec::{CsrIndex, ExecStats, VecCompiledUcq, BATCH_ROWS};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -22,6 +22,7 @@ use mv_pdb::{InDb, Row, TupleId};
 use crate::ast::{Term, Ucq};
 use crate::error::QueryError;
 use crate::eval::{for_each_match, EvalContext};
+use crate::vec_exec::ExecStats;
 use crate::Result;
 
 /// One clause of a DNF lineage: a conjunction of tuple variables, kept sorted
@@ -147,10 +148,73 @@ impl Lineage {
     }
 }
 
-/// Collects the clauses of one Boolean UCQ through the compiled matcher,
-/// deduplicating as it goes. Returns `None` when an empty clause was found
-/// (the lineage is certainly `true`, so enumeration stopped early).
+/// Collects the clauses of one Boolean UCQ through the vectorized batch
+/// executor, deduplicating as it goes. Returns `None` when an empty clause
+/// was found (the lineage is certainly `true`, so enumeration stopped
+/// early).
+///
+/// The per-batch loop builds each clause in a reusable buffer from the
+/// dense tuple-id columns of the [`InDb`] (an array load per matched atom,
+/// no hash lookup) and only clones the buffer into the set when the clause
+/// is new — on the symmetric self-joins of the MarkoView workloads roughly
+/// half the matches produce a clause already seen.
 fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Option<Vec<Clause>>> {
+    for disjunct in &ucq.disjuncts {
+        if !disjunct.is_boolean() {
+            return Err(QueryError::NotBoolean(disjunct.name.clone()));
+        }
+    }
+    let plan = ctx.compile_vec(ucq)?;
+    let db = ctx.database();
+    let mut stats = ExecStats::default();
+    // The set is the only store: clauses are moved in (duplicates are
+    // dropped without ever being cloned) and moved out at the end.
+    let mut seen: FxHashSet<Clause> = FxHashSet::default();
+    let mut buf: Clause = Vec::new();
+    for disjunct in plan.disjuncts() {
+        let tid_cols: Vec<&[u32]> = disjunct
+            .atom_rels()
+            .iter()
+            .map(|&rel| indb.tuple_id_column(rel))
+            .collect();
+        let certainly_true = disjunct.for_each_batch(db, &mut stats, |batch| {
+            for entry in 0..batch.len() {
+                buf.clear();
+                for (atom, &row) in batch.atom_rows(entry).iter().enumerate() {
+                    let raw = tid_cols[atom][row as usize];
+                    if raw != InDb::NO_TUPLE_ID {
+                        buf.push(TupleId(raw));
+                    }
+                }
+                buf.sort_unstable();
+                buf.dedup();
+                if buf.is_empty() {
+                    // A match over deterministic tuples alone: Φ is `true`
+                    // and absorbs every other clause — stop enumerating.
+                    return ControlFlow::Break(());
+                }
+                if !seen.contains(buf.as_slice()) {
+                    seen.insert(buf.clone());
+                }
+            }
+            ControlFlow::Continue(())
+        });
+        if certainly_true.is_some() {
+            ctx.record_exec(stats);
+            return Ok(None);
+        }
+    }
+    ctx.record_exec(stats);
+    Ok(Some(seen.into_iter().collect()))
+}
+
+/// [`collect_clauses`] through the tuple-at-a-time compiled plan loop —
+/// the PR-4 path, preserved as the exact-equality oracle.
+fn collect_clauses_compiled(
+    ucq: &Ucq,
+    indb: &InDb,
+    ctx: &EvalContext<'_>,
+) -> Result<Option<Vec<Clause>>> {
     for disjunct in &ucq.disjuncts {
         if !disjunct.is_boolean() {
             return Err(QueryError::NotBoolean(disjunct.name.clone()));
@@ -158,8 +222,6 @@ fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Opti
     }
     let plan = ctx.compile(ucq)?;
     let db = ctx.database();
-    // The set is the only store: clauses are moved in (duplicates are
-    // dropped without ever being cloned) and moved out at the end.
     let mut seen: FxHashSet<Clause> = FxHashSet::default();
     for disjunct in plan.disjuncts() {
         let certainly_true = disjunct.for_each_match(db, |_, matched| {
@@ -170,8 +232,6 @@ fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Opti
             clause.sort_unstable();
             clause.dedup();
             if clause.is_empty() {
-                // A match over deterministic tuples alone: Φ is `true` and
-                // absorbs every other clause — stop enumerating.
                 return ControlFlow::Break(());
             }
             seen.insert(clause);
@@ -198,6 +258,16 @@ pub fn lineage(ucq: &Ucq, indb: &InDb) -> Result<Lineage> {
 /// `indb.database()` (plans are compiled once per context and reused).
 pub fn lineage_with(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Lineage> {
     Ok(match collect_clauses(ucq, indb, ctx)? {
+        None => Lineage::constant_true(),
+        Some(clauses) => Lineage::from_distinct_clauses(clauses),
+    })
+}
+
+/// [`lineage_with`] through the tuple-at-a-time compiled plan loop — the
+/// PR-4 path, kept as the exact-equality oracle for the vectorized
+/// executor (and as the baseline of the `query_vectorized` microbenchmark).
+pub fn lineage_compiled_with(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Lineage> {
+    Ok(match collect_clauses_compiled(ucq, indb, ctx)? {
         None => Lineage::constant_true(),
         Some(clauses) => Lineage::from_distinct_clauses(clauses),
     })
@@ -242,6 +312,56 @@ pub fn answer_lineages(ucq: &Ucq, indb: &InDb) -> Result<BTreeMap<Row, Lineage>>
 /// `indb.database()` — the `mv-core` backends hold one per evaluation
 /// context so the per-answer loop compiles each workload query only once.
 pub fn answer_lineages_with(
+    ucq: &Ucq,
+    indb: &InDb,
+    ctx: &EvalContext<'_>,
+) -> Result<BTreeMap<Row, Lineage>> {
+    let plan = ctx.compile_vec(ucq)?;
+    let db = ctx.database();
+    let interner = db.interner();
+    let mut stats = ExecStats::default();
+    let mut per_answer: BTreeMap<Row, FxHashSet<Clause>> = BTreeMap::new();
+    let mut buf: Clause = Vec::new();
+    for disjunct in plan.disjuncts() {
+        let tid_cols: Vec<&[u32]> = disjunct
+            .atom_rels()
+            .iter()
+            .map(|&rel| indb.tuple_id_column(rel))
+            .collect();
+        disjunct.for_each_batch::<()>(db, &mut stats, |batch| {
+            for entry in 0..batch.len() {
+                let row = disjunct.decode_head(batch.regs(entry), interner);
+                buf.clear();
+                for (atom, &matched_row) in batch.atom_rows(entry).iter().enumerate() {
+                    let raw = tid_cols[atom][matched_row as usize];
+                    if raw != InDb::NO_TUPLE_ID {
+                        buf.push(TupleId(raw));
+                    }
+                }
+                buf.sort_unstable();
+                buf.dedup();
+                let clauses = per_answer.entry(row).or_default();
+                if !clauses.contains(buf.as_slice()) {
+                    clauses.insert(buf.clone());
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    ctx.record_exec(stats);
+    Ok(per_answer
+        .into_iter()
+        .map(|(row, clauses)| {
+            let lineage = Lineage::from_distinct_clauses(clauses.into_iter().collect());
+            (row, lineage)
+        })
+        .collect())
+}
+
+/// [`answer_lineages_with`] through the tuple-at-a-time compiled plan loop
+/// — the PR-4 path, kept as the exact-equality oracle for the vectorized
+/// executor.
+pub fn answer_lineages_compiled_with(
     ucq: &Ucq,
     indb: &InDb,
     ctx: &EvalContext<'_>,

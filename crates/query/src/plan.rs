@@ -58,7 +58,7 @@ pub type CodeIndex = FxHashMap<u32, Vec<u32>>;
 
 /// Where a probe key comes from at runtime.
 #[derive(Debug, Clone, Copy)]
-enum Key {
+pub(crate) enum Key {
     /// A query constant, interned at compile time.
     Const(u32),
     /// A register bound by an earlier step.
@@ -67,17 +67,17 @@ enum Key {
 
 /// How a step enumerates its candidate rows.
 #[derive(Debug, Clone, Copy)]
-enum Access {
+pub(crate) enum Access {
     /// Scan the whole relation (row count frozen at compile time).
     Scan { rows: u32 },
-    /// Probe one shared [`CodeIndex`] with a key.
-    Probe { index: u16, key: Key },
+    /// Probe one shared [`CodeIndex`] (over column `col`) with a key.
+    Probe { index: u16, col: u16, key: Key },
 }
 
 /// One per-column operation applied to a candidate row, in column order.
 /// The probed column is skipped — the index already guarantees equality.
 #[derive(Debug, Clone, Copy)]
-enum ColOp {
+pub(crate) enum ColOp {
     /// First occurrence of a variable: write the row's code into a register.
     Bind { col: u16, slot: u16 },
     /// Later occurrence of a variable: compare codes.
@@ -88,33 +88,33 @@ enum ColOp {
 
 /// One side of a compiled comparison.
 #[derive(Debug, Clone)]
-enum CmpOperand {
+pub(crate) enum CmpOperand {
     Const(Value),
     Slot(u16),
 }
 
 /// A comparison predicate scheduled onto the earliest step that grounds it.
 #[derive(Debug, Clone)]
-struct CompiledCmp {
-    left: CmpOperand,
-    op: CmpOp,
-    right: CmpOperand,
+pub(crate) struct CompiledCmp {
+    pub(crate) left: CmpOperand,
+    pub(crate) op: CmpOp,
+    pub(crate) right: CmpOperand,
 }
 
 /// One join step: candidate enumeration plus unification for one atom.
 #[derive(Debug)]
-struct Step {
+pub(crate) struct Step {
     /// The atom's position in the original query (for the `matched` output).
-    atom: u16,
-    rel: RelId,
-    access: Access,
-    ops: Vec<ColOp>,
-    cmps: Vec<CompiledCmp>,
+    pub(crate) atom: u16,
+    pub(crate) rel: RelId,
+    pub(crate) access: Access,
+    pub(crate) ops: Vec<ColOp>,
+    pub(crate) cmps: Vec<CompiledCmp>,
 }
 
 /// A head term resolved against the slot assignment.
 #[derive(Debug, Clone)]
-enum HeadTerm {
+pub(crate) enum HeadTerm {
     Const(Value),
     Slot(u16),
     /// A head variable no atom binds; only an error if answers are decoded
@@ -158,14 +158,14 @@ impl std::ops::Add for PlanStats {
 /// The physical plan of one conjunctive query.
 #[derive(Debug)]
 pub struct PhysicalPlan {
-    steps: Vec<Step>,
+    pub(crate) steps: Vec<Step>,
     /// The shared column indexes this plan probes ([`Access::Probe::index`]
     /// points into this vector).
-    indexes: Vec<Rc<CodeIndex>>,
-    head: Vec<HeadTerm>,
-    num_slots: usize,
-    num_atoms: usize,
-    never_matches: bool,
+    pub(crate) indexes: Vec<Rc<CodeIndex>>,
+    pub(crate) head: Vec<HeadTerm>,
+    pub(crate) num_slots: usize,
+    pub(crate) num_atoms: usize,
+    pub(crate) never_matches: bool,
 }
 
 /// A compiled UCQ: one [`PhysicalPlan`] per disjunct.
@@ -272,7 +272,11 @@ impl PhysicalPlan {
                             i
                         }
                     };
-                    Access::Probe { index, key }
+                    Access::Probe {
+                        index,
+                        col: col as u16,
+                        key,
+                    }
                 }
                 None => Access::Scan {
                     rows: db.relation(rel).len() as u32,
@@ -448,7 +452,7 @@ impl PhysicalPlan {
     fn candidates(&self, depth: usize, regs: &[u32]) -> StepIter<'_> {
         match self.steps[depth].access {
             Access::Scan { rows } => StepIter::Scan(0..rows),
-            Access::Probe { index, key } => {
+            Access::Probe { index, key, .. } => {
                 let code = match key {
                     Key::Const(c) => c,
                     Key::Slot(s) => regs[usize::from(s)],
@@ -544,7 +548,7 @@ fn compile_operand(term: &Term, slot_of: &FxHashMap<&str, u16>) -> CmpOperand {
 }
 
 #[inline]
-fn resolve_operand<'v>(
+pub(crate) fn resolve_operand<'v>(
     operand: &'v CmpOperand,
     regs: &[u32],
     interner: &'v ValueInterner,

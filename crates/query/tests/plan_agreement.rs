@@ -1,27 +1,35 @@
-//! Compiled-plan / legacy-evaluator agreement.
+//! Vectorized / compiled / legacy evaluator agreement.
 //!
-//! The slot-based physical plans of `mv_query::plan` are the production
-//! evaluator; the String-keyed backtracking evaluator remains as the
-//! independently-implemented oracle. This suite pins their contract over
-//! random databases and a fixed family of queries covering joins, unions,
-//! constants (present and absent), self-joins, repeated variables (within
-//! one atom and across a whole body), atoms shared across disjuncts,
-//! all-constant atoms and every comparison kind: **exact set equality** of
-//! answers and **exact equality** of canonical lineages — not approximate
-//! agreement.
+//! Three independently-implemented evaluators are pinned against each
+//! other over random databases and a fixed family of queries covering
+//! joins, unions, constants (present and absent), self-joins, repeated
+//! variables (within one atom and across a whole body), atoms shared
+//! across disjuncts, all-constant atoms and every comparison kind:
 //!
-//! A third implementation joins the differential loop: the Monte Carlo
-//! estimator of `mv_query::approx`, checked *statistically* — the
-//! brute-force lineage probability must fall inside its high-confidence
-//! interval (seeds are derived from the database content, so any
-//! counterexample is reproducible).
+//! * the **vectorized** batch executor (`mv_query::vec_exec`) behind the
+//!   production entry points — CSR join indexes, zone-map block skipping,
+//!   code-level `=`/`<>` comparisons;
+//! * the **compiled** tuple-at-a-time plan loop (`*_compiled_with`), the
+//!   PR-4 production path kept as the exact-equality oracle;
+//! * the **legacy** String-keyed backtracking evaluator.
+//!
+//! All deterministic comparisons are **exact**: set equality of answers and
+//! equality of canonical lineages — not approximate agreement. A fourth
+//! implementation joins the differential loop: the Monte Carlo estimator of
+//! `mv_query::approx`, checked *statistically* — the brute-force lineage
+//! probability must fall inside its high-confidence interval (seeds are
+//! derived from the database content, so any counterexample is
+//! reproducible).
 
 use mv_pdb::{InDbBuilder, Row, Value, Weight};
 use mv_query::approx::{approx_lineage_probability, ApproxConfig};
 use mv_query::brute::brute_force_lineage_probability;
-use mv_query::eval::{evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext};
+use mv_query::eval::{
+    evaluate_ucq_compiled_with, evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext,
+};
 use mv_query::lineage::{
-    answer_lineages, answer_lineages_legacy, lineage_legacy_with, lineage_with,
+    answer_lineages, answer_lineages_compiled_with, answer_lineages_legacy, lineage_compiled_with,
+    lineage_legacy_with, lineage_with,
 };
 use mv_query::parse_ucq;
 use proptest::prelude::*;
@@ -163,15 +171,20 @@ proptest! {
         for text in queries() {
             let q = parse_ucq(text).unwrap();
 
-            // Answer sets agree exactly (deterministic evaluation).
-            let compiled = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+            // Answer sets agree exactly (deterministic evaluation) across
+            // all three evaluators.
+            let vectorized = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+            let compiled = sorted_rows(evaluate_ucq_compiled_with(&q, &ctx).unwrap());
             let legacy = sorted_rows(evaluate_ucq_legacy_with(&q, &ctx).unwrap());
+            prop_assert_eq!(&vectorized, &compiled, "vectorized answers diverge on {}", text);
             prop_assert_eq!(&compiled, &legacy, "answers diverge on {}", text);
 
             // Lineages agree exactly (canonical form) for Boolean queries.
             if q.is_boolean() {
                 let lin_compiled = lineage_with(&q, &indb, &ctx).unwrap();
+                let lin_oracle = lineage_compiled_with(&q, &indb, &ctx).unwrap();
                 let lin_legacy = lineage_legacy_with(&q, &indb, &ctx).unwrap();
+                prop_assert_eq!(&lin_compiled, &lin_oracle, "vectorized lineage diverges on {}", text);
                 prop_assert_eq!(&lin_compiled, &lin_legacy, "lineage diverges on {}", text);
 
                 // The Monte Carlo estimator agrees statistically: the exact
@@ -188,8 +201,13 @@ proptest! {
                 );
             } else {
                 // Per-answer lineages agree exactly, including the key set.
-                let per_compiled = answer_lineages(&q, &indb).unwrap();
+                let per_vectorized = answer_lineages(&q, &indb).unwrap();
+                let per_compiled = answer_lineages_compiled_with(&q, &indb, &ctx).unwrap();
                 let per_legacy = answer_lineages_legacy(&q, &indb).unwrap();
+                prop_assert_eq!(
+                    &per_vectorized, &per_compiled,
+                    "vectorized answer lineages diverge on {}", text
+                );
                 prop_assert_eq!(&per_compiled, &per_legacy, "answer lineages diverge on {}", text);
             }
         }
@@ -228,15 +246,157 @@ fn compiled_plans_agree_on_handwritten_edge_cases() {
         "Q() :- R(x, y), x < y, y like '%b%'",
     ] {
         let q = parse_ucq(text).unwrap();
-        let compiled = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+        let vectorized = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+        let compiled = sorted_rows(evaluate_ucq_compiled_with(&q, &ctx).unwrap());
         let legacy = sorted_rows(evaluate_ucq_legacy_with(&q, &ctx).unwrap());
+        assert_eq!(vectorized, compiled, "vectorized answers diverge on {text}");
         assert_eq!(compiled, legacy, "answers diverge on {text}");
         if q.is_boolean() {
+            let lin = lineage_with(&q, &indb, &ctx).unwrap();
             assert_eq!(
-                lineage_with(&q, &indb, &ctx).unwrap(),
+                lin,
+                lineage_compiled_with(&q, &indb, &ctx).unwrap(),
+                "vectorized lineage diverges on {text}"
+            );
+            assert_eq!(
+                lin,
                 lineage_legacy_with(&q, &indb, &ctx).unwrap(),
                 "lineage diverges on {text}"
             );
+        }
+    }
+}
+
+/// Probe steps that arrive with *two* columns already bound and long
+/// posting lists on either single column upgrade to the composite pair
+/// index (64 `S`-rows over an 8x8 key grid put the expected postings of
+/// each column exactly at the upgrade threshold). The upgraded plans must
+/// agree exactly — answers, per-answer lineages and canonical Boolean
+/// lineages — with both the tuple-at-a-time and the legacy oracle.
+#[test]
+fn composite_pair_probes_agree_with_both_oracles() {
+    let mut b = InDbBuilder::new();
+    let r = b.probabilistic_relation("R", &["a"]).unwrap();
+    let t = b.probabilistic_relation("T", &["b"]).unwrap();
+    let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
+    for i in 0..8i64 {
+        b.insert_weighted(r, vec![Value::int(i)], Weight::ONE)
+            .unwrap();
+        b.insert_weighted(t, vec![Value::int(i)], Weight::new(0.5))
+            .unwrap();
+    }
+    for i in 0..64i64 {
+        b.insert_weighted(
+            s,
+            vec![Value::int(i % 8), Value::int(i / 8)],
+            Weight::new(2.0),
+        )
+        .unwrap();
+    }
+    let indb = b.build();
+    let ctx = EvalContext::new(indb.database());
+    for text in [
+        // Both keys from earlier atoms (slot/slot pair probe).
+        "Q() :- R(x), T(y), S(x, y)",
+        "Q(x, y) :- R(x), T(y), S(x, y)",
+        // One key is a constant (slot/const pair probe).
+        "Q(x) :- R(x), S(x, 3)",
+        "Q() :- R(x), S(x, 99)",
+        // Self-join: the second S atom gets both columns bound.
+        "Q() :- S(x, y), S(y, x)",
+    ] {
+        let q = parse_ucq(text).unwrap();
+        let vectorized = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+        let compiled = sorted_rows(evaluate_ucq_compiled_with(&q, &ctx).unwrap());
+        let legacy = sorted_rows(evaluate_ucq_legacy_with(&q, &ctx).unwrap());
+        assert_eq!(vectorized, compiled, "vectorized answers diverge on {text}");
+        assert_eq!(compiled, legacy, "answers diverge on {text}");
+        let bq = q.boolean();
+        let lin = lineage_with(&bq, &indb, &ctx).unwrap();
+        assert_eq!(
+            lin,
+            lineage_compiled_with(&bq, &indb, &ctx).unwrap(),
+            "vectorized lineage diverges on {text}"
+        );
+        assert_eq!(
+            lin,
+            lineage_legacy_with(&bq, &indb, &ctx).unwrap(),
+            "lineage diverges on {text}"
+        );
+        if !q.is_boolean() {
+            let per_vectorized = answer_lineages(&q, &indb).unwrap();
+            let per_compiled = answer_lineages_compiled_with(&q, &indb, &ctx).unwrap();
+            assert_eq!(
+                per_vectorized, per_compiled,
+                "answer lineages diverge on {text}"
+            );
+        }
+    }
+}
+
+/// Batch-boundary sizes: relations of exactly 0, 1, 1023, 1024 and 1025
+/// rows, so runs end one row short of a batch, exactly on a batch, and one
+/// row past it — plus sizes crossing zone-map block boundaries (256 rows
+/// per block). The vectorized executor must agree exactly with the
+/// tuple-at-a-time oracle on answers and canonical lineages at every size,
+/// including all-constant and never-matching plans.
+#[test]
+fn batch_boundary_sizes_agree_with_the_compiled_oracle() {
+    for n in [0usize, 1, 255, 256, 257, 1023, 1024, 1025] {
+        let mut b = InDbBuilder::new();
+        let r = b.probabilistic_relation("R", &["a"]).unwrap();
+        let s = b.probabilistic_relation("S", &["a", "b"]).unwrap();
+        for i in 0..n {
+            b.insert_weighted(r, vec![Value::int(i as i64)], Weight::ONE)
+                .unwrap();
+            b.insert_weighted(
+                s,
+                vec![Value::int(i as i64), Value::int((i % 97) as i64)],
+                Weight::new(2.0),
+            )
+            .unwrap();
+        }
+        let indb = b.build();
+        let ctx = EvalContext::new(indb.database());
+        for text in [
+            // Full enumeration: n answers cross 0, 1 or 2 batch flushes.
+            "Q(x) :- R(x)",
+            "Q(x, y) :- R(x), S(x, y)",
+            // Break-on-first through a complete batch.
+            "Q() :- R(x), S(x, y)",
+            // Equality constant lowered to a code compare on a scan
+            // (present at every size > 0, and in the first block only).
+            "Q(x) :- R(x), x = 0",
+            // Constant in the last row: present only at the largest sizes.
+            "Q(x) :- R(x), x = 1024",
+            // Inequality keeps nearly every row: maximal batch churn.
+            "Q(x) :- R(x), x <> 0",
+            // All-constant and never-matching plans.
+            "Q() :- S(0, 0)",
+            "Q() :- R(123456789)",
+            "Q(y) :- S(123456789, y)",
+        ] {
+            let q = parse_ucq(text).unwrap();
+            let vectorized = sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap());
+            let compiled = sorted_rows(evaluate_ucq_compiled_with(&q, &ctx).unwrap());
+            assert_eq!(vectorized, compiled, "answers diverge on {text} at n={n}");
+            let bq = q.boolean();
+            assert_eq!(
+                lineage_with(&bq, &indb, &ctx).unwrap(),
+                lineage_compiled_with(&bq, &indb, &ctx).unwrap(),
+                "lineage diverges on {text} at n={n}"
+            );
+        }
+        // The legacy oracle joins at the sizes where it stays affordable.
+        if n <= 257 {
+            for text in ["Q(x) :- R(x)", "Q(x, y) :- R(x), S(x, y)"] {
+                let q = parse_ucq(text).unwrap();
+                assert_eq!(
+                    sorted_rows(evaluate_ucq_with(&q, &ctx).unwrap()),
+                    sorted_rows(evaluate_ucq_legacy_with(&q, &ctx).unwrap()),
+                    "legacy answers diverge on {text} at n={n}"
+                );
+            }
         }
     }
 }

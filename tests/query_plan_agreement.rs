@@ -1,18 +1,22 @@
-//! Compiled-plan / legacy-evaluator agreement on the DBLP corpus.
+//! Vectorized / compiled / legacy evaluator agreement on the DBLP corpus.
 //!
 //! The property suite in `crates/query/tests/plan_agreement.rs` covers
 //! random databases; this suite pins the same contract on the *fixed* data
 //! the paper's evaluation runs on — the seeded synthetic DBLP generator —
 //! across every workload family (Figures 5, 6 and 11) and the translated
 //! helper query `W` itself. All comparisons are exact: identical answer
-//! sets, identical canonical lineages, identical per-answer lineage maps.
+//! sets, identical canonical lineages, identical per-answer lineage maps —
+//! between the vectorized batch executor (production), the tuple-at-a-time
+//! compiled plan loop (PR-4 oracle) and the legacy backtracking evaluator.
 
 use markoviews::prelude::*;
 use markoviews::query::eval::{
-    evaluate_ucq_legacy_with, evaluate_ucq_with, EvalContext as QueryEvalContext,
+    evaluate_ucq_compiled_with, evaluate_ucq_legacy_with, evaluate_ucq_with,
+    EvalContext as QueryEvalContext,
 };
 use markoviews::query::lineage::{
-    answer_lineages_legacy, answer_lineages_with, lineage_legacy_with, lineage_with,
+    answer_lineages_compiled_with, answer_lineages_legacy, answer_lineages_with,
+    lineage_compiled_with, lineage_legacy_with, lineage_with,
 };
 
 #[test]
@@ -29,7 +33,12 @@ fn dblp_workloads_agree_between_compiled_and_legacy_evaluators() {
 
     for q in &workload {
         // Non-Boolean: answers and per-answer lineages agree exactly.
-        let mut compiled: Vec<Row> = evaluate_ucq_with(q, &ctx)
+        let mut vectorized: Vec<Row> = evaluate_ucq_with(q, &ctx)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
+        let mut compiled: Vec<Row> = evaluate_ucq_compiled_with(q, &ctx)
             .unwrap()
             .into_iter()
             .map(|a| a.row)
@@ -39,31 +48,54 @@ fn dblp_workloads_agree_between_compiled_and_legacy_evaluators() {
             .into_iter()
             .map(|a| a.row)
             .collect();
+        vectorized.sort();
         compiled.sort();
         legacy.sort();
+        assert_eq!(vectorized, compiled, "vectorized answers diverge on {q}");
         assert_eq!(compiled, legacy, "answers diverge on {q}");
 
-        let per_compiled = answer_lineages_with(q, indb, &ctx).unwrap();
+        let per_vectorized = answer_lineages_with(q, indb, &ctx).unwrap();
+        let per_compiled = answer_lineages_compiled_with(q, indb, &ctx).unwrap();
         let per_legacy = answer_lineages_legacy(q, indb).unwrap();
+        assert_eq!(
+            per_vectorized, per_compiled,
+            "vectorized answer lineages diverge on {q}"
+        );
         assert_eq!(per_compiled, per_legacy, "answer lineages diverge on {q}");
 
         // Boolean form: canonical lineages agree exactly.
         let b = q.boolean();
+        let lin = lineage_with(&b, indb, &ctx).unwrap();
         assert_eq!(
-            lineage_with(&b, indb, &ctx).unwrap(),
+            lin,
+            lineage_compiled_with(&b, indb, &ctx).unwrap(),
+            "vectorized Boolean lineage diverges on {b}"
+        );
+        assert_eq!(
+            lin,
             lineage_legacy_with(&b, indb, &ctx).unwrap(),
             "Boolean lineage diverges on {b}"
         );
     }
 
     // The helper query W — the self-join whose lineage dominates the
-    // paper's offline phase (Figure 4) — must agree as well.
+    // paper's offline phase (Figure 4) — must agree as well, and its scans
+    // must actually exercise the zone-map skipping machinery.
     let w = translated.w().expect("the DBLP MVDB has views");
+    let lin_w = lineage_with(w, indb, &ctx).unwrap();
     assert_eq!(
-        lineage_with(w, indb, &ctx).unwrap(),
+        lin_w,
+        lineage_compiled_with(w, indb, &ctx).unwrap(),
+        "vectorized lineage of W diverges"
+    );
+    assert_eq!(
+        lin_w,
         lineage_legacy_with(w, indb, &ctx).unwrap(),
         "lineage of W diverges"
     );
+    let exec = ctx.exec_stats();
+    assert!(exec.csr_probe_steps > 0, "W join never probed a CSR index");
+    assert!(exec.blocks_scanned > 0, "W join never scanned a block");
 }
 
 #[test]
