@@ -1,0 +1,69 @@
+//! Microbenchmarks of the component-sharded scale-out layer: the mixed
+//! scale-out workload (Boolean Figure 5/6 point queries plus broad
+//! Figure 2-style name selections) pushed through
+//! [`mv_core::ShardedSession`]s at 1, 2, 4 and 8 shards. The 1-shard
+//! session is the baseline — it runs the identical routing and
+//! combination code, so the ratio isolates the scale-out win of
+//! per-shard OBDD managers over the monolithic evaluation.
+//!
+//! Contexts are warmed before timing (one full pass per shard count), so
+//! the numbers measure the sustained regime, not first-touch diagram
+//! construction. The scale is small so `cargo bench --bench
+//! query_sharded` doubles as a CI smoke run; the `figures sharded`
+//! subcommand runs the ≥10⁵-query campaign and records the latency
+//! percentiles in `BENCH_figures.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mv_bench::{dataset_v1v2, sharded_workload};
+use mv_core::{EngineBackend, MvdbEngine, ShardedEngine};
+use mv_query::Ucq;
+
+const NUM_AUTHORS: usize = 400;
+const NUM_QUERIES: usize = 200;
+const BROAD_STRIDE: usize = 32;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Setup {
+    full: MvdbEngine,
+    queries: Vec<Ucq>,
+}
+
+fn setup() -> Setup {
+    let data = dataset_v1v2(NUM_AUTHORS);
+    let (queries, _) = sharded_workload(&data, 50, NUM_QUERIES, BROAD_STRIDE, None);
+    let full = MvdbEngine::compile(&data.mvdb).expect("engine compiles");
+    Setup { full, queries }
+}
+
+fn sharded_batch_bench(c: &mut Criterion) {
+    let s = setup();
+    let backend = EngineBackend::MvIndex(s.full.intersect_algorithm());
+    let mut group = c.benchmark_group("query_sharded_batch");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let engine =
+            ShardedEngine::from_engine(s.full.clone(), shards).expect("sharded engine compiles");
+        let session = engine.session();
+        // Warm the per-shard managers so timing measures the sustained
+        // regime.
+        session
+            .probabilities_with_backend(&s.queries, backend)
+            .expect("warmup batch");
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &s.queries,
+            |b, queries| {
+                b.iter(|| {
+                    session
+                        .probabilities_with_backend(queries, backend)
+                        .expect("sharded batch")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded_batch_bench);
+criterion_main!(benches);

@@ -7,12 +7,14 @@
 //! ```
 //!
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `session`, `microbench`, `ablation`, `all`. Options: `--quick` (3
-//! scaling points instead of 10, fewer queries), `--authors N` (size of the
-//! "full" dataset for fig1/fig10/fig11; default 10000), `--threads N`
-//! (worker threads for the exact-backend workloads of fig5/fig6 and the
-//! `session` smoke; default 1), `--json PATH` (where to write the
-//! machine-readable report; default `BENCH_figures.json`), `--no-json`.
+//! `fig10`, `fig11`, `session`, `sharded`, `microbench`, `ablation`, `all`.
+//! Options: `--quick` (3 scaling points instead of 10, fewer queries),
+//! `--authors N` (size of the "full" dataset for fig1/fig10/fig11; default
+//! 10000), `--threads N` (worker threads for the exact-backend workloads of
+//! fig5/fig6 and the `session` smoke; default 1), `--shards N` (shard count
+//! of the `sharded` scale-out campaign; default 4), `--json PATH` (where to
+//! write the machine-readable report; default `BENCH_figures.json`),
+//! `--no-json`.
 //!
 //! The fig5/fig6 rows and the `session` series include the shared
 //! OBDD-manager counters (nodes allocated, unique-table / apply-cache hit
@@ -32,6 +34,7 @@ struct Options {
     quick: bool,
     full_authors: usize,
     threads: usize,
+    shards: usize,
     json_path: Option<String>,
 }
 
@@ -85,6 +88,7 @@ const KNOWN_FIGURES: &[&str] = &[
     "fig10",
     "fig11",
     "session",
+    "sharded",
     "microbench",
     "approx",
     "ablation",
@@ -94,7 +98,7 @@ const KNOWN_FIGURES: &[&str] = &[
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: figures [{}] [--quick] [--authors N] [--threads N] [--json PATH | --no-json]",
+        "usage: figures [{}] [--quick] [--authors N] [--threads N] [--shards N] [--json PATH | --no-json]",
         KNOWN_FIGURES.join("|")
     );
     std::process::exit(2);
@@ -112,6 +116,7 @@ fn main() {
         quick: false,
         full_authors: 10_000,
         threads: 1,
+        shards: 4,
         json_path: Some("BENCH_figures.json".to_string()),
     };
     let mut i = 0;
@@ -131,6 +136,14 @@ fn main() {
                     .get(i)
                     .and_then(|a| a.parse().ok())
                     .unwrap_or_else(|| usage_error("--threads needs a number"));
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = args
+                    .get(i)
+                    .and_then(|a| a.parse::<usize>().ok())
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| usage_error("--shards needs a number >= 1"));
             }
             "--json" => {
                 i += 1;
@@ -178,6 +191,10 @@ fn main() {
     }
     if wants("session") {
         report.add("session", session(&opts));
+    }
+    if wants("sharded") {
+        report.add("sharded", sharded(&opts));
+        report.add("query_sharded", query_sharded(&opts));
     }
     if wants("microbench") {
         report.add("microbench", microbench(&opts));
@@ -231,6 +248,113 @@ fn session(opts: &Options) -> Json {
         ]);
         row.push("manager", manager_stats_json(&p.manager));
         rows.push(row);
+    }
+    println!();
+    Json::arr(rows)
+}
+
+/// The scale-out sharding campaign: a sustained batch of ≥10⁵ Boolean
+/// queries (≥4·10⁴ in `--quick`) through a component-sharded session at
+/// `--shards` shards versus the single-shard baseline, with per-query
+/// service-latency percentiles and the merged per-shard manager counters.
+fn sharded(opts: &Options) -> Json {
+    let num_shards = opts.shards;
+    let (num_authors, num_queries) = if opts.quick {
+        (2_000, 40_000)
+    } else {
+        (3_000, 120_000)
+    };
+    println!("== Sharded: component-partitioned scale-out ({num_shards} shards) ==");
+    println!(
+        "{:>10} {:>9} {:>8} {:>14} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "aid domain",
+        "queries",
+        "shards",
+        "1-shard (s)",
+        "sharded (s)",
+        "speedup",
+        "p50 (us)",
+        "p95 (us)",
+        "p99 (us)"
+    );
+    let p = sharded_throughput(num_authors, num_queries, num_shards);
+    println!(
+        "{:>10} {:>9} {:>8} {:>14.6} {:>12.6} {:>7.2}x {:>10.1} {:>10.1} {:>10.1}",
+        p.num_authors,
+        p.num_queries,
+        p.num_shards,
+        secs(p.single_shard),
+        secs(p.sharded),
+        p.speedup_total(),
+        secs(p.p50) * 1e6,
+        secs(p.p95) * 1e6,
+        secs(p.p99) * 1e6,
+    );
+    println!(
+        "             {} components, per-shard queries {:?}, {} oracle fallbacks, max |diff| {:.2e}",
+        p.num_components, p.shard_queries, p.fallbacks, p.max_abs_diff,
+    );
+    let mut row = Json::obj([
+        ("num_authors", Json::from(p.num_authors)),
+        ("num_shards", Json::from(p.num_shards)),
+        ("num_components", Json::from(p.num_components)),
+        ("num_queries", Json::from(p.num_queries)),
+        ("single_shard_s", Json::from(secs(p.single_shard))),
+        ("sharded_s", Json::from(secs(p.sharded))),
+        ("sharded_speedup_total", Json::from(p.speedup_total())),
+        ("p50_s", Json::from(secs(p.p50))),
+        ("p95_s", Json::from(secs(p.p95))),
+        ("p99_s", Json::from(secs(p.p99))),
+        ("max_abs_diff", Json::from(p.max_abs_diff)),
+        ("fallbacks", Json::from(p.fallbacks)),
+        ("plan_steps", Json::from(p.query.plan.steps)),
+        ("batches", Json::from(p.query.exec.batches)),
+    ]);
+    row.push(
+        "per_shard_queries",
+        Json::arr(p.shard_queries.iter().map(|&q| Json::from(q))),
+    );
+    row.push("manager", manager_stats_json(&p.manager));
+    println!();
+    Json::arr([row])
+}
+
+/// The `query_sharded` microbenchmark: the mixed point + broad workload
+/// through warmed sharded sessions at 1/2/4/8 shards, best-of-reps. Both
+/// profiles stay at the 800-author domain: the shard-count sweep isolates
+/// how the win scales with the number of managers, while the `sharded`
+/// campaign above covers domain scale.
+fn query_sharded(opts: &Options) -> Json {
+    let (num_authors, num_queries, reps) = if opts.quick {
+        (800, 4_000, 2)
+    } else {
+        (800, 20_000, 3)
+    };
+    println!("== Microbench: sharded batch evaluation (1/2/4/8 shards, best of {reps}) ==");
+    let p = microbench_query_sharded(num_authors, num_queries, reps);
+    println!(
+        "{:>10} {:>9} {:>8} {:>14} {:>9}",
+        "aid domain", "queries", "shards", "batch (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &(shards, time) in &p.shard_times {
+        println!(
+            "{:>10} {:>9} {:>8} {:>14.6} {:>8.2}x",
+            p.num_authors,
+            p.num_queries,
+            shards,
+            secs(time),
+            p.speedup_at(shards)
+        );
+        rows.push(Json::obj([
+            ("num_authors", Json::from(p.num_authors)),
+            ("num_queries", Json::from(p.num_queries)),
+            ("reps", Json::from(p.reps)),
+            ("num_shards", Json::from(shards)),
+            ("batch_s", Json::from(secs(time))),
+            ("speedup", Json::from(p.speedup_at(shards))),
+            ("max_abs_diff", Json::from(p.max_abs_diff)),
+        ]));
     }
     println!();
     Json::arr(rows)

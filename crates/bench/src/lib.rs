@@ -33,7 +33,7 @@ pub mod json;
 use std::time::{Duration, Instant};
 
 use mv_core::backend::MvIndexBackend;
-use mv_core::{ApproxConfig, EngineBackend, IntervalMethod, MvdbEngine};
+use mv_core::{ApproxConfig, EngineBackend, IntervalMethod, MvdbEngine, ShardedEngine};
 use mv_dblp::{DblpConfig, DblpDataset};
 use mv_index::{IntersectAlgorithm, MvIndex};
 use mv_mln::{McSatConfig, McSatSampler};
@@ -665,6 +665,282 @@ pub fn session_smoke(num_authors: usize, num_queries: usize, threads: usize) -> 
         max_abs_diff,
         manager: parallel_session.last_manager_stats(),
         query: parallel_session.last_query_stats(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded scale-out harness
+// ---------------------------------------------------------------------------
+
+/// A latency percentile of a sorted sample (nearest-rank, `q` in `[0, 1]`).
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Result of the sharded-throughput experiment: one sustained batch through
+/// a component-sharded session versus the same batch through a single-shard
+/// session (the sequential baseline with identical routing overhead).
+#[derive(Debug, Clone)]
+pub struct ShardedPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Shards of the partitioned run.
+    pub num_shards: usize,
+    /// Connected components the partition was built from.
+    pub num_components: usize,
+    /// Number of Boolean queries in the sustained batch.
+    pub num_queries: usize,
+    /// Wall-clock time of the single-shard session over the batch.
+    pub single_shard: Duration,
+    /// Wall-clock time of the `num_shards`-shard session over the batch.
+    pub sharded: Duration,
+    /// Per-query service-latency percentiles of the sharded run.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest absolute difference between sharded and oracle results on
+    /// the distinct workload queries (the exactness check; must stay below
+    /// 1e-9 — sharding is a scheduling choice, never a semantics choice).
+    pub max_abs_diff: f64,
+    /// Sub-queries evaluated per shard during the sharded batch.
+    pub shard_queries: Vec<u64>,
+    /// Queries that degraded to the unsharded oracle.
+    pub fallbacks: u64,
+    /// Merged manager counters of the sharded batch (every shard worker's
+    /// query-side manager plus each shard index's delta).
+    pub manager: ManagerStats,
+    /// Merged query-layer counters of the sharded batch.
+    pub query: mv_core::QueryStats,
+}
+
+impl ShardedPoint {
+    /// Batch throughput of the sharded session over the single-shard one.
+    pub fn speedup_total(&self) -> f64 {
+        secs(self.single_shard) / secs(self.sharded).max(1e-12)
+    }
+}
+
+/// The mixed scale-out workload: the Boolean Figure 5/6 point queries with
+/// one broad Figure 2-style name-selection query every `stride` queries,
+/// and (optionally) one *heavy* name-selection query every `heavy_stride`.
+///
+/// The point queries touch one or two dependency components each, so their
+/// cost is dominated by routing. The broad queries (`students of an advisor
+/// whose name matches %f000d%`, one fragment per 100-aid advisor band) have
+/// lineages of several hundred clauses spanning hundreds of components. The
+/// heavy queries (`%f000%` / `%f001%`, each a 1000-aid advisor band) reach
+/// thousands of clauses — the regime where folding one monolithic OBDD on
+/// the full manager thrashes its computed table on every evaluation, while
+/// the per-shard managers stay small enough to evaluate their slice in
+/// milliseconds. Returns `(stream, distinct)`; the distinct list drives the
+/// exactness check against the oracle.
+pub fn sharded_workload(
+    data: &DblpDataset,
+    num_distinct_point: usize,
+    num_queries: usize,
+    stride: usize,
+    heavy_stride: Option<usize>,
+) -> (Vec<Ucq>, Vec<Ucq>) {
+    let named = |fragment: &str| {
+        mv_dblp::queries::students_of_advisor_named(fragment)
+            .expect("fragment query parses")
+            .boolean()
+    };
+    let mut distinct: Vec<Ucq> = query_eval_workload(data, num_distinct_point)
+        .iter()
+        .map(|q| q.boolean())
+        .collect();
+    let broad: Vec<Ucq> = (1..=9).map(|d| named(&format!("f000{d}"))).collect();
+    let heavy: Vec<Ucq> = ["f000", "f001"].iter().map(|f| named(f)).collect();
+    let point_len = distinct.len();
+    let stream = (0..num_queries)
+        .map(|i| match heavy_stride {
+            Some(h) if i % h == 0 => heavy[(i / h) % heavy.len()].clone(),
+            _ if i % stride == 0 => broad[(i / stride) % broad.len()].clone(),
+            _ => distinct[i % point_len].clone(),
+        })
+        .collect();
+    distinct.extend(broad);
+    if heavy_stride.is_some() {
+        distinct.extend(heavy);
+    }
+    (stream, distinct)
+}
+
+/// Broad-query stride of the sustained sharded campaign (one Figure 2-style
+/// name-selection query per this many point queries).
+pub const SHARDED_BROAD_STRIDE: usize = 256;
+
+/// Heavy-query stride of the sustained sharded campaign: one
+/// thousand-component name-selection query per this many queries. Rare
+/// enough to leave the tail percentiles point-query-shaped, frequent
+/// enough that the monolithic baseline pays its computed-table thrashing
+/// on every occurrence.
+pub const SHARDED_HEAVY_STRIDE: usize = 10_240;
+
+/// The sustained-throughput experiment of the scale-out sharding layer:
+/// streams the mixed [`sharded_workload`] (point queries plus a broad
+/// name-selection query every [`SHARDED_BROAD_STRIDE`]) through a
+/// single-shard session and a `num_shards`-shard session of the same
+/// engine. Exactness against the unsharded oracle is asserted on the
+/// distinct workload queries before anything is timed (the check doubles
+/// as warmup).
+pub fn sharded_throughput(
+    num_authors: usize,
+    num_queries: usize,
+    num_shards: usize,
+) -> ShardedPoint {
+    let data = dataset_v1v2(num_authors);
+    // A wide slice of distinct point constants: with only a handful of
+    // distinct queries the batch degenerates into cache-hit replays whose
+    // fixed per-query cost caps the speedup.
+    let (queries, distinct) = sharded_workload(
+        &data,
+        num_authors / 4,
+        num_queries,
+        SHARDED_BROAD_STRIDE,
+        Some(SHARDED_HEAVY_STRIDE),
+    );
+    let engine = ShardedEngine::compile(&data.mvdb, num_shards).expect("sharded engine compiles");
+    let single =
+        ShardedEngine::from_engine(engine.full().clone(), 1).expect("single-shard engine compiles");
+
+    // Exactness oracle (and warmup): every distinct query must agree with
+    // the unsharded engine.
+    let max_abs_diff = distinct
+        .iter()
+        .map(|q| {
+            let p = engine.probability(q).expect("sharded probability");
+            let r = engine.full().probability(q).expect("oracle probability");
+            (p - r).abs()
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_abs_diff < 1e-9,
+        "sharded evaluation must match the oracle (diff {max_abs_diff})"
+    );
+
+    let backend = EngineBackend::MvIndex(engine.full().intersect_algorithm());
+    let single_session = single.session();
+    let t0 = Instant::now();
+    single_session
+        .probabilities_with_backend(&queries, backend)
+        .expect("single-shard batch");
+    let single_time = t0.elapsed();
+
+    let session = engine.session();
+    let t1 = Instant::now();
+    let (_, mut latencies) = session
+        .probabilities_with_latencies(&queries, backend)
+        .expect("sharded batch");
+    let sharded_time = t1.elapsed();
+    latencies.sort();
+
+    ShardedPoint {
+        num_authors,
+        num_shards,
+        num_components: engine.partition().num_components(),
+        num_queries: queries.len(),
+        single_shard: single_time,
+        sharded: sharded_time,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        max_abs_diff,
+        shard_queries: session.last_shard_queries(),
+        fallbacks: session.last_fallbacks(),
+        manager: session.last_manager_stats(),
+        query: session.last_query_stats(),
+    }
+}
+
+/// One run of the `query_sharded` microbenchmark: the Figure 5/6 workload
+/// (scaled up by cycling) through sharded sessions at several shard
+/// counts, each batch warmed once and reported as best-of-`reps`.
+#[derive(Debug, Clone)]
+pub struct QueryShardedPoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Number of Boolean queries in the batch.
+    pub num_queries: usize,
+    /// Timed repetitions per shard count (best is reported).
+    pub reps: usize,
+    /// `(shard count, best-of-reps batch time)`, ascending by shard count.
+    pub shard_times: Vec<(usize, Duration)>,
+    /// Largest absolute difference against the unsharded oracle across all
+    /// shard counts on the distinct workload queries.
+    pub max_abs_diff: f64,
+}
+
+impl QueryShardedPoint {
+    /// Best batch time at a shard count (panics if the count was not run).
+    pub fn time_at(&self, shards: usize) -> Duration {
+        self.shard_times
+            .iter()
+            .find(|(s, _)| *s == shards)
+            .map(|(_, d)| *d)
+            .expect("shard count was benchmarked")
+    }
+
+    /// Speedup of `shards` shards over the single-shard baseline.
+    pub fn speedup_at(&self, shards: usize) -> f64 {
+        secs(self.time_at(1)) / secs(self.time_at(shards)).max(1e-12)
+    }
+}
+
+/// Runs the `query_sharded` microbenchmark at shard counts 1/2/4/8.
+pub fn microbench_query_sharded(
+    num_authors: usize,
+    num_queries: usize,
+    reps: usize,
+) -> QueryShardedPoint {
+    let data = dataset_v1v2(num_authors);
+    let (queries, distinct) = sharded_workload(&data, num_authors / 4, num_queries, 128, None);
+    let full = MvdbEngine::compile(&data.mvdb).expect("engine compiles");
+    let oracle: Vec<f64> = distinct
+        .iter()
+        .map(|q| full.probability(q).expect("oracle probability"))
+        .collect();
+    let backend = EngineBackend::MvIndex(full.intersect_algorithm());
+    let mut shard_times = Vec::new();
+    let mut max_abs_diff = 0.0f64;
+    for shards in [1, 2, 4, 8] {
+        let engine =
+            ShardedEngine::from_engine(full.clone(), shards).expect("sharded engine compiles");
+        // Exactness check per shard count; doubles as the warmup pass.
+        for (q, r) in distinct.iter().zip(&oracle) {
+            let p = engine.probability(q).expect("sharded probability");
+            max_abs_diff = max_abs_diff.max((p - r).abs());
+        }
+        assert!(
+            max_abs_diff < 1e-9,
+            "sharded evaluation must match the oracle (diff {max_abs_diff})"
+        );
+        let session = engine.session();
+        let best = (0..reps.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                session
+                    .probabilities_with_backend(&queries, backend)
+                    .expect("sharded batch");
+                t.elapsed()
+            })
+            .min()
+            .expect("at least one rep");
+        shard_times.push((shards, best));
+    }
+    QueryShardedPoint {
+        num_authors,
+        num_queries: queries.len(),
+        reps: reps.max(1),
+        shard_times,
+        max_abs_diff,
     }
 }
 

@@ -313,6 +313,16 @@ impl EngineBackend {
         }
     }
 
+    /// Whether the named backend implements [`Backend::lineage_probability`]
+    /// — i.e. can evaluate a precomputed lineage directly instead of
+    /// re-deriving it from the bound query. The sharded session routes on
+    /// this: lineage-capable backends receive per-shard localized lineages,
+    /// the others are dispatched syntactically per shard (kept in sync by
+    /// `sharded::tests::evaluates_lineage_matches_backend_behaviour`).
+    pub fn evaluates_lineage(&self) -> bool {
+        !matches!(self, EngineBackend::ObddPerQuery | EngineBackend::SafePlan)
+    }
+
     /// The backends expected to agree on *every* query: both intersection
     /// algorithms of the MV-index, the per-query OBDD baseline, Shannon
     /// expansion, and brute-force enumeration. (Safe plans are excluded —

@@ -29,6 +29,12 @@
 //!   one engine, sequentially through a shared evaluation context (query
 //!   diagrams hash-consed across the batch) or in parallel with scoped
 //!   threads and per-worker OBDD-manager shards.
+//! * [`sharded`] — [`ShardedEngine`] and [`ShardedSession`]: scale-out
+//!   evaluation over component-partitioned sub-stores. Tuples are sharded
+//!   along the connected components of `W`'s lineage, each shard owns its
+//!   own MV-index and OBDD manager, and per-shard conditionals are
+//!   combined exactly by independence (`1 − ∏ (1 − q_s)`); queries whose
+//!   lineage spans shards fall back to the unsharded oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +44,7 @@ pub mod engine;
 pub mod error;
 pub mod mvdb;
 pub mod session;
+pub mod sharded;
 pub mod translate;
 pub mod view;
 
@@ -49,6 +56,7 @@ pub use engine::MvdbEngine;
 pub use error::CoreError;
 pub use mvdb::{Mvdb, MvdbBuilder};
 pub use session::{MvdbSession, QueryStats};
+pub use sharded::{ShardedEngine, ShardedSession};
 pub use translate::TranslatedIndb;
 pub use view::{MarkoView, WeightExpr};
 

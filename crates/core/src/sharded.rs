@@ -1,0 +1,788 @@
+//! Scale-out sharded inference: component-partitioned evaluation with
+//! per-shard managers and exact independence combination.
+//!
+//! The Theorem 1 conditional factorises over the connected components of
+//! the dependency graph induced by `W`'s lineage clauses: tuples in
+//! different components are independent, and `¬W = ∧_s ¬W_s` splits into
+//! per-component factors. [`ShardedEngine`] promotes that observation —
+//! which the Monte Carlo sampler already uses as a prune
+//! ([`mv_query::components`]) — into a first-class sharding layer:
+//!
+//! 1. **Partition.** [`mv_query::ComponentPartitioner`] assigns every
+//!    *W-homed* tuple (one mentioned by some `W` clause) to exactly one of
+//!    `num_shards` shards, packing whole components greedily by size.
+//!    Because components never split, no `W` clause spans shards. W-free
+//!    tuples are independent of `W` and have no home — they are replicated
+//!    into every shard's sub-store.
+//! 2. **Per-shard sub-stores.** Each shard owns a projection of the
+//!    translated database ([`TranslatedIndb::restrict`]): the full schema,
+//!    every deterministic row and every W-free tuple, but only the shard's
+//!    own W-homed tuples — with its own interned columnar store, zone maps
+//!    and code indexes, and its own compiled [`MvIndex`] (hence its own
+//!    [`mv_obdd::ObddManager`], touched by exactly one worker — no lock
+//!    contention, no cross-shard imports).
+//! 3. **Routing.** A query's lineage `Φ_Q = ∨ C_i` is computed once on the
+//!    full store and grouped by shared variables
+//!    ([`mv_query::Partition::route`]): each group binds to the unique
+//!    shard holding its W-homed variables (all-free groups are pinned
+//!    deterministically). A group mixing two shards' W-homed tuples makes
+//!    the whole query fall back to the unsharded engine (the exact
+//!    oracle), so the sharded path never answers a query it cannot answer
+//!    exactly.
+//! 4. **Independence combination.** With `φ_s` the clauses routed to shard
+//!    `s` and `q_s = P0(φ_s ∧ ¬W_s) / P0(¬W_s)` the per-shard conditional,
+//!    the per-shard disjuncts touch disjoint independent variables (shared
+//!    variables force clauses into one group, hence one shard), so
+//!
+//!    ```text
+//!    P(Q | ¬W) = 1 − P(∧_s ¬φ_s | ∧_s ¬W_s) = 1 − ∏_s (1 − q_s)
+//!    ```
+//!
+//!    exactly — a pure product/complement combination, no re-synthesis.
+//!
+//! [`ShardedSession`] evaluates batches with one worker thread per touched
+//! shard. Every [`EngineBackend`] flows through the sharded path:
+//! lineage-capable backends (MV-index, Shannon, brute force, Monte Carlo)
+//! evaluate the remapped per-shard lineage directly; structural backends
+//! (safe plans, per-query OBDDs) re-evaluate the query syntactically on
+//! each touched shard's sub-store — sound whenever every clause contains a
+//! W-homed tuple, because then a clause materializes exactly on its home
+//! shard (W-free tuples are present everywhere, foreign W-homed tuples
+//! nowhere); queries outside that regime fall back to the oracle.
+
+use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
+
+use mv_index::MvIndex;
+use mv_obdd::ManagerStats;
+use mv_query::lineage::{Clause, Lineage};
+use mv_query::partition::{ComponentPartitioner, Partition, RoutedLineage};
+use mv_query::Ucq;
+
+use crate::backend::{Backend, EngineBackend, EvalContext};
+use crate::engine::MvdbEngine;
+use crate::error::CoreError;
+use crate::mvdb::Mvdb;
+use crate::session::QueryStats;
+use crate::translate::TranslatedIndb;
+use crate::Result;
+
+/// Sentinel for "this global tuple does not live in this shard".
+const NOT_LOCAL: u32 = u32::MAX;
+
+/// One shard: a projection of the translated database onto a union of
+/// dependency-graph components, with its own compiled MV-index (and thus
+/// its own OBDD manager).
+#[derive(Debug)]
+struct Shard {
+    translated: TranslatedIndb,
+    index: MvIndex,
+    /// Global tuple id → local tuple id ([`NOT_LOCAL`] when foreign).
+    global_to_local: Vec<u32>,
+    /// Whether the global→local renaming is strictly increasing, so a
+    /// sorted global clause stays sorted after renaming. Sub-stores are
+    /// interned in global id order per relation, which makes this the
+    /// common case; clauses only need re-sorting when it fails.
+    monotone: bool,
+}
+
+impl Shard {
+    /// Rewrites clauses over global tuple ids onto this shard's local ids.
+    ///
+    /// The renaming is injective, so the clauses stay pairwise distinct
+    /// and internally duplicate-free — no hash-based re-normalisation is
+    /// needed, only a per-clause re-sort when the renaming is not
+    /// monotone. Panics if a clause mentions a tuple the shard does not
+    /// own — the router only sends a clause to the shard owning all its
+    /// variables.
+    fn localize(&self, clauses: &[Clause]) -> Lineage {
+        let mapped = clauses
+            .iter()
+            .map(|clause| {
+                let mut local: Clause = clause
+                    .iter()
+                    .map(|t| {
+                        let local = self.global_to_local[t.0 as usize];
+                        debug_assert_ne!(local, NOT_LOCAL, "clause routed to foreign shard");
+                        mv_pdb::TupleId(local)
+                    })
+                    .collect();
+                if !self.monotone {
+                    local.sort_unstable();
+                }
+                local
+            })
+            .collect();
+        Lineage::from_distinct_clauses(mapped)
+    }
+}
+
+/// A compiled MVDB split into component-disjoint shards, each with its own
+/// sub-store and MV-index, plus the unsharded [`MvdbEngine`] kept as the
+/// exact oracle (and cross-shard fallback).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    full: MvdbEngine,
+    partition: Partition,
+    shards: Vec<Shard>,
+}
+
+impl ShardedEngine {
+    /// Translates and compiles the MVDB, then shards it. Equivalent to
+    /// [`MvdbEngine::compile`] followed by [`ShardedEngine::from_engine`].
+    pub fn compile(mvdb: &Mvdb, num_shards: usize) -> Result<Self> {
+        Self::from_engine(MvdbEngine::compile(mvdb)?, num_shards)
+    }
+
+    /// Shards an already-compiled engine: partitions the possible tuples
+    /// along the components of `W`'s lineage and compiles one MV-index per
+    /// shard (in parallel — shard compilation is embarrassingly parallel).
+    ///
+    /// `num_shards` is clamped to at least 1; shards may be empty when the
+    /// database has fewer components than shards.
+    pub fn from_engine(full: MvdbEngine, num_shards: usize) -> Result<Self> {
+        let w_lineage = {
+            let ctx = full.context();
+            ctx.w_lineage()?
+                .cloned()
+                .unwrap_or_else(Lineage::constant_false)
+        };
+        let num_tuples = full.translated().indb().num_tuples();
+        let partition =
+            ComponentPartitioner::new(num_tuples, w_lineage.clauses()).partition(num_shards);
+        let translated = full.translated();
+        let shards: Result<Vec<Shard>> = std::thread::scope(|scope| {
+            let partition = &partition;
+            let handles: Vec<_> = (0..partition.num_shards())
+                .map(|s| {
+                    scope.spawn(move || -> Result<Shard> {
+                        // The shard's own W-homed tuples plus every W-free
+                        // (replicated) tuple.
+                        let (sub, local_to_global) =
+                            translated.restrict(|t| partition.home_of(t).is_none_or(|h| h == s));
+                        let index = match sub.w() {
+                            Some(w) => MvIndex::compile(sub.indb(), w)?,
+                            None => MvIndex::empty(sub.indb()),
+                        };
+                        if !index.is_consistent() {
+                            return Err(CoreError::InconsistentViews);
+                        }
+                        let mut global_to_local = vec![NOT_LOCAL; num_tuples];
+                        for (local, g) in local_to_global.iter().enumerate() {
+                            global_to_local[g.0 as usize] = local as u32;
+                        }
+                        let monotone = local_to_global.windows(2).all(|w| w[0] < w[1]);
+                        Ok(Shard {
+                            translated: sub,
+                            index,
+                            global_to_local,
+                            monotone,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard compile worker panicked"))
+                .collect()
+        });
+        Ok(ShardedEngine {
+            full,
+            partition,
+            shards: shards?,
+        })
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The unsharded engine — the exact oracle and cross-shard fallback.
+    pub fn full(&self) -> &MvdbEngine {
+        &self.full
+    }
+
+    /// The tuple→shard assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// A batch-evaluation session with one worker per touched shard.
+    pub fn session(&self) -> ShardedSession<'_> {
+        ShardedSession::new(self)
+    }
+
+    /// The probability of one Boolean query through the sharded path with
+    /// the engine's default backend.
+    pub fn probability(&self, query: &Ucq) -> Result<f64> {
+        Ok(self
+            .session()
+            .probabilities(std::slice::from_ref(query))?
+            .remove(0))
+    }
+}
+
+/// Where one query of a batch went.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// Constant lineage — answered during routing, no shard touched.
+    Constant,
+    /// Clauses routed to (one or more) shards; combined by independence.
+    Sharded,
+    /// Some clause group had no home shard (or the backend cannot evaluate
+    /// the routed form soundly); evaluated on the unsharded oracle.
+    Fallback,
+}
+
+/// One unit of per-shard work.
+enum ShardItem {
+    /// A localized per-shard lineage, for a lineage-capable backend.
+    Lineage(Lineage),
+    /// Syntactic evaluation of the (full) query on the shard's sub-store,
+    /// for structural backends. Only enqueued when every clause of the
+    /// query contains a W-homed tuple, so the sub-store yields exactly
+    /// this shard's clause group.
+    Structural,
+}
+
+/// How one query resolved during routing.
+enum Outcome {
+    /// Constant lineage, answered during routing.
+    Constant(f64),
+    /// Clauses enqueued for per-shard evaluation.
+    Sharded,
+    /// No sound routing: evaluated on the unsharded oracle by the routing
+    /// worker itself.
+    Fallback(f64),
+}
+
+/// What one shard worker produced in phase 2: the shard id, the
+/// `(query index, per-shard probability, evaluation time)` of every item
+/// in its queue, and the worker's manager / query-layer counters.
+type ShardOutcome = (
+    usize,
+    Vec<(usize, Result<f64>, Duration)>,
+    ManagerStats,
+    QueryStats,
+);
+
+/// What one routing worker produced for its stripe of the batch.
+#[derive(Default)]
+struct RoutedStripe {
+    /// `(query index, outcome, routing + fallback time)`.
+    outcomes: Vec<(usize, Outcome, Duration)>,
+    /// `(shard, query index, work item)` feeding phase 2.
+    items: Vec<(usize, usize, ShardItem)>,
+    stats: ManagerStats,
+    query_stats: QueryStats,
+}
+
+/// A batch-evaluation session over a [`ShardedEngine`].
+///
+/// Each batch runs in three phases: **route** (striped across one worker
+/// per shard: compute every query's lineage on the full store, group its
+/// clauses per home shard, and evaluate oracle fallbacks in place),
+/// **evaluate** (one worker thread per touched shard, each owning its
+/// shard's index manager and a private query-side manager — no shared
+/// mutable state at all), and **combine** (`1 − ∏_s (1 − q_s)` per
+/// query).
+///
+/// Per-query service latencies (routing + per-shard evaluation + fallback
+/// time) and per-shard/fallback counters are recorded for every batch;
+/// manager and query-layer statistics are merged across the routing
+/// context, every shard worker and the fallback path, so the session-level
+/// aggregate stays complete under sharding.
+#[derive(Debug)]
+pub struct ShardedSession<'e> {
+    engine: &'e ShardedEngine,
+    stats: Cell<ManagerStats>,
+    query_stats: Cell<QueryStats>,
+    shard_queries: RefCell<Vec<u64>>,
+    fallbacks: Cell<u64>,
+}
+
+impl<'e> ShardedSession<'e> {
+    fn new(engine: &'e ShardedEngine) -> Self {
+        ShardedSession {
+            engine,
+            stats: Cell::new(ManagerStats::default()),
+            query_stats: Cell::new(QueryStats::default()),
+            shard_queries: RefCell::new(vec![0; engine.num_shards()]),
+            fallbacks: Cell::new(0),
+        }
+    }
+
+    /// The engine this session evaluates against.
+    pub fn engine(&self) -> &'e ShardedEngine {
+        self.engine
+    }
+
+    /// Merged manager counters of the most recent batch: every shard
+    /// worker's query-side manager plus the delta each shard's (and the
+    /// fallback path's) index manager accumulated during the batch. Zero
+    /// before the first batch.
+    pub fn last_manager_stats(&self) -> ManagerStats {
+        self.stats.get()
+    }
+
+    /// Query-layer counters of the most recent batch, merged over the
+    /// routing context and every shard worker. Zero before the first batch.
+    pub fn last_query_stats(&self) -> QueryStats {
+        self.query_stats.get()
+    }
+
+    /// Per-shard counts of sub-queries evaluated in the most recent batch
+    /// (a query touching `k` shards contributes 1 to each of the `k`).
+    pub fn last_shard_queries(&self) -> Vec<u64> {
+        self.shard_queries.borrow().clone()
+    }
+
+    /// Number of queries of the most recent batch that degraded to the
+    /// unsharded oracle — because some clause group drew W-homed tuples
+    /// from two shards, or because a structural backend met a clause with
+    /// no W-homed tuple at all.
+    pub fn last_fallbacks(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
+    /// Evaluates every query's Boolean probability with the engine's
+    /// default backend (the MV-index). Results are positionally aligned
+    /// with `queries`.
+    pub fn probabilities(&self, queries: &[Ucq]) -> Result<Vec<f64>> {
+        self.probabilities_with_backend(
+            queries,
+            EngineBackend::MvIndex(self.engine.full.intersect_algorithm()),
+        )
+    }
+
+    /// Evaluates every query through an explicit backend selector.
+    pub fn probabilities_with_backend(
+        &self,
+        queries: &[Ucq],
+        selector: EngineBackend,
+    ) -> Result<Vec<f64>> {
+        Ok(self.probabilities_with_latencies(queries, selector)?.0)
+    }
+
+    /// Evaluates every query and additionally reports each query's service
+    /// latency: the time spent routing its lineage plus the time every
+    /// shard worker (or the oracle fallback) spent evaluating it. Queue
+    /// wait is excluded, so the percentiles reflect per-query work, not
+    /// batch position.
+    pub fn probabilities_with_latencies(
+        &self,
+        queries: &[Ucq],
+        selector: EngineBackend,
+    ) -> Result<(Vec<f64>, Vec<Duration>)> {
+        let engine = self.engine;
+        let num_shards = engine.shards.len();
+        let boolean: Vec<Ucq> = queries.iter().map(Ucq::boolean).collect();
+        let index_before = engine.full.index().manager_stats();
+        let lineage_capable = selector.evaluates_lineage();
+
+        // Phase 1: route, with one striped worker per shard (the workers a
+        // deployment of this size owns), each holding a private context on
+        // the full store. Constants are answered on the spot; sharded
+        // queries yield one item per touched shard; queries with no home
+        // are evaluated on the unsharded oracle right here, inside the
+        // worker that routed them.
+        let route_workers = num_shards.min(boolean.len()).max(1);
+        let stripes: Vec<Result<RoutedStripe>> = std::thread::scope(|scope| {
+            let boolean = &boolean;
+            let handles: Vec<_> = (0..route_workers)
+                .map(|w| {
+                    scope.spawn(move || -> Result<RoutedStripe> {
+                        let ctx = engine.full.context();
+                        let backend: Box<dyn Backend> = selector.instantiate();
+                        let mut stripe = RoutedStripe::default();
+                        for (i, q) in boolean.iter().enumerate().skip(w).step_by(route_workers) {
+                            let started = Instant::now();
+                            let lineage = ctx.lineage(q)?;
+                            let outcome = if lineage.is_true() {
+                                Outcome::Constant(1.0)
+                            } else if lineage.is_false() {
+                                Outcome::Constant(0.0)
+                            } else {
+                                match engine.partition.route(&lineage) {
+                                    RoutedLineage::Sharded {
+                                        groups,
+                                        structural_ok,
+                                    } if lineage_capable || structural_ok => {
+                                        for (shard, clauses) in groups {
+                                            let item = if lineage_capable {
+                                                ShardItem::Lineage(
+                                                    engine.shards[shard].localize(&clauses),
+                                                )
+                                            } else {
+                                                ShardItem::Structural
+                                            };
+                                            stripe.items.push((shard, i, item));
+                                        }
+                                        Outcome::Sharded
+                                    }
+                                    RoutedLineage::Sharded { .. } | RoutedLineage::CrossShard => {
+                                        Outcome::Fallback(backend.probability(q, &ctx)?)
+                                    }
+                                }
+                            };
+                            stripe.outcomes.push((i, outcome, started.elapsed()));
+                        }
+                        stripe.stats = ctx.query_manager_stats();
+                        stripe.query_stats = QueryStats {
+                            plan: ctx.query_plan_stats(),
+                            exec: ctx.query_exec_stats(),
+                        };
+                        Ok(stripe)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("routing worker panicked"))
+                .collect()
+        });
+
+        let mut results = vec![0.0f64; queries.len()];
+        let mut latencies = vec![Duration::ZERO; queries.len()];
+        let mut routes = vec![Route::Constant; queries.len()];
+        let mut one_minus = vec![1.0f64; queries.len()];
+        let mut queues: Vec<Vec<(usize, ShardItem)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        let mut num_fallbacks = 0u64;
+        let mut merged_stats = ManagerStats::default();
+        let mut merged_query_stats = QueryStats::default();
+        let mut first_error: Option<CoreError> = None;
+        for stripe in stripes {
+            let stripe = match stripe {
+                Ok(stripe) => stripe,
+                Err(e) => {
+                    first_error = first_error.or(Some(e));
+                    continue;
+                }
+            };
+            merged_stats = merged_stats + stripe.stats;
+            merged_query_stats = merged_query_stats + stripe.query_stats;
+            for (i, outcome, elapsed) in stripe.outcomes {
+                latencies[i] = elapsed;
+                match outcome {
+                    Outcome::Constant(p) => results[i] = p,
+                    Outcome::Sharded => routes[i] = Route::Sharded,
+                    Outcome::Fallback(p) => {
+                        routes[i] = Route::Fallback;
+                        results[i] = p;
+                        num_fallbacks += 1;
+                    }
+                }
+            }
+            for (shard, i, item) in stripe.items {
+                queues[shard].push((i, item));
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // Phase 2: evaluate, one worker per touched shard. Each worker owns
+        // its shard's index manager outright and builds query diagrams in a
+        // private query-side manager; nothing is shared across workers.
+        let mut shard_counts = vec![0u64; num_shards];
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let boolean = &boolean;
+            let handles: Vec<_> = queues
+                .into_iter()
+                .enumerate()
+                .filter(|(_, queue)| !queue.is_empty())
+                .map(|(s, queue)| {
+                    scope.spawn(move || {
+                        let shard = &engine.shards[s];
+                        let backend: Box<dyn Backend> = selector.instantiate();
+                        let ctx = EvalContext::with_index(&shard.translated, &shard.index);
+                        let shard_before = shard.index.manager_stats();
+                        let items: Vec<(usize, Result<f64>, Duration)> = queue
+                            .into_iter()
+                            .map(|(qi, item)| {
+                                let started = Instant::now();
+                                let p = match item {
+                                    ShardItem::Lineage(lineage) => {
+                                        backend.lineage_probability(&lineage, &ctx).expect(
+                                            "selector claims lineage support \
+                                                 (EngineBackend::evaluates_lineage)",
+                                        )
+                                    }
+                                    ShardItem::Structural => {
+                                        backend.probability(&boolean[qi], &ctx)
+                                    }
+                                };
+                                (qi, p, started.elapsed())
+                            })
+                            .collect();
+                        let stats = ctx.query_manager_stats()
+                            + shard.index.manager_stats().since(&shard_before);
+                        let query_stats = QueryStats {
+                            plan: ctx.query_plan_stats(),
+                            exec: ctx.query_exec_stats(),
+                        };
+                        (s, items, stats, query_stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Phase 3: combine by independence.
+        for (s, items, stats, query_stats) in outcomes {
+            shard_counts[s] += items.len() as u64;
+            merged_stats = merged_stats + stats;
+            merged_query_stats = merged_query_stats + query_stats;
+            for (qi, p, elapsed) in items {
+                latencies[qi] += elapsed;
+                match p {
+                    Ok(q_s) => one_minus[qi] *= 1.0 - q_s,
+                    Err(e) => first_error = first_error.or(Some(e)),
+                }
+            }
+        }
+        for (i, route) in routes.iter().enumerate() {
+            if *route == Route::Sharded {
+                results[i] = 1.0 - one_minus[i];
+            }
+        }
+        // The routing workers' query-side counters were merged above; the
+        // shared full-index manager (used by routing and any fallback) is
+        // attributed by delta, like `MvdbSession` does.
+        merged_stats = merged_stats + engine.full.index().manager_stats().since(&index_before);
+
+        self.stats.set(merged_stats);
+        self.query_stats.set(merged_query_stats);
+        *self.shard_queries.borrow_mut() = shard_counts;
+        self.fallbacks.set(num_fallbacks);
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok((results, latencies))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvdb::MvdbBuilder;
+    use mv_query::parse_ucq;
+
+    /// Three independent components (one per `x` value): each couples
+    /// `R(x)`, `S(x)` and the view's `NV` tuple.
+    fn sample_mvdb() -> Mvdb {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        for (x, (wr, ws)) in [("a", (3.0, 4.0)), ("b", (1.0, 0.5)), ("c", (2.0, 2.0))] {
+            b.weighted_tuple("R", &[x], wr).unwrap();
+            b.weighted_tuple("S", &[x], ws).unwrap();
+        }
+        b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+        b.build().unwrap()
+    }
+
+    fn workload() -> Vec<Ucq> {
+        [
+            "Q() :- R(x), S(x)",
+            "Q() :- R(x)",
+            "Q() :- S(x)",
+            "Q() :- R('a')",
+            "Q() :- R('b'), S('b')",
+            "Q() :- R(x) ; Q() :- S(x)",
+            "Q() :- S('c')",
+        ]
+        .iter()
+        .map(|q| parse_ucq(q).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_for_every_backend_and_shard_count() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| oracle.probability(q).unwrap())
+            .collect();
+        for num_shards in [1, 2, 3, 5] {
+            let engine = ShardedEngine::compile(&mvdb, num_shards).unwrap();
+            assert_eq!(engine.num_shards(), num_shards);
+            for selector in EngineBackend::comparison_suite() {
+                let batch = engine
+                    .session()
+                    .probabilities_with_backend(&queries, selector)
+                    .unwrap();
+                for (i, (r, p)) in reference.iter().zip(&batch).enumerate() {
+                    assert!(
+                        (r - p).abs() < 1e-12,
+                        "{num_shards} shards, {selector:?}, slot {i}: {p} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_lineages_touch_zero_shards() {
+        let mut b = MvdbBuilder::new();
+        b.deterministic_relation("D", &["x"]).unwrap();
+        b.relation("R", &["x"]).unwrap();
+        b.fact("D", &["k"]).unwrap();
+        b.weighted_tuple("R", &["a"], 3.0).unwrap();
+        b.marko_view("V(x)[0.5] :- R(x)").unwrap();
+        let engine = ShardedEngine::compile(&b.build().unwrap(), 2).unwrap();
+        let queries = vec![
+            parse_ucq("Q() :- D('k')").unwrap(),  // deterministic: true
+            parse_ucq("Q() :- R('zz')").unwrap(), // no matching tuple: false
+        ];
+        let session = engine.session();
+        let probs = session.probabilities(&queries).unwrap();
+        assert_eq!(probs, vec![1.0, 0.0]);
+        assert_eq!(session.last_shard_queries().iter().sum::<u64>(), 0);
+        assert_eq!(session.last_fallbacks(), 0);
+    }
+
+    #[test]
+    fn cross_shard_clauses_fall_back_to_the_oracle() {
+        let mvdb = sample_mvdb();
+        let engine = ShardedEngine::compile(&mvdb, 3).unwrap();
+        // Three components over three shards: some pair of values lives in
+        // two different shards, so a two-value conjunction must span.
+        let spanning: Vec<Ucq> = [("a", "b"), ("a", "c"), ("b", "c")]
+            .iter()
+            .map(|(x, y)| parse_ucq(&format!("Q() :- R('{x}'), S('{y}')")).unwrap())
+            .collect();
+        let session = engine.session();
+        let probs = session.probabilities(&spanning).unwrap();
+        assert!(session.last_fallbacks() > 0);
+        for (q, p) in spanning.iter().zip(&probs) {
+            let reference = engine.full().probability(q).unwrap();
+            assert!((p - reference).abs() < 1e-12, "{q}: {p} vs {reference}");
+        }
+        // A disjunction of per-component clauses stays sharded: each clause
+        // has a home even though the query touches several shards.
+        let multi = vec![parse_ucq("Q() :- R(x)").unwrap()];
+        let probs = session.probabilities(&multi).unwrap();
+        assert_eq!(session.last_fallbacks(), 0);
+        assert!(session.last_shard_queries().iter().sum::<u64>() >= 2);
+        let reference = engine.full().probability(&multi[0]).unwrap();
+        assert!((probs[0] - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_merge_stats_and_counters_across_shards() {
+        let mvdb = sample_mvdb();
+        let engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+        let queries = workload();
+        let session = engine.session();
+        assert_eq!(session.last_manager_stats(), ManagerStats::default());
+        let (probs, latencies) = session
+            .probabilities_with_latencies(
+                &queries,
+                EngineBackend::MvIndex(engine.full().intersect_algorithm()),
+            )
+            .unwrap();
+        assert_eq!(probs.len(), queries.len());
+        assert_eq!(latencies.len(), queries.len());
+        assert!(latencies.iter().all(|d| *d > Duration::ZERO));
+        // Both shards evaluated sub-queries, and the merged counters saw
+        // the workers' query-side managers.
+        let per_shard = session.last_shard_queries();
+        assert_eq!(per_shard.len(), 2);
+        assert!(per_shard.iter().all(|&c| c > 0), "{per_shard:?}");
+        let stats = session.last_manager_stats();
+        assert!(stats.nodes_allocated > 0);
+        assert!(stats.unique_hits + stats.unique_misses > 0);
+        let query_stats = session.last_query_stats();
+        assert!(query_stats.plan.steps > 0);
+        assert!(query_stats.exec.batches > 0);
+    }
+
+    #[test]
+    fn single_query_probability_routes_through_the_session() {
+        let mvdb = sample_mvdb();
+        let engine = ShardedEngine::compile(&mvdb, 4).unwrap();
+        for q in workload() {
+            let p = engine.probability(&q).unwrap();
+            let reference = engine.full().probability(&q).unwrap();
+            assert!((p - reference).abs() < 1e-12, "{q}");
+        }
+    }
+
+    #[test]
+    fn w_free_tuples_are_replicated_and_ride_along() {
+        // `T` appears in no view, so its tuples are W-free: replicated
+        // into every shard and pinned per query instead of owning a home.
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("T", &["x"]).unwrap();
+        for (x, w) in [("a", 3.0), ("b", 1.0), ("c", 2.0)] {
+            b.weighted_tuple("R", &[x], w).unwrap();
+            b.weighted_tuple("T", &[x], w + 0.5).unwrap();
+        }
+        b.marko_view("V(x)[0.5] :- R(x)").unwrap();
+        let mvdb = b.build().unwrap();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let engine = ShardedEngine::compile(&mvdb, 3).unwrap();
+        let queries: Vec<Ucq> = ["Q() :- R(x), T(x)", "Q() :- T(x)", "Q() :- R('a'), T('b')"]
+            .iter()
+            .map(|q| parse_ucq(q).unwrap())
+            .collect();
+        let session = engine.session();
+        // The lineage-capable default backend shards all of these: W-free
+        // tuples ride along with the clause group that mentions them.
+        let probs = session.probabilities(&queries).unwrap();
+        assert_eq!(session.last_fallbacks(), 0);
+        assert!(session.last_shard_queries().iter().sum::<u64>() > 0);
+        for (q, p) in queries.iter().zip(&probs) {
+            let reference = oracle.probability(q).unwrap();
+            assert!((p - reference).abs() < 1e-12, "{q}: {p} vs {reference}");
+        }
+        // A structural backend cannot evaluate all-W-free clauses per
+        // shard (they would materialize everywhere); it falls back on
+        // `Q() :- T(x)` but still answers exactly.
+        let probs = session
+            .probabilities_with_backend(&queries, EngineBackend::ObddPerQuery)
+            .unwrap();
+        assert!(session.last_fallbacks() > 0);
+        for (q, p) in queries.iter().zip(&probs) {
+            let reference = oracle.probability(q).unwrap();
+            assert!((p - reference).abs() < 1e-12, "{q}: {p} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn evaluates_lineage_matches_backend_behaviour() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        let lineage = ctx.lineage(&q).unwrap();
+        for selector in EngineBackend::comparison_suite().into_iter().chain([
+            EngineBackend::SafePlan,
+            EngineBackend::MonteCarlo(crate::backend::MonteCarloParams::default()),
+        ]) {
+            let backend = selector.instantiate();
+            assert_eq!(
+                selector.evaluates_lineage(),
+                backend.lineage_probability(&lineage, &ctx).is_some(),
+                "{selector:?} routing flag out of sync with its implementation"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_surface_instead_of_panicking() {
+        let mvdb = sample_mvdb();
+        let engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+        let bad = vec![parse_ucq("Q() :- Unknown(x)").unwrap()];
+        assert!(engine.session().probabilities(&bad).is_err());
+    }
+}

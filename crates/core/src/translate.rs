@@ -117,6 +117,29 @@ impl TranslatedIndb {
         self.w.as_ref()
     }
 
+    /// Restricts the translated database to the possible tuples selected by
+    /// `keep`, returning the sub-store together with the local→global tuple
+    /// id map (see [`mv_pdb::InDb::project`]).
+    ///
+    /// The restriction keeps the full schema (so [`RelId`]s carry over),
+    /// every deterministic row, and the *same* helper query `W`: evaluating
+    /// `W` syntactically on the sub-store yields exactly the clauses of
+    /// `W`'s lineage whose tuples were all kept — which is the whole
+    /// per-shard `W_s` when `keep` selects a union of dependency-graph
+    /// connected components, the invariant the sharding layer builds on.
+    pub fn restrict(&self, keep: impl Fn(TupleId) -> bool) -> (TranslatedIndb, Vec<TupleId>) {
+        let (indb, local_to_global) = self.indb.project(keep);
+        (
+            TranslatedIndb {
+                indb,
+                w: self.w.clone(),
+                nv_relations: self.nv_relations.clone(),
+                nv_rel_ids: self.nv_rel_ids.clone(),
+            },
+            local_to_global,
+        )
+    }
+
     /// The name of the `NV` relation of the `i`-th view.
     pub fn nv_relation(&self, view_index: usize) -> &str {
         &self.nv_relations[view_index]

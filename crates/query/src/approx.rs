@@ -58,6 +58,7 @@ use rand_chacha::ChaCha8Rng;
 use mv_pdb::{InDb, TupleId};
 
 use crate::ast::Ucq;
+use crate::components::component_relevant_clauses;
 use crate::error::QueryError;
 use crate::eval::evaluate_boolean;
 use crate::lineage::Lineage;
@@ -369,25 +370,9 @@ impl<'a> ConditionalSampler<'a> {
 
         // Component pruning: ¬W factorises over connected components of the
         // clause/variable graph, and components disjoint from Φ_Q cancel
-        // between numerator and denominator. Union-find over all variables
-        // of both lineages, then keep only the W clauses in Φ_Q's
-        // components.
-        let mut uf = UnionFind::default();
-        for clause in lin_q.clauses().iter().chain(w_clauses.iter()) {
-            let mut vars = clause.iter();
-            if let Some(&first) = vars.next() {
-                let root = uf.index(first);
-                for &t in vars {
-                    let other = uf.index(t);
-                    uf.union(root, other);
-                }
-            }
-        }
-        let q_roots: BTreeSet<usize> = vars_q.iter().map(|&t| uf.find_id(t)).collect();
-        let kept: Vec<&Vec<TupleId>> = w_clauses
-            .iter()
-            .filter(|clause| clause.iter().any(|&t| q_roots.contains(&uf.find_id(t))))
-            .collect();
+        // between numerator and denominator. The traversal is shared with
+        // the sharding layer (`crate::components`).
+        let kept = component_relevant_clauses(lin_q, w_clauses);
 
         // Sampled variables: everything Φ_Q mentions plus the base literals
         // of the kept W clauses, in sorted (deterministic) order.
@@ -821,47 +806,6 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
         -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
             / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    }
-}
-
-/// A small union-find over tuple ids (dense indices assigned on first use).
-#[derive(Default)]
-struct UnionFind {
-    index_of: FxHashMap<TupleId, usize>,
-    parent: Vec<usize>,
-}
-
-impl UnionFind {
-    fn index(&mut self, t: TupleId) -> usize {
-        if let Some(&i) = self.index_of.get(&t) {
-            return i;
-        }
-        let i = self.parent.len();
-        self.parent.push(i);
-        self.index_of.insert(t, i);
-        i
-    }
-
-    fn find(&mut self, mut i: usize) -> usize {
-        while self.parent[i] != i {
-            self.parent[i] = self.parent[self.parent[i]];
-            i = self.parent[i];
-        }
-        i
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra != rb {
-            self.parent[rb] = ra;
-        }
-    }
-
-    /// Root of a tuple id (assigning an index if the id was never seen).
-    fn find_id(&mut self, t: TupleId) -> usize {
-        let i = self.index(t);
-        self.find(i)
     }
 }
 

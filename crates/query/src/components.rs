@@ -1,0 +1,246 @@
+//! Connected-component analysis of lineage clause sets.
+//!
+//! A set of DNF clauses over [`TupleId`] variables induces a dependency
+//! graph: two tuples are connected when some clause mentions both. The
+//! probability of a conjunction of clause-set negations (the Theorem 1
+//! denominator `P0(¬W)`, for instance) factorises exactly over the
+//! connected components of that graph, because tuples in different
+//! components are independent and no clause spans components.
+//!
+//! Two consumers share this module:
+//!
+//! * the Monte Carlo sampler ([`crate::approx`]) prunes `W` clauses whose
+//!   component is disjoint from the query lineage `Φ_Q` — those components
+//!   cancel between the numerator and denominator of the conditional
+//!   estimator ([`component_relevant_clauses`]);
+//! * the scale-out sharding layer (`mv-core`) partitions the translated
+//!   database into shard sub-stores along the components of `W`'s lineage
+//!   ([`connected_components`]), so per-shard probabilities can be combined
+//!   by plain independence algebra.
+
+use std::collections::BTreeSet;
+
+use fxhash::FxHashMap;
+
+use mv_pdb::TupleId;
+
+use crate::lineage::{Clause, Lineage};
+
+/// A union-find (disjoint-set) structure over tuple ids, with dense indices
+/// assigned on first use, path-halving finds and naive root linking.
+#[derive(Debug, Default)]
+pub struct UnionFind {
+    index_of: FxHashMap<TupleId, usize>,
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Dense index of a tuple id, assigning the next free index on first use.
+    pub fn index(&mut self, t: TupleId) -> usize {
+        if let Some(&i) = self.index_of.get(&t) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.index_of.insert(t, i);
+        i
+    }
+
+    /// Representative of the set containing dense index `i` (path-halving).
+    pub fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merges the sets containing dense indices `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    /// Root of a tuple id (assigning an index if the id was never seen).
+    pub fn find_id(&mut self, t: TupleId) -> usize {
+        let i = self.index(t);
+        self.find(i)
+    }
+
+    /// Unions all variables of one clause into a single set.
+    pub fn union_clause(&mut self, clause: &[TupleId]) {
+        let mut vars = clause.iter();
+        if let Some(&first) = vars.next() {
+            let root = self.index(first);
+            for &t in vars {
+                let other = self.index(t);
+                self.union(root, other);
+            }
+        }
+    }
+}
+
+/// The `W` clauses sharing a connected component with the query lineage
+/// `Φ_Q` — the clauses that *cannot* be cancelled out of the Theorem 1
+/// conditional `P0(Φ_Q ∧ ¬W) / P0(¬W)`.
+///
+/// Components of `¬W` disjoint from `Φ_Q` contribute the same factor to
+/// numerator and denominator, so dropping their clauses leaves the
+/// conditional unchanged while shrinking the variable set to the query's
+/// neighbourhood.
+pub fn component_relevant_clauses<'w>(lin_q: &Lineage, w_clauses: &'w [Clause]) -> Vec<&'w Clause> {
+    let mut uf = UnionFind::default();
+    for clause in lin_q.clauses().iter().chain(w_clauses.iter()) {
+        uf.union_clause(clause);
+    }
+    let q_roots: BTreeSet<usize> = lin_q.variables().iter().map(|&t| uf.find_id(t)).collect();
+    w_clauses
+        .iter()
+        .filter(|clause| clause.iter().any(|&t| q_roots.contains(&uf.find_id(t))))
+        .collect()
+}
+
+/// The connected components of a clause set over a universe of
+/// `num_tuples` possible tuples (`TupleId(0) .. TupleId(num_tuples)`).
+///
+/// Every tuple mentioned by some clause joins the component of that clause;
+/// tuples mentioned by no clause form singleton components. Component ids
+/// are dense, and ordered by each component's smallest member tuple — the
+/// numbering is a pure function of the clause set, independent of clause
+/// order or hash-map iteration.
+#[derive(Debug, Clone)]
+pub struct Components {
+    component_of: Vec<u32>,
+    members: Vec<Vec<TupleId>>,
+}
+
+/// Computes [`Components`] for `clauses` over a `num_tuples` universe.
+///
+/// Panics if a clause mentions a tuple id at or beyond `num_tuples`.
+pub fn connected_components(num_tuples: usize, clauses: &[Clause]) -> Components {
+    let mut uf = UnionFind::default();
+    for clause in clauses {
+        uf.union_clause(clause);
+    }
+    let mut component_of = vec![u32::MAX; num_tuples];
+    let mut members: Vec<Vec<TupleId>> = Vec::new();
+    let mut root_to_component: FxHashMap<usize, u32> = FxHashMap::default();
+    // Scan tuples in increasing id order so components are numbered by their
+    // smallest member.
+    for (raw, slot) in component_of.iter_mut().enumerate() {
+        let t = TupleId(raw as u32);
+        let component = if uf.index_of.contains_key(&t) {
+            let root = uf.find_id(t);
+            *root_to_component.entry(root).or_insert_with(|| {
+                members.push(Vec::new());
+                (members.len() - 1) as u32
+            })
+        } else {
+            members.push(Vec::new());
+            (members.len() - 1) as u32
+        };
+        *slot = component;
+        members[component as usize].push(t);
+    }
+    Components {
+        component_of,
+        members,
+    }
+}
+
+impl Components {
+    /// Number of connected components (including singletons).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Size of the possible-tuple universe the components were built over.
+    pub fn num_tuples(&self) -> usize {
+        self.component_of.len()
+    }
+
+    /// `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Dense component id of a tuple.
+    ///
+    /// Panics if `t` lies outside the universe the components were built
+    /// over.
+    pub fn component_of(&self, t: TupleId) -> usize {
+        self.component_of[t.0 as usize] as usize
+    }
+
+    /// The member tuples of a component, in increasing id order.
+    pub fn members(&self, component: usize) -> &[TupleId] {
+        &self.members[component]
+    }
+
+    /// Number of tuples in a component.
+    pub fn size(&self, component: usize) -> usize {
+        self.members[component].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::Lineage;
+
+    fn t(id: u32) -> TupleId {
+        TupleId(id)
+    }
+
+    #[test]
+    fn singleton_components_for_unconstrained_tuples() {
+        let c = connected_components(4, &[]);
+        assert_eq!(c.len(), 4);
+        for id in 0..4 {
+            assert_eq!(c.component_of(t(id)), id as usize);
+            assert_eq!(c.members(id as usize), &[t(id)]);
+        }
+    }
+
+    #[test]
+    fn clauses_merge_their_variables() {
+        // {0,1} and {1,2} chain into one component; 3 stays alone.
+        let c = connected_components(4, &[vec![t(0), t(1)], vec![t(1), t(2)]]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.component_of(t(0)), 0);
+        assert_eq!(c.component_of(t(1)), 0);
+        assert_eq!(c.component_of(t(2)), 0);
+        assert_eq!(c.component_of(t(3)), 1);
+        assert_eq!(c.members(0), &[t(0), t(1), t(2)]);
+        assert_eq!(c.size(0), 3);
+    }
+
+    #[test]
+    fn numbering_is_independent_of_clause_order() {
+        let forward = connected_components(5, &[vec![t(3), t(4)], vec![t(0), t(1)]]);
+        let reversed = connected_components(5, &[vec![t(0), t(1)], vec![t(3), t(4)]]);
+        for id in 0..5 {
+            assert_eq!(forward.component_of(t(id)), reversed.component_of(t(id)));
+        }
+    }
+
+    #[test]
+    fn relevant_clauses_keep_only_the_query_component() {
+        let lin_q = Lineage::from_clauses([vec![t(0)]]);
+        let w_clauses = vec![vec![t(0), t(1)], vec![t(2), t(3)], vec![t(1), t(4)]];
+        let kept = component_relevant_clauses(&lin_q, &w_clauses);
+        // {0,1} and {1,4} share the query's component through tuple 1;
+        // {2,3} cancels.
+        assert_eq!(kept, vec![&w_clauses[0], &w_clauses[2]]);
+    }
+
+    #[test]
+    fn relevant_clauses_empty_for_disjoint_query() {
+        let lin_q = Lineage::from_clauses([vec![t(9)]]);
+        let w_clauses = vec![vec![t(0), t(1)]];
+        assert!(component_relevant_clauses(&lin_q, &w_clauses).is_empty());
+    }
+}

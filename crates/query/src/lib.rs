@@ -25,6 +25,12 @@
 //!   [`mv_pdb::TupleId`] variables.
 //! * [`analysis`] — root variables, separator variables, hierarchical and
 //!   inversion-free tests (Section 4.2), and safety detection.
+//! * [`components`] — connected-component analysis of lineage clause sets
+//!   (union-find), shared by the Monte Carlo sampler's component pruning
+//!   and the scale-out sharding layer.
+//! * [`partition`] — [`ComponentPartitioner`]: packs the components of
+//!   `W`'s lineage into balanced disjoint shards and routes query clauses
+//!   to their home shard (flagging cross-shard clauses for fallback).
 //! * [`safe_plan`] — the lifted (safe-plan) probability evaluator for safe
 //!   UCQs, correct for negative probabilities.
 //! * [`shannon`] — exact lineage probability by Shannon expansion with
@@ -44,10 +50,12 @@ pub mod analysis;
 pub mod approx;
 pub mod ast;
 pub mod brute;
+pub mod components;
 pub mod error;
 pub mod eval;
 pub mod lineage;
 pub mod parser;
+pub mod partition;
 pub mod plan;
 pub mod rewrite;
 pub mod safe_plan;
@@ -60,10 +68,12 @@ pub use approx::{
     IntervalMethod,
 };
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, Ucq};
+pub use components::{component_relevant_clauses, connected_components, Components, UnionFind};
 pub use error::QueryError;
 pub use eval::{evaluate_boolean, evaluate_ucq, Answer};
 pub use lineage::{Clause, Lineage};
 pub use parser::{parse_query, parse_ucq};
+pub use partition::{ComponentPartitioner, Partition, RoutedLineage};
 pub use plan::{CompiledUcq, PhysicalPlan, PlanStats};
 pub use rewrite::{separator_domain, simplify_cq, SimplifiedCq};
 pub use safe_plan::{safe_probability, SafePlanError};

@@ -59,7 +59,8 @@ pub mod prelude {
         MonteCarloParams, MvIndexBackend, ObddPerQuery, SafePlan, Shannon,
     };
     pub use mv_core::{
-        EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, MvdbSession, TranslatedIndb,
+        EngineBackend, MarkoView, Mvdb, MvdbBuilder, MvdbEngine, MvdbSession, ShardedEngine,
+        ShardedSession, TranslatedIndb,
     };
     pub use mv_dblp::{DblpConfig, DblpDataset};
     pub use mv_index::{IntersectAlgorithm, MvIndex};
