@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `session`, `sharded`, `microbench`, `ablation`, `all`.
+//! `fig10`, `fig11`, `session`, `sharded`, `microbench`, `approx`,
+//! `resilience`, `ablation`, `all`.
 //! Options: `--quick` (3 scaling points instead of 10, fewer queries),
 //! `--authors N` (size of the "full" dataset for fig1/fig10/fig11; default
 //! 10000), `--threads N` (worker threads for the exact-backend workloads of
@@ -35,6 +36,7 @@ struct Options {
     full_authors: usize,
     threads: usize,
     shards: usize,
+    chaos_seed: u64,
     json_path: Option<String>,
 }
 
@@ -91,6 +93,7 @@ const KNOWN_FIGURES: &[&str] = &[
     "sharded",
     "microbench",
     "approx",
+    "resilience",
     "ablation",
     "all",
 ];
@@ -98,7 +101,7 @@ const KNOWN_FIGURES: &[&str] = &[
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: figures [{}] [--quick] [--authors N] [--threads N] [--shards N] [--json PATH | --no-json]",
+        "usage: figures [{}] [--quick] [--authors N] [--threads N] [--shards N] [--chaos-seed N] [--json PATH | --no-json]",
         KNOWN_FIGURES.join("|")
     );
     std::process::exit(2);
@@ -117,6 +120,7 @@ fn main() {
         full_authors: 10_000,
         threads: 1,
         shards: 4,
+        chaos_seed: 0xC0FFEE,
         json_path: Some("BENCH_figures.json".to_string()),
     };
     let mut i = 0;
@@ -144,6 +148,13 @@ fn main() {
                     .and_then(|a| a.parse::<usize>().ok())
                     .filter(|&s| s >= 1)
                     .unwrap_or_else(|| usage_error("--shards needs a number >= 1"));
+            }
+            "--chaos-seed" => {
+                i += 1;
+                opts.chaos_seed = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage_error("--chaos-seed needs a number"));
             }
             "--json" => {
                 i += 1;
@@ -203,6 +214,9 @@ fn main() {
     }
     if wants("approx") {
         report.add("approx", approx(&opts));
+    }
+    if wants("resilience") {
+        report.add("resilience", resilience(&opts));
     }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
@@ -626,6 +640,97 @@ fn approx(opts: &Options) -> Json {
     }
     println!();
     Json::arr(rows)
+}
+
+/// The resilience campaign: the sharded workload evaluated through the
+/// degradation ladder twice — clean and under the seeded fault-injection
+/// campaign of [`resilience_chaos_config`] — with the chaos run's loss,
+/// degradation, retry, exactness and latency accounting. CI gates on this
+/// series: zero lost queries, bounded degraded fraction, exact-rung
+/// answers within 1e-9 of the clean run.
+fn resilience(opts: &Options) -> Json {
+    let num_shards = opts.shards;
+    let (num_authors, num_queries) = if opts.quick {
+        (2_000, 40_000)
+    } else {
+        (3_000, 120_000)
+    };
+    println!(
+        "== Resilience: degradation ladder under fault injection ({num_shards} shards, seed {}) ==",
+        opts.chaos_seed
+    );
+    let p = resilience_campaign(num_authors, num_queries, num_shards, opts.chaos_seed);
+    println!(
+        "{:>10} {:>9} {:>10} {:>6} {:>10} {:>10} {:>9} {:>9} {:>12}",
+        "aid domain",
+        "queries",
+        "chaos (s)",
+        "lost",
+        "degraded",
+        "fallbacks",
+        "retries",
+        "p99 (us)",
+        "exact |err|"
+    );
+    println!(
+        "{:>10} {:>9} {:>10.3} {:>6} {:>9.3}% {:>10} {:>9} {:>9.1} {:>12.2e}",
+        p.num_authors,
+        p.num_queries,
+        secs(p.chaos_time),
+        p.lost,
+        100.0 * p.degraded_fraction(),
+        p.fallbacks,
+        p.retries,
+        secs(p.p99) * 1e6,
+        p.exact_max_abs_err,
+    );
+    println!(
+        "             rungs: {} exact, {} bounded, {} monte-carlo; degraded max |err| {:.2e} (max eps {:.3})",
+        p.rungs.exact, p.rungs.bounded, p.rungs.monte_carlo, p.degraded_max_abs_err, p.max_epsilon,
+    );
+    for (site, fault, draws, injected) in &p.injections {
+        println!(
+            "             chaos {site}:{} {injected}/{draws} injected",
+            fault.name()
+        );
+    }
+    let injections: Vec<Json> = p
+        .injections
+        .iter()
+        .map(|(site, fault, draws, injected)| {
+            Json::obj([
+                ("site", Json::from(site.as_str())),
+                ("fault", Json::from(fault.name())),
+                ("draws", Json::from(*draws)),
+                ("injected", Json::from(*injected)),
+            ])
+        })
+        .collect();
+    let mut row = Json::obj([
+        ("num_authors", Json::from(p.num_authors)),
+        ("num_shards", Json::from(p.num_shards)),
+        ("num_queries", Json::from(p.num_queries)),
+        ("chaos_seed", Json::from(p.chaos_seed)),
+        ("clean_s", Json::from(secs(p.clean_time))),
+        ("chaos_s", Json::from(secs(p.chaos_time))),
+        ("lost", Json::from(p.lost)),
+        ("degraded", Json::from(p.degraded)),
+        ("degraded_fraction", Json::from(p.degraded_fraction())),
+        ("rung_exact", Json::from(p.rungs.exact)),
+        ("rung_bounded", Json::from(p.rungs.bounded)),
+        ("rung_monte_carlo", Json::from(p.rungs.monte_carlo)),
+        ("fallbacks", Json::from(p.fallbacks)),
+        ("retries", Json::from(p.retries)),
+        ("exact_max_abs_err", Json::from(p.exact_max_abs_err)),
+        ("degraded_max_abs_err", Json::from(p.degraded_max_abs_err)),
+        ("max_epsilon", Json::from(p.max_epsilon)),
+        ("p50_s", Json::from(secs(p.p50))),
+        ("p95_s", Json::from(secs(p.p95))),
+        ("p99_s", Json::from(secs(p.p99))),
+    ]);
+    row.push("injections", Json::arr(injections));
+    println!();
+    Json::arr([row])
 }
 
 /// Serializes shared-OBDD-manager counters for the machine-readable report.

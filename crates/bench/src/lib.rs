@@ -1750,6 +1750,212 @@ pub fn compile_engine(data: &DblpDataset, algo: IntersectAlgorithm) -> MvdbEngin
     MvdbEngine::compile_with(&data.mvdb, algo).expect("compiles")
 }
 
+/// Per-rung answer counts of a resilience run.
+#[derive(Debug, Clone, Default)]
+pub struct RungCounts {
+    /// Queries answered on the exact rung.
+    pub exact: u64,
+    /// Queries answered on the bounded-exact rung.
+    pub bounded: u64,
+    /// Queries answered on the Monte Carlo rung.
+    pub monte_carlo: u64,
+}
+
+/// One `(site, fault, draws, injected)` row of the chaos accounting.
+pub type InjectionRow = (String, mv_core::chaos::Fault, u64, u64);
+
+/// One run of the resilience campaign: a sustained sharded batch evaluated
+/// through [`ShardedSession::resilient_probabilities`]
+/// (`mv_core::sharded::ShardedSession`) twice — once clean, once under a
+/// seeded fault-injection campaign — with the chaos run's degradation,
+/// retry and exactness accounting.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Shards of the partitioned run.
+    pub num_shards: usize,
+    /// Number of Boolean queries in the batch.
+    pub num_queries: usize,
+    /// Seed of the chaos campaign.
+    pub chaos_seed: u64,
+    /// Wall-clock time of the clean resilient batch.
+    pub clean_time: Duration,
+    /// Wall-clock time of the batch under fault injection.
+    pub chaos_time: Duration,
+    /// Queries that received no answer under chaos (must stay zero: the
+    /// workload is semantically valid, so the ladder always has a rung).
+    pub lost: u64,
+    /// Queries answered below the exact rung under chaos.
+    pub degraded: u64,
+    /// Per-rung answer counts under chaos.
+    pub rungs: RungCounts,
+    /// Queries that fell back to the unsharded oracle under chaos.
+    pub fallbacks: u64,
+    /// Total retry attempts spent under chaos.
+    pub retries: u64,
+    /// Largest absolute difference of exact-rung chaos answers against the
+    /// clean run (the exactness gate; must stay below 1e-9).
+    pub exact_max_abs_err: f64,
+    /// Largest absolute difference of degraded chaos answers against the
+    /// clean run.
+    pub degraded_max_abs_err: f64,
+    /// Largest advertised half-width among degraded answers.
+    pub max_epsilon: f64,
+    /// Chaos-run service-latency percentiles.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// The chaos accounting: `(site, fault, draws, injected)` per rule.
+    pub injections: Vec<InjectionRow>,
+}
+
+impl ResiliencePoint {
+    /// Fraction of queries answered below the exact rung under chaos.
+    pub fn degraded_fraction(&self) -> f64 {
+        self.degraded as f64 / (self.num_queries as f64).max(1.0)
+    }
+}
+
+/// The default chaos campaign of the resilience benchmark: panics in
+/// routing and shard evaluation, budget trips on the exact rung and
+/// deadline trips on the bounded rung. The Monte Carlo rung and the oracle
+/// rescue path stay clean, so every valid query is structurally guaranteed
+/// an answer — "zero lost" is a gate, not a hope.
+pub fn resilience_chaos_config(seed: u64) -> mv_core::chaos::ChaosConfig {
+    use mv_core::chaos::{sites, ChaosConfig, Fault};
+    ChaosConfig::new(seed)
+        .rule(sites::ROUTE, Fault::Panic, 0.002)
+        .rule(sites::SHARD_EVAL, Fault::Panic, 0.005)
+        .rule(sites::EXACT_RUNG, Fault::Budget, 0.02)
+        .rule(sites::BOUNDED_RUNG, Fault::Deadline, 0.2)
+}
+
+/// Runs the resilience campaign: the mixed point + broad [`sharded_workload`]
+/// through a resilient sharded session, clean and under
+/// [`resilience_chaos_config`] — or, when the `MV_CHAOS` environment
+/// variable is set, under that spec instead (its seed overrides
+/// `chaos_seed`). Asserts the hard invariants (every query answered in
+/// both runs, clean run fully exact) and reports the soft series
+/// (degradation, retries, exactness, latency) for the JSON gates.
+pub fn resilience_campaign(
+    num_authors: usize,
+    num_queries: usize,
+    num_shards: usize,
+    chaos_seed: u64,
+) -> ResiliencePoint {
+    use mv_core::chaos::{self, ChaosConfig};
+    use mv_core::{ResilienceConfig, Rung};
+
+    let chaos_config = match ChaosConfig::from_env() {
+        Ok(Some(spec)) => spec,
+        Ok(None) => resilience_chaos_config(chaos_seed),
+        Err(e) => panic!("invalid MV_CHAOS spec: {e}"),
+    };
+    let chaos_seed = chaos_config.seed;
+
+    let data = dataset_v1v2(num_authors);
+    let (queries, _) = sharded_workload(
+        &data,
+        num_authors / 4,
+        num_queries,
+        SHARDED_BROAD_STRIDE,
+        None,
+    );
+    let engine = ShardedEngine::compile(&data.mvdb, num_shards).expect("sharded engine compiles");
+    let session = engine.session();
+    // The campaign's ladder trades Monte Carlo precision for throughput:
+    // at the default ±0.01 target a degraded broad query runs ~2.6e5
+    // samples and the chaos pass takes minutes instead of seconds.
+    let config = ResilienceConfig {
+        epsilon: 0.05,
+        mc_max_samples: 1 << 16,
+        node_budget: 1 << 22,
+        ..ResilienceConfig::default()
+    };
+
+    // Clean pass under a rule-free guard (serializes against any other
+    // chaos campaign in the process and injects nothing).
+    let clean = {
+        let _guard = chaos::install(ChaosConfig::new(0));
+        let t0 = Instant::now();
+        let outcomes = session.resilient_probabilities(&queries, &config);
+        let clean_time = t0.elapsed();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.answered(), "clean slot {i} lost: {:?}", o.fault);
+            assert_eq!(o.rung, Some(Rung::Exact), "clean slot {i} degraded");
+        }
+        (outcomes, clean_time)
+    };
+    let (clean_outcomes, clean_time) = clean;
+
+    // Chaos pass.
+    let guard = chaos::install(chaos_config);
+    let t1 = Instant::now();
+    let outcomes = session.resilient_probabilities(&queries, &config);
+    let chaos_time = t1.elapsed();
+    let injections = chaos::injection_counts();
+    drop(guard);
+
+    let mut point = ResiliencePoint {
+        num_authors,
+        num_shards,
+        num_queries: queries.len(),
+        chaos_seed,
+        clean_time,
+        chaos_time,
+        lost: 0,
+        degraded: 0,
+        rungs: RungCounts::default(),
+        fallbacks: 0,
+        retries: 0,
+        exact_max_abs_err: 0.0,
+        degraded_max_abs_err: 0.0,
+        max_epsilon: 0.0,
+        p50: Duration::ZERO,
+        p95: Duration::ZERO,
+        p99: Duration::ZERO,
+        injections,
+    };
+    let mut latencies = Vec::with_capacity(outcomes.len());
+    for (o, c) in outcomes.iter().zip(&clean_outcomes) {
+        latencies.push(o.elapsed);
+        point.retries += u64::from(o.retries);
+        if o.fallback {
+            point.fallbacks += 1;
+        }
+        let Some(p) = o.probability else {
+            point.lost += 1;
+            continue;
+        };
+        let err = (p - c.probability.expect("clean run answered")).abs();
+        match o.rung.expect("answered outcomes carry a rung") {
+            Rung::Exact => {
+                point.rungs.exact += 1;
+                point.exact_max_abs_err = point.exact_max_abs_err.max(err);
+            }
+            Rung::BoundedExact => {
+                point.rungs.bounded += 1;
+                point.degraded += 1;
+                point.degraded_max_abs_err = point.degraded_max_abs_err.max(err);
+            }
+            Rung::MonteCarlo => {
+                point.rungs.monte_carlo += 1;
+                point.degraded += 1;
+                point.degraded_max_abs_err = point.degraded_max_abs_err.max(err);
+                point.max_epsilon = point.max_epsilon.max(o.epsilon.unwrap_or(0.0));
+            }
+        }
+    }
+    latencies.sort();
+    point.p50 = percentile(&latencies, 0.50);
+    point.p95 = percentile(&latencies, 0.95);
+    point.p99 = percentile(&latencies, 0.99);
+    point
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1927,6 +2133,24 @@ mod tests {
         assert_eq!(p.covered, p.num_queries);
         assert!(p.abs_err_max < 0.05, "abs err {}", p.abs_err_max);
         assert_eq!(p.methods.iter().sum::<usize>(), p.num_queries);
+    }
+
+    #[test]
+    fn resilience_campaign_loses_nothing_and_stays_exact_where_undergraded() {
+        let p = resilience_campaign(150, 400, 2, 42);
+        assert_eq!(p.num_queries, 400);
+        assert_eq!(p.lost, 0, "the ladder must answer every valid query");
+        assert!(
+            p.exact_max_abs_err < 1e-9,
+            "exact-rung answers must match the clean run: {}",
+            p.exact_max_abs_err
+        );
+        let answered = p.rungs.exact + p.rungs.bounded + p.rungs.monte_carlo;
+        assert_eq!(answered, 400);
+        // The campaign's draws are recorded per rule, and at these rates
+        // over 400 queries something actually fires.
+        assert!(!p.injections.is_empty());
+        assert!(p.injections.iter().all(|(_, _, draws, inj)| inj <= draws));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod brute;
 pub mod index;
 pub mod monte_carlo;
 pub mod obdd;
+pub mod resilient;
 pub mod safe_plan;
 pub mod shannon;
 
@@ -44,6 +45,9 @@ pub use brute::BruteForce;
 pub use index::MvIndexBackend;
 pub use monte_carlo::{MonteCarlo, MonteCarloParams};
 pub use obdd::ObddPerQuery;
+pub use resilient::{
+    FaultKind, QueryFault, QueryOutcome, ResilienceConfig, ResilientBackend, Rung,
+};
 pub use safe_plan::SafePlan;
 pub use shannon::Shannon;
 
@@ -66,6 +70,7 @@ pub struct EvalContext<'a> {
     w_lineage: OnceCell<Lineage>,
     scalars: RefCell<FxHashMap<&'static str, f64>>,
     query_manager: OnceCell<ObddManager>,
+    budget: RefCell<Option<mv_query::EvalBudget>>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -78,6 +83,39 @@ impl<'a> EvalContext<'a> {
             w_lineage: OnceCell::new(),
             scalars: RefCell::new(FxHashMap::default()),
             query_manager: OnceCell::new(),
+            budget: RefCell::new(None),
+        }
+    }
+
+    /// Installs (or clears) a cooperative [`mv_query::EvalBudget`] on this
+    /// context. The budget propagates to every layer the context drives:
+    /// the vectorized lineage executor polls it at batch boundaries, the
+    /// lazy query-side [`ObddManager`] polls it in its synthesis/apply
+    /// folds, and sampling backends poll it between batches. Budgets are
+    /// per-query in session use — install a fresh one before each query.
+    /// The shared index manager is never budgeted, so one worker's
+    /// deadline cannot cancel a sibling's evaluation.
+    pub fn set_budget(&self, budget: Option<mv_query::EvalBudget>) {
+        self.query_ctx.set_budget(budget.clone());
+        if let Some(manager) = self.query_manager.get() {
+            manager.set_budget(budget.clone());
+        }
+        *self.budget.borrow_mut() = budget;
+    }
+
+    /// The currently installed budget, if any (cheap clone of the shared
+    /// handle).
+    pub fn budget(&self) -> Option<mv_query::EvalBudget> {
+        self.budget.borrow().clone()
+    }
+
+    /// Polls the installed budget, surfacing a trip as the matching typed
+    /// [`CoreError`] (`DeadlineExceeded` / `BudgetExceeded` / `Cancelled`).
+    /// A no-op without a budget.
+    pub fn check_budget(&self) -> Result<()> {
+        match self.budget.borrow().as_ref() {
+            Some(b) => b.check().map_err(CoreError::from),
+            None => Ok(()),
         }
     }
 
@@ -147,9 +185,15 @@ impl<'a> EvalContext<'a> {
     /// owns its own shard, so parallel evaluation never contends on
     /// query-side writes.
     pub fn query_manager(&self) -> &ObddManager {
-        self.query_manager.get_or_init(|| match self.index {
-            Some(index) => index.query_manager(),
-            None => ObddManager::new(Arc::new(PiOrder::identity().tuple_order(self.indb()))),
+        self.query_manager.get_or_init(|| {
+            let manager = match self.index {
+                Some(index) => index.query_manager(),
+                None => ObddManager::new(Arc::new(PiOrder::identity().tuple_order(self.indb()))),
+            };
+            // A budget installed before the first query diagram must bound
+            // the manager's folds too.
+            manager.set_budget(self.budget.borrow().clone());
+            manager
         })
     }
 

@@ -98,12 +98,17 @@ impl MonteCarlo {
         &self.config
     }
 
-    /// The full interval-carrying estimate for a Boolean query.
+    /// The full interval-carrying estimate for a Boolean query. Polls the
+    /// context's cooperative budget between sample batches: sampling is an
+    /// anytime algorithm, so a deadline trip mid-run returns the partial
+    /// (wider) interval, and only a budget that leaves no statistically
+    /// usable sample count errors out.
     pub fn approx(&self, q: &Ucq, ctx: &EvalContext<'_>) -> Result<ApproxAnswer> {
         ctx.require_boolean(q)?;
         let lin_q = ctx.lineage(q)?;
         let sampler = self.sampler(&lin_q, q, ctx)?;
-        Ok(sampler.estimate(&self.config))
+        let budget = ctx.budget();
+        Ok(sampler.estimate_budgeted(&self.config, budget.as_ref())?)
     }
 
     /// The full interval-carrying estimate for a precomputed lineage.
@@ -112,7 +117,8 @@ impl MonteCarlo {
         let translated = ctx.translated();
         let sampler =
             ConditionalSampler::new(lineage, lin_w, ctx.indb(), |t| translated.is_nv_tuple(t))?;
-        Ok(sampler.estimate(&self.config))
+        let budget = ctx.budget();
+        Ok(sampler.estimate_budgeted(&self.config, budget.as_ref())?)
     }
 
     /// Compiles the world sampler for a query's lineage against this

@@ -1,0 +1,650 @@
+//! The graceful-degradation ladder: exact → bounded-exact → Monte Carlo.
+//!
+//! [`ResilientBackend`] wraps any [`EngineBackend`] selector and guarantees
+//! an answer-or-typed-outcome for every query: rung 1 runs the inner exact
+//! backend under the configured deadline/step budget and a per-rung panic
+//! trap; on a *degradable* failure (deadline, budget, caught panic,
+//! bounded-synthesis refusal — see [`CoreError::is_degradable`]) it
+//! escalates to rung 2, bounded-exact synthesis
+//! ([`SynthesisBuilder::from_lineage_bounded`] on `Q ∨ W` and `W`, combined
+//! by Theorem 1), and finally to rung 3, seeded Monte Carlo with the
+//! requested target `±ε`. Semantic errors (unknown relation, arity
+//! mismatch, …) stop the ladder immediately — no cheaper rung can answer
+//! those either.
+//!
+//! Every evaluation produces a [`QueryOutcome`] recording which rung
+//! answered, why degradation happened (the first degradable fault), the
+//! achieved interval half-width on the sampling rung, retries, and elapsed
+//! wall-clock — the per-query record the resilience bench campaign and the
+//! chaos CI gates aggregate.
+//!
+//! Each rung gets a *fresh* budget window (deadline measured from rung
+//! entry), so an exact rung that burns its whole deadline cannot starve
+//! the sampling rung that is supposed to rescue the query; the worst-case
+//! wall-clock per query is `rungs × deadline`.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use mv_index::IntersectAlgorithm;
+use mv_obdd::{Obdd, ObddError, ObddManager, SynthesisBuilder};
+use mv_query::approx::ApproxConfig;
+use mv_query::lineage::Lineage;
+use mv_query::{EvalBudget, Ucq};
+
+use crate::backend::{theorem1, EngineBackend, EvalContext, MonteCarlo};
+use crate::chaos::{self, sites};
+use crate::error::CoreError;
+use crate::Result;
+
+/// The ladder rungs, cheapest-guarantee last. `Ord` follows degradation
+/// order, so the worst rung across a sharded combination is the `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// The inner exact backend answered.
+    Exact,
+    /// Bounded-exact synthesis answered (still exact — the node budget
+    /// refused nothing); reached only because rung 1 failed.
+    BoundedExact,
+    /// Monte Carlo answered with a confidence interval.
+    MonteCarlo,
+}
+
+impl Rung {
+    /// Stable label for metrics and JSON series.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Exact => "exact",
+            Rung::BoundedExact => "bounded_exact",
+            Rung::MonteCarlo => "monte_carlo",
+        }
+    }
+}
+
+/// Classification of the failure that caused degradation (or loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A caught panic — transient: retried on the oracle.
+    Panic,
+    /// A wall-clock deadline trip.
+    Deadline,
+    /// A work-budget trip (steps, arena nodes, or samples).
+    Budget,
+    /// Cooperative cancellation.
+    Cancelled,
+    /// A semantic error no rung can answer (stops the ladder).
+    Semantic,
+}
+
+impl FaultKind {
+    fn of(e: &CoreError) -> FaultKind {
+        match e {
+            CoreError::WorkerPanicked { .. } => FaultKind::Panic,
+            CoreError::DeadlineExceeded { .. } => FaultKind::Deadline,
+            CoreError::Cancelled => FaultKind::Cancelled,
+            CoreError::BudgetExceeded { .. } => FaultKind::Budget,
+            CoreError::Obdd(mv_obdd::ObddError::NodeBudgetExceeded { .. }) => FaultKind::Budget,
+            CoreError::Obdd(mv_obdd::ObddError::Budget(b))
+            | CoreError::Query(mv_query::QueryError::Budget(b)) => match b {
+                mv_query::BudgetError::DeadlineExceeded { .. } => FaultKind::Deadline,
+                mv_query::BudgetError::StepBudgetExceeded { .. } => FaultKind::Budget,
+                mv_query::BudgetError::Cancelled => FaultKind::Cancelled,
+            },
+            _ => FaultKind::Semantic,
+        }
+    }
+
+    /// Stable label for metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Deadline => "deadline",
+            FaultKind::Budget => "budget",
+            FaultKind::Cancelled => "cancelled",
+            FaultKind::Semantic => "semantic",
+        }
+    }
+}
+
+/// A classified failure carried by a [`QueryOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFault {
+    /// What kind of failure it was.
+    pub kind: FaultKind,
+    /// The rendered error.
+    pub message: String,
+}
+
+impl QueryFault {
+    pub(crate) fn of(e: &CoreError) -> QueryFault {
+        QueryFault {
+            kind: FaultKind::of(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// The per-query record of a resilient evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The answer, when some rung produced one; `None` means the query is
+    /// *lost* — every rung failed (the campaign gates require this to
+    /// never happen for degradable faults).
+    pub probability: Option<f64>,
+    /// The rung that answered.
+    pub rung: Option<Rung>,
+    /// Achieved interval half-width when the Monte Carlo rung answered.
+    pub epsilon: Option<f64>,
+    /// Retries spent before this outcome (oracle retry-with-backoff).
+    pub retries: u32,
+    /// `true` when the query was answered by the unsharded oracle after
+    /// its sharded evaluation failed or spanned shards.
+    pub fallback: bool,
+    /// Wall-clock from ladder entry to this outcome.
+    pub elapsed: Duration,
+    /// Why degradation (or loss) happened: the *first* failure on the way
+    /// down the ladder, or the terminal error for lost queries.
+    pub fault: Option<QueryFault>,
+}
+
+impl QueryOutcome {
+    /// `true` when some rung produced an answer.
+    pub fn answered(&self) -> bool {
+        self.probability.is_some()
+    }
+
+    /// `true` when the query was answered below the exact rung (the
+    /// "degraded fraction" numerator of the chaos campaign).
+    pub fn degraded(&self) -> bool {
+        self.answered() && self.rung != Some(Rung::Exact)
+    }
+
+    /// `true` for lost outcomes whose fault is worth retrying (panics are
+    /// transient under fault injection; budget/deadline trips are not —
+    /// they would trip identically again).
+    pub fn transient(&self) -> bool {
+        !self.answered()
+            && matches!(
+                self.fault,
+                Some(QueryFault {
+                    kind: FaultKind::Panic,
+                    ..
+                })
+            )
+    }
+
+    fn answered_on(rung: Rung, p: f64, started: Instant, fault: Option<QueryFault>) -> Self {
+        QueryOutcome {
+            probability: Some(p),
+            rung: Some(rung),
+            epsilon: None,
+            retries: 0,
+            fallback: false,
+            elapsed: started.elapsed(),
+            fault,
+        }
+    }
+
+    /// A lost outcome carrying the terminal (or first degradable) fault.
+    pub(crate) fn lost(fault: QueryFault, started: Instant) -> Self {
+        QueryOutcome {
+            probability: None,
+            rung: None,
+            epsilon: None,
+            retries: 0,
+            fallback: false,
+            elapsed: started.elapsed(),
+            fault: Some(fault),
+        }
+    }
+
+    /// The outcome of a worker-level panic caught at a join boundary.
+    pub(crate) fn poisoned(site: &'static str) -> Self {
+        QueryOutcome {
+            probability: None,
+            rung: None,
+            epsilon: None,
+            retries: 0,
+            fallback: false,
+            elapsed: Duration::ZERO,
+            fault: Some(QueryFault {
+                kind: FaultKind::Panic,
+                message: format!("worker panicked at isolation site `{site}`"),
+            }),
+        }
+    }
+}
+
+/// Configuration of the degradation ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// The exact backend tried on rung 1.
+    pub inner: EngineBackend,
+    /// Per-rung wall-clock deadline (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Per-rung cooperative step limit (batch rows / arena nodes /
+    /// samples charged against one counter; `None` = unlimited).
+    pub step_limit: Option<u64>,
+    /// Node budget of the bounded-exact rung's synthesis.
+    pub node_budget: usize,
+    /// Target half-width `ε` of the Monte Carlo rung.
+    pub epsilon: f64,
+    /// Seed of the Monte Carlo rung's world stream.
+    pub mc_seed: u64,
+    /// Hard sample cap of the Monte Carlo rung (stops earlier at `±ε`).
+    pub mc_max_samples: u64,
+    /// Oracle retry attempts for transient (panic) losses.
+    pub max_retries: u32,
+    /// Base backoff between retries (attempt `k` sleeps `k × backoff`).
+    pub retry_backoff: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            inner: EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
+            deadline: None,
+            step_limit: None,
+            node_budget: 1 << 18,
+            epsilon: 0.01,
+            mc_seed: 0x0d15_ea5e,
+            mc_max_samples: 1 << 18,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The default ladder over the given exact backend.
+    pub fn with_inner(inner: EngineBackend) -> Self {
+        ResilienceConfig {
+            inner,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    /// A fresh budget window for one rung, or `None` when unlimited.
+    fn rung_budget(&self) -> Option<EvalBudget> {
+        let budget = match self.deadline {
+            Some(d) => EvalBudget::with_deadline(d),
+            None if self.step_limit.is_some() => EvalBudget::unlimited(),
+            None => return None,
+        };
+        Some(match self.step_limit {
+            Some(limit) => budget.with_step_limit(limit),
+            None => budget,
+        })
+    }
+}
+
+/// What a ladder run evaluates.
+#[derive(Clone, Copy)]
+enum Target<'q> {
+    Query(&'q Ucq),
+    Lineage(&'q Lineage),
+}
+
+/// The memoized bounded-synthesis build of the hard-constraint lineage
+/// `W`: `W` is fixed per translated database, so a ladder that degrades
+/// many queries against the same context must not re-synthesize it (or
+/// re-discover that it exceeds the node budget) on every bounded attempt.
+#[derive(Debug, Clone)]
+struct WBuild {
+    /// The query-side manager the diagram was built into (cache key).
+    manager: ObddManager,
+    /// The node budget the build ran under (cache key).
+    node_budget: usize,
+    /// The diagram and its prior probability `P0(W)`, or `None` when the
+    /// synthesis refused at the node budget.
+    built: Option<(Obdd, f64)>,
+}
+
+/// The degradation ladder over an inner exact backend. Cheap to construct
+/// per worker; see the module docs for the rung semantics.
+#[derive(Debug, Clone)]
+pub struct ResilientBackend {
+    config: ResilienceConfig,
+    /// See [`WBuild`]. Per-ladder (not shared): each session worker owns
+    /// its ladder, so a plain `RefCell` suffices.
+    w_build: RefCell<Option<WBuild>>,
+}
+
+impl ResilientBackend {
+    /// A ladder under the given configuration.
+    pub fn new(config: ResilienceConfig) -> Self {
+        ResilientBackend {
+            config,
+            w_build: RefCell::new(None),
+        }
+    }
+
+    /// The ladder configuration.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Runs the ladder for a Boolean query. Never panics; always returns
+    /// a [`QueryOutcome`].
+    pub fn evaluate(&self, q: &Ucq, ctx: &EvalContext<'_>) -> QueryOutcome {
+        self.run(ctx, Target::Query(q))
+    }
+
+    /// Runs the ladder for a precomputed (e.g. per-shard localized)
+    /// lineage. When the inner backend cannot evaluate lineages directly,
+    /// the ladder starts at the bounded-exact rung.
+    pub fn evaluate_lineage(&self, lineage: &Lineage, ctx: &EvalContext<'_>) -> QueryOutcome {
+        self.run(ctx, Target::Lineage(lineage))
+    }
+
+    /// [`ResilientBackend::evaluate`] plus retry-with-backoff for
+    /// transient (panic) losses — the oracle entry point the sessions use
+    /// for quarantined queries.
+    pub fn evaluate_with_retries(&self, q: &Ucq, ctx: &EvalContext<'_>) -> QueryOutcome {
+        let mut outcome = self.evaluate(q, ctx);
+        let mut retries = 0;
+        while outcome.transient() && retries < self.config.max_retries {
+            retries += 1;
+            std::thread::sleep(self.config.retry_backoff * retries);
+            outcome = self.evaluate(q, ctx);
+        }
+        outcome.retries = retries;
+        outcome
+    }
+
+    fn run(&self, ctx: &EvalContext<'_>, target: Target<'_>) -> QueryOutcome {
+        let started = Instant::now();
+        let mut fault: Option<QueryFault> = None;
+
+        // Rung 1: the inner exact backend. Skipped for lineage targets
+        // when the backend cannot evaluate lineages directly.
+        let try_exact = match target {
+            Target::Query(_) => true,
+            Target::Lineage(_) => self.config.inner.evaluates_lineage(),
+        };
+        if try_exact {
+            let inner = self.config.inner.instantiate();
+            let exact = self.rung(ctx, sites::EXACT_RUNG, || match target {
+                Target::Query(q) => inner.probability(q, ctx),
+                Target::Lineage(l) => inner
+                    .lineage_probability(l, ctx)
+                    .expect("evaluates_lineage() admitted this backend"),
+            });
+            match exact {
+                Ok(p) => return QueryOutcome::answered_on(Rung::Exact, p, started, None),
+                Err(e) if e.is_degradable() => fault = Some(QueryFault::of(&e)),
+                Err(e) => return QueryOutcome::lost(QueryFault::of(&e), started),
+            }
+        }
+
+        // Rung 2: bounded-exact synthesis via Theorem 1.
+        let bounded = self.rung(ctx, sites::BOUNDED_RUNG, || {
+            let own;
+            let lin_q = match target {
+                Target::Query(q) => {
+                    own = ctx.lineage(q)?;
+                    &own
+                }
+                Target::Lineage(l) => l,
+            };
+            self.bounded_lineage_probability(lin_q, ctx)
+        });
+        match bounded {
+            Ok(p) => {
+                return QueryOutcome::answered_on(Rung::BoundedExact, p, started, fault);
+            }
+            Err(e) if e.is_degradable() => {
+                fault.get_or_insert_with(|| QueryFault::of(&e));
+            }
+            Err(e) => return QueryOutcome::lost(QueryFault::of(&e), started),
+        }
+
+        // Rung 3: Monte Carlo at the requested ±ε.
+        let mc_config = ApproxConfig {
+            seed: self.config.mc_seed,
+            target_half_width: self.config.epsilon,
+            max_samples: self.config.mc_max_samples,
+            ..ApproxConfig::default()
+        };
+        let sampler = MonteCarlo::new(mc_config);
+        let approx = self.rung(ctx, sites::MC_RUNG, || match target {
+            Target::Query(q) => sampler.approx(q, ctx),
+            Target::Lineage(l) => sampler.approx_lineage(l, ctx),
+        });
+        match approx {
+            Ok(answer) => {
+                let mut outcome =
+                    QueryOutcome::answered_on(Rung::MonteCarlo, answer.clamped(), started, fault);
+                outcome.epsilon = Some(answer.half_width);
+                outcome
+            }
+            Err(e) => {
+                let terminal = QueryFault::of(&e);
+                QueryOutcome::lost(fault.unwrap_or(terminal), started)
+            }
+        }
+    }
+
+    /// One rung: fresh budget window, chaos draw, panic trap. The budget
+    /// is cleared before returning so a tripped rung cannot leak pressure
+    /// into the next one.
+    fn rung<T>(
+        &self,
+        ctx: &EvalContext<'_>,
+        site: &'static str,
+        body: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        ctx.set_budget(self.config.rung_budget());
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            chaos::apply(site)?;
+            body()
+        }));
+        ctx.set_budget(None);
+        match out {
+            Ok(result) => result,
+            Err(payload) => Err(CoreError::from_panic(site, payload.as_ref())),
+        }
+    }
+
+    /// Theorem 1 over bounded synthesis: builds `Q ∨ W` and `W` diagrams
+    /// in the context's private manager, refusing past the node budget.
+    fn bounded_lineage_probability(&self, lin_q: &Lineage, ctx: &EvalContext<'_>) -> Result<f64> {
+        let indb = ctx.indb();
+        let builder = SynthesisBuilder::with_manager(ctx.query_manager().clone());
+        let node_budget = self.config.node_budget;
+        match ctx.w_lineage()? {
+            Some(w) => {
+                let Some((obdd_w, p_w)) = self.w_obdd(w, ctx, &builder)? else {
+                    // `W` refused at the node budget in an earlier attempt
+                    // (or just now): replay the refusal without paying the
+                    // doomed synthesis again.
+                    return Err(ObddError::NodeBudgetExceeded {
+                        allocated: node_budget,
+                        budget: node_budget,
+                    }
+                    .into());
+                };
+                // `Q ∨ W` as an OBDD-level apply against the memoized `W`
+                // diagram: only the (typically small) query lineage is
+                // synthesized per call, and the manager's apply cache
+                // carries the repeated `∨ W` work across queries.
+                let obdd_q = builder.from_lineage_bounded(lin_q, node_budget)?;
+                let obdd_q_or_w = obdd_q.apply_or(&obdd_w)?;
+                theorem1(obdd_q_or_w.probability_cached(|t| indb.probability(t)), p_w)
+            }
+            None => {
+                let obdd = builder.from_lineage_bounded(lin_q, node_budget)?;
+                Ok(obdd.probability_cached(|t| indb.probability(t)))
+            }
+        }
+    }
+
+    /// The `W` diagram and `P0(W)` through the memoized bounded build:
+    /// `Ok(Some(..))` when the synthesis fits the node budget, `Ok(None)`
+    /// when it refuses at the budget (memoized either way), `Err` for
+    /// genuine failures.
+    fn w_obdd(
+        &self,
+        w: &Lineage,
+        ctx: &EvalContext<'_>,
+        builder: &SynthesisBuilder,
+    ) -> Result<Option<(Obdd, f64)>> {
+        let manager = ctx.query_manager();
+        let node_budget = self.config.node_budget;
+        if let Some(cached) = self.w_build.borrow().as_ref() {
+            if cached.manager.same_store(manager) && cached.node_budget == node_budget {
+                return Ok(cached.built.clone());
+            }
+        }
+        let built = match builder.from_lineage_bounded(w, node_budget) {
+            Ok(obdd) => {
+                let p = obdd.probability_cached(|t| ctx.indb().probability(t));
+                Some((obdd, p))
+            }
+            Err(ObddError::NodeBudgetExceeded { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        *self.w_build.borrow_mut() = Some(WBuild {
+            manager: manager.clone(),
+            node_budget,
+            built: built.clone(),
+        });
+        Ok(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosConfig, Fault};
+    use crate::engine::MvdbEngine;
+    use crate::mvdb::MvdbBuilder;
+    use mv_query::parse_ucq;
+
+    fn engine() -> MvdbEngine {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 3.0).unwrap();
+        b.weighted_tuple("S", &["a"], 4.0).unwrap();
+        b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+        MvdbEngine::compile(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn clean_runs_answer_on_the_exact_rung() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let ladder = ResilientBackend::new(ResilienceConfig::default());
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert_eq!(outcome.rung, Some(Rung::Exact));
+        assert!(!outcome.degraded());
+        assert!(outcome.fault.is_none());
+        let exact = engine.probability(&q).unwrap();
+        assert!((outcome.probability.unwrap() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_rung_panic_degrades_to_bounded_exact() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let exact = engine.probability(&q).unwrap();
+        let _guard =
+            chaos::install(ChaosConfig::new(11).rule(sites::EXACT_RUNG, Fault::Panic, 1.0));
+        let ladder = ResilientBackend::new(ResilienceConfig::default());
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert_eq!(outcome.rung, Some(Rung::BoundedExact));
+        assert!(outcome.degraded());
+        assert_eq!(outcome.fault.as_ref().unwrap().kind, FaultKind::Panic);
+        // Bounded-exact is still exact when nothing is refused.
+        assert!((outcome.probability.unwrap() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_fault_reaches_the_sampling_rung_within_epsilon() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let exact = engine.probability(&q).unwrap();
+        let _guard = chaos::install(
+            ChaosConfig::new(12)
+                .rule(sites::EXACT_RUNG, Fault::Budget, 1.0)
+                .rule(sites::BOUNDED_RUNG, Fault::Deadline, 1.0),
+        );
+        let config = ResilienceConfig {
+            epsilon: 0.02,
+            ..ResilienceConfig::default()
+        };
+        let ladder = ResilientBackend::new(config);
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert_eq!(outcome.rung, Some(Rung::MonteCarlo));
+        // The recorded fault is the FIRST failure on the way down.
+        assert_eq!(outcome.fault.as_ref().unwrap().kind, FaultKind::Budget);
+        let eps = outcome.epsilon.unwrap();
+        assert!(eps <= 0.021, "half-width {eps} missed the target");
+        assert!((outcome.probability.unwrap() - exact).abs() < 5.0 * eps + 0.02);
+    }
+
+    #[test]
+    fn semantic_errors_stop_the_ladder() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- Unknown(x)").unwrap();
+        let ladder = ResilientBackend::new(ResilienceConfig::default());
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert!(!outcome.answered());
+        assert_eq!(outcome.fault.as_ref().unwrap().kind, FaultKind::Semantic);
+    }
+
+    #[test]
+    fn transient_losses_retry_and_recover() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        // All three rungs panic on (deterministically) most draws; with
+        // retries the ladder eventually lands a clean pass or reports a
+        // lost outcome with the panic fault — never aborts.
+        let _guard = chaos::install(
+            ChaosConfig::new(13)
+                .rule(sites::EXACT_RUNG, Fault::Panic, 0.8)
+                .rule(sites::BOUNDED_RUNG, Fault::Panic, 0.8)
+                .rule(sites::MC_RUNG, Fault::Panic, 0.8),
+        );
+        let config = ResilienceConfig {
+            max_retries: 8,
+            retry_backoff: Duration::ZERO,
+            ..ResilienceConfig::default()
+        };
+        let ladder = ResilientBackend::new(config);
+        let outcome = ladder.evaluate_with_retries(&q, &ctx);
+        if let Some(p) = outcome.probability {
+            let exact = engine.probability(&q).unwrap();
+            assert!((p - exact).abs() < 0.05, "{p} vs {exact}");
+        } else {
+            assert_eq!(outcome.fault.as_ref().unwrap().kind, FaultKind::Panic);
+        }
+    }
+
+    #[test]
+    fn tiny_deadlines_degrade_instead_of_hanging() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let config = ResilienceConfig {
+            deadline: Some(Duration::ZERO),
+            ..ResilienceConfig::default()
+        };
+        let ladder = ResilientBackend::new(config);
+        let outcome = ladder.evaluate(&q, &ctx);
+        // Every rung gets a zero-length window; whichever rung still
+        // manages to answer between polls is fine — the invariant is a
+        // typed outcome, not an abort or a hang.
+        if !outcome.answered() {
+            let kind = outcome.fault.as_ref().unwrap().kind;
+            assert!(matches!(kind, FaultKind::Deadline | FaultKind::Budget));
+        }
+    }
+}

@@ -1,6 +1,13 @@
 //! Error type of the MVDB core.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Alias naming the evaluation-facing view of [`CoreError`]: the typed
+/// errors a [`Backend`](crate::Backend) returns instead of hanging,
+/// aborting, or allocating without bound
+/// (`EvalError::{DeadlineExceeded, BudgetExceeded, WorkerPanicked, …}`).
+pub type EvalError = CoreError;
 
 /// Errors raised while building, translating or querying an MVDB.
 #[derive(Debug)]
@@ -38,6 +45,65 @@ pub enum CoreError {
     /// An index-backed backend was invoked with an [`EvalContext`]
     /// (`crate::backend::EvalContext`) that carries no compiled MV-index.
     MissingIndex,
+    /// The evaluation's wall-clock deadline passed before an answer was
+    /// produced. Degradable: the resilience ladder may still answer the
+    /// query on a cheaper rung.
+    DeadlineExceeded {
+        /// Time spent before the budget tripped.
+        elapsed: Duration,
+    },
+    /// The evaluation's work budget (batch rows, arena nodes, samples)
+    /// ran out. Degradable, like [`CoreError::DeadlineExceeded`].
+    BudgetExceeded {
+        /// Work units charged before the trip.
+        steps: u64,
+        /// The limit they exceeded.
+        limit: u64,
+    },
+    /// The evaluation was cancelled cooperatively (caller gave up).
+    Cancelled,
+    /// A worker thread (or an isolated per-query evaluation) panicked; the
+    /// panic was caught at the isolation boundary and quarantined to this
+    /// error instead of tearing down the batch.
+    WorkerPanicked {
+        /// The isolation site that caught the panic.
+        site: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl CoreError {
+    /// Wraps a panic payload caught at an isolation boundary
+    /// (`std::panic::catch_unwind` / a thread-join `Err`) into the typed
+    /// [`CoreError::WorkerPanicked`] error.
+    pub fn from_panic(site: &'static str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        CoreError::WorkerPanicked { site, message }
+    }
+
+    /// `true` for errors that mean "this rung of evaluation gave up",
+    /// not "the query is unanswerable": deadline/budget trips, caught
+    /// panics, and bounded-synthesis refusals. The degradation ladder
+    /// escalates past these; semantic errors (unknown relation, arity
+    /// mismatch, inconsistent views, …) propagate unchanged because no
+    /// cheaper rung can answer them either.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            CoreError::DeadlineExceeded { .. }
+                | CoreError::BudgetExceeded { .. }
+                | CoreError::Cancelled
+                | CoreError::WorkerPanicked { .. }
+                | CoreError::Obdd(mv_obdd::ObddError::NodeBudgetExceeded { .. })
+                | CoreError::Obdd(mv_obdd::ObddError::Budget(_))
+                | CoreError::Query(mv_query::QueryError::Budget(_))
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -69,6 +135,16 @@ impl fmt::Display for CoreError {
                 "the MV-index backend needs a compiled index: build the context through \
                  `MvdbEngine` or use an index-free backend"
             ),
+            CoreError::DeadlineExceeded { elapsed } => {
+                write!(f, "evaluation deadline exceeded after {elapsed:?}")
+            }
+            CoreError::BudgetExceeded { steps, limit } => {
+                write!(f, "evaluation work budget exhausted ({steps} steps, limit {limit})")
+            }
+            CoreError::Cancelled => write!(f, "evaluation cancelled"),
+            CoreError::WorkerPanicked { site, message } => {
+                write!(f, "worker panicked at isolation site `{site}`: {message}")
+            }
         }
     }
 }
@@ -102,6 +178,20 @@ impl From<mv_index::MvIndexError> for CoreError {
 impl From<mv_mln::MlnError> for CoreError {
     fn from(e: mv_mln::MlnError) -> Self {
         CoreError::Mln(e)
+    }
+}
+
+impl From<mv_query::BudgetError> for CoreError {
+    fn from(e: mv_query::BudgetError) -> Self {
+        match e {
+            mv_query::BudgetError::DeadlineExceeded { elapsed } => {
+                CoreError::DeadlineExceeded { elapsed }
+            }
+            mv_query::BudgetError::StepBudgetExceeded { steps, limit } => {
+                CoreError::BudgetExceeded { steps, limit }
+            }
+            mv_query::BudgetError::Cancelled => CoreError::Cancelled,
+        }
     }
 }
 

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod mvdb;
@@ -49,11 +50,12 @@ pub mod translate;
 pub mod view;
 
 pub use backend::{
-    ApproxAnswer, ApproxConfig, Backend, EngineBackend, EvalContext, IntervalMethod, MonteCarlo,
-    MonteCarloParams,
+    ApproxAnswer, ApproxConfig, Backend, EngineBackend, EvalContext, FaultKind, IntervalMethod,
+    MonteCarlo, MonteCarloParams, QueryFault, QueryOutcome, ResilienceConfig, ResilientBackend,
+    Rung,
 };
 pub use engine::MvdbEngine;
-pub use error::CoreError;
+pub use error::{CoreError, EvalError};
 pub use mvdb::{Mvdb, MvdbBuilder};
 pub use session::{MvdbSession, QueryStats};
 pub use sharded::{ShardedEngine, ShardedSession};

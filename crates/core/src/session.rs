@@ -23,12 +23,17 @@
 //! query's diagram lives in differs, and canonicity makes that
 //! unobservable). The agreement suite asserts equality within 1e-9.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use mv_obdd::ManagerStats;
 use mv_query::approx::{derive_seed, ApproxAccumulator, ApproxAnswer, ApproxConfig};
 use mv_query::{ExecStats, PlanStats, Ucq};
 
+use crate::backend::resilient::{QueryFault, QueryOutcome, ResilienceConfig, ResilientBackend};
 use crate::backend::{Backend, EngineBackend, EvalContext, MonteCarlo};
+use crate::chaos::{self, sites};
 use crate::engine::MvdbEngine;
+use crate::error::CoreError;
 use crate::Result;
 
 /// Query-layer counters of one session batch: the shape of every compiled
@@ -196,9 +201,21 @@ impl<'e> MvdbSession<'e> {
                 })
                 .collect();
             for (w, handle) in handles.into_iter().enumerate() {
-                let stripe = handle.join().expect("session worker panicked");
-                for (j, value) in stripe.into_iter().enumerate() {
-                    results[w + j * workers] = Some(value);
+                match handle.join() {
+                    Ok(stripe) => {
+                        for (j, value) in stripe.into_iter().enumerate() {
+                            results[w + j * workers] = Some(value);
+                        }
+                    }
+                    // A worker-level panic poisons only its own stripe: the
+                    // join propagates the outcome as a typed error instead
+                    // of aborting the whole batch.
+                    Err(payload) => {
+                        for i in (w..queries.len()).step_by(workers) {
+                            results[i] =
+                                Some(Err(CoreError::from_panic("session_join", payload.as_ref())));
+                        }
+                    }
                 }
             }
         });
@@ -245,16 +262,20 @@ impl<'e> MvdbSession<'e> {
             target_half_width: config.target_half_width * (workers as f64).sqrt(),
             ..*config
         };
-        let partials: Vec<ApproxAccumulator> = std::thread::scope(|scope| {
+        let partials: Result<Vec<ApproxAccumulator>> = std::thread::scope(|scope| {
             let sampler = &sampler;
             let handles: Vec<_> = (0..workers)
                 .map(|w| scope.spawn(move || sampler.collect(&worker_config(w))))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("session worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .map_err(|p| CoreError::from_panic("session_split_join", p.as_ref()))
+                })
                 .collect()
         });
+        let partials = partials?;
         let mut merged = ApproxAccumulator::default();
         for partial in &partials {
             merged.merge(partial);
@@ -284,11 +305,21 @@ impl<'e> MvdbSession<'e> {
                         // query manager is this worker's private shard.
                         let backend: Box<dyn Backend> = selector.instantiate();
                         let ctx: EvalContext<'_> = engine.context();
+                        // Per-query panic trap: one pathological query
+                        // becomes a typed `WorkerPanicked` error in its own
+                        // slot while the rest of the stripe completes.
                         let stripe: Vec<Result<f64>> = queries
                             .iter()
                             .skip(w)
                             .step_by(workers)
-                            .map(|q| backend.probability(&q.boolean(), &ctx))
+                            .map(|q| {
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    backend.probability(&q.boolean(), &ctx)
+                                }))
+                                .unwrap_or_else(|p| {
+                                    Err(CoreError::from_panic(sites::SESSION_EVAL, p.as_ref()))
+                                })
+                            })
                             .collect();
                         // Only this worker's shard; the shared index
                         // manager's stats are added once below.
@@ -301,12 +332,24 @@ impl<'e> MvdbSession<'e> {
                 })
                 .collect();
             for (w, handle) in handles.into_iter().enumerate() {
-                let (stripe, stat, query_stat) = handle.join().expect("session worker panicked");
-                for (j, value) in stripe.into_iter().enumerate() {
-                    results[w + j * workers] = Some(value);
+                match handle.join() {
+                    Ok((stripe, stat, query_stat)) => {
+                        for (j, value) in stripe.into_iter().enumerate() {
+                            results[w + j * workers] = Some(value);
+                        }
+                        stats.push(stat);
+                        query_stats.push(query_stat);
+                    }
+                    // Stripe-level quarantine: the panicking worker's
+                    // queries surface as typed errors, the other workers'
+                    // results (and stats) are kept.
+                    Err(payload) => {
+                        for i in (w..queries.len()).step_by(workers) {
+                            results[i] =
+                                Some(Err(CoreError::from_panic("session_join", payload.as_ref())));
+                        }
+                    }
                 }
-                stats.push(stat);
-                query_stats.push(query_stat);
             }
         });
         let shard_total: ManagerStats = stats.into_iter().sum();
@@ -321,6 +364,133 @@ impl<'e> MvdbSession<'e> {
             .into_iter()
             .map(|slot| slot.expect("every query slot is filled"))
             .collect()
+    }
+
+    /// Evaluates every query through the resilience ladder: each query is
+    /// isolated (panics quarantined to its own outcome), degradable
+    /// failures escalate exact → bounded-exact → Monte Carlo, and
+    /// transient losses are retried with backoff. Never returns an error
+    /// and never aborts — the result carries one [`QueryOutcome`] per
+    /// query, positionally aligned with `queries`.
+    pub fn resilient_probabilities(
+        &self,
+        queries: &[Ucq],
+        config: &ResilienceConfig,
+    ) -> Vec<QueryOutcome> {
+        let workers = self.threads.min(queries.len()).max(1);
+        let index_before = self.engine.index().manager_stats();
+        let mut results: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        let mut stats: Vec<ManagerStats> = Vec::with_capacity(workers);
+        let mut query_stats: Vec<QueryStats> = Vec::with_capacity(workers);
+        if workers <= 1 {
+            let ladder = ResilientBackend::new(config.clone());
+            let ctx = self.engine.context();
+            for (slot, q) in results.iter_mut().zip(queries) {
+                *slot = Some(Self::resilient_one(&ladder, q, &ctx));
+            }
+            stats.push(ctx.query_manager_stats());
+            query_stats.push(QueryStats {
+                plan: ctx.query_plan_stats(),
+                exec: ctx.query_exec_stats(),
+            });
+        } else {
+            std::thread::scope(|scope| {
+                let engine = self.engine;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let ladder = ResilientBackend::new(config.clone());
+                            let ctx = engine.context();
+                            let stripe: Vec<QueryOutcome> = queries
+                                .iter()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|q| Self::resilient_one(&ladder, q, &ctx))
+                                .collect();
+                            let worker_query_stats = QueryStats {
+                                plan: ctx.query_plan_stats(),
+                                exec: ctx.query_exec_stats(),
+                            };
+                            (stripe, ctx.query_manager_stats(), worker_query_stats)
+                        })
+                    })
+                    .collect();
+                // Safety net for a whole-worker panic (per-query work is
+                // already trapped, so this is bookkeeping-bug territory):
+                // re-evaluate the lost stripe on a main-thread ladder.
+                let mut rescue: Option<(ResilientBackend, EvalContext<'_>)> = None;
+                for (w, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok((stripe, stat, query_stat)) => {
+                            for (j, value) in stripe.into_iter().enumerate() {
+                                results[w + j * workers] = Some(value);
+                            }
+                            stats.push(stat);
+                            query_stats.push(query_stat);
+                        }
+                        Err(_) => {
+                            let (ladder, ctx) = rescue.get_or_insert_with(|| {
+                                (ResilientBackend::new(config.clone()), engine.context())
+                            });
+                            for i in (w..queries.len()).step_by(workers) {
+                                let mut outcome =
+                                    ladder.evaluate_with_retries(&queries[i].boolean(), ctx);
+                                outcome.retries = outcome.retries.saturating_add(1);
+                                results[i] = Some(outcome);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let shard_total: ManagerStats = stats.into_iter().sum();
+        let index_delta = self.engine.index().manager_stats().since(&index_before);
+        self.stats.set(shard_total + index_delta);
+        self.query_stats.set(
+            query_stats
+                .into_iter()
+                .fold(QueryStats::default(), |a, b| a + b),
+        );
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect()
+    }
+
+    /// One isolated resilient evaluation: the `session_eval` chaos site
+    /// wraps the whole ladder, so an injected (or genuine) panic above the
+    /// rung traps quarantines to a retried ladder pass instead of tearing
+    /// down the stripe.
+    fn resilient_one(ladder: &ResilientBackend, q: &Ucq, ctx: &EvalContext<'_>) -> QueryOutcome {
+        let q = q.boolean();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            chaos::apply(sites::SESSION_EVAL).map(|()| ladder.evaluate(&q, ctx))
+        }));
+        match caught {
+            Ok(Ok(outcome)) if outcome.transient() => {
+                // The ladder lost the query to panics; give it the oracle
+                // retry treatment before conceding.
+                let mut outcome = ladder.evaluate_with_retries(&q, ctx);
+                outcome.retries = outcome.retries.saturating_add(1);
+                outcome
+            }
+            Ok(Ok(outcome)) => outcome,
+            // Injected deadline/budget pressure at the session site: the
+            // evaluation "timed out" above the ladder — run a retried
+            // ladder pass and keep the fault on the record.
+            Ok(Err(e)) => {
+                let mut outcome = ladder.evaluate_with_retries(&q, ctx);
+                outcome.fault.get_or_insert_with(|| QueryFault::of(&e));
+                outcome
+            }
+            Err(payload) => {
+                let e = CoreError::from_panic(sites::SESSION_EVAL, payload.as_ref());
+                let mut outcome = ladder.evaluate_with_retries(&q, ctx);
+                outcome.retries = outcome.retries.saturating_add(1);
+                outcome.fault.get_or_insert_with(|| QueryFault::of(&e));
+                outcome
+            }
+        }
     }
 }
 
@@ -555,5 +725,97 @@ mod tests {
             .with_threads(2)
             .probabilities(&parallel_bad)
             .is_err());
+    }
+
+    #[test]
+    fn resilient_sessions_match_the_exact_path_without_chaos() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| engine.probability(q).unwrap())
+            .collect();
+        for threads in [1, 3] {
+            let session = engine.session().with_threads(threads);
+            let outcomes = session.resilient_probabilities(&queries, &ResilienceConfig::default());
+            assert_eq!(outcomes.len(), queries.len());
+            for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+                assert!(o.answered(), "{threads} threads, slot {i}: {:?}", o.fault);
+                assert!(!o.degraded(), "{threads} threads, slot {i}: {:?}", o.rung);
+                assert_eq!(o.retries, 0);
+                let p = o.probability.unwrap();
+                assert!(
+                    (p - r).abs() < 1e-12,
+                    "{threads} threads, slot {i}: {p} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_sessions_answer_every_query_under_chaos() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| engine.probability(q).unwrap())
+            .collect();
+        let config = ResilienceConfig::default();
+        for site in [
+            crate::chaos::sites::SESSION_EVAL,
+            crate::chaos::sites::EXACT_RUNG,
+            crate::chaos::sites::BOUNDED_RUNG,
+        ] {
+            for fault in [crate::chaos::Fault::Panic, crate::chaos::Fault::Deadline] {
+                let guard = crate::chaos::install(
+                    crate::chaos::ChaosConfig::new(99).rule(site, fault, 0.5),
+                );
+                for threads in [1, 4] {
+                    let session = engine.session().with_threads(threads);
+                    let outcomes = session.resilient_probabilities(&queries, &config);
+                    for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+                        assert!(
+                            o.answered(),
+                            "{site}/{fault:?}, {threads} threads, slot {i}: {:?}",
+                            o.fault
+                        );
+                        let p = o.probability.unwrap();
+                        let tol = if o.degraded() {
+                            o.epsilon.map_or(1e-9, |e| 4.0 * e + 0.02)
+                        } else {
+                            1e-9
+                        };
+                        assert!(
+                            (p - r).abs() < tol,
+                            "{site}/{fault:?}, {threads} threads, slot {i}: {p} vs {r}"
+                        );
+                    }
+                }
+                drop(guard);
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_sessions_quarantine_semantic_faults_per_query() {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = vec![
+            parse_ucq("Q() :- Unknown(x)").unwrap(),
+            parse_ucq("Q() :- R(x)").unwrap(),
+        ];
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        assert!(!outcomes[0].answered());
+        assert_eq!(
+            outcomes[0].fault.as_ref().map(|f| f.kind),
+            Some(crate::FaultKind::Semantic)
+        );
+        assert!(outcomes[1].answered());
+        let reference = engine.probability(&queries[1]).unwrap();
+        assert!((outcomes[1].probability.unwrap() - reference).abs() < 1e-12);
     }
 }

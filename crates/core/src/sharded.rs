@@ -51,6 +51,7 @@
 //! nowhere); queries outside that regime fall back to the oracle.
 
 use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use mv_index::MvIndex;
@@ -59,7 +60,11 @@ use mv_query::lineage::{Clause, Lineage};
 use mv_query::partition::{ComponentPartitioner, Partition, RoutedLineage};
 use mv_query::Ucq;
 
+use crate::backend::resilient::{
+    QueryFault, QueryOutcome, ResilienceConfig, ResilientBackend, Rung,
+};
 use crate::backend::{Backend, EngineBackend, EvalContext};
+use crate::chaos::{self, sites};
 use crate::engine::MvdbEngine;
 use crate::error::CoreError;
 use crate::mvdb::Mvdb;
@@ -183,7 +188,10 @@ impl ShardedEngine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard compile worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(CoreError::from_panic("shard_compile", p.as_ref())))
+                })
                 .collect()
         });
         Ok(ShardedEngine {
@@ -276,6 +284,69 @@ struct RoutedStripe {
     items: Vec<(usize, usize, ShardItem)>,
     stats: ManagerStats,
     query_stats: QueryStats,
+}
+
+/// What one *resilient* routing worker produced for its stripe.
+#[derive(Default)]
+struct ResilientStripe {
+    /// Queries fully resolved during routing (constants, oracle
+    /// fallbacks, semantic losses): `(query index, outcome, time)`.
+    done: Vec<(usize, QueryOutcome, Duration)>,
+    /// Queries pending per-shard evaluation: `(query index, route time)`.
+    pending: Vec<(usize, Duration)>,
+    /// `(shard, query index, work item)` feeding phase 2.
+    items: Vec<(usize, usize, ShardItem)>,
+    stats: ManagerStats,
+    query_stats: QueryStats,
+}
+
+/// Per-query accumulator of the resilient independence combination.
+struct Combine {
+    one_minus: f64,
+    rung: Rung,
+    epsilon: f64,
+    has_epsilon: bool,
+    fault: Option<QueryFault>,
+    retries: u32,
+    /// Some per-shard item was lost — reroute the query to the oracle.
+    lost: bool,
+}
+
+impl Combine {
+    fn new() -> Self {
+        Combine {
+            one_minus: 1.0,
+            rung: Rung::Exact,
+            epsilon: 0.0,
+            has_epsilon: false,
+            fault: None,
+            retries: 0,
+            lost: false,
+        }
+    }
+
+    /// Folds one per-shard item outcome in.
+    fn add(&mut self, item: QueryOutcome) {
+        self.retries = self.retries.saturating_add(item.retries);
+        if self.fault.is_none() {
+            self.fault = item.fault.clone();
+        }
+        match item.probability {
+            Some(p) => {
+                self.one_minus *= 1.0 - p;
+                // The combined answer is only as good as its weakest item.
+                self.rung = self.rung.max(item.rung.unwrap_or(Rung::Exact));
+                if let Some(eps) = item.epsilon {
+                    // First-order error propagation through
+                    // `1 − ∏(1 − q_s)`: the half-widths add (the factors
+                    // `∏_{t≠s}(1 − q_t)` only shrink each term).
+                    self.epsilon += eps;
+                    self.has_epsilon = true;
+                }
+            }
+            None => self.lost = true,
+        }
+    }
 }
 
 /// A batch-evaluation session over a [`ShardedEngine`].
@@ -439,7 +510,10 @@ impl<'e> ShardedSession<'e> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("routing worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(CoreError::from_panic("route_join", p.as_ref())))
+                })
                 .collect()
         });
 
@@ -494,7 +568,11 @@ impl<'e> ShardedSession<'e> {
                 .enumerate()
                 .filter(|(_, queue)| !queue.is_empty())
                 .map(|(s, queue)| {
-                    scope.spawn(move || {
+                    // The queue's query indices, kept on this side of the
+                    // join: if the whole worker dies, exactly its items are
+                    // poisoned, not the batch.
+                    let indices: Vec<usize> = queue.iter().map(|(qi, _)| *qi).collect();
+                    let handle = scope.spawn(move || {
                         let shard = &engine.shards[s];
                         let backend: Box<dyn Backend> = selector.instantiate();
                         let ctx = EvalContext::with_index(&shard.translated, &shard.index);
@@ -503,17 +581,31 @@ impl<'e> ShardedSession<'e> {
                             .into_iter()
                             .map(|(qi, item)| {
                                 let started = Instant::now();
-                                let p = match item {
-                                    ShardItem::Lineage(lineage) => {
-                                        backend.lineage_probability(&lineage, &ctx).expect(
-                                            "selector claims lineage support \
-                                                 (EngineBackend::evaluates_lineage)",
-                                        )
-                                    }
+                                // Per-item panic trap: a pathological item
+                                // yields a typed error in its own slot (and
+                                // is rerouted to the oracle in phase 3).
+                                let p = catch_unwind(AssertUnwindSafe(|| match &item {
+                                    ShardItem::Lineage(lineage) => backend
+                                        .lineage_probability(lineage, &ctx)
+                                        .unwrap_or_else(|| {
+                                            // The selector claimed lineage
+                                            // support; a refusal here routes
+                                            // to the fallback path instead
+                                            // of panicking the worker.
+                                            Err(CoreError::WorkerPanicked {
+                                                site: sites::SHARD_EVAL,
+                                                message: "backend refused direct lineage \
+                                                          evaluation despite evaluates_lineage()"
+                                                    .to_string(),
+                                            })
+                                        }),
                                     ShardItem::Structural => {
                                         backend.probability(&boolean[qi], &ctx)
                                     }
-                                };
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(CoreError::from_panic(sites::SHARD_EVAL, payload.as_ref()))
+                                });
                                 (qi, p, started.elapsed())
                             })
                             .collect();
@@ -524,16 +616,36 @@ impl<'e> ShardedSession<'e> {
                             exec: ctx.query_exec_stats(),
                         };
                         (s, items, stats, query_stats)
-                    })
+                    });
+                    (s, indices, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|(s, indices, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        let poisoned = indices
+                            .into_iter()
+                            .map(|qi| {
+                                (
+                                    qi,
+                                    Err(CoreError::from_panic("shard_join", payload.as_ref())),
+                                    Duration::ZERO,
+                                )
+                            })
+                            .collect();
+                        (s, poisoned, ManagerStats::default(), QueryStats::default())
+                    })
+                })
                 .collect()
         });
 
-        // Phase 3: combine by independence.
+        // Phase 3: combine by independence. An item that errored (backend
+        // refusal, typed budget error, quarantined panic) does not poison
+        // its query: the query is rerouted to the unsharded oracle below,
+        // exactly like a cross-shard lineage would have been.
+        let mut shard_failed: Vec<Option<CoreError>> = Vec::new();
+        shard_failed.resize_with(queries.len(), || None);
         for (s, items, stats, query_stats) in outcomes {
             shard_counts[s] += items.len() as u64;
             merged_stats = merged_stats + stats;
@@ -542,14 +654,50 @@ impl<'e> ShardedSession<'e> {
                 latencies[qi] += elapsed;
                 match p {
                     Ok(q_s) => one_minus[qi] *= 1.0 - q_s,
-                    Err(e) => first_error = first_error.or(Some(e)),
+                    Err(e) => {
+                        if shard_failed[qi].is_none() {
+                            shard_failed[qi] = Some(e);
+                        }
+                    }
                 }
             }
         }
-        for (i, route) in routes.iter().enumerate() {
-            if *route == Route::Sharded {
-                results[i] = 1.0 - one_minus[i];
+        let mut oracle: Option<(Box<dyn Backend>, EvalContext<'_>)> = None;
+        for (i, route) in routes.iter_mut().enumerate() {
+            if *route != Route::Sharded {
+                continue;
             }
+            match shard_failed[i].take() {
+                None => results[i] = 1.0 - one_minus[i],
+                // Cross-shard fallback for failed sharded items: one more
+                // exact evaluation on the full store. Only an oracle
+                // failure surfaces as the batch error.
+                Some(shard_error) => {
+                    let started = Instant::now();
+                    let (backend, ctx) = oracle
+                        .get_or_insert_with(|| (selector.instantiate(), engine.full.context()));
+                    match backend.probability(&boolean[i], ctx) {
+                        Ok(p) => {
+                            results[i] = p;
+                            *route = Route::Fallback;
+                            num_fallbacks += 1;
+                        }
+                        Err(oracle_error) => {
+                            first_error = first_error.or(Some(shard_error));
+                            first_error = first_error.or(Some(oracle_error));
+                        }
+                    }
+                    latencies[i] += started.elapsed();
+                }
+            }
+        }
+        if let Some((_, ctx)) = &oracle {
+            merged_stats = merged_stats + ctx.query_manager_stats();
+            merged_query_stats = merged_query_stats
+                + QueryStats {
+                    plan: ctx.query_plan_stats(),
+                    exec: ctx.query_exec_stats(),
+                };
         }
         // The routing workers' query-side counters were merged above; the
         // shared full-index manager (used by routing and any fallback) is
@@ -565,6 +713,340 @@ impl<'e> ShardedSession<'e> {
         }
         Ok((results, latencies))
     }
+
+    /// Evaluates every query through the resilience ladder on the sharded
+    /// path. Each phase is panic-isolated: a routing failure, a lost
+    /// per-shard item or a dead worker quarantines exactly the queries it
+    /// touched, which are then rerouted to the unsharded oracle with
+    /// retry-with-backoff — the rest of the batch completes undisturbed.
+    /// Never returns an error and never aborts: the result carries one
+    /// [`QueryOutcome`] per query, positionally aligned with `queries`.
+    pub fn resilient_probabilities(
+        &self,
+        queries: &[Ucq],
+        config: &ResilienceConfig,
+    ) -> Vec<QueryOutcome> {
+        let engine = self.engine;
+        let num_shards = engine.shards.len();
+        let boolean: Vec<Ucq> = queries.iter().map(Ucq::boolean).collect();
+        let index_before = engine.full.index().manager_stats();
+        let lineage_capable = config.inner.evaluates_lineage();
+
+        let mut results: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        let mut combines: Vec<Option<Combine>> = (0..queries.len()).map(|_| None).collect();
+        let mut latencies = vec![Duration::ZERO; queries.len()];
+        let mut queues: Vec<Vec<(usize, ShardItem)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        let mut merged_stats = ManagerStats::default();
+        let mut merged_query_stats = QueryStats::default();
+
+        // Phase 1: route, panic-isolated per query. Cross-shard queries,
+        // routing faults and injected `route` chaos resolve through the
+        // oracle ladder inside the routing worker.
+        let route_workers = num_shards.min(boolean.len()).max(1);
+        let stripes: Vec<std::thread::Result<ResilientStripe>> = std::thread::scope(|scope| {
+            let boolean = &boolean;
+            let handles: Vec<_> = (0..route_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let ctx = engine.full.context();
+                        let ladder = ResilientBackend::new(config.clone());
+                        let mut stripe = ResilientStripe::default();
+                        for (i, q) in boolean.iter().enumerate().skip(w).step_by(route_workers) {
+                            let started = Instant::now();
+                            let plan = catch_unwind(AssertUnwindSafe(|| -> Result<RoutePlan> {
+                                chaos::apply(sites::ROUTE)?;
+                                let lineage = ctx.lineage(q)?;
+                                Ok(if lineage.is_true() {
+                                    RoutePlan::Constant(1.0)
+                                } else if lineage.is_false() {
+                                    RoutePlan::Constant(0.0)
+                                } else {
+                                    match engine.partition.route(&lineage) {
+                                        RoutedLineage::Sharded {
+                                            groups,
+                                            structural_ok,
+                                        } if lineage_capable || structural_ok => RoutePlan::Items(
+                                            groups
+                                                .into_iter()
+                                                .map(|(shard, clauses)| {
+                                                    let item = if lineage_capable {
+                                                        ShardItem::Lineage(
+                                                            engine.shards[shard].localize(&clauses),
+                                                        )
+                                                    } else {
+                                                        ShardItem::Structural
+                                                    };
+                                                    (shard, item)
+                                                })
+                                                .collect(),
+                                        ),
+                                        RoutedLineage::Sharded { .. }
+                                        | RoutedLineage::CrossShard => RoutePlan::Oracle,
+                                    }
+                                })
+                            }));
+                            match plan {
+                                Ok(Ok(RoutePlan::Constant(p))) => {
+                                    let outcome = QueryOutcome {
+                                        probability: Some(p),
+                                        rung: Some(Rung::Exact),
+                                        epsilon: None,
+                                        retries: 0,
+                                        fallback: false,
+                                        elapsed: Duration::ZERO,
+                                        fault: None,
+                                    };
+                                    stripe.done.push((i, outcome, started.elapsed()));
+                                }
+                                Ok(Ok(RoutePlan::Items(items))) => {
+                                    for (shard, item) in items {
+                                        stripe.items.push((shard, i, item));
+                                    }
+                                    stripe.pending.push((i, started.elapsed()));
+                                }
+                                Ok(Ok(RoutePlan::Oracle)) => {
+                                    let outcome = oracle_rescue(&ladder, q, &ctx);
+                                    stripe.done.push((i, outcome, started.elapsed()));
+                                }
+                                Ok(Err(e)) if e.is_degradable() => {
+                                    let fault = QueryFault::of(&e);
+                                    let mut outcome = oracle_rescue(&ladder, q, &ctx);
+                                    outcome.fault.get_or_insert(fault);
+                                    stripe.done.push((i, outcome, started.elapsed()));
+                                }
+                                Ok(Err(e)) => {
+                                    let outcome = QueryOutcome::lost(QueryFault::of(&e), started);
+                                    stripe.done.push((i, outcome, started.elapsed()));
+                                }
+                                Err(_) => {
+                                    let mut outcome = oracle_rescue(&ladder, q, &ctx);
+                                    outcome.retries = outcome.retries.saturating_add(1);
+                                    stripe.done.push((i, outcome, started.elapsed()));
+                                }
+                            }
+                        }
+                        stripe.stats = ctx.query_manager_stats();
+                        stripe.query_stats = QueryStats {
+                            plan: ctx.query_plan_stats(),
+                            exec: ctx.query_exec_stats(),
+                        };
+                        stripe
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        for stripe in stripes {
+            // A dead routing worker leaves its whole stripe unresolved;
+            // those slots stay `None` and are rescued on the oracle below.
+            let Ok(stripe) = stripe else { continue };
+            merged_stats = merged_stats + stripe.stats;
+            merged_query_stats = merged_query_stats + stripe.query_stats;
+            for (i, outcome, elapsed) in stripe.done {
+                latencies[i] = elapsed;
+                results[i] = Some(outcome);
+            }
+            for (i, elapsed) in stripe.pending {
+                latencies[i] = elapsed;
+                combines[i] = Some(Combine::new());
+            }
+            for (shard, i, item) in stripe.items {
+                queues[shard].push((i, item));
+            }
+        }
+
+        // Phase 2: evaluate, one isolated ladder per item on one worker
+        // per touched shard.
+        let mut shard_counts = vec![0u64; num_shards];
+        type ResilientShardOutcome = (
+            usize,
+            Vec<(usize, QueryOutcome, Duration)>,
+            ManagerStats,
+            QueryStats,
+        );
+        let outcomes: Vec<ResilientShardOutcome> = std::thread::scope(|scope| {
+            let boolean = &boolean;
+            let handles: Vec<_> = queues
+                .into_iter()
+                .enumerate()
+                .filter(|(_, queue)| !queue.is_empty())
+                .map(|(s, queue)| {
+                    let indices: Vec<usize> = queue.iter().map(|(qi, _)| *qi).collect();
+                    let handle = scope.spawn(move || {
+                        let shard = &engine.shards[s];
+                        let ladder = ResilientBackend::new(config.clone());
+                        let ctx = EvalContext::with_index(&shard.translated, &shard.index);
+                        let shard_before = shard.index.manager_stats();
+                        let items: Vec<(usize, QueryOutcome, Duration)> = queue
+                            .into_iter()
+                            .map(|(qi, item)| {
+                                let started = Instant::now();
+                                let caught = catch_unwind(AssertUnwindSafe(|| {
+                                    chaos::apply(sites::SHARD_EVAL).map(|()| match &item {
+                                        ShardItem::Lineage(lineage) => {
+                                            ladder.evaluate_lineage(lineage, &ctx)
+                                        }
+                                        ShardItem::Structural => {
+                                            ladder.evaluate(&boolean[qi], &ctx)
+                                        }
+                                    })
+                                }));
+                                let outcome = match caught {
+                                    Ok(Ok(outcome)) => outcome,
+                                    Ok(Err(e)) => QueryOutcome::lost(QueryFault::of(&e), started),
+                                    Err(_) => QueryOutcome::poisoned(sites::SHARD_EVAL),
+                                };
+                                (qi, outcome, started.elapsed())
+                            })
+                            .collect();
+                        let stats = ctx.query_manager_stats()
+                            + shard.index.manager_stats().since(&shard_before);
+                        let query_stats = QueryStats {
+                            plan: ctx.query_plan_stats(),
+                            exec: ctx.query_exec_stats(),
+                        };
+                        (s, items, stats, query_stats)
+                    });
+                    (s, indices, handle)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(s, indices, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        let poisoned = indices
+                            .into_iter()
+                            .map(|qi| {
+                                (
+                                    qi,
+                                    QueryOutcome::poisoned(sites::SHARD_EVAL),
+                                    Duration::ZERO,
+                                )
+                            })
+                            .collect();
+                        (s, poisoned, ManagerStats::default(), QueryStats::default())
+                    })
+                })
+                .collect()
+        });
+
+        // Phase 3: combine by independence; lost items (and dead stripes)
+        // reroute their queries to the oracle ladder with retries.
+        for (s, items, stats, query_stats) in outcomes {
+            shard_counts[s] += items.len() as u64;
+            merged_stats = merged_stats + stats;
+            merged_query_stats = merged_query_stats + query_stats;
+            for (qi, outcome, elapsed) in items {
+                latencies[qi] += elapsed;
+                if let Some(combine) = combines[qi].as_mut() {
+                    combine.add(outcome);
+                }
+            }
+        }
+        let mut oracle: Option<(ResilientBackend, EvalContext<'_>)> = None;
+        let mut num_fallbacks = 0u64;
+        for qi in 0..boolean.len() {
+            if results[qi].is_some() {
+                continue;
+            }
+            let mut rescue_oracle =
+                |qi: usize,
+                 extra_retries: u32,
+                 fault: Option<QueryFault>,
+                 latencies: &mut Vec<Duration>| {
+                    let started = Instant::now();
+                    let (ladder, ctx) = oracle.get_or_insert_with(|| {
+                        (ResilientBackend::new(config.clone()), engine.full.context())
+                    });
+                    let mut outcome = oracle_rescue(ladder, &boolean[qi], ctx);
+                    outcome.retries = outcome.retries.saturating_add(extra_retries);
+                    if outcome.fault.is_none() {
+                        outcome.fault = fault;
+                    }
+                    latencies[qi] += started.elapsed();
+                    outcome
+                };
+            let outcome = match combines[qi].take() {
+                // Never routed (routing worker died): straight to the
+                // oracle, the join panic counting as the first retry.
+                None => rescue_oracle(qi, 1, None, &mut latencies),
+                Some(combine) if combine.lost => {
+                    rescue_oracle(qi, combine.retries, combine.fault, &mut latencies)
+                }
+                Some(combine) => QueryOutcome {
+                    probability: Some(1.0 - combine.one_minus),
+                    rung: Some(combine.rung),
+                    epsilon: combine.has_epsilon.then_some(combine.epsilon),
+                    retries: combine.retries,
+                    fallback: false,
+                    elapsed: Duration::ZERO,
+                    fault: combine.fault,
+                },
+            };
+            results[qi] = Some(outcome);
+        }
+        if let Some((_, ctx)) = &oracle {
+            merged_stats = merged_stats + ctx.query_manager_stats();
+            merged_query_stats = merged_query_stats
+                + QueryStats {
+                    plan: ctx.query_plan_stats(),
+                    exec: ctx.query_exec_stats(),
+                };
+        }
+        merged_stats = merged_stats + engine.full.index().manager_stats().since(&index_before);
+
+        let mut outcomes: Vec<QueryOutcome> = results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect();
+        for (qi, outcome) in outcomes.iter_mut().enumerate() {
+            outcome.elapsed = latencies[qi];
+            if outcome.fallback {
+                num_fallbacks += 1;
+            }
+        }
+        self.stats.set(merged_stats);
+        self.query_stats.set(merged_query_stats);
+        *self.shard_queries.borrow_mut() = shard_counts;
+        self.fallbacks.set(num_fallbacks);
+        outcomes
+    }
+}
+
+/// What the resilient routing pass decided for one query.
+enum RoutePlan {
+    /// Constant lineage: answered exactly, no shard touched.
+    Constant(f64),
+    /// `(shard, item)` work units for phase 2.
+    Items(Vec<(usize, ShardItem)>),
+    /// Cross-shard (or structurally unroutable): oracle ladder.
+    Oracle,
+}
+
+/// One quarantined oracle evaluation: the `oracle` chaos site wraps a
+/// retried ladder pass on the full store; injected faults at the site are
+/// themselves absorbed by one more ladder pass, keeping the fault on the
+/// record.
+fn oracle_rescue(ladder: &ResilientBackend, q: &Ucq, ctx: &EvalContext<'_>) -> QueryOutcome {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        chaos::apply(sites::ORACLE).map(|()| ladder.evaluate_with_retries(q, ctx))
+    }));
+    let mut outcome = match caught {
+        Ok(Ok(outcome)) => outcome,
+        Ok(Err(e)) => {
+            let mut outcome = ladder.evaluate_with_retries(q, ctx);
+            outcome.fault.get_or_insert_with(|| QueryFault::of(&e));
+            outcome
+        }
+        Err(_) => {
+            let mut outcome = ladder.evaluate_with_retries(q, ctx);
+            outcome.retries = outcome.retries.saturating_add(1);
+            outcome
+        }
+    };
+    outcome.fallback = true;
+    outcome
 }
 
 #[cfg(test)]
@@ -784,5 +1266,96 @@ mod tests {
         let engine = ShardedEngine::compile(&mvdb, 2).unwrap();
         let bad = vec![parse_ucq("Q() :- Unknown(x)").unwrap()];
         assert!(engine.session().probabilities(&bad).is_err());
+    }
+
+    #[test]
+    fn resilient_sharded_matches_the_oracle_without_chaos() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| oracle.probability(q).unwrap())
+            .collect();
+        for num_shards in [1, 3] {
+            let engine = ShardedEngine::compile(&mvdb, num_shards).unwrap();
+            let session = engine.session();
+            let outcomes = session.resilient_probabilities(&queries, &ResilienceConfig::default());
+            assert_eq!(outcomes.len(), queries.len());
+            for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+                assert!(o.answered(), "slot {i} lost: {:?}", o.fault);
+                assert!(!o.degraded(), "slot {i} degraded: {:?}", o.rung);
+                assert_eq!(o.rung, Some(crate::Rung::Exact));
+                assert_eq!(o.retries, 0, "slot {i}");
+                assert!(o.fault.is_none(), "slot {i}: {:?}", o.fault);
+                let p = o.probability.unwrap();
+                assert!((p - r).abs() < 1e-12, "slot {i}: {p} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_sharded_answers_every_query_under_chaos_at_every_site() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|q| oracle.probability(q).unwrap())
+            .collect();
+        let engine = ShardedEngine::compile(&mvdb, 3).unwrap();
+        let session = engine.session();
+        let config = ResilienceConfig::default();
+        for site in chaos::sites::ALL {
+            for fault in [chaos::Fault::Panic, chaos::Fault::Budget] {
+                let guard =
+                    chaos::install(chaos::ChaosConfig::new(0xC0FFEE).rule(site, fault, 0.5));
+                let outcomes = session.resilient_probabilities(&queries, &config);
+                drop(guard);
+                for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+                    assert!(
+                        o.answered(),
+                        "site {site}, {fault:?}, slot {i} lost: {:?}",
+                        o.fault
+                    );
+                    let p = o.probability.unwrap();
+                    if o.degraded() {
+                        // Worst case the answer came from Monte Carlo with
+                        // the default ±0.01 target per shard item.
+                        let tol = o.epsilon.map_or(1e-9, |e| 4.0 * e + 0.02);
+                        assert!(
+                            (p - r).abs() < tol,
+                            "site {site}, {fault:?}, slot {i}: {p} vs {r} (tol {tol})"
+                        );
+                    } else {
+                        assert!(
+                            (p - r).abs() < 1e-9,
+                            "site {site}, {fault:?}, slot {i}: {p} vs {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_sharded_quarantines_semantic_faults_per_query() {
+        let mvdb = sample_mvdb();
+        let engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+        let queries = vec![
+            parse_ucq("Q() :- Unknown(x)").unwrap(),
+            parse_ucq("Q() :- R(x)").unwrap(),
+        ];
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        assert!(!outcomes[0].answered());
+        assert_eq!(
+            outcomes[0].fault.as_ref().map(|f| f.kind),
+            Some(crate::FaultKind::Semantic)
+        );
+        assert!(outcomes[1].answered(), "{:?}", outcomes[1].fault);
+        let reference = engine.full().probability(&queries[1]).unwrap();
+        assert!((outcomes[1].probability.unwrap() - reference).abs() < 1e-12);
     }
 }

@@ -1,0 +1,287 @@
+//! Property tests for the resilience ladder under seeded fault injection:
+//! with chaos installed at any site, with any fault kind, at substantial
+//! rates, every query in a batch still gets a [`QueryOutcome`] — and the
+//! answers agree with a clean run wherever the exact rungs survived.
+//!
+//! Chaos campaigns are process-global, so every test in this binary that
+//! evaluates queries holds a [`mv_core::chaos::ChaosGuard`] — a clean
+//! (rule-free) one where no injection is wanted — which serializes the
+//! campaigns through the chaos module's install lock.
+
+use mv_core::chaos::{self, sites, ChaosConfig, Fault};
+use mv_core::sharded::ShardedEngine;
+use mv_core::{FaultKind, Mvdb, MvdbBuilder, MvdbEngine, ResilienceConfig, Rung};
+use mv_query::{parse_ucq, Ucq};
+use proptest::prelude::*;
+
+fn sample_mvdb() -> Mvdb {
+    let mut b = MvdbBuilder::new();
+    b.relation("R", &["x"]).unwrap();
+    b.relation("S", &["x"]).unwrap();
+    b.relation("T", &["x", "y"]).unwrap();
+    for (x, (wr, ws)) in [
+        ("a", (3.0, 4.0)),
+        ("b", (1.0, 0.5)),
+        ("c", (2.0, 2.0)),
+        ("d", (0.25, 5.0)),
+    ] {
+        b.weighted_tuple("R", &[x], wr).unwrap();
+        b.weighted_tuple("S", &[x], ws).unwrap();
+    }
+    for (x, y, w) in [("a", "b", 1.5), ("b", "c", 0.75), ("d", "d", 2.0)] {
+        b.weighted_tuple("T", &[x, y], w).unwrap();
+    }
+    b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+    b.build().unwrap()
+}
+
+fn workload() -> Vec<Ucq> {
+    [
+        "Q() :- R(x), S(x)",
+        "Q() :- R(x)",
+        "Q() :- S(x)",
+        "Q() :- R('a')",
+        "Q() :- R('b'), S('b')",
+        "Q() :- R(x) ; Q() :- S(x)",
+        "Q() :- T(x, y)",
+        "Q() :- R(x), T(x, y)",
+        "Q() :- S('c') ; Q() :- T('d', 'd')",
+    ]
+    .iter()
+    .map(|q| parse_ucq(q).unwrap())
+    .collect()
+}
+
+/// Clean reference probabilities, computed under a rule-free chaos guard so
+/// a concurrently scheduled chaos test cannot perturb them.
+fn clean_reference(engine: &MvdbEngine, queries: &[Ucq]) -> Vec<f64> {
+    let _guard = chaos::install(ChaosConfig::new(0));
+    queries
+        .iter()
+        .map(|q| engine.probability(q).unwrap())
+        .collect()
+}
+
+fn fault_of(tag: u8) -> Fault {
+    match tag % 3 {
+        0 => Fault::Panic,
+        1 => Fault::Deadline,
+        _ => Fault::Budget,
+    }
+}
+
+/// Tolerance for one outcome against the clean reference: exact rungs must
+/// reproduce the reference to double-rounding precision, degraded answers
+/// get slack proportional to their own reported confidence interval.
+fn tolerance(outcome: &mv_core::QueryOutcome) -> f64 {
+    if outcome.degraded() {
+        outcome.epsilon.map_or(1e-9, |e| 4.0 * e + 0.02)
+    } else {
+        1e-9
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unsharded sessions: any single chaos site, any fault, any seed, at
+    /// rates up to near-certainty — no query is lost, and answers stay
+    /// within the outcome's own advertised tolerance of the clean run.
+    #[test]
+    fn sessions_answer_within_epsilon_under_chaos(
+        seed in 0u64..u64::MAX,
+        site_idx in 0usize..sites::ALL.len(),
+        fault_tag in 0u8..3,
+        rate in 0.05f64..0.95,
+        threads in 1usize..5,
+    ) {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference = clean_reference(&engine, &queries);
+        let site = sites::ALL[site_idx];
+        let fault = fault_of(fault_tag);
+        let _guard = chaos::install(ChaosConfig::new(seed).rule(site, fault, rate));
+        let outcomes = engine
+            .session()
+            .with_threads(threads)
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        prop_assert_eq!(outcomes.len(), queries.len());
+        for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                o.answered(),
+                "seed {seed}, site {site}, {fault:?}@{rate:.2}, slot {i} lost: {:?}",
+                o.fault
+            );
+            let p = o.probability.unwrap();
+            let tol = tolerance(o);
+            prop_assert!(
+                (p - r).abs() < tol,
+                "seed {seed}, site {site}, {fault:?}@{rate:.2}, slot {i}: \
+                 {p} vs clean {r} (rung {:?}, tol {tol})",
+                o.rung
+            );
+        }
+    }
+
+    /// Sharded sessions under the same property: faults in routing, shard
+    /// evaluation, the ladder rungs or the oracle rescue path quarantine at
+    /// query granularity — the batch always completes positionally intact.
+    #[test]
+    fn sharded_sessions_answer_within_epsilon_under_chaos(
+        seed in 0u64..u64::MAX,
+        site_idx in 0usize..sites::ALL.len(),
+        fault_tag in 0u8..3,
+        rate in 0.05f64..0.95,
+        num_shards in 1usize..5,
+    ) {
+        let mvdb = sample_mvdb();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference = clean_reference(&oracle, &queries);
+        let engine = ShardedEngine::compile(&mvdb, num_shards).unwrap();
+        let site = sites::ALL[site_idx];
+        let fault = fault_of(fault_tag);
+        let _guard = chaos::install(ChaosConfig::new(seed).rule(site, fault, rate));
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        prop_assert_eq!(outcomes.len(), queries.len());
+        for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                o.answered(),
+                "seed {seed}, {num_shards} shards, site {site}, {fault:?}@{rate:.2}, \
+                 slot {i} lost: {:?}",
+                o.fault
+            );
+            let p = o.probability.unwrap();
+            let tol = tolerance(o);
+            prop_assert!(
+                (p - r).abs() < tol,
+                "seed {seed}, {num_shards} shards, site {site}, {fault:?}@{rate:.2}, \
+                 slot {i}: {p} vs clean {r} (rung {:?}, tol {tol})",
+                o.rung
+            );
+        }
+    }
+
+    /// Multi-site campaigns: panics, deadlines and budget trips at every
+    /// site at once. Rates are kept moderate so at least one ladder rung
+    /// usually survives per query, but nothing may be lost either way.
+    #[test]
+    fn batches_survive_simultaneous_faults_at_all_sites(
+        seed in 0u64..u64::MAX,
+        rate in 0.02f64..0.25,
+    ) {
+        let mvdb = sample_mvdb();
+        let oracle = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = workload();
+        let reference = clean_reference(&oracle, &queries);
+        let mut config = ChaosConfig::new(seed);
+        for (i, site) in sites::ALL.iter().enumerate() {
+            config = config.rule(site, fault_of(i as u8), rate);
+        }
+        let _guard = chaos::install(config);
+        let engine = ShardedEngine::compile(&mvdb, 3).unwrap();
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                o.answered(),
+                "seed {seed}, rate {rate:.2}, slot {i} lost: {:?}",
+                o.fault
+            );
+            let p = o.probability.unwrap();
+            let tol = tolerance(o);
+            prop_assert!(
+                (p - r).abs() < tol,
+                "seed {seed}, rate {rate:.2}, slot {i}: {p} vs clean {r} \
+                 (rung {:?}, tol {tol})",
+                o.rung
+            );
+        }
+    }
+
+    /// Semantic faults stay semantic: chaos cannot launder an unanswerable
+    /// query into an answer, and the ladder must not mask the original
+    /// error class behind an injected fault.
+    #[test]
+    fn semantic_faults_survive_chaos_unmasked(
+        seed in 0u64..u64::MAX,
+        site_idx in 0usize..sites::ALL.len(),
+        rate in 0.05f64..0.5,
+    ) {
+        let mvdb = sample_mvdb();
+        let engine = MvdbEngine::compile(&mvdb).unwrap();
+        let queries = vec![
+            parse_ucq("Q() :- Unknown(x)").unwrap(),
+            parse_ucq("Q() :- R(x)").unwrap(),
+        ];
+        let site = sites::ALL[site_idx];
+        let _guard =
+            chaos::install(ChaosConfig::new(seed).rule(site, Fault::Panic, rate));
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        prop_assert!(!outcomes[0].answered());
+        prop_assert_eq!(
+            outcomes[0].fault.as_ref().map(|f| f.kind),
+            Some(FaultKind::Semantic)
+        );
+        prop_assert!(outcomes[1].answered(), "{:?}", outcomes[1].fault);
+    }
+}
+
+/// Deterministic replay: the same seed yields the same injection counts,
+/// which is what lets CI gate on a fixed-seed chaos campaign.
+#[test]
+fn injection_counts_replay_deterministically() {
+    let mvdb = sample_mvdb();
+    let queries = workload();
+    let engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+    let run = |seed: u64| {
+        let _guard = chaos::install(
+            ChaosConfig::new(seed)
+                .rule(sites::SHARD_EVAL, Fault::Panic, 0.3)
+                .rule(sites::EXACT_RUNG, Fault::Budget, 0.3),
+        );
+        let outcomes = engine
+            .session()
+            .resilient_probabilities(&queries, &ResilienceConfig::default());
+        assert!(outcomes.iter().all(|o| o.answered()));
+        chaos::injection_counts()
+    };
+    let first = run(1234);
+    let replay = run(1234);
+    assert_eq!(first, replay, "same seed must replay the same injections");
+    assert!(
+        first.iter().any(|(_, _, _, injected)| *injected > 0),
+        "the campaign should actually inject at these rates: {first:?}"
+    );
+}
+
+/// A degraded outcome records why: when the exact rung is forced to fail
+/// deterministically, the answer arrives on a lower rung carrying the
+/// injected fault, and the probability still lands within tolerance.
+#[test]
+fn forced_exact_rung_failure_degrades_with_cause() {
+    let mvdb = sample_mvdb();
+    let engine = MvdbEngine::compile(&mvdb).unwrap();
+    let queries = workload();
+    let reference = clean_reference(&engine, &queries);
+    let _guard = chaos::install(ChaosConfig::new(7).rule(sites::EXACT_RUNG, Fault::Budget, 1.0));
+    let outcomes = engine
+        .session()
+        .resilient_probabilities(&queries, &ResilienceConfig::default());
+    for (i, (o, r)) in outcomes.iter().zip(&reference).enumerate() {
+        assert!(o.answered(), "slot {i}: {:?}", o.fault);
+        assert!(o.degraded(), "slot {i} should not reach the exact rung");
+        assert_ne!(o.rung, Some(Rung::Exact));
+        let fault = o.fault.as_ref().expect("degraded outcomes carry a fault");
+        assert_eq!(fault.kind, FaultKind::Budget, "slot {i}: {fault:?}");
+        let p = o.probability.unwrap();
+        let tol = tolerance(o);
+        assert!((p - r).abs() < tol, "slot {i}: {p} vs {r} (tol {tol})");
+    }
+}

@@ -19,6 +19,9 @@ pub enum ObddError {
         /// The budget it exceeded.
         budget: usize,
     },
+    /// The synthesis was cut short by its cooperative budget (deadline,
+    /// step limit, or cancellation) — see [`mv_query::EvalBudget`].
+    Budget(mv_query::BudgetError),
     /// A query-level error surfaced during construction.
     Query(mv_query::QueryError),
 }
@@ -40,6 +43,7 @@ impl fmt::Display for ObddError {
                 "OBDD synthesis refused: allocated {allocated} nodes, exceeding the budget of \
                  {budget} (no small diagram under this variable order; use an approximate backend)"
             ),
+            ObddError::Budget(e) => write!(f, "OBDD synthesis abandoned: {e}"),
             ObddError::Query(e) => write!(f, "query error during OBDD construction: {e}"),
         }
     }
@@ -50,6 +54,12 @@ impl std::error::Error for ObddError {}
 impl From<mv_query::QueryError> for ObddError {
     fn from(e: mv_query::QueryError) -> Self {
         ObddError::Query(e)
+    }
+}
+
+impl From<mv_query::BudgetError> for ObddError {
+    fn from(e: mv_query::BudgetError) -> Self {
+        ObddError::Budget(e)
     }
 }
 

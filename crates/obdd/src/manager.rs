@@ -185,6 +185,42 @@ impl ComputedTable {
     }
 }
 
+/// Why a guarded apply fold gave up (recorded on the guard; the synthesis
+/// entry point converts it into the matching [`ObddError`]).
+#[derive(Debug)]
+enum GuardTrip {
+    /// The arena grew past the guard's node cap mid-apply.
+    Nodes,
+    /// The cooperative budget (deadline / step limit / cancellation)
+    /// tripped.
+    Budget(mv_query::BudgetError),
+}
+
+/// A cooperative abort guard installed around bounded synthesis folds.
+/// [`Store::apply`] polls it between frames: the node cap is compared on
+/// every frame (one integer compare), the budget every
+/// [`ApplyGuard::TICK_MASK`] frames (an `Instant::now` call). A trip makes
+/// the in-flight apply return a dummy root and records why; the installing
+/// fold checks [`ApplyGuard::tripped`] after every apply and surfaces the
+/// typed error. Nodes interned before the trip stay in the arena —
+/// hash-consing makes them reusable, never wrong.
+#[derive(Debug)]
+struct ApplyGuard {
+    /// Abort once `nodes.len()` exceeds this (absolute arena size).
+    node_cap: usize,
+    /// Cooperative deadline/step budget, polled coarsely.
+    budget: Option<mv_query::EvalBudget>,
+    /// Why the guard tripped, if it did.
+    tripped: Option<GuardTrip>,
+    /// Frame counter driving the coarse budget poll.
+    tick: u32,
+}
+
+impl ApplyGuard {
+    /// Budget poll period: every 1024 apply frames.
+    const TICK_MASK: u32 = 0x3ff;
+}
+
 /// One entry of the dense probability cache: the value is valid only when
 /// `stamp` equals the current weight epoch's stamp (0 = never written).
 #[derive(Debug, Clone, Copy)]
@@ -339,6 +375,9 @@ struct Store {
     prob_cache: Vec<ProbSlot>,
     weight_epoch: u64,
     stats: ManagerStats,
+    /// Abort guard installed only around bounded synthesis folds (`None`
+    /// on every other path — one `Option` check per apply frame).
+    guard: Option<ApplyGuard>,
 }
 
 impl Store {
@@ -367,6 +406,7 @@ impl Store {
                 peak_nodes: 2,
                 ..ManagerStats::default()
             },
+            guard: None,
         }
     }
 
@@ -492,6 +532,24 @@ impl Store {
         let mut stack = vec![Frame::Expand(a, b)];
         let mut results: Vec<NodeId> = Vec::new();
         while let Some(frame) = stack.pop() {
+            if let Some(guard) = self.guard.as_mut() {
+                if guard.tripped.is_some() {
+                    return FALSE;
+                }
+                if self.nodes.len() > guard.node_cap {
+                    guard.tripped = Some(GuardTrip::Nodes);
+                    return FALSE;
+                }
+                guard.tick = guard.tick.wrapping_add(1);
+                if guard.tick & ApplyGuard::TICK_MASK == 0 {
+                    if let Some(budget) = &guard.budget {
+                        if let Err(e) = budget.check() {
+                            guard.tripped = Some(GuardTrip::Budget(e));
+                            return FALSE;
+                        }
+                    }
+                }
+            }
             match frame {
                 Frame::Expand(u, v) => {
                     if let Some(r) = Store::apply_terminal(op, u, v) {
@@ -820,6 +878,11 @@ impl Store {
 struct Shared {
     order: Arc<VarOrder>,
     store: RwLock<Store>,
+    /// Cooperative budget polled by bounded synthesis folds. Installed
+    /// per query on private (per-context / per-worker) managers; shared
+    /// read-mostly managers such as the compiled MV-index never carry one,
+    /// so one worker's deadline cannot cancel a sibling's evaluation.
+    budget: RwLock<Option<mv_query::EvalBudget>>,
 }
 
 /// A shared, hash-consed OBDD node store over one [`VarOrder`]. Cloning is
@@ -845,8 +908,30 @@ impl ObddManager {
             shared: Arc::new(Shared {
                 order,
                 store: RwLock::new(Store::new()),
+                budget: RwLock::new(None),
             }),
         }
+    }
+
+    /// Installs (or clears) the cooperative budget bounded synthesis folds
+    /// poll — between clause folds and, coarsely, inside the apply loop.
+    /// Only install budgets on *private* managers (per-query or per-worker
+    /// shards): the budget is shared by every handle to this arena.
+    pub fn set_budget(&self, budget: Option<mv_query::EvalBudget>) {
+        *self
+            .shared
+            .budget
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = budget;
+    }
+
+    /// The currently installed cooperative budget, if any.
+    pub fn budget(&self) -> Option<mv_query::EvalBudget> {
+        self.shared
+            .budget
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The variable order every diagram of this manager lives on.
@@ -964,13 +1049,29 @@ impl ObddManager {
         clauses: &[C],
         node_budget: usize,
     ) -> Result<Obdd> {
+        let budget = self.budget();
+        if let Some(b) = &budget {
+            b.check()?;
+        }
         let levels: Vec<Vec<u32>> = clauses
             .iter()
             .map(|c| self.clause_levels(c.as_ref()))
             .collect::<Result<_>>()?;
         let mut store = self.write();
         let start = store.nodes.len();
+        // Install the in-apply guard only when something can trip it, so
+        // the unbounded hot path stays a `None` check per frame.
+        let guarded = node_budget != usize::MAX || budget.is_some();
+        if guarded {
+            store.guard = Some(ApplyGuard {
+                node_cap: start.saturating_add(node_budget),
+                budget: budget.clone(),
+                tripped: None,
+                tick: 0,
+            });
+        }
         let mut acc = FALSE;
+        let mut charged: u64 = 0;
         for clause in &levels {
             let clause_root = store.clause_root(clause);
             acc = match Store::apply_terminal(BoolOp::Or, acc, clause_root) {
@@ -978,13 +1079,35 @@ impl ObddManager {
                 None => store.apply(BoolOp::Or, acc, clause_root),
             };
             let allocated = store.nodes.len() - start;
+            if let Some(trip) = store.guard.as_mut().and_then(|g| g.tripped.take()) {
+                store.guard = None;
+                return Err(match trip {
+                    GuardTrip::Nodes => ObddError::NodeBudgetExceeded {
+                        allocated,
+                        budget: node_budget,
+                    },
+                    GuardTrip::Budget(e) => ObddError::Budget(e),
+                });
+            }
             if allocated > node_budget {
+                store.guard = None;
                 return Err(ObddError::NodeBudgetExceeded {
                     allocated,
                     budget: node_budget,
                 });
             }
+            if let Some(b) = &budget {
+                // Charge the fresh nodes of this fold as work units and
+                // poll the deadline between clause folds.
+                let delta = (allocated as u64).saturating_sub(charged);
+                charged = allocated as u64;
+                if let Err(e) = b.charge(delta) {
+                    store.guard = None;
+                    return Err(ObddError::Budget(e));
+                }
+            }
         }
+        store.guard = None;
         drop(store);
         Ok(Obdd::from_parts(self.clone(), acc))
     }

@@ -584,9 +584,24 @@ impl<'a> ConditionalSampler<'a> {
     /// partial sums (merge accumulators from [`ApproxConfig::stream`]-seeded
     /// runs for parallel estimation).
     pub fn collect(&self, config: &ApproxConfig) -> ApproxAccumulator {
+        self.collect_budgeted(config, None)
+            .expect("collection without a budget cannot be cut short")
+    }
+
+    /// [`ConditionalSampler::collect`] under a cooperative
+    /// [`EvalBudget`](crate::budget::EvalBudget), polled between sample
+    /// batches. Sampling is an *anytime* algorithm, so a budget trip after
+    /// [`ApproxConfig::min_samples`] returns the partial accumulator
+    /// (`Ok`) — the interval is simply wider than requested; a trip before
+    /// any statistically usable estimate exists surfaces as `Err`.
+    pub fn collect_budgeted(
+        &self,
+        config: &ApproxConfig,
+        budget: Option<&crate::budget::EvalBudget>,
+    ) -> std::result::Result<ApproxAccumulator, crate::budget::BudgetError> {
         let mut acc = ApproxAccumulator::default();
         if self.constant.is_some() {
-            return acc;
+            return Ok(acc);
         }
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut presence = vec![false; self.thresholds.len()];
@@ -595,6 +610,16 @@ impl<'a> ConditionalSampler<'a> {
         let batch = config.batch.max(1);
         while acc.samples < config.max_samples {
             let run = batch.min(config.max_samples - acc.samples);
+            if let Some(b) = budget {
+                if let Err(e) = b.charge(run) {
+                    // Keep what we have if it can carry an interval at all;
+                    // otherwise the budget left no usable answer.
+                    if acc.samples >= config.min_samples.max(1) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
             for _ in 0..run {
                 generation = generation.wrapping_add(1);
                 if generation == 0 {
@@ -611,7 +636,7 @@ impl<'a> ConditionalSampler<'a> {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Builds the `(estimate, half_width)` answer from partial sums.
@@ -702,6 +727,16 @@ impl<'a> ConditionalSampler<'a> {
     /// [`ConditionalSampler::answer_from`].
     pub fn estimate(&self, config: &ApproxConfig) -> ApproxAnswer {
         self.answer_from(&self.collect(config), config)
+    }
+
+    /// [`ConditionalSampler::estimate`] under a cooperative budget — see
+    /// [`ConditionalSampler::collect_budgeted`] for the anytime semantics.
+    pub fn estimate_budgeted(
+        &self,
+        config: &ApproxConfig,
+        budget: Option<&crate::budget::EvalBudget>,
+    ) -> std::result::Result<ApproxAnswer, crate::budget::BudgetError> {
+        Ok(self.answer_from(&self.collect_budgeted(config, budget)?, config))
     }
 }
 

@@ -40,6 +40,9 @@ pub enum QueryError {
     /// A Monte Carlo estimator could not be constructed over the database
     /// (unsatisfiable condition, non-finite tuple probability, …).
     Unsampleable(String),
+    /// The evaluation was cut short by its cooperative budget (deadline,
+    /// step limit, or cancellation).
+    Budget(crate::budget::BudgetError),
     /// A lower-level database error.
     Pdb(mv_pdb::PdbError),
 }
@@ -76,6 +79,7 @@ impl fmt::Display for QueryError {
             QueryError::Unsampleable(reason) => {
                 write!(f, "cannot sample possible worlds: {reason}")
             }
+            QueryError::Budget(e) => write!(f, "{e}"),
             QueryError::Pdb(e) => write!(f, "database error: {e}"),
         }
     }
@@ -86,6 +90,12 @@ impl std::error::Error for QueryError {}
 impl From<mv_pdb::PdbError> for QueryError {
     fn from(e: mv_pdb::PdbError) -> Self {
         QueryError::Pdb(e)
+    }
+}
+
+impl From<crate::budget::BudgetError> for QueryError {
+    fn from(e: crate::budget::BudgetError) -> Self {
+        QueryError::Budget(e)
     }
 }
 

@@ -87,6 +87,9 @@ pub struct EvalContext<'a> {
     distinct_counts: RefCell<FxHashMap<(RelId, usize), usize>>,
     /// Executor counters accumulated across every vectorized run.
     exec: Cell<ExecStats>,
+    /// Cooperative budget consulted at batch boundaries by the lineage and
+    /// evaluation drivers (`None` = unlimited).
+    budget: RefCell<Option<crate::budget::EvalBudget>>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -103,7 +106,22 @@ impl<'a> EvalContext<'a> {
             zone_maps: RefCell::new(FxHashMap::default()),
             distinct_counts: RefCell::new(FxHashMap::default()),
             exec: Cell::new(ExecStats::default()),
+            budget: RefCell::new(None),
         }
+    }
+
+    /// Installs (or clears) the cooperative budget every subsequent
+    /// evaluation through this context polls at batch boundaries. Budgets
+    /// are per-query in session use: workers re-install a fresh budget
+    /// before each query.
+    pub fn set_budget(&self, budget: Option<crate::budget::EvalBudget>) {
+        *self.budget.borrow_mut() = budget;
+    }
+
+    /// The currently installed budget, if any (cheap clone of the shared
+    /// handle).
+    pub fn budget(&self) -> Option<crate::budget::EvalBudget> {
+        self.budget.borrow().clone()
     }
 
     /// The underlying database.

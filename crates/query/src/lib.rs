@@ -50,6 +50,7 @@ pub mod analysis;
 pub mod approx;
 pub mod ast;
 pub mod brute;
+pub mod budget;
 pub mod components;
 pub mod error;
 pub mod eval;
@@ -68,6 +69,7 @@ pub use approx::{
     IntervalMethod,
 };
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, Ucq};
+pub use budget::{BudgetError, EvalBudget};
 pub use components::{component_relevant_clauses, connected_components, Components, UnionFind};
 pub use error::QueryError;
 pub use eval::{evaluate_boolean, evaluate_ucq, Answer};

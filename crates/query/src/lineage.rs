@@ -170,6 +170,7 @@ fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Opti
     }
     let plan = ctx.compile_vec(ucq)?;
     let db = ctx.database();
+    let budget = ctx.budget();
     let mut stats = ExecStats::default();
     // The set is the only store: clauses are moved in (duplicates are
     // dropped without ever being cloned) and moved out at the end.
@@ -181,28 +182,36 @@ fn collect_clauses(ucq: &Ucq, indb: &InDb, ctx: &EvalContext<'_>) -> Result<Opti
             .iter()
             .map(|&rel| indb.tuple_id_column(rel))
             .collect();
-        let certainly_true = disjunct.for_each_batch(db, &mut stats, |batch| {
-            for entry in 0..batch.len() {
-                buf.clear();
-                for (atom, &row) in batch.atom_rows(entry).iter().enumerate() {
-                    let raw = tid_cols[atom][row as usize];
-                    if raw != InDb::NO_TUPLE_ID {
-                        buf.push(TupleId(raw));
+        let certainly_true =
+            disjunct.for_each_batch_budgeted(db, &mut stats, budget.as_ref(), |batch| {
+                for entry in 0..batch.len() {
+                    buf.clear();
+                    for (atom, &row) in batch.atom_rows(entry).iter().enumerate() {
+                        let raw = tid_cols[atom][row as usize];
+                        if raw != InDb::NO_TUPLE_ID {
+                            buf.push(TupleId(raw));
+                        }
+                    }
+                    buf.sort_unstable();
+                    buf.dedup();
+                    if buf.is_empty() {
+                        // A match over deterministic tuples alone: Φ is `true`
+                        // and absorbs every other clause — stop enumerating.
+                        return ControlFlow::Break(());
+                    }
+                    if !seen.contains(buf.as_slice()) {
+                        seen.insert(buf.clone());
                     }
                 }
-                buf.sort_unstable();
-                buf.dedup();
-                if buf.is_empty() {
-                    // A match over deterministic tuples alone: Φ is `true`
-                    // and absorbs every other clause — stop enumerating.
-                    return ControlFlow::Break(());
-                }
-                if !seen.contains(buf.as_slice()) {
-                    seen.insert(buf.clone());
-                }
+                ControlFlow::Continue(())
+            });
+        let certainly_true = match certainly_true {
+            Ok(b) => b,
+            Err(e) => {
+                ctx.record_exec(stats);
+                return Err(e.into());
             }
-            ControlFlow::Continue(())
-        });
+        };
         if certainly_true.is_some() {
             ctx.record_exec(stats);
             return Ok(None);
@@ -323,6 +332,7 @@ pub fn answer_lineages_with(
     let plan = ctx.compile_vec(ucq)?;
     let db = ctx.database();
     let interner = db.interner();
+    let budget = ctx.budget();
     let mut stats = ExecStats::default();
     let mut per_answer: BTreeMap<Row, FxHashSet<Clause>> = BTreeMap::new();
     let mut buf: Clause = Vec::new();
@@ -332,25 +342,30 @@ pub fn answer_lineages_with(
             .iter()
             .map(|&rel| indb.tuple_id_column(rel))
             .collect();
-        disjunct.for_each_batch::<()>(db, &mut stats, |batch| {
-            for entry in 0..batch.len() {
-                let row = disjunct.decode_head(batch.regs(entry), interner);
-                buf.clear();
-                for (atom, &matched_row) in batch.atom_rows(entry).iter().enumerate() {
-                    let raw = tid_cols[atom][matched_row as usize];
-                    if raw != InDb::NO_TUPLE_ID {
-                        buf.push(TupleId(raw));
+        let run =
+            disjunct.for_each_batch_budgeted::<()>(db, &mut stats, budget.as_ref(), |batch| {
+                for entry in 0..batch.len() {
+                    let row = disjunct.decode_head(batch.regs(entry), interner);
+                    buf.clear();
+                    for (atom, &matched_row) in batch.atom_rows(entry).iter().enumerate() {
+                        let raw = tid_cols[atom][matched_row as usize];
+                        if raw != InDb::NO_TUPLE_ID {
+                            buf.push(TupleId(raw));
+                        }
+                    }
+                    buf.sort_unstable();
+                    buf.dedup();
+                    let clauses = per_answer.entry(row).or_default();
+                    if !clauses.contains(buf.as_slice()) {
+                        clauses.insert(buf.clone());
                     }
                 }
-                buf.sort_unstable();
-                buf.dedup();
-                let clauses = per_answer.entry(row).or_default();
-                if !clauses.contains(buf.as_slice()) {
-                    clauses.insert(buf.clone());
-                }
-            }
-            ControlFlow::Continue(())
-        });
+                ControlFlow::Continue(())
+            });
+        if let Err(e) = run {
+            ctx.record_exec(stats);
+            return Err(e.into());
+        }
     }
     ctx.record_exec(stats);
     Ok(per_answer

@@ -799,6 +799,39 @@ impl VecPlan {
         }
     }
 
+    /// [`Self::for_each_batch`] under a cooperative [`EvalBudget`]: before
+    /// every batch is handed to `on_batch`, the batch's rows are charged as
+    /// budget steps and the deadline is polled — a trip abandons the run
+    /// and surfaces as `Err` instead of enumerating further. With no
+    /// budget this is exactly `for_each_batch`.
+    pub fn for_each_batch_budgeted<B>(
+        &self,
+        db: &Database,
+        stats: &mut ExecStats,
+        budget: Option<&crate::budget::EvalBudget>,
+        mut on_batch: impl FnMut(&MatchBatch) -> ControlFlow<B>,
+    ) -> std::result::Result<Option<B>, crate::budget::BudgetError> {
+        let Some(budget) = budget else {
+            return Ok(self.for_each_batch(db, stats, on_batch));
+        };
+        budget.check()?;
+        let mut trip: Option<crate::budget::BudgetError> = None;
+        let out = self.for_each_batch(db, stats, |batch| {
+            if let Err(e) = budget.charge(batch.len() as u64) {
+                trip = Some(e);
+                return ControlFlow::Break(None);
+            }
+            match on_batch(batch) {
+                ControlFlow::Break(b) => ControlFlow::Break(Some(b)),
+                ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            }
+        });
+        match trip {
+            Some(e) => Err(e),
+            None => Ok(out.flatten()),
+        }
+    }
+
     /// The surviving row ranges of a scan step after zone-map skipping,
     /// with adjacent surviving blocks merged.
     fn pruned_ranges(
