@@ -8,7 +8,7 @@
 //!
 //! Sub-commands: `fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig10`, `fig11`, `session`, `sharded`, `microbench`, `approx`,
-//! `resilience`, `ablation`, `all`.
+//! `resilience`, `serve`, `ablation`, `all`.
 //! Options: `--quick` (3 scaling points instead of 10, fewer queries),
 //! `--authors N` (size of the "full" dataset for fig1/fig10/fig11; default
 //! 10000), `--threads N` (worker threads for the exact-backend workloads of
@@ -94,6 +94,7 @@ const KNOWN_FIGURES: &[&str] = &[
     "microbench",
     "approx",
     "resilience",
+    "serve",
     "ablation",
     "all",
 ];
@@ -217,6 +218,9 @@ fn main() {
     }
     if wants("resilience") {
         report.add("resilience", resilience(&opts));
+    }
+    if wants("serve") {
+        report.add("serve", serve(&opts));
     }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
@@ -733,6 +737,125 @@ fn resilience(opts: &Options) -> Json {
     Json::arr([row])
 }
 
+/// The serving soak: the paced over-capacity workload through a running
+/// [`mv_core::MvdbServer`], clean and under the seeded serve chaos
+/// campaign. CI gates on this series: zero lost admitted queries, bounded
+/// shed fraction, at least one arena compaction with bounded growth, and
+/// tail latency under the deadline.
+fn serve(opts: &Options) -> Json {
+    let (num_authors, num_queries) = if opts.quick {
+        (800, 400)
+    } else {
+        (2_000, 1_500)
+    };
+    println!(
+        "== Serve: always-on soak at 1.5x capacity ({} shards, seed {}) ==",
+        opts.shards, opts.chaos_seed
+    );
+    let p = serve_soak(num_authors, num_queries, opts.shards, opts.chaos_seed);
+    println!(
+        "  capacity {:.0} q/s, offered {:.0} q/s, deadline {:.2}s, compact watermark {} nodes",
+        p.capacity_qps,
+        p.offered_qps,
+        secs(p.deadline),
+        p.compact_watermark,
+    );
+    println!(
+        "{:>8} {:>9} {:>6} {:>6} {:>10} {:>22} {:>10} {:>10} {:>10}",
+        "pass",
+        "answered",
+        "shed",
+        "lost",
+        "degr adm",
+        "rungs e/b/mc",
+        "p50 (ms)",
+        "p99 (ms)",
+        "compact"
+    );
+    let print_run = |label: &str, r: &mv_bench::ServeRun| {
+        println!(
+            "{:>8} {:>9} {:>6} {:>6} {:>10} {:>10} {:>10.2} {:>10.2} {:>10}",
+            label,
+            r.answered,
+            r.shed,
+            r.lost,
+            r.degraded_admissions,
+            format!(
+                "{}/{}/{}",
+                r.rungs.exact, r.rungs.bounded, r.rungs.monte_carlo
+            ),
+            secs(r.p50) * 1e3,
+            secs(r.p99) * 1e3,
+            r.stats.compactions,
+        );
+    };
+    print_run("clean", &p.clean);
+    print_run("chaos", &p.chaos);
+    println!(
+        "  chaos pass: {} respawns, {} quarantined, {} requeues, arena {} -> {} bytes at last compaction",
+        p.chaos.stats.respawns,
+        p.chaos.stats.quarantined,
+        p.chaos.stats.requeues,
+        p.chaos.stats.arena_bytes_before,
+        p.chaos.stats.arena_bytes_after,
+    );
+    let run_json = |r: &mv_bench::ServeRun| {
+        let injections: Vec<Json> = r
+            .injections
+            .iter()
+            .map(|(site, fault, draws, injected)| {
+                Json::obj([
+                    ("site", Json::from(site.as_str())),
+                    ("fault", Json::from(fault.name())),
+                    ("draws", Json::from(*draws)),
+                    ("injected", Json::from(*injected)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("elapsed_s", Json::from(secs(r.elapsed))),
+            ("offered", Json::from(r.offered)),
+            ("shed", Json::from(r.shed)),
+            ("shed_fraction", Json::from(r.shed_fraction())),
+            ("answered", Json::from(r.answered)),
+            ("lost", Json::from(r.lost)),
+            ("degraded_admissions", Json::from(r.degraded_admissions)),
+            ("rung_exact", Json::from(r.rungs.exact)),
+            ("rung_bounded", Json::from(r.rungs.bounded)),
+            ("rung_monte_carlo", Json::from(r.rungs.monte_carlo)),
+            ("throughput_qps", Json::from(r.throughput_qps)),
+            ("exact_max_abs_err", Json::from(r.exact_max_abs_err)),
+            ("degraded_max_abs_err", Json::from(r.degraded_max_abs_err)),
+            ("max_epsilon", Json::from(r.max_epsilon)),
+            ("p50_s", Json::from(secs(r.p50))),
+            ("p95_s", Json::from(secs(r.p95))),
+            ("p99_s", Json::from(secs(r.p99))),
+            ("requeues", Json::from(r.stats.requeues)),
+            ("respawns", Json::from(r.stats.respawns)),
+            ("quarantined", Json::from(r.stats.quarantined)),
+            ("compactions", Json::from(r.stats.compactions)),
+            ("reclaimed_nodes", Json::from(r.stats.reclaimed_nodes)),
+            ("arena_bytes_before", Json::from(r.stats.arena_bytes_before)),
+            ("arena_bytes_after", Json::from(r.stats.arena_bytes_after)),
+            ("injections", Json::arr(injections)),
+        ])
+    };
+    println!();
+    Json::arr([Json::obj([
+        ("num_authors", Json::from(p.num_authors)),
+        ("num_shards", Json::from(p.num_shards)),
+        ("num_workers", Json::from(p.num_workers)),
+        ("num_queries", Json::from(p.num_queries)),
+        ("chaos_seed", Json::from(p.chaos_seed)),
+        ("deadline_s", Json::from(secs(p.deadline))),
+        ("compact_watermark", Json::from(p.compact_watermark)),
+        ("capacity_qps", Json::from(p.capacity_qps)),
+        ("offered_qps", Json::from(p.offered_qps)),
+        ("clean", run_json(&p.clean)),
+        ("chaos", run_json(&p.chaos)),
+    ])])
+}
+
 /// Serializes shared-OBDD-manager counters for the machine-readable report.
 fn manager_stats_json(s: &mv_obdd::ManagerStats) -> Json {
     Json::obj([
@@ -754,6 +877,12 @@ fn manager_stats_json(s: &mv_obdd::ManagerStats) -> Json {
         // Deep copies between managers; 0 means the apply/concat paths
         // stayed inside shared arenas for the whole workload.
         ("imported_nodes", Json::from(s.imported_nodes)),
+        // Arena GC: compaction passes, nodes they reclaimed, and the
+        // resident-size gauges at snapshot time.
+        ("compactions", Json::from(s.compactions)),
+        ("reclaimed_nodes", Json::from(s.reclaimed_nodes)),
+        ("live_nodes", Json::from(s.live_nodes)),
+        ("arena_bytes", Json::from(s.arena_bytes)),
     ])
 }
 

@@ -221,6 +221,12 @@ impl QueryOutcome {
 pub struct ResilienceConfig {
     /// The exact backend tried on rung 1.
     pub inner: EngineBackend,
+    /// The first rung the ladder tries. [`Rung::Exact`] (the default) is
+    /// the full ladder; an overload controller (the serving layer's
+    /// degrade-before-drop policy) lowers admitted queries onto
+    /// [`Rung::BoundedExact`] or straight to [`Rung::MonteCarlo`] under
+    /// queue pressure, skipping the rungs it cannot afford.
+    pub entry: Rung,
     /// Per-rung wall-clock deadline (`None` = unlimited).
     pub deadline: Option<Duration>,
     /// Per-rung cooperative step limit (batch rows / arena nodes /
@@ -244,6 +250,7 @@ impl Default for ResilienceConfig {
     fn default() -> Self {
         ResilienceConfig {
             inner: EngineBackend::MvIndex(IntersectAlgorithm::CcMvIntersect),
+            entry: Rung::Exact,
             deadline: None,
             step_limit: None,
             node_budget: 1 << 18,
@@ -294,11 +301,20 @@ enum Target<'q> {
 struct WBuild {
     /// The query-side manager the diagram was built into (cache key).
     manager: ObddManager,
+    /// The manager's compaction generation at build time (cache key): a
+    /// compaction remaps every root, so a memoized diagram from an earlier
+    /// generation must be rebuilt, never dereferenced.
+    generation: u64,
     /// The node budget the build ran under (cache key).
     node_budget: usize,
     /// The diagram and its prior probability `P0(W)`, or `None` when the
     /// synthesis refused at the node budget.
     built: Option<(Obdd, f64)>,
+    /// Registration token of the diagram's root in the manager's live-root
+    /// table: compaction keeps registered roots alive and remaps them, so
+    /// after a generation bump the memoized `W` rehydrates from the token
+    /// instead of paying a full re-synthesis.
+    token: Option<u64>,
 }
 
 /// The degradation ladder over an inner exact backend. Cheap to construct
@@ -323,6 +339,15 @@ impl ResilientBackend {
     /// The ladder configuration.
     pub fn config(&self) -> &ResilienceConfig {
         &self.config
+    }
+
+    /// Replaces the ladder configuration in place. The serving layer's
+    /// overload controller retunes `entry` / `deadline` / `epsilon` per
+    /// request on a long-lived per-worker ladder; the memoized `W` build
+    /// survives as long as its own cache keys (manager, generation, node
+    /// budget) are unchanged.
+    pub fn set_config(&mut self, config: ResilienceConfig) {
+        self.config = config;
     }
 
     /// Runs the ladder for a Boolean query. Never panics; always returns
@@ -358,11 +383,13 @@ impl ResilientBackend {
         let mut fault: Option<QueryFault> = None;
 
         // Rung 1: the inner exact backend. Skipped for lineage targets
-        // when the backend cannot evaluate lineages directly.
-        let try_exact = match target {
-            Target::Query(_) => true,
-            Target::Lineage(_) => self.config.inner.evaluates_lineage(),
-        };
+        // when the backend cannot evaluate lineages directly, and when the
+        // configured entry rung starts the ladder lower.
+        let try_exact = self.config.entry == Rung::Exact
+            && match target {
+                Target::Query(_) => true,
+                Target::Lineage(_) => self.config.inner.evaluates_lineage(),
+            };
         if try_exact {
             let inner = self.config.inner.instantiate();
             let exact = self.rung(ctx, sites::EXACT_RUNG, || match target {
@@ -378,26 +405,29 @@ impl ResilientBackend {
             }
         }
 
-        // Rung 2: bounded-exact synthesis via Theorem 1.
-        let bounded = self.rung(ctx, sites::BOUNDED_RUNG, || {
-            let own;
-            let lin_q = match target {
-                Target::Query(q) => {
-                    own = ctx.lineage(q)?;
-                    &own
+        // Rung 2: bounded-exact synthesis via Theorem 1. Skipped when the
+        // entry rung is the sampler itself.
+        if self.config.entry <= Rung::BoundedExact {
+            let bounded = self.rung(ctx, sites::BOUNDED_RUNG, || {
+                let own;
+                let lin_q = match target {
+                    Target::Query(q) => {
+                        own = ctx.lineage(q)?;
+                        &own
+                    }
+                    Target::Lineage(l) => l,
+                };
+                self.bounded_lineage_probability(lin_q, ctx)
+            });
+            match bounded {
+                Ok(p) => {
+                    return QueryOutcome::answered_on(Rung::BoundedExact, p, started, fault);
                 }
-                Target::Lineage(l) => l,
-            };
-            self.bounded_lineage_probability(lin_q, ctx)
-        });
-        match bounded {
-            Ok(p) => {
-                return QueryOutcome::answered_on(Rung::BoundedExact, p, started, fault);
+                Err(e) if e.is_degradable() => {
+                    fault.get_or_insert_with(|| QueryFault::of(&e));
+                }
+                Err(e) => return QueryOutcome::lost(QueryFault::of(&e), started),
             }
-            Err(e) if e.is_degradable() => {
-                fault.get_or_insert_with(|| QueryFault::of(&e));
-            }
-            Err(e) => return QueryOutcome::lost(QueryFault::of(&e), started),
         }
 
         // Rung 3: Monte Carlo at the requested ±ε.
@@ -492,9 +522,28 @@ impl ResilientBackend {
     ) -> Result<Option<(Obdd, f64)>> {
         let manager = ctx.query_manager();
         let node_budget = self.config.node_budget;
-        if let Some(cached) = self.w_build.borrow().as_ref() {
-            if cached.manager.same_store(manager) && cached.node_budget == node_budget {
-                return Ok(cached.built.clone());
+        {
+            let mut slot = self.w_build.borrow_mut();
+            if let Some(cached) = slot.as_mut() {
+                if cached.manager.same_store(manager) && cached.node_budget == node_budget {
+                    if cached.generation == manager.generation() {
+                        return Ok(cached.built.clone());
+                    }
+                    // A compaction remapped every root since the build.
+                    // The registered token still resolves (registration
+                    // keeps `W` alive through compaction), so rehydrate
+                    // the memo instead of re-synthesizing; `P0(W)` is
+                    // unchanged by construction.
+                    if let (Some(token), Some(p)) =
+                        (cached.token, cached.built.as_ref().map(|(_, p)| *p))
+                    {
+                        if let Some(obdd) = manager.registered_obdd(token) {
+                            cached.built = Some((obdd.clone(), p));
+                            cached.generation = manager.generation();
+                            return Ok(Some((obdd, p)));
+                        }
+                    }
+                }
             }
         }
         let built = match builder.from_lineage_bounded(w, node_budget) {
@@ -505,10 +554,23 @@ impl ResilientBackend {
             Err(ObddError::NodeBudgetExceeded { .. }) => None,
             Err(e) => return Err(e.into()),
         };
+        // Pin the diagram against arena compaction (the serving layer
+        // compacts per-worker query managers between requests), releasing
+        // any stale registration the replaced memo held.
+        let token = built
+            .as_ref()
+            .map(|(obdd, _)| manager.register_root(obdd.root()));
+        if let Some(old) = self.w_build.borrow_mut().take() {
+            if let Some(old_token) = old.token {
+                old.manager.release_root(old_token);
+            }
+        }
         *self.w_build.borrow_mut() = Some(WBuild {
             manager: manager.clone(),
+            generation: manager.generation(),
             node_budget,
             built: built.clone(),
+            token,
         });
         Ok(built)
     }
@@ -585,6 +647,34 @@ mod tests {
         assert_eq!(outcome.fault.as_ref().unwrap().kind, FaultKind::Budget);
         let eps = outcome.epsilon.unwrap();
         assert!(eps <= 0.021, "half-width {eps} missed the target");
+        assert!((outcome.probability.unwrap() - exact).abs() < 5.0 * eps + 0.02);
+    }
+
+    #[test]
+    fn entry_rung_starts_the_ladder_lower() {
+        let engine = engine();
+        let ctx = engine.context();
+        let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+        let exact = engine.probability(&q).unwrap();
+        // BoundedExact entry: rung 1 is never tried, the answer is still
+        // exact (the node budget refuses nothing on this tiny database).
+        let ladder = ResilientBackend::new(ResilienceConfig {
+            entry: Rung::BoundedExact,
+            ..ResilienceConfig::default()
+        });
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert_eq!(outcome.rung, Some(Rung::BoundedExact));
+        assert!(outcome.fault.is_none(), "skipping a rung is not a fault");
+        assert!((outcome.probability.unwrap() - exact).abs() < 1e-9);
+        // MonteCarlo entry: straight to the sampler at the requested ε.
+        let ladder = ResilientBackend::new(ResilienceConfig {
+            entry: Rung::MonteCarlo,
+            epsilon: 0.02,
+            ..ResilienceConfig::default()
+        });
+        let outcome = ladder.evaluate(&q, &ctx);
+        assert_eq!(outcome.rung, Some(Rung::MonteCarlo));
+        let eps = outcome.epsilon.unwrap();
         assert!((outcome.probability.unwrap() - exact).abs() < 5.0 * eps + 0.02);
     }
 

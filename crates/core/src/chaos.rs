@@ -40,6 +40,16 @@ pub mod sites {
     pub const MC_RUNG: &str = "mc_rung";
     /// Cross-shard/quarantine fallback on the unsharded oracle.
     pub const ORACLE: &str = "oracle";
+    /// Serving layer: admission control (`MvdbServer::submit`).
+    pub const ADMIT: &str = "admit";
+    /// Serving layer: a worker dispatching an admitted request.
+    pub const DISPATCH: &str = "dispatch";
+    /// Serving layer: a worker's heartbeat tick. `panic` kills the worker
+    /// thread (supervision respawns it); `deadline` stalls it past the
+    /// heartbeat timeout (supervision quarantines it as wedged).
+    pub const HEARTBEAT: &str = "heartbeat";
+    /// Serving layer: the per-worker arena compaction pass.
+    pub const COMPACT: &str = "compact";
 
     /// Every site, for sweeps ("inject at each site in turn").
     pub const ALL: &[&str] = &[
@@ -50,6 +60,10 @@ pub mod sites {
         BOUNDED_RUNG,
         MC_RUNG,
         ORACLE,
+        ADMIT,
+        DISPATCH,
+        HEARTBEAT,
+        COMPACT,
     ];
 }
 
@@ -136,7 +150,10 @@ impl ChaosConfig {
     /// Parses a spec of the form
     /// `seed=42;route:panic=0.01;exact_rung:budget=0.05`. Entries are
     /// `;`-separated; `seed=N` may appear anywhere (default 0); every other
-    /// entry is `site:fault=rate`.
+    /// entry is `site:fault=rate`. Malformed entries — a missing `=`, an
+    /// unknown site or fault keyword, a rate outside `[0, 1]` — are hard
+    /// errors, never silently dropped: a typo'd campaign must not let a
+    /// "chaos" run pass without injecting anything.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut config = ChaosConfig::new(0);
         for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
@@ -154,6 +171,13 @@ impl ChaosConfig {
                 .trim()
                 .split_once(':')
                 .ok_or_else(|| format!("chaos entry `{entry}` is not `site:fault=rate`"))?;
+            let site = site.trim();
+            if !sites::ALL.contains(&site) {
+                return Err(format!(
+                    "unknown chaos site `{site}` (known sites: {})",
+                    sites::ALL.join(", ")
+                ));
+            }
             let fault = Fault::parse(fault.trim())?;
             let rate: f64 = value
                 .trim()
@@ -163,7 +187,7 @@ impl ChaosConfig {
                 return Err(format!("chaos rate {rate} is outside [0, 1]"));
             }
             config.rules.push(ChaosRule {
-                site: site.trim().to_string(),
+                site: site.to_string(),
                 fault,
                 rate,
             });
@@ -376,6 +400,48 @@ mod tests {
         assert!(ChaosConfig::parse("route:explode=0.1").is_err());
         assert!(ChaosConfig::parse("route:panic=1.5").is_err());
         assert!(ChaosConfig::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_sites_with_a_descriptive_error() {
+        let err = ChaosConfig::parse("warp_core:panic=0.1").unwrap_err();
+        assert!(err.contains("unknown chaos site `warp_core`"), "{err}");
+        // The error names the valid sites, so a typo is self-diagnosing.
+        assert!(err.contains(sites::ROUTE), "{err}");
+        assert!(err.contains(sites::HEARTBEAT), "{err}");
+        // A valid rule before the bad one does not rescue the spec.
+        assert!(ChaosConfig::parse("route:panic=0.1;warp_core:panic=0.1").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_every_known_site() {
+        for site in sites::ALL {
+            let spec = format!("{site}:deadline=0.5");
+            let c = ChaosConfig::parse(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(c.rules.len(), 1);
+            assert_eq!(c.rules[0].site, *site);
+        }
+    }
+
+    #[test]
+    fn parse_edge_cases_empty_spec_and_rate_bounds() {
+        // Empty and whitespace-only specs are valid no-op campaigns.
+        let empty = ChaosConfig::parse("").unwrap();
+        assert_eq!(empty, ChaosConfig::new(0));
+        let blank = ChaosConfig::parse(" ;  ; ").unwrap();
+        assert!(blank.rules.is_empty());
+        // Rate bounds are inclusive; NaN and out-of-range are rejected.
+        assert!(ChaosConfig::parse("route:panic=0.0").is_ok());
+        assert!(ChaosConfig::parse("route:panic=1.0").is_ok());
+        assert!(ChaosConfig::parse("route:panic=-0.1").is_err());
+        assert!(ChaosConfig::parse("route:panic=NaN").is_err());
+        assert!(ChaosConfig::parse("route:panic=").is_err());
+        // Seed entries parse anywhere; malformed seeds are errors.
+        assert!(ChaosConfig::parse("seed=not_a_number").is_err());
+        assert_eq!(
+            ChaosConfig::parse("oracle:budget=0.2;seed=9").unwrap().seed,
+            9
+        );
     }
 
     #[test]

@@ -71,6 +71,17 @@ pub enum CoreError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The serving layer refused to admit the request: the bounded
+    /// admission queue is full, or the estimated queue wait already
+    /// exceeds the request's deadline so even the cheapest rung could not
+    /// answer in time. Explicit backpressure — the caller should back off
+    /// for at least `retry_after` and resubmit instead of buffering.
+    Rejected {
+        /// Suggested back-off before resubmitting.
+        retry_after: Duration,
+        /// Admission-queue depth observed at rejection time.
+        depth: usize,
+    },
 }
 
 impl CoreError {
@@ -145,6 +156,10 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanicked { site, message } => {
                 write!(f, "worker panicked at isolation site `{site}`: {message}")
             }
+            CoreError::Rejected { retry_after, depth } => write!(
+                f,
+                "request rejected by admission control (queue depth {depth}); retry after {retry_after:?}"
+            ),
         }
     }
 }

@@ -35,6 +35,12 @@
 //!   own MV-index and OBDD manager, and per-shard conditionals are
 //!   combined exactly by independence (`1 − ∏ (1 − q_s)`); queries whose
 //!   lineage spans shards fall back to the unsharded oracle.
+//! * [`serve`] — [`MvdbServer`]: the always-on serving layer. Bounded
+//!   admission with explicit backpressure, per-request deadlines, an
+//!   overload controller that degrades onto cheaper resilience rungs
+//!   before shedding, heartbeat-supervised workers (dead or wedged
+//!   workers are replaced without losing admitted queries), and
+//!   watermark-triggered compaction of per-worker OBDD arenas.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +50,7 @@ pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod mvdb;
+pub mod serve;
 pub mod session;
 pub mod sharded;
 pub mod translate;
@@ -57,6 +64,7 @@ pub use backend::{
 pub use engine::MvdbEngine;
 pub use error::{CoreError, EvalError};
 pub use mvdb::{Mvdb, MvdbBuilder};
+pub use serve::{MvdbServer, ServeConfig, ServeOutcome, ServerStats, Ticket};
 pub use session::{MvdbSession, QueryStats};
 pub use sharded::{ShardedEngine, ShardedSession};
 pub use translate::TranslatedIndb;

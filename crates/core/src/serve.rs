@@ -1,0 +1,1111 @@
+//! The always-on serving layer: admission control with explicit
+//! backpressure, degrade-before-drop load shedding, heartbeat-based worker
+//! supervision, and OBDD arena garbage collection.
+//!
+//! [`MvdbServer`] turns the batch engine into a long-lived service. The
+//! request path is a pipeline of pressure valves, each engaging before the
+//! next:
+//!
+//! 1. **Admission** ([`MvdbServer::submit`]): requests enter a *bounded*
+//!    queue. A full queue — or an estimated queue wait that already
+//!    exceeds the request's deadline, so not even the sampling rung could
+//!    answer in time — yields [`CoreError::Rejected`] with a `retry_after`
+//!    hint instead of unbounded buffering. The wait estimate is an EWMA of
+//!    observed service times scaled by queue depth.
+//! 2. **Degradation before shedding**: under queue pressure the overload
+//!    controller lowers the *entry rung* of the resilience ladder for new
+//!    admissions — past `degrade_depth` requests start at bounded-exact
+//!    synthesis, past `shed_depth` they go straight to Monte Carlo at a
+//!    widened ε ([`ServeConfig::widened_epsilon`]). Degraded admissions
+//!    still answer; every decision is visible in the [`ServeOutcome`].
+//! 3. **Per-request deadlines**: each request carries a wall-clock
+//!    deadline inherited by the ladder's `EvalBudget`; a request whose
+//!    deadline passed while queued replies `DeadlineExceeded` without
+//!    evaluating.
+//!
+//! **Supervision.** Workers tick a heartbeat each loop. A supervisor
+//! thread respawns workers whose threads died (panics escape at the
+//! `dispatch`/`heartbeat` chaos sites by design) and quarantines *wedged*
+//! workers whose heartbeat stalls past [`ServeConfig::heartbeat_timeout`].
+//! Either way the in-flight request is recovered from the worker's
+//! inflight slot and requeued at the front; a per-request `answered` flag
+//! suppresses duplicate replies if a quarantined worker finishes late.
+//! Admitted queries are never silently dropped — a request that kills its
+//! worker more than [`ServeConfig::max_requeues`] times is *reported* lost
+//! with a typed outcome instead of cycling respawns forever.
+//!
+//! **Arena GC.** Long-lived workers would otherwise grow their append-only
+//! query-side [`ObddManager`](mv_obdd::ObddManager) arenas without bound.
+//! After each request, a worker whose arena crossed
+//! [`ServeConfig::compact_watermark`] compacts it: live registered roots
+//! (the ladder registers its memoized `W` diagram) are rebuilt into a
+//! fresh arena, the generation and weight epoch are bumped so stale node
+//! ids and probability stamps cannot resurface, and the ladder rehydrates
+//! `W` from its registration token. Compaction is measured per pass in
+//! [`ServerStats`].
+//!
+//! Fault injection hooks at the `admit`, `dispatch`, `heartbeat`, and
+//! `compact` chaos sites prove the recovery paths; the `figures serve`
+//! soak campaign drives a sustained over-capacity mixed workload through
+//! them and gates zero lost admitted queries, bounded shed fraction, and
+//! bounded arena growth.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mv_obdd::CompactOutcome;
+use mv_query::Ucq;
+
+use crate::backend::{
+    EvalContext, QueryFault, QueryOutcome, ResilienceConfig, ResilientBackend, Rung,
+};
+use crate::chaos::{self, sites};
+use crate::error::CoreError;
+use crate::sharded::ShardedEngine;
+use crate::Result;
+
+/// Tuning of an [`MvdbServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads evaluating admitted requests.
+    pub workers: usize,
+    /// Capacity of the bounded admission queue; submissions at a full
+    /// queue are rejected with backpressure. `0` rejects everything.
+    pub queue_capacity: usize,
+    /// Default per-request deadline ([`MvdbServer::submit`]).
+    pub deadline: Duration,
+    /// Queue depth at which new admissions enter the ladder at
+    /// [`Rung::BoundedExact`] instead of the configured entry rung.
+    pub degrade_depth: usize,
+    /// Queue depth at which new admissions go straight to
+    /// [`Rung::MonteCarlo`] at [`ServeConfig::widened_epsilon`].
+    pub shed_depth: usize,
+    /// Monte Carlo target half-width for admissions past `shed_depth`
+    /// (wider than the ladder default — cheaper answers under pressure).
+    pub widened_epsilon: f64,
+    /// Base resilience-ladder configuration; `entry`, `deadline` and
+    /// `epsilon` are overridden per request by the overload controller.
+    pub resilience: ResilienceConfig,
+    /// Cadence of worker heartbeats and supervisor sweeps.
+    pub heartbeat_interval: Duration,
+    /// A worker whose heartbeat stalls longer than this is quarantined as
+    /// wedged and replaced. Must comfortably exceed the worst-case
+    /// per-request service time (rungs × deadline), or long evaluations
+    /// are false-positive quarantined — correctness survives (the
+    /// recovered request is deduplicated) but respawns are wasted.
+    pub heartbeat_timeout: Duration,
+    /// Node-count watermark of a worker's query-side arena; crossing it
+    /// triggers a compaction after the current request. `usize::MAX`
+    /// disables compaction.
+    pub compact_watermark: usize,
+    /// How many times a request recovered from a dead or wedged worker is
+    /// requeued before it is reported lost instead of retried.
+    pub max_requeues: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(250),
+            degrade_depth: 16,
+            shed_depth: 32,
+            widened_epsilon: 0.05,
+            resilience: ResilienceConfig::default(),
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_secs(2),
+            compact_watermark: 1 << 16,
+            max_requeues: 3,
+        }
+    }
+}
+
+/// The per-request record a served query resolves to: the ladder's
+/// [`QueryOutcome`] plus the serving-layer decisions around it.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The server-assigned request id ([`Ticket::id`]).
+    pub id: u64,
+    /// The ladder outcome: probability, answering rung, achieved ε, fault.
+    pub outcome: QueryOutcome,
+    /// The entry rung the overload controller admitted the request at —
+    /// [`Rung::Exact`] when admitted without pressure.
+    pub entry: Rung,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Evaluation wall-clock on the answering worker.
+    pub service: Duration,
+    /// Admission-to-reply wall-clock (includes requeues and recovery).
+    pub total: Duration,
+    /// Times the request was recovered from a dead/wedged worker.
+    pub requeues: u32,
+    /// The worker slot that replied, or `None` when the supervisor
+    /// reported the request lost without a worker answering.
+    pub worker: Option<usize>,
+}
+
+impl ServeOutcome {
+    /// `true` when some rung produced an answer.
+    pub fn answered(&self) -> bool {
+        self.outcome.answered()
+    }
+
+    /// `true` when the overload controller admitted the request below the
+    /// configured entry rung (the "degraded admission" series).
+    pub fn degraded_admission(&self) -> bool {
+        self.entry != Rung::Exact
+    }
+}
+
+/// A handle to one admitted request; resolve it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    entry: Rung,
+    receiver: Receiver<ServeOutcome>,
+}
+
+impl Ticket {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The entry rung the request was admitted at.
+    pub fn admitted_rung(&self) -> Rung {
+        self.entry
+    }
+
+    /// Blocks until the request resolves. If the server is torn down
+    /// without replying (it drains admitted requests on shutdown, so this
+    /// is a defensive path), a poisoned outcome is synthesized.
+    pub fn wait(self) -> ServeOutcome {
+        let id = self.id;
+        let entry = self.entry;
+        self.receiver
+            .recv()
+            .unwrap_or_else(|_| Ticket::severed(id, entry))
+    }
+
+    /// [`Ticket::wait`] with an upper bound; `Err(self)` when the request
+    /// has not resolved yet.
+    pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<ServeOutcome, Ticket> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Ok(Ticket::severed(self.id, self.entry))
+            }
+        }
+    }
+
+    fn severed(id: u64, entry: Rung) -> ServeOutcome {
+        ServeOutcome {
+            id,
+            outcome: QueryOutcome::poisoned(sites::DISPATCH),
+            entry,
+            queue_wait: Duration::ZERO,
+            service: Duration::ZERO,
+            total: Duration::ZERO,
+            requeues: 0,
+            worker: None,
+        }
+    }
+}
+
+/// A counter snapshot of a running (or drained) server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests rejected by admission control (backpressure).
+    pub rejected: u64,
+    /// Requests that resolved to a reply (answered or reported lost).
+    pub completed: u64,
+    /// Replies with no probability: every rung failed, or the request
+    /// expired in the queue, or its requeue budget ran out.
+    pub lost: u64,
+    /// Admissions the overload controller entered below [`Rung::Exact`].
+    pub degraded_admissions: u64,
+    /// Replies answered below the exact rung.
+    pub degraded_answers: u64,
+    /// Requests recovered from a dead/wedged worker and requeued.
+    pub requeues: u64,
+    /// Worker threads (re)spawned after a death or quarantine.
+    pub respawns: u64,
+    /// Workers quarantined as wedged by heartbeat staleness.
+    pub quarantined: u64,
+    /// Query-arena compactions across all workers.
+    pub compactions: u64,
+    /// Arena nodes reclaimed by those compactions.
+    pub reclaimed_nodes: u64,
+    /// Arena bytes before the most recent compaction (gauge).
+    pub arena_bytes_before: u64,
+    /// Arena bytes after the most recent compaction (gauge).
+    pub arena_bytes_after: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Configured worker count.
+    pub workers: usize,
+}
+
+impl ServerStats {
+    /// Fraction of submissions rejected by admission control.
+    pub fn shed_fraction(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
+/// One admitted request as it travels through the queue and workers.
+/// Cloned into the owning worker's inflight slot so the supervisor can
+/// recover it if the worker dies; the `answered` flag arbitrates between
+/// the original and a recovered duplicate.
+#[derive(Debug, Clone)]
+struct Request {
+    id: u64,
+    query: Ucq,
+    admitted_at: Instant,
+    deadline_at: Instant,
+    entry: Rung,
+    epsilon: f64,
+    requeues: u32,
+    answered: Arc<AtomicBool>,
+    reply: SyncSender<ServeOutcome>,
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    lost: AtomicU64,
+    degraded_admissions: AtomicU64,
+    degraded_answers: AtomicU64,
+    requeues: AtomicU64,
+    respawns: AtomicU64,
+    quarantined: AtomicU64,
+    compactions: AtomicU64,
+    reclaimed_nodes: AtomicU64,
+    arena_bytes_before: AtomicU64,
+    arena_bytes_after: AtomicU64,
+}
+
+struct Inbox {
+    queue: Mutex<VecDeque<Request>>,
+    cv: Condvar,
+}
+
+struct ServerShared {
+    engine: Arc<ShardedEngine>,
+    config: ServeConfig,
+    inbox: Inbox,
+    shutdown: AtomicBool,
+    /// EWMA of observed service times (ns); feeds the admission-time
+    /// queue-wait estimate. Racy read-modify-write is fine for a gauge.
+    ewma_service_ns: AtomicU64,
+    counters: Counters,
+}
+
+/// The supervisor's view of one worker thread.
+struct WorkerSlot {
+    worker_id: usize,
+    beat: Arc<AtomicU64>,
+    /// Supervisor-local: last observed beat and when it last moved.
+    last_beat: u64,
+    last_change: Instant,
+    inflight: Arc<Mutex<Option<Request>>>,
+    quarantine: Arc<AtomicBool>,
+    /// `None` after a clean drain exit, an abandonment, or a failed spawn.
+    handle: Option<JoinHandle<()>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A long-lived, supervised thread pool serving probabilistic queries
+/// over a [`ShardedEngine`]. See the module docs for the architecture.
+pub struct MvdbServer {
+    shared: Arc<ServerShared>,
+    next_id: AtomicU64,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MvdbServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvdbServer")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl MvdbServer {
+    /// Starts the worker pool and its supervisor.
+    pub fn start(engine: Arc<ShardedEngine>, config: ServeConfig) -> MvdbServer {
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            inbox: Inbox {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            },
+            shutdown: AtomicBool::new(false),
+            ewma_service_ns: AtomicU64::new(0),
+            counters: Counters::default(),
+        });
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mv-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                .ok()
+        };
+        MvdbServer {
+            shared,
+            next_id: AtomicU64::new(0),
+            supervisor,
+        }
+    }
+
+    /// The engine the server evaluates against.
+    pub fn engine(&self) -> &Arc<ShardedEngine> {
+        &self.shared.engine
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.inbox.queue).len()
+    }
+
+    /// Submits a Boolean query under the default deadline.
+    pub fn submit(&self, query: Ucq) -> Result<Ticket> {
+        self.submit_with_deadline(query, self.shared.config.deadline)
+    }
+
+    /// Submits a Boolean query that must resolve within `deadline`.
+    ///
+    /// Admission control applies, in order: a draining/dead server or a
+    /// full queue rejects outright; an estimated queue wait beyond the
+    /// deadline rejects (not even the sampler could answer in time);
+    /// otherwise the request is admitted at an entry rung chosen from the
+    /// queue depth (degrade before drop). Rejections return
+    /// [`CoreError::Rejected`] with a back-off hint — the caller should
+    /// retry later rather than buffer.
+    pub fn submit_with_deadline(&self, query: Ucq, deadline: Duration) -> Result<Ticket> {
+        let shared = &self.shared;
+        let reject = |depth: usize, retry_after: Duration| {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(CoreError::Rejected {
+                retry_after: retry_after.max(Duration::from_millis(1)),
+                depth,
+            })
+        };
+        if shared.shutdown.load(Ordering::SeqCst) || self.supervisor.is_none() {
+            return reject(0, deadline);
+        }
+        // Admission chaos: injected pressure (or a panic) surfaces as a
+        // rejection — it must never tear down the caller.
+        let admit = catch_unwind(AssertUnwindSafe(|| chaos::apply(sites::ADMIT)));
+        let faulted = !matches!(admit, Ok(Ok(())));
+        let now = Instant::now();
+        let mut queue = lock(&shared.inbox.queue);
+        let depth = queue.len();
+        let ewma = shared.ewma_service_ns.load(Ordering::Relaxed);
+        let est_wait = Duration::from_nanos(
+            ewma.saturating_mul(depth as u64) / shared.config.workers.max(1) as u64,
+        );
+        if faulted || depth >= shared.config.queue_capacity || est_wait > deadline {
+            drop(queue);
+            return reject(depth, est_wait / 2);
+        }
+        // The overload controller: degrade before dropping.
+        let (entry, epsilon) = if depth >= shared.config.shed_depth {
+            (Rung::MonteCarlo, shared.config.widened_epsilon)
+        } else if depth >= shared.config.degrade_depth {
+            (
+                shared.config.resilience.entry.max(Rung::BoundedExact),
+                shared.config.resilience.epsilon,
+            )
+        } else {
+            (
+                shared.config.resilience.entry,
+                shared.config.resilience.epsilon,
+            )
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, receiver) = sync_channel(1);
+        queue.push_back(Request {
+            id,
+            query,
+            admitted_at: now,
+            deadline_at: now + deadline,
+            entry,
+            epsilon,
+            requeues: 0,
+            answered: Arc::new(AtomicBool::new(false)),
+            reply,
+        });
+        drop(queue);
+        shared.inbox.cv.notify_one();
+        shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        if entry != shared.config.resilience.entry {
+            shared
+                .counters
+                .degraded_admissions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Ticket {
+            id,
+            entry,
+            receiver,
+        })
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            lost: c.lost.load(Ordering::Relaxed),
+            degraded_admissions: c.degraded_admissions.load(Ordering::Relaxed),
+            degraded_answers: c.degraded_answers.load(Ordering::Relaxed),
+            requeues: c.requeues.load(Ordering::Relaxed),
+            respawns: c.respawns.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            reclaimed_nodes: c.reclaimed_nodes.load(Ordering::Relaxed),
+            arena_bytes_before: c.arena_bytes_before.load(Ordering::Relaxed),
+            arena_bytes_after: c.arena_bytes_after.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            workers: self.shared.config.workers.max(1),
+        }
+    }
+
+    /// Stops admission, drains every admitted request, joins the pool,
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.inbox.cv.notify_all();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MvdbServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_worker(shared: &Arc<ServerShared>, worker_id: usize) -> WorkerSlot {
+    let beat = Arc::new(AtomicU64::new(0));
+    let inflight: Arc<Mutex<Option<Request>>> = Arc::new(Mutex::new(None));
+    let quarantine = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let shared = Arc::clone(shared);
+        let beat = Arc::clone(&beat);
+        let inflight = Arc::clone(&inflight);
+        let quarantine = Arc::clone(&quarantine);
+        std::thread::Builder::new()
+            .name(format!("mv-serve-{worker_id}"))
+            .spawn(move || worker_loop(&shared, worker_id, &beat, &inflight, &quarantine))
+            .ok()
+    };
+    WorkerSlot {
+        worker_id,
+        beat,
+        last_beat: 0,
+        last_change: Instant::now(),
+        inflight,
+        quarantine,
+        handle,
+    }
+}
+
+/// Ticks the worker's heartbeat, applying heartbeat chaos: an injected
+/// panic kills the thread (the supervisor respawns it); injected
+/// deadline/budget pressure stalls the worker well past the supervision
+/// timeout (the supervisor quarantines it as wedged). Returns `false`
+/// once the slot has been quarantined — the worker must exit.
+fn heartbeat(shared: &ServerShared, beat: &AtomicU64, quarantine: &AtomicBool) -> bool {
+    beat.fetch_add(1, Ordering::Relaxed);
+    if chaos::apply(sites::HEARTBEAT).is_err() {
+        std::thread::sleep(shared.config.heartbeat_timeout * 2);
+    }
+    !quarantine.load(Ordering::SeqCst)
+}
+
+fn worker_loop(
+    shared: &Arc<ServerShared>,
+    worker_id: usize,
+    beat: &AtomicU64,
+    inflight: &Mutex<Option<Request>>,
+    quarantine: &AtomicBool,
+) {
+    // Every worker owns a private evaluation context (its query-side OBDD
+    // manager is fresh per context, which is what makes per-worker arena
+    // compaction safe) and a private ladder whose `W` memo persists across
+    // requests and compactions.
+    let engine = Arc::clone(&shared.engine);
+    let ctx = engine.full().context();
+    let mut ladder = ResilientBackend::new(shared.config.resilience.clone());
+    loop {
+        if !heartbeat(shared, beat, quarantine) {
+            return; // quarantined: a replacement owns this slot now
+        }
+        let popped = {
+            let mut queue = lock(&shared.inbox.queue);
+            match queue.pop_front() {
+                Some(req) => Some(req),
+                None if shared.shutdown.load(Ordering::SeqCst) => return, // drained
+                None => {
+                    let (mut queue, _) = shared
+                        .inbox
+                        .cv
+                        .wait_timeout(queue, shared.config.heartbeat_interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue.pop_front()
+                }
+            }
+        };
+        let Some(mut req) = popped else { continue };
+        *lock(inflight) = Some(req.clone());
+        // Dispatch chaos runs OUTSIDE the panic trap on purpose: an
+        // injected panic here kills the worker with the request in
+        // flight, which is exactly the recovery path supervision must
+        // prove. Injected deadline/budget pressure is treated as a
+        // transient dispatch failure: requeue (bounded), then evaluate
+        // anyway — an admitted query is never dropped for a transient.
+        match chaos::apply(sites::DISPATCH) {
+            Err(_) if req.requeues < shared.config.max_requeues => {
+                *lock(inflight) = None;
+                req.requeues += 1;
+                shared.counters.requeues.fetch_add(1, Ordering::Relaxed);
+                lock(&shared.inbox.queue).push_front(req);
+                shared.inbox.cv.notify_one();
+                continue;
+            }
+            _ => {}
+        }
+        let processed = catch_unwind(AssertUnwindSafe(|| {
+            process(shared, worker_id, &ctx, &mut ladder, req)
+        }));
+        let leftover = lock(inflight).take();
+        if processed.is_err() {
+            // A non-chaos panic escaped the ladder (which traps per-rung
+            // panics): the worker survives and the request is recovered
+            // from its own inflight slot.
+            if let Some(req) = leftover {
+                recover(shared, req);
+            }
+        }
+        maybe_compact(shared, &ctx);
+    }
+}
+
+fn process(
+    shared: &ServerShared,
+    worker_id: usize,
+    ctx: &EvalContext<'_>,
+    ladder: &mut ResilientBackend,
+    req: Request,
+) {
+    let now = Instant::now();
+    let queue_wait = now.saturating_duration_since(req.admitted_at);
+    if now >= req.deadline_at {
+        // The deadline passed while the request was queued (or being
+        // recovered): reply `DeadlineExceeded` without evaluating.
+        let err = CoreError::DeadlineExceeded {
+            elapsed: queue_wait,
+        };
+        let outcome = QueryOutcome::lost(QueryFault::of(&err), req.admitted_at);
+        finish(shared, Some(worker_id), &req, outcome, queue_wait);
+        return;
+    }
+    // Retune the worker's ladder for this request: the admission-time
+    // entry rung and ε, and per-rung budget windows clipped to the
+    // remaining deadline. The memoized `W` build survives retuning.
+    let remaining = req.deadline_at - now;
+    let mut config = shared.config.resilience.clone();
+    config.entry = req.entry;
+    config.epsilon = req.epsilon;
+    config.deadline = Some(config.deadline.map_or(remaining, |d| d.min(remaining)));
+    ladder.set_config(config);
+    let outcome = ladder.evaluate_with_retries(&req.query, ctx);
+    finish(shared, Some(worker_id), &req, outcome, queue_wait);
+}
+
+/// Resolves a request exactly once: the first finisher (original worker or
+/// recovered duplicate) wins the `answered` flag; later finishers drop
+/// their result silently.
+fn finish(
+    shared: &ServerShared,
+    worker: Option<usize>,
+    req: &Request,
+    outcome: QueryOutcome,
+    queue_wait: Duration,
+) {
+    if req.answered.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let c = &shared.counters;
+    c.completed.fetch_add(1, Ordering::Relaxed);
+    if outcome.probability.is_none() {
+        c.lost.fetch_add(1, Ordering::Relaxed);
+    }
+    if outcome.degraded() {
+        c.degraded_answers.fetch_add(1, Ordering::Relaxed);
+    }
+    let service = outcome.elapsed;
+    let observed = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
+    let prev = shared.ewma_service_ns.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        observed
+    } else {
+        prev - prev / 8 + observed / 8
+    };
+    shared.ewma_service_ns.store(next, Ordering::Relaxed);
+    // The caller may have dropped its ticket; a dead receiver is fine.
+    let _ = req.reply.send(ServeOutcome {
+        id: req.id,
+        entry: req.entry,
+        queue_wait,
+        service,
+        total: req.admitted_at.elapsed(),
+        requeues: req.requeues,
+        worker,
+        outcome,
+    });
+}
+
+/// Requeues a request recovered from a dead or wedged worker, front of
+/// the line (it already waited). A request that exhausted its requeue
+/// budget — it kills every worker that touches it — is reported lost
+/// instead of cycling respawns forever.
+fn recover(shared: &ServerShared, mut req: Request) {
+    if req.answered.load(Ordering::SeqCst) {
+        return; // a quarantined worker finished it after all
+    }
+    if req.requeues >= shared.config.max_requeues {
+        let queue_wait = req.admitted_at.elapsed();
+        finish(
+            shared,
+            None,
+            &req,
+            QueryOutcome::poisoned(sites::DISPATCH),
+            queue_wait,
+        );
+        return;
+    }
+    req.requeues += 1;
+    shared.counters.requeues.fetch_add(1, Ordering::Relaxed);
+    lock(&shared.inbox.queue).push_front(req);
+    shared.inbox.cv.notify_one();
+}
+
+/// Compacts the worker's query-side arena when it crossed the watermark.
+/// An injected fault (or panic) at the `compact` site skips the pass —
+/// the arena is append-only, so deferring compaction is always safe.
+fn maybe_compact(shared: &ServerShared, ctx: &EvalContext<'_>) {
+    let watermark = shared.config.compact_watermark;
+    if watermark == usize::MAX {
+        return;
+    }
+    let manager = ctx.query_manager().clone();
+    let compacted = catch_unwind(AssertUnwindSafe(|| -> Result<Option<CompactOutcome>> {
+        chaos::apply(sites::COMPACT)?;
+        Ok(manager.compact_if_above(watermark))
+    }));
+    if let Ok(Ok(Some(out))) = compacted {
+        let c = &shared.counters;
+        c.compactions.fetch_add(1, Ordering::Relaxed);
+        c.reclaimed_nodes
+            .fetch_add(out.reclaimed() as u64, Ordering::Relaxed);
+        c.arena_bytes_before
+            .store(out.before_bytes, Ordering::Relaxed);
+        c.arena_bytes_after
+            .store(out.after_bytes, Ordering::Relaxed);
+    }
+}
+
+fn supervisor_loop(shared: &Arc<ServerShared>) {
+    let mut slots: Vec<WorkerSlot> = (0..shared.config.workers.max(1))
+        .map(|id| spawn_worker(shared, id))
+        .collect();
+    loop {
+        std::thread::sleep(shared.config.heartbeat_interval);
+        let shutdown = shared.shutdown.load(Ordering::SeqCst);
+        let now = Instant::now();
+        for slot in &mut slots {
+            let finished = match slot.handle.as_ref() {
+                Some(handle) => handle.is_finished(),
+                None => {
+                    if !shutdown {
+                        // A previously failed (re)spawn: try again.
+                        *slot = spawn_worker(shared, slot.worker_id);
+                    }
+                    continue;
+                }
+            };
+            if finished {
+                let crashed = slot
+                    .handle
+                    .take()
+                    .map(|handle| handle.join().is_err())
+                    .unwrap_or(false);
+                let stranded = lock(&slot.inflight).take();
+                let had_stranded = stranded.is_some();
+                if let Some(req) = stranded {
+                    recover(shared, req);
+                }
+                if crashed || had_stranded || !shutdown {
+                    // A worker died (or exited before the drain was
+                    // over): replace it without losing its request.
+                    shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                    *slot = spawn_worker(shared, slot.worker_id);
+                }
+                // Otherwise: a clean drain exit; the slot stays retired.
+                continue;
+            }
+            // Wedge detection: a live worker whose heartbeat has not
+            // moved for a whole timeout window is quarantined, its
+            // request recovered, and the slot respawned. The abandoned
+            // thread exits at its next quarantine check; if it finishes
+            // its request late, the `answered` flag drops the duplicate.
+            let beat = slot.beat.load(Ordering::Relaxed);
+            if beat != slot.last_beat {
+                slot.last_beat = beat;
+                slot.last_change = now;
+            } else if now.duration_since(slot.last_change) > shared.config.heartbeat_timeout {
+                slot.quarantine.store(true, Ordering::SeqCst);
+                shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                if let Some(req) = lock(&slot.inflight).take() {
+                    recover(shared, req);
+                }
+                drop(slot.handle.take());
+                shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                *slot = spawn_worker(shared, slot.worker_id);
+            }
+        }
+        if shutdown {
+            shared.inbox.cv.notify_all();
+            let drained = lock(&shared.inbox.queue).is_empty();
+            if !drained && slots.iter().all(|s| s.handle.is_none()) {
+                // Every worker retired before a recovered request was
+                // requeued: bring one back to finish the drain.
+                shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                slots[0] = spawn_worker(shared, slots[0].worker_id);
+            }
+            let idle = slots.iter().all(|slot| {
+                slot.handle
+                    .as_ref()
+                    .is_none_or(|handle| handle.is_finished())
+                    && lock(&slot.inflight).is_none()
+            });
+            if drained && idle {
+                for slot in &mut slots {
+                    if let Some(handle) = slot.handle.take() {
+                        let _ = handle.join();
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosConfig, Fault};
+    use crate::mvdb::MvdbBuilder;
+    use mv_query::parse_ucq;
+
+    fn engine() -> Arc<ShardedEngine> {
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        for i in 0..10 {
+            let v = format!("a{i}");
+            b.weighted_tuple("R", &[v.as_str()], 1.0 + i as f64)
+                .unwrap();
+            b.weighted_tuple("S", &[v.as_str()], 2.0 + i as f64)
+                .unwrap();
+        }
+        b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+        Arc::new(ShardedEngine::compile(&b.build().unwrap(), 2).unwrap())
+    }
+
+    fn queries() -> Vec<Ucq> {
+        vec![
+            parse_ucq("Q() :- R(x), S(x)").unwrap(),
+            parse_ucq("Q() :- R(x)").unwrap(),
+            parse_ucq("Q() :- S(x)").unwrap(),
+        ]
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(10),
+            degrade_depth: usize::MAX,
+            shed_depth: usize::MAX,
+            heartbeat_interval: Duration::from_millis(2),
+            heartbeat_timeout: Duration::from_secs(5),
+            compact_watermark: usize::MAX,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn resolve(ticket: Ticket) -> ServeOutcome {
+        ticket
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|t| panic!("request {} did not resolve in 60s", t.id()))
+    }
+
+    #[test]
+    fn clean_serving_answers_everything_exactly() {
+        let engine = engine();
+        let qs = queries();
+        let oracle: Vec<f64> = qs
+            .iter()
+            .map(|q| engine.full().probability(q).unwrap())
+            .collect();
+        let server = MvdbServer::start(Arc::clone(&engine), quick_config());
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|i| server.submit(qs[i % qs.len()].clone()).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let out = resolve(ticket);
+            assert!(out.answered(), "request {i} lost: {:?}", out.outcome.fault);
+            assert_eq!(out.entry, Rung::Exact);
+            assert_eq!(out.outcome.rung, Some(Rung::Exact));
+            let p = out.outcome.probability.unwrap();
+            assert!((p - oracle[i % oracle.len()]).abs() < 1e-9);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 24);
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_with_backpressure() {
+        let engine = engine();
+        let config = ServeConfig {
+            queue_capacity: 0,
+            ..quick_config()
+        };
+        let server = MvdbServer::start(engine, config);
+        let q = queries().remove(0);
+        for _ in 0..5 {
+            match server.submit(q.clone()) {
+                Err(CoreError::Rejected { retry_after, depth }) => {
+                    assert!(retry_after > Duration::ZERO);
+                    assert_eq!(depth, 0);
+                }
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, 5);
+        assert_eq!(stats.admitted, 0);
+        assert!((stats.shed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_pressure_degrades_before_dropping() {
+        let engine = engine();
+        let qs = queries();
+        let oracle: Vec<f64> = qs
+            .iter()
+            .map(|q| engine.full().probability(q).unwrap())
+            .collect();
+        // Every admission enters at the bounded-exact rung.
+        let config = ServeConfig {
+            degrade_depth: 0,
+            shed_depth: usize::MAX,
+            ..quick_config()
+        };
+        let server = MvdbServer::start(Arc::clone(&engine), config);
+        for (i, q) in qs.iter().enumerate() {
+            let out = resolve(server.submit(q.clone()).unwrap());
+            assert_eq!(out.entry, Rung::BoundedExact);
+            assert!(out.degraded_admission());
+            assert_eq!(out.outcome.rung, Some(Rung::BoundedExact));
+            // Bounded-exact is still exact on this small database.
+            assert!((out.outcome.probability.unwrap() - oracle[i]).abs() < 1e-9);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.degraded_admissions, qs.len() as u64);
+        assert_eq!(stats.lost, 0);
+        // Shedding pressure goes straight to Monte Carlo at widened ε.
+        // (On a small database so the sampler's conservative Hoeffding
+        // interval actually reaches the widened target.)
+        let mut b = MvdbBuilder::new();
+        b.relation("R", &["x"]).unwrap();
+        b.relation("S", &["x"]).unwrap();
+        b.weighted_tuple("R", &["a"], 3.0).unwrap();
+        b.weighted_tuple("S", &["a"], 4.0).unwrap();
+        b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+        let tiny = Arc::new(ShardedEngine::compile(&b.build().unwrap(), 1).unwrap());
+        let exact = tiny.full().probability(&qs[0]).unwrap();
+        let config = ServeConfig {
+            degrade_depth: 0,
+            shed_depth: 0,
+            widened_epsilon: 0.05,
+            ..quick_config()
+        };
+        let server = MvdbServer::start(tiny, config);
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        assert_eq!(out.entry, Rung::MonteCarlo);
+        assert_eq!(out.outcome.rung, Some(Rung::MonteCarlo));
+        let eps = out.outcome.epsilon.unwrap();
+        assert!(eps <= 0.051, "half-width {eps} missed the widened target");
+        assert!((out.outcome.probability.unwrap() - exact).abs() < 5.0 * eps + 0.02);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_reply_without_evaluating() {
+        let engine = engine();
+        let server = MvdbServer::start(engine, quick_config());
+        let q = queries().remove(0);
+        let out = resolve(server.submit_with_deadline(q, Duration::ZERO).unwrap());
+        assert!(!out.answered());
+        assert_eq!(out.outcome.rung, None);
+        let fault = out.outcome.fault.as_ref().unwrap();
+        assert_eq!(fault.kind, crate::backend::FaultKind::Deadline);
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.lost, 1);
+    }
+
+    #[test]
+    fn dead_workers_are_respawned_without_losing_queries() {
+        let engine = engine();
+        let qs = queries();
+        let _guard = chaos::install(
+            ChaosConfig::new(40)
+                .rule(sites::HEARTBEAT, Fault::Panic, 0.05)
+                .rule(sites::DISPATCH, Fault::Panic, 0.2),
+        );
+        let config = ServeConfig {
+            max_requeues: 10,
+            ..quick_config()
+        };
+        let server = MvdbServer::start(Arc::clone(&engine), config);
+        let tickets: Vec<Ticket> = (0..40)
+            .map(|i| server.submit(qs[i % qs.len()].clone()).unwrap())
+            .collect();
+        let mut answered = 0;
+        for ticket in tickets {
+            let out = resolve(ticket);
+            if out.answered() {
+                answered += 1;
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 40);
+        assert_eq!(answered, 40, "injected panics must not lose queries");
+        assert!(
+            stats.respawns >= 1,
+            "panics at dispatch/heartbeat must kill workers: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn wedged_workers_are_quarantined_and_replaced() {
+        let engine = engine();
+        let qs = queries();
+        let _guard =
+            chaos::install(ChaosConfig::new(41).rule(sites::HEARTBEAT, Fault::Deadline, 0.08));
+        let config = ServeConfig {
+            workers: 2,
+            heartbeat_interval: Duration::from_millis(2),
+            heartbeat_timeout: Duration::from_millis(60),
+            ..quick_config()
+        };
+        let server = MvdbServer::start(Arc::clone(&engine), config);
+        let tickets: Vec<Ticket> = (0..30)
+            .map(|i| server.submit(qs[i % qs.len()].clone()).unwrap())
+            .collect();
+        for ticket in tickets {
+            let out = resolve(ticket);
+            assert!(out.answered(), "wedges must not lose queries: {out:?}");
+        }
+        let stats = server.shutdown();
+        assert!(
+            stats.quarantined >= 1,
+            "injected heartbeat stalls must trip wedge detection: {stats:?}"
+        );
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn arena_compaction_keeps_answers_exact() {
+        let engine = engine();
+        let qs = queries();
+        let oracle: Vec<f64> = qs
+            .iter()
+            .map(|q| engine.full().probability(q).unwrap())
+            .collect();
+        // Bounded-exact entry makes every request synthesize into the
+        // worker's query arena; a tiny watermark forces compactions
+        // between requests, exercising `W`-root registration/rehydration.
+        let config = ServeConfig {
+            workers: 1,
+            degrade_depth: 0,
+            shed_depth: usize::MAX,
+            compact_watermark: 8,
+            ..quick_config()
+        };
+        let server = MvdbServer::start(Arc::clone(&engine), config);
+        for round in 0..10 {
+            for (i, q) in qs.iter().enumerate() {
+                let out = resolve(server.submit(q.clone()).unwrap());
+                assert_eq!(out.outcome.rung, Some(Rung::BoundedExact));
+                let p = out.outcome.probability.unwrap();
+                assert!(
+                    (p - oracle[i]).abs() < 1e-9,
+                    "round {round} query {i}: {p} vs {} after compactions",
+                    oracle[i]
+                );
+            }
+        }
+        let stats = server.shutdown();
+        assert!(
+            stats.compactions >= 1,
+            "the tiny watermark must trigger compactions: {stats:?}"
+        );
+        assert!(stats.arena_bytes_after <= stats.arena_bytes_before);
+        assert_eq!(stats.lost, 0);
+    }
+}

@@ -58,6 +58,18 @@ impl std::ops::Add for QueryStats {
     }
 }
 
+/// The typed error for a query slot no stripe worker filled. The striping
+/// invariant (every index is covered by exactly one worker, and a joined
+/// stripe fills all of its slots — on panic, with quarantine errors) makes
+/// this unreachable; a supervision bug must still surface as a per-query
+/// error, never a batch-wide panic.
+fn unfilled_slot() -> CoreError {
+    CoreError::WorkerPanicked {
+        site: "session_join",
+        message: "query slot left unfilled by its stripe worker".to_string(),
+    }
+}
+
 /// A batch-evaluation session over a compiled [`MvdbEngine`].
 #[derive(Debug)]
 pub struct MvdbSession<'e> {
@@ -221,7 +233,7 @@ impl<'e> MvdbSession<'e> {
         });
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| slot.unwrap_or_else(|| Err(unfilled_slot())))
             .collect()
     }
 
@@ -362,7 +374,7 @@ impl<'e> MvdbSession<'e> {
         );
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| slot.unwrap_or_else(|| Err(unfilled_slot())))
             .collect()
     }
 
@@ -453,7 +465,7 @@ impl<'e> MvdbSession<'e> {
         );
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| slot.unwrap_or_else(|| QueryOutcome::poisoned("session_join")))
             .collect()
     }
 

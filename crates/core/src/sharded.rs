@@ -996,9 +996,12 @@ impl<'e> ShardedSession<'e> {
         }
         merged_stats = merged_stats + engine.full.index().manager_stats().since(&index_before);
 
+        // Every phase fills its slots (combine covers routed queries,
+        // rescue covers failures), so an empty slot is a phasing bug — it
+        // surfaces as a per-query poisoned outcome, never a batch panic.
         let mut outcomes: Vec<QueryOutcome> = results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| slot.unwrap_or_else(|| QueryOutcome::poisoned("shard_join")))
             .collect();
         for (qi, outcome) in outcomes.iter_mut().enumerate() {
             outcome.elapsed = latencies[qi];

@@ -8,10 +8,12 @@
 //! (rule-free) one where no injection is wanted — which serializes the
 //! campaigns through the chaos module's install lock.
 
+use std::time::Duration;
+
 use mv_core::chaos::{self, sites, ChaosConfig, Fault};
 use mv_core::sharded::ShardedEngine;
-use mv_core::{FaultKind, Mvdb, MvdbBuilder, MvdbEngine, ResilienceConfig, Rung};
-use mv_query::{parse_ucq, Ucq};
+use mv_core::{Backend, FaultKind, Mvdb, MvdbBuilder, MvdbEngine, ResilienceConfig, Rung};
+use mv_query::{parse_ucq, EvalBudget, Ucq};
 use proptest::prelude::*;
 
 fn sample_mvdb() -> Mvdb {
@@ -284,4 +286,117 @@ fn forced_exact_rung_failure_degrades_with_cause() {
         let tol = tolerance(o);
         assert!((p - r).abs() < tol, "slot {i}: {p} vs {r} (tol {tol})");
     }
+}
+
+/// Degenerate batches: an empty slice is a complete batch. Every batch
+/// API resolves to an empty result without evaluating anything — proven
+/// by installing a campaign that faults *every* site with certainty and
+/// checking that not one injection fires.
+#[test]
+fn empty_batches_resolve_without_work() {
+    let mvdb = sample_mvdb();
+    let engine = MvdbEngine::compile(&mvdb).unwrap();
+    let sharded = ShardedEngine::compile(&mvdb, 3).unwrap();
+    let mut config = ChaosConfig::new(99);
+    for site in sites::ALL.iter() {
+        config = config.rule(site, Fault::Panic, 1.0);
+    }
+    let _guard = chaos::install(config);
+    let empty: [Ucq; 0] = [];
+    assert!(engine.session().probabilities(&empty).unwrap().is_empty());
+    assert!(engine
+        .session()
+        .resilient_probabilities(&empty, &ResilienceConfig::default())
+        .is_empty());
+    assert!(sharded.session().probabilities(&empty).unwrap().is_empty());
+    assert!(sharded
+        .session()
+        .resilient_probabilities(&empty, &ResilienceConfig::default())
+        .is_empty());
+    assert!(
+        chaos::injection_counts()
+            .iter()
+            .all(|(_, _, _, injected)| *injected == 0),
+        "an empty batch must not reach any chaos site: {:?}",
+        chaos::injection_counts()
+    );
+}
+
+/// A single-query batch against every evaluation-path site, with every
+/// fault kind forced at certainty: the ladder either answers within its
+/// own advertised tolerance or reports a typed fault of the injected
+/// class — it never loses the query and never mislabels the cause.
+#[test]
+fn single_query_batches_survive_every_fault_kind() {
+    let mvdb = sample_mvdb();
+    let engine = MvdbEngine::compile(&mvdb).unwrap();
+    let query = vec![parse_ucq("Q() :- R(x), S(x)").unwrap()];
+    let reference = clean_reference(&engine, &query)[0];
+    let eval_sites = [
+        sites::SESSION_EVAL,
+        sites::EXACT_RUNG,
+        sites::BOUNDED_RUNG,
+        sites::MC_RUNG,
+        sites::ORACLE,
+    ];
+    for site in eval_sites {
+        for (fault, kind) in [
+            (Fault::Panic, FaultKind::Panic),
+            (Fault::Deadline, FaultKind::Deadline),
+            (Fault::Budget, FaultKind::Budget),
+        ] {
+            let _guard = chaos::install(ChaosConfig::new(11).rule(site, fault, 1.0));
+            let outcomes = engine
+                .session()
+                .resilient_probabilities(&query, &ResilienceConfig::default());
+            assert_eq!(outcomes.len(), 1, "site {site}, {fault:?}");
+            let o = &outcomes[0];
+            if o.answered() {
+                let p = o.probability.unwrap();
+                let tol = tolerance(o);
+                assert!(
+                    (p - reference).abs() < tol,
+                    "site {site}, {fault:?}: {p} vs clean {reference} \
+                     (rung {:?}, tol {tol})",
+                    o.rung
+                );
+            } else {
+                let f = o.fault.as_ref().expect("lost outcomes must carry a fault");
+                assert_eq!(f.kind, kind, "site {site}, {fault:?}: {f:?}");
+            }
+        }
+    }
+}
+
+/// An already-expired budget trips before any evaluation work: the typed
+/// poll fails immediately, a backend driven through the context surfaces
+/// the deadline before scanning a single batch, and clearing the budget
+/// restores the context for real evaluation.
+#[test]
+fn already_expired_budgets_trip_before_evaluating() {
+    let _guard = chaos::install(ChaosConfig::new(0));
+    let mvdb = sample_mvdb();
+    let engine = MvdbEngine::compile(&mvdb).unwrap();
+    let q = parse_ucq("Q() :- R(x), S(x)").unwrap();
+    let reference = engine.probability(&q).unwrap();
+
+    let ctx = engine.context();
+    ctx.set_budget(Some(EvalBudget::with_deadline(Duration::ZERO)));
+    let err = ctx
+        .check_budget()
+        .expect_err("an expired budget must trip the typed poll");
+    assert!(err.is_degradable(), "{err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+
+    let backend: Box<dyn Backend> = ResilienceConfig::default().inner.instantiate();
+    let err = backend
+        .probability(&q, &ctx)
+        .expect_err("evaluation must refuse to start on an expired budget");
+    assert!(err.is_degradable(), "{err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+
+    ctx.set_budget(None);
+    assert!(ctx.check_budget().is_ok());
+    let p = backend.probability(&q, &ctx).unwrap();
+    assert!((p - reference).abs() < 1e-9, "{p} vs {reference}");
 }
