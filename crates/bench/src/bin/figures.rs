@@ -95,6 +95,7 @@ const KNOWN_FIGURES: &[&str] = &[
     "approx",
     "resilience",
     "serve",
+    "updates",
     "ablation",
     "all",
 ];
@@ -221,6 +222,9 @@ fn main() {
     }
     if wants("serve") {
         report.add("serve", serve(&opts));
+    }
+    if wants("updates") {
+        report.add("updates", updates(&opts));
     }
     if wants("ablation") {
         report.add("ablation", ablations(&opts));
@@ -799,47 +803,6 @@ fn serve(opts: &Options) -> Json {
         p.chaos.stats.arena_bytes_before,
         p.chaos.stats.arena_bytes_after,
     );
-    let run_json = |r: &mv_bench::ServeRun| {
-        let injections: Vec<Json> = r
-            .injections
-            .iter()
-            .map(|(site, fault, draws, injected)| {
-                Json::obj([
-                    ("site", Json::from(site.as_str())),
-                    ("fault", Json::from(fault.name())),
-                    ("draws", Json::from(*draws)),
-                    ("injected", Json::from(*injected)),
-                ])
-            })
-            .collect();
-        Json::obj([
-            ("elapsed_s", Json::from(secs(r.elapsed))),
-            ("offered", Json::from(r.offered)),
-            ("shed", Json::from(r.shed)),
-            ("shed_fraction", Json::from(r.shed_fraction())),
-            ("answered", Json::from(r.answered)),
-            ("lost", Json::from(r.lost)),
-            ("degraded_admissions", Json::from(r.degraded_admissions)),
-            ("rung_exact", Json::from(r.rungs.exact)),
-            ("rung_bounded", Json::from(r.rungs.bounded)),
-            ("rung_monte_carlo", Json::from(r.rungs.monte_carlo)),
-            ("throughput_qps", Json::from(r.throughput_qps)),
-            ("exact_max_abs_err", Json::from(r.exact_max_abs_err)),
-            ("degraded_max_abs_err", Json::from(r.degraded_max_abs_err)),
-            ("max_epsilon", Json::from(r.max_epsilon)),
-            ("p50_s", Json::from(secs(r.p50))),
-            ("p95_s", Json::from(secs(r.p95))),
-            ("p99_s", Json::from(secs(r.p99))),
-            ("requeues", Json::from(r.stats.requeues)),
-            ("respawns", Json::from(r.stats.respawns)),
-            ("quarantined", Json::from(r.stats.quarantined)),
-            ("compactions", Json::from(r.stats.compactions)),
-            ("reclaimed_nodes", Json::from(r.stats.reclaimed_nodes)),
-            ("arena_bytes_before", Json::from(r.stats.arena_bytes_before)),
-            ("arena_bytes_after", Json::from(r.stats.arena_bytes_after)),
-            ("injections", Json::arr(injections)),
-        ])
-    };
     println!();
     Json::arr([Json::obj([
         ("num_authors", Json::from(p.num_authors)),
@@ -851,8 +814,136 @@ fn serve(opts: &Options) -> Json {
         ("compact_watermark", Json::from(p.compact_watermark)),
         ("capacity_qps", Json::from(p.capacity_qps)),
         ("offered_qps", Json::from(p.offered_qps)),
-        ("clean", run_json(&p.clean)),
-        ("chaos", run_json(&p.chaos)),
+        ("clean", serve_run_json(&p.clean)),
+        ("chaos", serve_run_json(&p.chaos)),
+    ])])
+}
+
+/// Serializes one [`mv_bench::ServeRun`] pass for the machine-readable
+/// report (shared by the `serve` and `updates` series).
+fn serve_run_json(r: &mv_bench::ServeRun) -> Json {
+    let injections: Vec<Json> = r
+        .injections
+        .iter()
+        .map(|(site, fault, draws, injected)| {
+            Json::obj([
+                ("site", Json::from(site.as_str())),
+                ("fault", Json::from(fault.name())),
+                ("draws", Json::from(*draws)),
+                ("injected", Json::from(*injected)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("elapsed_s", Json::from(secs(r.elapsed))),
+        ("offered", Json::from(r.offered)),
+        ("shed", Json::from(r.shed)),
+        ("shed_fraction", Json::from(r.shed_fraction())),
+        ("answered", Json::from(r.answered)),
+        ("lost", Json::from(r.lost)),
+        ("degraded_admissions", Json::from(r.degraded_admissions)),
+        ("rung_exact", Json::from(r.rungs.exact)),
+        ("rung_bounded", Json::from(r.rungs.bounded)),
+        ("rung_monte_carlo", Json::from(r.rungs.monte_carlo)),
+        ("throughput_qps", Json::from(r.throughput_qps)),
+        ("exact_max_abs_err", Json::from(r.exact_max_abs_err)),
+        ("degraded_max_abs_err", Json::from(r.degraded_max_abs_err)),
+        ("max_epsilon", Json::from(r.max_epsilon)),
+        ("p50_s", Json::from(secs(r.p50))),
+        ("p95_s", Json::from(secs(r.p95))),
+        ("p99_s", Json::from(secs(r.p99))),
+        ("requeues", Json::from(r.stats.requeues)),
+        ("respawns", Json::from(r.stats.respawns)),
+        ("quarantined", Json::from(r.stats.quarantined)),
+        ("compactions", Json::from(r.stats.compactions)),
+        ("reclaimed_nodes", Json::from(r.stats.reclaimed_nodes)),
+        ("arena_bytes_before", Json::from(r.stats.arena_bytes_before)),
+        ("arena_bytes_after", Json::from(r.stats.arena_bytes_after)),
+        ("updates_applied", Json::from(r.stats.updates_applied)),
+        ("update_failures", Json::from(r.stats.update_failures)),
+        ("injections", Json::arr(injections)),
+    ])
+}
+
+/// Serializes the writer-side accounting of one live-update pass.
+fn update_stats_json(u: &mv_bench::UpdateStats) -> Json {
+    Json::obj([
+        ("applied", Json::from(u.applied)),
+        ("failed", Json::from(u.failed)),
+        ("weight_only", Json::from(u.weight_only)),
+        ("structural", Json::from(u.structural)),
+        ("shards_rebuilt", Json::from(u.shards_rebuilt)),
+        ("shards_reused", Json::from(u.shards_reused)),
+    ])
+}
+
+/// Live updates under snapshot semantics: the same paced read stream
+/// served read-only, with a clean concurrent writer, and with the writer
+/// under the update chaos campaign. CI gates on this series: zero lost
+/// queries in every pass, every answer exact against some published
+/// snapshot, bounded reader-tail inflation relative to the read-only
+/// baseline, and a fully-landed clean update schedule.
+fn updates(opts: &Options) -> Json {
+    let (num_authors, num_queries) = if opts.quick {
+        (600, 400)
+    } else {
+        (1_500, 1_200)
+    };
+    println!(
+        "== Updates: live-writer soak at 0.8x capacity ({} shards, seed {}) ==",
+        opts.shards, opts.chaos_seed
+    );
+    let p = update_soak(num_authors, num_queries, opts.shards, opts.chaos_seed);
+    println!(
+        "  capacity {:.0} q/s, offered {:.0} q/s, deadline {:.2}s, {} update batches",
+        p.capacity_qps,
+        p.offered_qps,
+        secs(p.deadline),
+        p.num_updates,
+    );
+    println!(
+        "{:>10} {:>9} {:>6} {:>6} {:>12} {:>12} {:>10} {:>10}",
+        "pass", "answered", "shed", "lost", "max err", "upd ok/fail", "p50 (ms)", "p99 (ms)"
+    );
+    let print_run = |label: &str, r: &mv_bench::ServeRun, u: Option<&mv_bench::UpdateStats>| {
+        println!(
+            "{:>10} {:>9} {:>6} {:>6} {:>12.2e} {:>12} {:>10.2} {:>10.2}",
+            label,
+            r.answered,
+            r.shed,
+            r.lost,
+            r.exact_max_abs_err,
+            u.map_or("-".to_string(), |u| format!("{}/{}", u.applied, u.failed)),
+            secs(r.p50) * 1e3,
+            secs(r.p99) * 1e3,
+        );
+    };
+    print_run("read_only", &p.read_only, None);
+    print_run("live", &p.live, Some(&p.live_updates));
+    print_run("chaos", &p.chaos, Some(&p.chaos_updates));
+    println!(
+        "  live writer: {} weight-only, {} structural, {} shards rebuilt, {} reused",
+        p.live_updates.weight_only,
+        p.live_updates.structural,
+        p.live_updates.shards_rebuilt,
+        p.live_updates.shards_reused,
+    );
+    println!();
+    Json::arr([Json::obj([
+        ("num_authors", Json::from(p.num_authors)),
+        ("num_shards", Json::from(p.num_shards)),
+        ("num_workers", Json::from(p.num_workers)),
+        ("num_queries", Json::from(p.num_queries)),
+        ("num_updates", Json::from(p.num_updates)),
+        ("chaos_seed", Json::from(p.chaos_seed)),
+        ("deadline_s", Json::from(secs(p.deadline))),
+        ("capacity_qps", Json::from(p.capacity_qps)),
+        ("offered_qps", Json::from(p.offered_qps)),
+        ("read_only", serve_run_json(&p.read_only)),
+        ("live", serve_run_json(&p.live)),
+        ("chaos", serve_run_json(&p.chaos)),
+        ("live_updates", update_stats_json(&p.live_updates)),
+        ("chaos_updates", update_stats_json(&p.chaos_updates)),
     ])])
 }
 

@@ -2194,6 +2194,29 @@ fn serve_pass(
     oracle: &[f64],
     offered_qps: f64,
 ) -> ServeRun {
+    let stages = [oracle.to_vec()];
+    paced_pass(engine, config, stream, distinct, &stages, offered_qps, &[]).0
+}
+
+/// The generic paced open-loop pass behind [`serve_pass`] and
+/// [`update_soak`]: reader requests paced at `offered_qps`, while an
+/// optional writer schedule applies `updates` through
+/// [`MvdbServer::submit_update`](mv_core::MvdbServer::submit_update),
+/// spaced evenly across the offer window so every published snapshot
+/// serves a real slice of the read stream. Because snapshots swap
+/// mid-stream, a reader's answer is exact if it matches *any* published
+/// stage: `oracles` holds one exact answer vector per stage (read-only
+/// passes hand in exactly one) and errors are measured against the
+/// closest stage.
+fn paced_pass(
+    engine: &std::sync::Arc<ShardedEngine>,
+    config: &mv_core::ServeConfig,
+    stream: &[usize],
+    distinct: &[Ucq],
+    oracles: &[Vec<f64>],
+    offered_qps: f64,
+    updates: &[mv_core::UpdateBatch],
+) -> (ServeRun, UpdateStats) {
     use mv_core::{CoreError, MvdbServer, Rung};
 
     let server = MvdbServer::start(std::sync::Arc::clone(engine), config.clone());
@@ -2208,24 +2231,59 @@ fn serve_pass(
     }
 
     let interval = Duration::from_secs_f64(1.0 / offered_qps.max(1.0));
+    let window = interval.mul_f64(stream.len() as f64);
     let start = Instant::now();
     let mut tickets = Vec::with_capacity(stream.len());
     let mut shed = 0u64;
-    for (i, &slot) in stream.iter().enumerate() {
-        // Open-loop pacing: submit at the scheduled instant, bursting to
-        // catch up when the pacer overslept (sleep granularity is coarser
-        // than the interval at high offered rates).
-        let due = start + interval.mul_f64(i as f64);
-        let wait = due.saturating_duration_since(Instant::now());
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
+    let mut update_stats = UpdateStats::default();
+    std::thread::scope(|scope| {
+        let writer = (!updates.is_empty()).then(|| {
+            scope.spawn(|| {
+                let mut stats = UpdateStats::default();
+                for (k, batch) in updates.iter().enumerate() {
+                    let due = start + window.mul_f64((k + 1) as f64 / (updates.len() + 1) as f64);
+                    let wait = due.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    match server.submit_update(batch) {
+                        Ok(out) => {
+                            stats.applied += 1;
+                            match out.kind {
+                                mv_core::UpdateKind::WeightOnly => stats.weight_only += 1,
+                                mv_core::UpdateKind::Structural => stats.structural += 1,
+                                mv_core::UpdateKind::NoOp => {}
+                            }
+                            stats.shards_rebuilt += out.shards_rebuilt as u64;
+                            stats.shards_reused += out.shards_reused as u64;
+                        }
+                        // A faulted apply leaves the serving snapshot
+                        // untouched; the writer just moves on.
+                        Err(_) => stats.failed += 1,
+                    }
+                }
+                stats
+            })
+        });
+        for (i, &slot) in stream.iter().enumerate() {
+            // Open-loop pacing: submit at the scheduled instant, bursting
+            // to catch up when the pacer overslept (sleep granularity is
+            // coarser than the interval at high offered rates).
+            let due = start + interval.mul_f64(i as f64);
+            let wait = due.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            match server.submit(distinct[slot].clone()) {
+                Ok(ticket) => tickets.push((slot, ticket)),
+                Err(CoreError::Rejected { .. }) => shed += 1,
+                Err(e) => panic!("unexpected submission error: {e}"),
+            }
         }
-        match server.submit(distinct[slot].clone()) {
-            Ok(ticket) => tickets.push((slot, ticket)),
-            Err(CoreError::Rejected { .. }) => shed += 1,
-            Err(e) => panic!("unexpected submission error: {e}"),
+        if let Some(writer) = writer {
+            update_stats = writer.join().expect("update writer thread");
         }
-    }
+    });
 
     let mut run = ServeRun {
         elapsed: Duration::ZERO,
@@ -2259,7 +2317,10 @@ fn serve_pass(
             continue;
         };
         run.answered += 1;
-        let err = (p - oracle[slot]).abs();
+        let err = oracles
+            .iter()
+            .map(|o| (p - o[slot]).abs())
+            .fold(f64::INFINITY, f64::min);
         match out.outcome.rung.expect("answered outcomes carry a rung") {
             Rung::Exact => {
                 run.rungs.exact += 1;
@@ -2283,7 +2344,276 @@ fn serve_pass(
     run.p95 = percentile(&latencies, 0.95);
     run.p99 = percentile(&latencies, 0.99);
     run.stats = server.shutdown();
-    run
+    (run, update_stats)
+}
+
+/// Accounting of the writer side of a live-update pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateStats {
+    /// Batches applied and published as new snapshots.
+    pub applied: u64,
+    /// Batches that failed (chaos at the update sites); the previous
+    /// snapshot kept serving.
+    pub failed: u64,
+    /// Applied batches that rode the weight-only fast path.
+    pub weight_only: u64,
+    /// Applied batches that re-translated (structural).
+    pub structural: u64,
+    /// Shards rebuilt across applied batches.
+    pub shards_rebuilt: u64,
+    /// Shards that kept their compiled state across applied batches.
+    pub shards_reused: u64,
+}
+
+/// One run of the live-update soak: the same paced read workload driven
+/// through a fresh [`MvdbServer`](mv_core::MvdbServer) three times —
+/// read-only baseline, with a concurrent writer applying update batches
+/// under snapshot semantics, and the same interleaving under the seeded
+/// [`update_chaos_config`] campaign.
+#[derive(Debug, Clone)]
+pub struct UpdatePoint {
+    /// The `aid` domain.
+    pub num_authors: usize,
+    /// Shards of the served engine.
+    pub num_shards: usize,
+    /// Worker threads of the server.
+    pub num_workers: usize,
+    /// Requests offered per pass.
+    pub num_queries: usize,
+    /// Update batches scheduled per writing pass.
+    pub num_updates: usize,
+    /// Seed of the chaos pass.
+    pub chaos_seed: u64,
+    /// Per-request deadline (scaled off the calibrated service time).
+    pub deadline: Duration,
+    /// Calibrated exact-evaluation capacity of the engine.
+    pub capacity_qps: f64,
+    /// Paced arrival rate (0.8x capacity: the gate measures update
+    /// interference on readers, not overload behaviour).
+    pub offered_qps: f64,
+    /// The read-only baseline pass.
+    pub read_only: ServeRun,
+    /// The pass with a clean concurrent writer.
+    pub live: ServeRun,
+    /// The pass with a writer under fault injection.
+    pub chaos: ServeRun,
+    /// Writer accounting of the live pass.
+    pub live_updates: UpdateStats,
+    /// Writer accounting of the chaos pass.
+    pub chaos_updates: UpdateStats,
+}
+
+/// The chaos campaign of the update soak: heavy faults at both update
+/// sites (a quarter of applies panic mid-mutation, a quarter of swaps
+/// blow their deadline) plus a trickle of dispatch panics, so the run
+/// shows failed applies never corrupt the serving snapshot even while
+/// worker supervision is busy. Reader-side rungs stay clean — every
+/// answer must still match a published snapshot exactly.
+pub fn update_chaos_config(seed: u64) -> mv_core::chaos::ChaosConfig {
+    use mv_core::chaos::{sites, ChaosConfig, Fault};
+    ChaosConfig::new(seed)
+        .rule(sites::DISPATCH, Fault::Panic, 0.005)
+        .rule(sites::UPDATE_APPLY, Fault::Panic, 0.25)
+        .rule(sites::UPDATE_SWAP, Fault::Deadline, 0.25)
+}
+
+/// Builds the update schedule of the soak over the generated MVDB:
+/// batches alternate between weight-only nudges of existing probabilistic
+/// base tuples (the fast path — no re-translation, every shard reused)
+/// and structural inserts of fresh rows modelled on existing ones (full
+/// re-translation; the fresh `aid` values are outside the generator's
+/// domain, so they join no `W` clause and dirty no shard).
+pub fn update_batches(mvdb: &mv_core::Mvdb, count: usize) -> Vec<mv_core::UpdateBatch> {
+    use mv_core::{UpdateBatch, UpdateOp};
+
+    let base = mvdb.base();
+    let schema = base.schema();
+    let prob: Vec<(String, Vec<mv_pdb::Value>, f64)> = base
+        .tuples()
+        .filter(|(_, t)| !base.is_deterministic(t.rel) && t.weight.is_valid_base_weight())
+        .map(|(id, t)| {
+            (
+                schema.relation(t.rel).name().to_string(),
+                base.tuple_row(id).clone(),
+                t.weight.value(),
+            )
+        })
+        .collect();
+    assert!(
+        !prob.is_empty(),
+        "the update soak needs probabilistic base tuples to mutate"
+    );
+    (0..count)
+        .map(|k| {
+            if k % 2 == 0 {
+                // Weight-only: nudge a handful of existing weights.
+                let mut batch = UpdateBatch::new();
+                for j in 0..4 {
+                    let (rel, row, w) = &prob[(k * 7 + j * 13) % prob.len()];
+                    batch.push(UpdateOp::SetTupleWeight {
+                        relation: rel.clone(),
+                        row: row.clone(),
+                        weight: (w * 1.25).clamp(1e-3, 64.0),
+                    });
+                }
+                batch
+            } else {
+                // Structural: a fresh row modelled on an existing one,
+                // keyed far outside the generated `aid` domain.
+                let (rel, row, _) = &prob[(k * 11) % prob.len()];
+                let mut fresh = row.clone();
+                fresh[0] = mv_pdb::Value::int(10_000_000 + k as i64);
+                UpdateBatch::new().insert(rel.clone(), fresh, 1.5)
+            }
+        })
+        .collect()
+}
+
+/// Runs the live-update soak: point queries paced at 0.8x the engine's
+/// calibrated exact capacity (below overload — the gate is update
+/// *interference*, not shedding) through an
+/// [`MvdbServer`](mv_core::MvdbServer), three times over the same stream:
+/// read-only, with a concurrent writer publishing [`update_batches`]
+/// under snapshot semantics, and with that writer under
+/// [`update_chaos_config`] (or the `MV_CHAOS` spec when set). Per-stage
+/// oracles are precomputed by applying the batches cumulatively to a
+/// scratch engine, so every reader answer can be checked exactly against
+/// the snapshot lineage: each must match *some* published stage to 1e-9.
+pub fn update_soak(
+    num_authors: usize,
+    num_queries: usize,
+    num_shards: usize,
+    chaos_seed: u64,
+) -> UpdatePoint {
+    use mv_core::chaos::{self, ChaosConfig};
+    use mv_core::ServeConfig;
+    use std::sync::Arc;
+
+    let chaos_config = match ChaosConfig::from_env() {
+        Ok(Some(spec)) => spec,
+        Ok(None) => update_chaos_config(chaos_seed),
+        Err(e) => panic!("invalid MV_CHAOS spec: {e}"),
+    };
+    let chaos_seed = chaos_config.seed;
+
+    let data = dataset_v1v2(num_authors);
+    let distinct: Vec<Ucq> = query_eval_workload(&data, (num_authors / 4).max(8))
+        .iter()
+        .map(|q| q.boolean())
+        .collect();
+    let engine =
+        Arc::new(ShardedEngine::compile(&data.mvdb, num_shards).expect("sharded engine compiles"));
+
+    let num_updates = 6usize;
+    let batches = update_batches(&data.mvdb, num_updates);
+
+    // Stage oracles: stage 0 is the compiled engine as served; stage k is
+    // the engine after the first k batches. `apply` is differentially
+    // tested against from-scratch rebuilds, so the scratch engine is an
+    // exact reference for every snapshot the server can publish.
+    let stage0: Vec<f64> = distinct
+        .iter()
+        .map(|q| engine.probability(q).expect("oracle probability"))
+        .collect();
+    let mut oracles = vec![stage0];
+    let mut scratch = engine.full().clone();
+    for batch in &batches {
+        scratch.apply(batch).expect("stage oracle apply");
+        oracles.push(
+            distinct
+                .iter()
+                .map(|q| scratch.probability(q).expect("stage oracle probability"))
+                .collect(),
+        );
+    }
+
+    // Capacity calibration on the warmed engine (the oracle pass above
+    // warmed plans and indexes).
+    let num_workers = 2usize;
+    let t0 = Instant::now();
+    for q in &distinct {
+        engine.probability(q).expect("calibration probability");
+    }
+    let mean_service = t0.elapsed().div_f64(distinct.len() as f64);
+    let capacity_qps = num_workers as f64 / secs(mean_service).max(1e-9);
+    let offered_qps = 0.8 * capacity_qps;
+
+    let deadline = mean_service
+        .mul_f64(30.0 * num_queries as f64)
+        .max(Duration::from_secs(2));
+
+    // No degradation thresholds: below capacity the backlog stays small,
+    // and keeping every admission on the exact rung means the 1e-9
+    // against-some-stage check covers every single answer.
+    let config = ServeConfig {
+        workers: num_workers,
+        queue_capacity: num_queries.max(64),
+        deadline,
+        degrade_depth: usize::MAX,
+        shed_depth: usize::MAX,
+        heartbeat_timeout: deadline * 2,
+        max_requeues: 10,
+        ..ServeConfig::default()
+    };
+
+    let stream: Vec<usize> = (0..num_queries).map(|i| i % distinct.len()).collect();
+
+    let (read_only, _) = {
+        let _guard = chaos::install(ChaosConfig::new(0));
+        paced_pass(
+            &engine,
+            &config,
+            &stream,
+            &distinct,
+            &oracles[..1],
+            offered_qps,
+            &[],
+        )
+    };
+    let (live, live_updates) = {
+        let _guard = chaos::install(ChaosConfig::new(0));
+        paced_pass(
+            &engine,
+            &config,
+            &stream,
+            &distinct,
+            &oracles,
+            offered_qps,
+            &batches,
+        )
+    };
+    let (chaos_run, chaos_updates) = {
+        let guard = chaos::install(chaos_config);
+        let (mut run, stats) = paced_pass(
+            &engine,
+            &config,
+            &stream,
+            &distinct,
+            &oracles,
+            offered_qps,
+            &batches,
+        );
+        run.injections = chaos::injection_counts();
+        drop(guard);
+        (run, stats)
+    };
+
+    UpdatePoint {
+        num_authors,
+        num_shards,
+        num_workers,
+        num_queries,
+        num_updates,
+        chaos_seed,
+        deadline,
+        capacity_qps,
+        offered_qps,
+        read_only,
+        live,
+        chaos: chaos_run,
+        live_updates,
+        chaos_updates,
+    }
 }
 
 #[cfg(test)]
@@ -2536,6 +2866,54 @@ mod tests {
                 .iter()
                 .any(|(_, _, _, injected)| *injected > 0),
             "chaos injected nothing: {:?}",
+            p.chaos.injections
+        );
+    }
+
+    #[test]
+    fn update_soak_keeps_readers_exact_across_snapshots() {
+        // Tiny debug-mode scale; the figures binary runs the real soak.
+        let p = update_soak(120, 60, 2, 7);
+        for (label, r) in [
+            ("read_only", &p.read_only),
+            ("live", &p.live),
+            ("chaos", &p.chaos),
+        ] {
+            assert_eq!(r.offered, 60, "{label}");
+            assert_eq!(r.lost, 0, "{label}: admitted queries were lost");
+            assert_eq!(
+                r.answered + r.shed,
+                r.offered,
+                "{label}: offer accounting leaks"
+            );
+            // Every answer matched some published snapshot exactly —
+            // updates may slow a reader, never corrupt one.
+            assert!(
+                r.exact_max_abs_err < 1e-9,
+                "{label}: exact-rung drift {} vs the snapshot lineage",
+                r.exact_max_abs_err
+            );
+        }
+        // The clean writer lands every batch: half fast-path, half
+        // structural, and the fresh W-free rows dirty no shard.
+        let u = &p.live_updates;
+        assert_eq!(u.applied, 6, "clean writer failed batches: {u:?}");
+        assert_eq!(u.failed, 0, "{u:?}");
+        assert_eq!(u.weight_only, 3, "{u:?}");
+        assert_eq!(u.structural, 3, "{u:?}");
+        assert_eq!(u.shards_rebuilt, 0, "{u:?}");
+        assert_eq!(p.live.stats.updates_applied, 6);
+        // The chaos writer's failures are absorbed: every batch either
+        // published or left the old snapshot serving.
+        let c = &p.chaos_updates;
+        assert_eq!(c.applied + c.failed, 6, "{c:?}");
+        assert_eq!(p.chaos.stats.update_failures, c.failed);
+        assert!(
+            p.chaos
+                .injections
+                .iter()
+                .any(|(site, _, _, injected)| site.starts_with("update_") && *injected > 0),
+            "chaos never hit an update site: {:?}",
             p.chaos.injections
         );
     }

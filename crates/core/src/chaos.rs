@@ -50,6 +50,12 @@ pub mod sites {
     pub const HEARTBEAT: &str = "heartbeat";
     /// Serving layer: the per-worker arena compaction pass.
     pub const COMPACT: &str = "compact";
+    /// Serving layer: applying an update batch to the writer's engine
+    /// clone (`MvdbServer::submit_update`, before the apply runs).
+    pub const UPDATE_APPLY: &str = "update_apply";
+    /// Serving layer: publishing an updated engine snapshot (after the
+    /// apply succeeded, before readers can see the new snapshot).
+    pub const UPDATE_SWAP: &str = "update_swap";
 
     /// Every site, for sweeps ("inject at each site in turn").
     pub const ALL: &[&str] = &[
@@ -64,6 +70,8 @@ pub mod sites {
         DISPATCH,
         HEARTBEAT,
         COMPACT,
+        UPDATE_APPLY,
+        UPDATE_SWAP,
     ];
 }
 

@@ -21,7 +21,7 @@
 //! [`EngineBackend`] selector.
 
 use mv_index::{IntersectAlgorithm, MvIndex};
-use mv_pdb::Row;
+use mv_pdb::{Row, Weight};
 use mv_query::Ucq;
 
 use crate::backend::{
@@ -30,13 +30,19 @@ use crate::backend::{
 use crate::error::CoreError;
 use crate::mvdb::Mvdb;
 use crate::translate::TranslatedIndb;
+use crate::update::{self, UpdateBatch, UpdateKind, UpdateOp, UpdateOutcome};
 use crate::Result;
 
 pub use crate::backend::EngineBackend;
 
 /// A compiled MVDB ready for query answering.
+///
+/// The engine retains the source [`Mvdb`] so it can be mutated in place by
+/// [`MvdbEngine::apply`]; cloning an engine is cheap (copy-on-write stores,
+/// shared OBDD arenas) and yields an independent snapshot.
 #[derive(Debug, Clone)]
 pub struct MvdbEngine {
+    mvdb: Mvdb,
     translated: TranslatedIndb,
     index: MvIndex,
     algorithm: IntersectAlgorithm,
@@ -60,9 +66,141 @@ impl MvdbEngine {
             return Err(CoreError::InconsistentViews);
         }
         Ok(MvdbEngine {
+            mvdb: mvdb.clone(),
             translated,
             index,
             algorithm,
+        })
+    }
+
+    /// The source MVDB this engine was compiled from, kept in sync by
+    /// [`MvdbEngine::apply`] — the ground truth a rebuilt-from-scratch
+    /// engine must agree with.
+    pub fn mvdb(&self) -> &Mvdb {
+        &self.mvdb
+    }
+
+    /// Applies an update batch in place.
+    ///
+    /// The batch is validated and classified first
+    /// ([`crate::update`]): a rejected batch leaves the engine untouched.
+    /// Weight-only batches keep the translation, tuple ids and compiled
+    /// OBDDs, re-annotating probabilities through
+    /// [`MvIndex::reweight`]; structural batches mutate the retained MVDB
+    /// and re-translate/recompile (on failure — e.g. a new tuple violating
+    /// a hard constraint — the engine keeps its previous state).
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        match update::classify(&self.mvdb, &self.translated, batch)? {
+            UpdateKind::NoOp => Ok(UpdateOutcome {
+                kind: UpdateKind::NoOp,
+                version: self.version(),
+                tuples_inserted: 0,
+                weights_changed: 0,
+                views_changed: 0,
+                shards_rebuilt: 0,
+                shards_reused: 0,
+            }),
+            UpdateKind::WeightOnly => self.apply_weight_only(batch),
+            UpdateKind::Structural => self.apply_structural(batch),
+        }
+    }
+
+    /// The version stamp of the translated deterministic store; weight-only
+    /// updates preserve it, structural updates produce a fresh one.
+    pub fn version(&self) -> u64 {
+        self.translated.indb().database().version()
+    }
+
+    /// The weight-epoch fast path: weights change in the retained MVDB and
+    /// the translated store, then every compiled block is re-annotated.
+    fn apply_weight_only(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        let mut weights_changed = 0usize;
+        let mut views_changed = 0usize;
+        for op in batch.ops() {
+            match op {
+                UpdateOp::InsertTuple {
+                    relation,
+                    row,
+                    weight,
+                }
+                | UpdateOp::SetTupleWeight {
+                    relation,
+                    row,
+                    weight,
+                } => {
+                    self.set_tuple_weight(relation, row, Weight::new(*weight))?;
+                    weights_changed += 1;
+                }
+                UpdateOp::DeleteTuple { relation, row } => {
+                    let rel = self.mvdb.base().schema().require(relation)?;
+                    if self.mvdb.base().tuple_id_by_values(rel, row).is_some() {
+                        self.set_tuple_weight(relation, row, Weight::ZERO)?;
+                        weights_changed += 1;
+                    }
+                }
+                UpdateOp::SetViewWeight { view, weight } => {
+                    let i = update::view_index(&self.mvdb, view)?;
+                    self.mvdb.views_mut()[i].set_constant_weight(*weight)?;
+                    let nv = Weight::new(*weight).negated_view_weight();
+                    for id in update::nv_tuple_ids(&self.translated, i)? {
+                        self.translated.indb_mut().set_weight(id, nv);
+                    }
+                    views_changed += 1;
+                }
+            }
+        }
+        let translated = &self.translated;
+        self.index.reweight(|t| translated.indb().probability(t));
+        if !self.index.is_consistent() {
+            return Err(CoreError::InconsistentViews);
+        }
+        Ok(UpdateOutcome {
+            kind: UpdateKind::WeightOnly,
+            version: self.version(),
+            tuples_inserted: 0,
+            weights_changed,
+            views_changed,
+            shards_rebuilt: 0,
+            shards_reused: 0,
+        })
+    }
+
+    /// Writes one tuple weight into both the retained MVDB and the
+    /// translated store (ids resolved by content, not position).
+    fn set_tuple_weight(&mut self, relation: &str, row: &Row, weight: Weight) -> Result<()> {
+        let rel = self.mvdb.base().schema().require(relation)?;
+        let id = self
+            .mvdb
+            .base()
+            .tuple_id_by_values(rel, row)
+            .expect("classified as weight-only: the row exists");
+        self.mvdb.base_mut().set_weight(id, weight);
+        let trel = self.translated.indb().schema().require(relation)?;
+        let tid = self
+            .translated
+            .indb()
+            .tuple_id_by_values(trel, row)
+            .expect("the translated store mirrors every base row");
+        self.translated.indb_mut().set_weight(tid, weight);
+        Ok(())
+    }
+
+    /// The structural slow path: mutate a copy of the retained MVDB, then
+    /// re-translate and recompile. The copy keeps the apply atomic — a
+    /// failed recompilation leaves `self` unchanged.
+    fn apply_structural(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        let mut mvdb = self.mvdb.clone();
+        let (tuples_inserted, weights_changed, views_changed) =
+            update::apply_to_mvdb(&mut mvdb, batch)?;
+        *self = MvdbEngine::compile_with(&mvdb, self.algorithm)?;
+        Ok(UpdateOutcome {
+            kind: UpdateKind::Structural,
+            version: self.version(),
+            tuples_inserted,
+            weights_changed,
+            views_changed,
+            shards_rebuilt: 0,
+            shards_reused: 0,
         })
     }
 
@@ -429,6 +567,131 @@ mod tests {
             let expected = mvdb.exact_probability(&q).unwrap();
             let p = engine.probability(&q).unwrap();
             assert!((p - expected).abs() < 1e-9, "{q_text}");
+        }
+    }
+
+    /// Differential oracle for the update path: an engine mutated in
+    /// place must answer exactly like one compiled from scratch over
+    /// its retained database — and like exact world enumeration.
+    fn assert_matches_rebuild(engine: &MvdbEngine, queries: &[&str]) {
+        let rebuilt = MvdbEngine::compile(engine.mvdb()).unwrap();
+        for q_text in queries {
+            let q = parse_ucq(q_text).unwrap();
+            let p = engine.probability(&q).unwrap();
+            let fresh = rebuilt.probability(&q).unwrap();
+            assert!((p - fresh).abs() < 1e-9, "{q_text}: {p} vs rebuild {fresh}");
+            let exact = engine.mvdb().exact_probability(&q).unwrap();
+            assert!((p - exact).abs() < 1e-9, "{q_text}: {p} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn weight_only_updates_ride_the_fast_path() {
+        let mut engine = MvdbEngine::compile(&example1(0.5)).unwrap();
+        let version = engine.version();
+        let before = engine
+            .probability(&parse_ucq("Q() :- R(x), S(x)").unwrap())
+            .unwrap();
+        let out = engine
+            .apply(&UpdateBatch::new().set_weight("R", vec![Value::str("a")], 7.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::WeightOnly);
+        assert_eq!(out.weights_changed, 1);
+        assert_eq!(out.tuples_inserted, 0);
+        // The fast path never re-translates: the store keeps its version.
+        assert_eq!(engine.version(), version);
+        let after = engine
+            .probability(&parse_ucq("Q() :- R(x), S(x)").unwrap())
+            .unwrap();
+        assert!((after - before).abs() > 1e-6, "the new weight must move P");
+        assert_matches_rebuild(&engine, &["Q() :- R(x), S(x)", "Q() :- R(x)"]);
+    }
+
+    #[test]
+    fn view_weight_changes_rescale_nv_tuples_in_place() {
+        let mut engine = MvdbEngine::compile(&example1(0.5)).unwrap();
+        let out = engine
+            .apply(&UpdateBatch::new().set_view_weight("V", 2.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::WeightOnly);
+        assert_eq!(out.views_changed, 1);
+        // The rescaled engine answers like one compiled at w = 2 directly.
+        let reference = MvdbEngine::compile(&example1(2.0)).unwrap();
+        for q_text in ["Q() :- R(x), S(x)", "Q() :- R(x)"] {
+            let q = parse_ucq(q_text).unwrap();
+            let p = engine.probability(&q).unwrap();
+            let expected = reference.probability(&q).unwrap();
+            assert!((p - expected).abs() < 1e-9, "{q_text}: {p} vs {expected}");
+        }
+        // Crossing into a denial weight is structural (NV flips to HARD).
+        let out = engine
+            .apply(&UpdateBatch::new().set_view_weight("V", 0.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::Structural);
+        assert_matches_rebuild(&engine, &["Q() :- R(x), S(x)", "Q() :- R(x)"]);
+    }
+
+    #[test]
+    fn structural_inserts_recompile_and_requery_sees_them() {
+        let mut engine = MvdbEngine::compile(&example1(0.5)).unwrap();
+        let version = engine.version();
+        let out = engine
+            .apply(
+                &UpdateBatch::new()
+                    .insert("R", vec![Value::str("b")], 2.0)
+                    .insert("S", vec![Value::str("b")], 1.0),
+            )
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::Structural);
+        assert_eq!(out.tuples_inserted, 2);
+        assert_ne!(engine.version(), version, "re-translation restamps");
+        // The fresh tuples join the view: P(Q) reflects both components.
+        assert_matches_rebuild(
+            &engine,
+            &["Q() :- R(x), S(x)", "Q() :- R('b'), S('b')", "Q() :- R(x)"],
+        );
+    }
+
+    #[test]
+    fn deletes_are_weight_zero_tombstones() {
+        let mut engine = MvdbEngine::compile(&example1(0.5)).unwrap();
+        let out = engine
+            .apply(&UpdateBatch::new().delete("R", vec![Value::str("a")]))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::WeightOnly);
+        let q = parse_ucq("Q() :- R(x)").unwrap();
+        assert!(engine.probability(&q).unwrap() < 1e-12);
+        assert_matches_rebuild(&engine, &["Q() :- R(x), S(x)", "Q() :- S(x)"]);
+        // Deleting an absent row is a no-op, not an error.
+        let out = engine
+            .apply(&UpdateBatch::new().delete("R", vec![Value::str("zz")]))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::NoOp);
+    }
+
+    #[test]
+    fn invalid_batches_reject_atomically_without_mutating() {
+        let mut engine = MvdbEngine::compile(&advisors()).unwrap();
+        let version = engine.version();
+        let q = parse_ucq("Q() :- Student(1), Advisor(1, y)").unwrap();
+        let before = engine.probability(&q).unwrap();
+        // Each batch pairs a valid op with an invalid one: the valid op
+        // must not be applied when the batch as a whole is rejected.
+        let valid = || UpdateBatch::new().set_weight("Student", vec![Value::int(1)], 5.0);
+        let bad_batches = [
+            valid().insert("NoSuchRelation", vec![Value::int(1)], 1.0),
+            valid().insert("Author", vec![Value::int(9), Value::str("eve")], 1.0),
+            valid().insert("Student", vec![Value::int(1), Value::int(2)], 1.0),
+            valid().insert("Student", vec![Value::int(1)], -3.0),
+            valid().insert("Student", vec![Value::int(1)], f64::NAN),
+            valid().set_weight("Student", vec![Value::int(99)], 1.0),
+            valid().set_view_weight("NoSuchView", 1.0),
+        ];
+        for (i, batch) in bad_batches.into_iter().enumerate() {
+            assert!(engine.apply(&batch).is_err(), "batch {i} must reject");
+            assert_eq!(engine.version(), version, "batch {i} mutated the store");
+            let p = engine.probability(&q).unwrap();
+            assert!((p - before).abs() < 1e-12, "batch {i} changed answers");
         }
     }
 }

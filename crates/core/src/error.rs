@@ -82,6 +82,14 @@ pub enum CoreError {
         /// Admission-queue depth observed at rejection time.
         depth: usize,
     },
+    /// An [`UpdateBatch`](crate::UpdateBatch) failed validation — e.g. it
+    /// targets a deterministic relation, an unknown view, or a row that
+    /// does not exist. The whole batch is rejected before any op is
+    /// applied, so the engine is unchanged.
+    UpdateRejected {
+        /// Why the batch was rejected.
+        message: String,
+    },
 }
 
 impl CoreError {
@@ -160,6 +168,9 @@ impl fmt::Display for CoreError {
                 f,
                 "request rejected by admission control (queue depth {depth}); retry after {retry_after:?}"
             ),
+            CoreError::UpdateRejected { message } => {
+                write!(f, "update batch rejected: {message}")
+            }
         }
     }
 }

@@ -35,6 +35,13 @@
 //!   own MV-index and OBDD manager, and per-shard conditionals are
 //!   combined exactly by independence (`1 − ∏ (1 − q_s)`); queries whose
 //!   lineage spans shards fall back to the unsharded oracle.
+//! * [`update`] — [`UpdateBatch`] and [`MvdbEngine::apply`]
+//!   (`crate::MvdbEngine::apply`): live updates under snapshot semantics.
+//!   Weighted-tuple inserts/deletes and MLN weight changes mutate a
+//!   compiled engine in place; weight-only batches ride the
+//!   `bump_weight_epoch` fast path (no re-translation or re-synthesis),
+//!   structural batches re-translate and recompile, and sharded engines
+//!   rebuild only the shards whose `W`-clauses changed.
 //! * [`serve`] — [`MvdbServer`]: the always-on serving layer. Bounded
 //!   admission with explicit backpressure, per-request deadlines, an
 //!   overload controller that degrades onto cheaper resilience rungs
@@ -54,6 +61,7 @@ pub mod serve;
 pub mod session;
 pub mod sharded;
 pub mod translate;
+pub mod update;
 pub mod view;
 
 pub use backend::{
@@ -68,6 +76,7 @@ pub use serve::{MvdbServer, ServeConfig, ServeOutcome, ServerStats, Ticket};
 pub use session::{MvdbSession, QueryStats};
 pub use sharded::{ShardedEngine, ShardedSession};
 pub use translate::TranslatedIndb;
+pub use update::{UpdateBatch, UpdateKind, UpdateOp, UpdateOutcome};
 pub use view::{MarkoView, WeightExpr};
 
 /// Result alias used throughout the crate.

@@ -36,6 +36,17 @@ impl Mvdb {
         &self.views
     }
 
+    /// Mutable access to the base database, for the update subsystem
+    /// (tuple inserts and weight changes; deletes are weight-0 tombstones).
+    pub(crate) fn base_mut(&mut self) -> &mut InDb {
+        &mut self.base
+    }
+
+    /// Mutable access to the views, for MLN weight changes.
+    pub(crate) fn views_mut(&mut self) -> &mut [MarkoView] {
+        &mut self.views
+    }
+
     /// Evaluates a view over the instance of possible tuples, returning every
     /// output tuple together with its weight (`Tup_V` and `w_V` of
     /// Section 2.4).

@@ -44,17 +44,25 @@
 //! `W` from its registration token. Compaction is measured per pass in
 //! [`ServerStats`].
 //!
-//! Fault injection hooks at the `admit`, `dispatch`, `heartbeat`, and
-//! `compact` chaos sites prove the recovery paths; the `figures serve`
-//! soak campaign drives a sustained over-capacity mixed workload through
-//! them and gates zero lost admitted queries, bounded shed fraction, and
-//! bounded arena growth.
+//! **Live updates.** [`MvdbServer::submit_update`] applies an
+//! [`UpdateBatch`] under snapshot semantics: writers are serialized and
+//! work on a private clone of the serving engine, readers keep draining
+//! on the snapshot they pinned, and only a fully-applied batch is
+//! published (an atomic `Arc` swap plus a version bump workers poll
+//! between requests). A failed or faulted update leaves the serving
+//! snapshot untouched — its side effects die with the discarded clone.
+//!
+//! Fault injection hooks at the `admit`, `dispatch`, `heartbeat`,
+//! `compact`, `update_apply`, and `update_swap` chaos sites prove the
+//! recovery paths; the `figures serve` soak campaign drives a sustained
+//! over-capacity mixed workload through them and gates zero lost
+//! admitted queries, bounded shed fraction, and bounded arena growth.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,6 +75,7 @@ use crate::backend::{
 use crate::chaos::{self, sites};
 use crate::error::CoreError;
 use crate::sharded::ShardedEngine;
+use crate::update::{UpdateBatch, UpdateOutcome};
 use crate::Result;
 
 /// Tuning of an [`MvdbServer`].
@@ -249,6 +258,11 @@ pub struct ServerStats {
     pub arena_bytes_before: u64,
     /// Arena bytes after the most recent compaction (gauge).
     pub arena_bytes_after: u64,
+    /// Update batches applied and published as new serving snapshots.
+    pub updates_applied: u64,
+    /// Update batches that failed (validation, application, or an
+    /// injected fault) and left the serving snapshot unchanged.
+    pub update_failures: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Configured worker count.
@@ -299,6 +313,8 @@ struct Counters {
     reclaimed_nodes: AtomicU64,
     arena_bytes_before: AtomicU64,
     arena_bytes_after: AtomicU64,
+    updates_applied: AtomicU64,
+    update_failures: AtomicU64,
 }
 
 struct Inbox {
@@ -307,7 +323,17 @@ struct Inbox {
 }
 
 struct ServerShared {
-    engine: Arc<ShardedEngine>,
+    /// The serving snapshot. `submit_update` swaps the inner `Arc`;
+    /// workers pin the snapshot they started with and drain on it, so
+    /// readers are never blocked by (or exposed to) a half-applied
+    /// update.
+    engine: RwLock<Arc<ShardedEngine>>,
+    /// Bumped after each published snapshot swap. Workers poll it
+    /// between requests to know when to re-pin the engine and rebuild
+    /// their per-snapshot evaluation state.
+    engine_version: AtomicU64,
+    /// Serializes update batches: single writer, many readers.
+    writer: Mutex<()>,
     config: ServeConfig,
     inbox: Inbox,
     shutdown: AtomicBool,
@@ -334,6 +360,36 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn rlock<T>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rw.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Admission-time estimate of the queue wait ahead of a new request.
+/// `None` during cold start: before the first request completes the
+/// service-time EWMA carries no signal, and treating it as a zero-wait
+/// estimate would admit arbitrarily deep queues regardless of deadline.
+fn estimated_wait(ewma_ns: u64, depth: usize, workers: usize) -> Option<Duration> {
+    (ewma_ns > 0)
+        .then(|| Duration::from_nanos(ewma_ns.saturating_mul(depth as u64) / workers.max(1) as u64))
+}
+
+/// Whether the estimated queue wait already forecloses answering within
+/// the deadline. A known estimate compares directly; an unknown
+/// (cold-start) estimate falls back to queue depth — past the shed
+/// threshold the queue is deep enough that blind admission risks the
+/// request expiring unanswered, which is worse than an honest rejection.
+fn wait_forecloses(
+    est_wait: Option<Duration>,
+    deadline: Duration,
+    depth: usize,
+    shed_depth: usize,
+) -> bool {
+    match est_wait {
+        Some(wait) => wait > deadline,
+        None => depth > shed_depth,
+    }
+}
+
 /// A long-lived, supervised thread pool serving probabilistic queries
 /// over a [`ShardedEngine`]. See the module docs for the architecture.
 pub struct MvdbServer {
@@ -354,7 +410,9 @@ impl MvdbServer {
     /// Starts the worker pool and its supervisor.
     pub fn start(engine: Arc<ShardedEngine>, config: ServeConfig) -> MvdbServer {
         let shared = Arc::new(ServerShared {
-            engine,
+            engine: RwLock::new(engine),
+            engine_version: AtomicU64::new(0),
+            writer: Mutex::new(()),
             config,
             inbox: Inbox {
                 queue: Mutex::new(VecDeque::new()),
@@ -378,9 +436,16 @@ impl MvdbServer {
         }
     }
 
-    /// The engine the server evaluates against.
-    pub fn engine(&self) -> &Arc<ShardedEngine> {
-        &self.shared.engine
+    /// The engine snapshot the server currently serves. Updates swap
+    /// the snapshot, so the returned `Arc` may become stale; it stays
+    /// valid (and exact for its version) for as long as it is held.
+    pub fn engine(&self) -> Arc<ShardedEngine> {
+        Arc::clone(&rlock(&self.shared.engine))
+    }
+
+    /// Monotone count of update batches published since start.
+    pub fn snapshot_version(&self) -> u64 {
+        self.shared.engine_version.load(Ordering::Acquire)
     }
 
     /// The server configuration.
@@ -427,12 +492,11 @@ impl MvdbServer {
         let mut queue = lock(&shared.inbox.queue);
         let depth = queue.len();
         let ewma = shared.ewma_service_ns.load(Ordering::Relaxed);
-        let est_wait = Duration::from_nanos(
-            ewma.saturating_mul(depth as u64) / shared.config.workers.max(1) as u64,
-        );
-        if faulted || depth >= shared.config.queue_capacity || est_wait > deadline {
+        let est_wait = estimated_wait(ewma, depth, shared.config.workers);
+        let foreclosed = wait_forecloses(est_wait, deadline, depth, shared.config.shed_depth);
+        if faulted || depth >= shared.config.queue_capacity || foreclosed {
             drop(queue);
-            return reject(depth, est_wait / 2);
+            return reject(depth, est_wait.unwrap_or(Duration::ZERO) / 2);
         }
         // The overload controller: degrade before dropping.
         let (entry, epsilon) = if depth >= shared.config.shed_depth {
@@ -477,6 +541,64 @@ impl MvdbServer {
         })
     }
 
+    /// Applies an update batch under snapshot semantics and, on
+    /// success, publishes the result as the new serving snapshot.
+    ///
+    /// Writers are serialized (single-writer / multi-reader): the batch
+    /// is applied to a private clone of the current engine, so readers
+    /// keep serving the old snapshot untouched while the writer works.
+    /// Only a fully-applied batch is published; workers notice the
+    /// version bump between requests and re-pin, while in-flight
+    /// queries drain on the snapshot they started with. A batch that
+    /// fails validation or application — or an injected fault at the
+    /// `update_apply`/`update_swap` chaos sites — leaves the serving
+    /// snapshot exactly as it was: the side effects die with the
+    /// discarded clone.
+    pub fn submit_update(&self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::SeqCst) || self.supervisor.is_none() {
+            return Err(CoreError::Rejected {
+                retry_after: Duration::from_millis(1),
+                depth: 0,
+            });
+        }
+        let _writer = lock(&shared.writer);
+        let current = Arc::clone(&rlock(&shared.engine));
+        let applied = catch_unwind(AssertUnwindSafe(
+            || -> Result<(ShardedEngine, UpdateOutcome)> {
+                chaos::apply(sites::UPDATE_APPLY)?;
+                let mut next = (*current).clone();
+                let outcome = next.apply(batch)?;
+                chaos::apply(sites::UPDATE_SWAP)?;
+                Ok((next, outcome))
+            },
+        ))
+        .unwrap_or_else(|panic| Err(CoreError::from_panic(sites::UPDATE_APPLY, panic.as_ref())));
+        match applied {
+            Ok((next, outcome)) => {
+                *shared
+                    .engine
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+                shared.engine_version.fetch_add(1, Ordering::Release);
+                shared
+                    .counters
+                    .updates_applied
+                    .fetch_add(1, Ordering::Relaxed);
+                // Wake idle workers so they re-pin promptly.
+                shared.inbox.cv.notify_all();
+                Ok(outcome)
+            }
+            Err(err) => {
+                shared
+                    .counters
+                    .update_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(err)
+            }
+        }
+    }
+
     /// Snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
@@ -494,6 +616,8 @@ impl MvdbServer {
             reclaimed_nodes: c.reclaimed_nodes.load(Ordering::Relaxed),
             arena_bytes_before: c.arena_bytes_before.load(Ordering::Relaxed),
             arena_bytes_after: c.arena_bytes_after.load(Ordering::Relaxed),
+            updates_applied: c.updates_applied.load(Ordering::Relaxed),
+            update_failures: c.update_failures.load(Ordering::Relaxed),
             queue_depth: self.queue_depth(),
             workers: self.shared.config.workers.max(1),
         }
@@ -569,61 +693,73 @@ fn worker_loop(
     // Every worker owns a private evaluation context (its query-side OBDD
     // manager is fresh per context, which is what makes per-worker arena
     // compaction safe) and a private ladder whose `W` memo persists across
-    // requests and compactions.
-    let engine = Arc::clone(&shared.engine);
-    let ctx = engine.full().context();
-    let mut ladder = ResilientBackend::new(shared.config.resilience.clone());
+    // requests and compactions. The outer loop pins one engine snapshot;
+    // when `submit_update` publishes a new one the worker finishes its
+    // current request on the pinned snapshot, then re-pins and rebuilds
+    // its context and ladder (the memoized `W` belongs to the old
+    // snapshot). The version is read *before* the engine so a swap racing
+    // this re-pin costs at most one redundant rebuild, never a stale
+    // snapshot served past the next check.
     loop {
-        if !heartbeat(shared, beat, quarantine) {
-            return; // quarantined: a replacement owns this slot now
-        }
-        let popped = {
-            let mut queue = lock(&shared.inbox.queue);
-            match queue.pop_front() {
-                Some(req) => Some(req),
-                None if shared.shutdown.load(Ordering::SeqCst) => return, // drained
-                None => {
-                    let (mut queue, _) = shared
-                        .inbox
-                        .cv
-                        .wait_timeout(queue, shared.config.heartbeat_interval)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    queue.pop_front()
+        let snapshot = shared.engine_version.load(Ordering::Acquire);
+        let engine = Arc::clone(&rlock(&shared.engine));
+        let ctx = engine.full().context();
+        let mut ladder = ResilientBackend::new(shared.config.resilience.clone());
+        loop {
+            if !heartbeat(shared, beat, quarantine) {
+                return; // quarantined: a replacement owns this slot now
+            }
+            if shared.engine_version.load(Ordering::Acquire) != snapshot {
+                break; // a new snapshot was published: re-pin
+            }
+            let popped = {
+                let mut queue = lock(&shared.inbox.queue);
+                match queue.pop_front() {
+                    Some(req) => Some(req),
+                    None if shared.shutdown.load(Ordering::SeqCst) => return, // drained
+                    None => {
+                        let (mut queue, _) = shared
+                            .inbox
+                            .cv
+                            .wait_timeout(queue, shared.config.heartbeat_interval)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        queue.pop_front()
+                    }
+                }
+            };
+            let Some(mut req) = popped else { continue };
+            *lock(inflight) = Some(req.clone());
+            // Dispatch chaos runs OUTSIDE the panic trap on purpose: an
+            // injected panic here kills the worker with the request in
+            // flight, which is exactly the recovery path supervision must
+            // prove. Injected deadline/budget pressure is treated as a
+            // transient dispatch failure: requeue (bounded), then evaluate
+            // anyway — an admitted query is never dropped for a transient.
+            match chaos::apply(sites::DISPATCH) {
+                Err(_) if req.requeues < shared.config.max_requeues => {
+                    *lock(inflight) = None;
+                    req.requeues += 1;
+                    shared.counters.requeues.fetch_add(1, Ordering::Relaxed);
+                    lock(&shared.inbox.queue).push_front(req);
+                    shared.inbox.cv.notify_one();
+                    continue;
+                }
+                _ => {}
+            }
+            let processed = catch_unwind(AssertUnwindSafe(|| {
+                process(shared, worker_id, &ctx, &mut ladder, req)
+            }));
+            let leftover = lock(inflight).take();
+            if processed.is_err() {
+                // A non-chaos panic escaped the ladder (which traps per-rung
+                // panics): the worker survives and the request is recovered
+                // from its own inflight slot.
+                if let Some(req) = leftover {
+                    recover(shared, req);
                 }
             }
-        };
-        let Some(mut req) = popped else { continue };
-        *lock(inflight) = Some(req.clone());
-        // Dispatch chaos runs OUTSIDE the panic trap on purpose: an
-        // injected panic here kills the worker with the request in
-        // flight, which is exactly the recovery path supervision must
-        // prove. Injected deadline/budget pressure is treated as a
-        // transient dispatch failure: requeue (bounded), then evaluate
-        // anyway — an admitted query is never dropped for a transient.
-        match chaos::apply(sites::DISPATCH) {
-            Err(_) if req.requeues < shared.config.max_requeues => {
-                *lock(inflight) = None;
-                req.requeues += 1;
-                shared.counters.requeues.fetch_add(1, Ordering::Relaxed);
-                lock(&shared.inbox.queue).push_front(req);
-                shared.inbox.cv.notify_one();
-                continue;
-            }
-            _ => {}
+            maybe_compact(shared, &ctx);
         }
-        let processed = catch_unwind(AssertUnwindSafe(|| {
-            process(shared, worker_id, &ctx, &mut ladder, req)
-        }));
-        let leftover = lock(inflight).take();
-        if processed.is_err() {
-            // A non-chaos panic escaped the ladder (which traps per-rung
-            // panics): the worker survives and the request is recovered
-            // from its own inflight slot.
-            if let Some(req) = leftover {
-                recover(shared, req);
-            }
-        }
-        maybe_compact(shared, &ctx);
     }
 }
 
@@ -843,21 +979,30 @@ mod tests {
     use super::*;
     use crate::chaos::{ChaosConfig, Fault};
     use crate::mvdb::MvdbBuilder;
+    use crate::update::UpdateKind;
+    use mv_pdb::Value;
     use mv_query::parse_ucq;
 
-    fn engine() -> Arc<ShardedEngine> {
+    /// The base ten-tuple fixture with `R(a0)`'s weight overridable, so
+    /// update tests can compile an independent from-scratch oracle for
+    /// any stage of a weight-update sequence.
+    fn engine_with_r0(r0: f64) -> Arc<ShardedEngine> {
         let mut b = MvdbBuilder::new();
         b.relation("R", &["x"]).unwrap();
         b.relation("S", &["x"]).unwrap();
         for i in 0..10 {
             let v = format!("a{i}");
-            b.weighted_tuple("R", &[v.as_str()], 1.0 + i as f64)
-                .unwrap();
+            let rw = if i == 0 { r0 } else { 1.0 + i as f64 };
+            b.weighted_tuple("R", &[v.as_str()], rw).unwrap();
             b.weighted_tuple("S", &[v.as_str()], 2.0 + i as f64)
                 .unwrap();
         }
         b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
         Arc::new(ShardedEngine::compile(&b.build().unwrap(), 2).unwrap())
+    }
+
+    fn engine() -> Arc<ShardedEngine> {
+        engine_with_r0(1.0)
     }
 
     fn queries() -> Vec<Ucq> {
@@ -1066,6 +1211,161 @@ mod tests {
             stats.quarantined >= 1,
             "injected heartbeat stalls must trip wedge detection: {stats:?}"
         );
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn cold_start_admission_falls_back_to_depth() {
+        // Before any request completes the EWMA is 0; the old code
+        // turned that into a zero-wait estimate that admitted any depth
+        // regardless of deadline. Cold start must report "unknown".
+        assert_eq!(estimated_wait(0, 50, 2), None);
+        assert_eq!(
+            estimated_wait(1_000_000, 10, 2),
+            Some(Duration::from_millis(5))
+        );
+        // Known estimates compare against the deadline...
+        assert!(wait_forecloses(
+            Some(Duration::from_secs(1)),
+            Duration::from_millis(100),
+            0,
+            usize::MAX
+        ));
+        assert!(!wait_forecloses(
+            Some(Duration::ZERO),
+            Duration::from_millis(100),
+            1000,
+            0
+        ));
+        // ...unknown estimates fall back to the shed-depth threshold.
+        assert!(wait_forecloses(None, Duration::from_millis(100), 33, 32));
+        assert!(!wait_forecloses(None, Duration::from_millis(100), 32, 32));
+    }
+
+    #[test]
+    fn updates_swap_snapshots_and_readers_see_them() {
+        let qs = queries();
+        let server = MvdbServer::start(engine(), quick_config());
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        let before = out.outcome.probability.unwrap();
+        let base_oracle = engine_with_r0(1.0).full().probability(&qs[0]).unwrap();
+        assert!((before - base_oracle).abs() < 1e-9);
+
+        // A weight-only update rides the fast path: no shard rebuilds.
+        let batch = UpdateBatch::new().set_weight("R", vec![Value::str("a0")], 9.0);
+        let outcome = server.submit_update(&batch).unwrap();
+        assert_eq!(outcome.kind, UpdateKind::WeightOnly);
+        assert_eq!(outcome.shards_rebuilt, 0);
+        assert_eq!(server.snapshot_version(), 1);
+        let oracle = engine_with_r0(9.0).full().probability(&qs[0]).unwrap();
+        assert!((oracle - base_oracle).abs() > 1e-6, "fixture must move");
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        assert!((out.outcome.probability.unwrap() - oracle).abs() < 1e-9);
+
+        // A structural update (fresh tuples) recompiles and swaps too.
+        let batch = UpdateBatch::new()
+            .insert("R", vec![Value::str("zz")], 4.0)
+            .insert("S", vec![Value::str("zz")], 4.0);
+        let outcome = server.submit_update(&batch).unwrap();
+        assert_eq!(outcome.kind, UpdateKind::Structural);
+        assert_eq!(server.snapshot_version(), 2);
+        let structural_oracle = {
+            let mut b = MvdbBuilder::new();
+            b.relation("R", &["x"]).unwrap();
+            b.relation("S", &["x"]).unwrap();
+            for i in 0..10 {
+                let v = format!("a{i}");
+                let rw = if i == 0 { 9.0 } else { 1.0 + i as f64 };
+                b.weighted_tuple("R", &[v.as_str()], rw).unwrap();
+                b.weighted_tuple("S", &[v.as_str()], 2.0 + i as f64)
+                    .unwrap();
+            }
+            b.weighted_tuple("R", &["zz"], 4.0).unwrap();
+            b.weighted_tuple("S", &["zz"], 4.0).unwrap();
+            b.marko_view("V(x)[0.5] :- R(x), S(x)").unwrap();
+            ShardedEngine::compile(&b.build().unwrap(), 2)
+                .unwrap()
+                .full()
+                .probability(&qs[0])
+                .unwrap()
+        };
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        assert!((out.outcome.probability.unwrap() - structural_oracle).abs() < 1e-9);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.updates_applied, 2);
+        assert_eq!(stats.update_failures, 0);
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn faulted_updates_leave_the_serving_snapshot_unchanged() {
+        let qs = queries();
+        let server = MvdbServer::start(engine(), quick_config());
+        let oracle = engine_with_r0(1.0).full().probability(&qs[0]).unwrap();
+        {
+            let _guard =
+                chaos::install(ChaosConfig::new(42).rule(sites::UPDATE_APPLY, Fault::Panic, 1.0));
+            let batch = UpdateBatch::new().set_weight("R", vec![Value::str("a0")], 9.0);
+            assert!(server.submit_update(&batch).is_err());
+        }
+        {
+            let _guard =
+                chaos::install(ChaosConfig::new(43).rule(sites::UPDATE_SWAP, Fault::Deadline, 1.0));
+            let batch = UpdateBatch::new().set_weight("R", vec![Value::str("a0")], 9.0);
+            assert!(server.submit_update(&batch).is_err());
+        }
+        // Neither faulted update published: readers still see the
+        // original snapshot, exactly.
+        assert_eq!(server.snapshot_version(), 0);
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        assert!((out.outcome.probability.unwrap() - oracle).abs() < 1e-9);
+        let stats = server.shutdown();
+        assert_eq!(stats.updates_applied, 0);
+        assert_eq!(stats.update_failures, 2);
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn updates_interleave_with_readers_without_losing_queries() {
+        let qs = queries();
+        let weights = [1.0, 5.0, 9.0, 13.0];
+        // Every answer a reader can legally observe is the exact answer
+        // of SOME published snapshot — never a torn in-between state.
+        let oracles: Vec<Vec<f64>> = weights
+            .iter()
+            .map(|&w| {
+                let e = engine_with_r0(w);
+                qs.iter()
+                    .map(|q| e.full().probability(q).unwrap())
+                    .collect()
+            })
+            .collect();
+        let server = MvdbServer::start(engine(), quick_config());
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for &w in &weights[1..] {
+                    let batch = UpdateBatch::new().set_weight("R", vec![Value::str("a0")], w);
+                    server.submit_update(&batch).unwrap();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+            for i in 0..60 {
+                let qi = i % qs.len();
+                let out = resolve(server.submit(qs[qi].clone()).unwrap());
+                assert!(out.answered(), "reader {i} lost during updates");
+                let p = out.outcome.probability.unwrap();
+                let matched = oracles.iter().any(|o| (p - o[qi]).abs() < 1e-9);
+                assert!(matched, "reader {i} saw a torn answer {p}");
+            }
+            writer.join().unwrap();
+        });
+        // After the writer finishes, readers converge on the last snapshot.
+        assert_eq!(server.snapshot_version(), 3);
+        let out = resolve(server.submit(qs[0].clone()).unwrap());
+        assert!((out.outcome.probability.unwrap() - oracles[3][0]).abs() < 1e-9);
+        let stats = server.shutdown();
+        assert_eq!(stats.updates_applied, 3);
         assert_eq!(stats.lost, 0);
     }
 

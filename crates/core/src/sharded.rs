@@ -54,8 +54,11 @@ use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use fxhash::{FxHashMap, FxHashSet};
 use mv_index::MvIndex;
 use mv_obdd::ManagerStats;
+use mv_pdb::{InDb, RelId, Row, TupleId};
+use mv_query::components::connected_components;
 use mv_query::lineage::{Clause, Lineage};
 use mv_query::partition::{ComponentPartitioner, Partition, RoutedLineage};
 use mv_query::Ucq;
@@ -70,15 +73,46 @@ use crate::error::CoreError;
 use crate::mvdb::Mvdb;
 use crate::session::QueryStats;
 use crate::translate::TranslatedIndb;
+use crate::update::{self, UpdateBatch, UpdateKind, UpdateOutcome};
 use crate::Result;
 
 /// Sentinel for "this global tuple does not live in this shard".
 const NOT_LOCAL: u32 = u32::MAX;
 
+/// Interns `(relation, row)` content keys to dense ids. Tuple ids are
+/// snapshot-relative — inserting a row shifts the ids of every later
+/// relation's tuples across a re-translation — so the update path compares
+/// pre- and post-update `W` clauses through one shared interner, where
+/// identical content is guaranteed identical ids.
+#[derive(Default)]
+struct ContentIds {
+    ids: FxHashMap<(RelId, Row), u32>,
+}
+
+impl ContentIds {
+    /// The content id of a tuple in `indb`, assigned on first sight.
+    fn id_of(&mut self, indb: &InDb, t: TupleId) -> u32 {
+        let key = (indb.tuple(t).rel, indb.tuple_row(t).clone());
+        let next = self.ids.len() as u32;
+        *self.ids.entry(key).or_insert(next)
+    }
+}
+
+/// Relation names in schema order — the schema fingerprint of the update
+/// path. A changed schema (a view crossing the denial boundary adds or
+/// removes its `NV` relation) shifts `RelId`s, so content keys from before
+/// and after the update stop lining up and every shard must rebuild.
+fn schema_names(indb: &InDb) -> Vec<String> {
+    indb.schema()
+        .relations()
+        .map(|(_, r)| r.name().to_string())
+        .collect()
+}
+
 /// One shard: a projection of the translated database onto a union of
 /// dependency-graph components, with its own compiled MV-index (and thus
 /// its own OBDD manager).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Shard {
     translated: TranslatedIndb,
     index: MvIndex,
@@ -120,12 +154,25 @@ impl Shard {
             .collect();
         Lineage::from_distinct_clauses(mapped)
     }
+
+    /// `true` when every tuple of every clause is materialized in this
+    /// shard's sub-store. After a structural update reuses a shard, tuples
+    /// inserted later exist only in the full store and in rebuilt shards —
+    /// a routed group touching one must fall back to the unsharded oracle
+    /// instead of being localized here.
+    fn owns(&self, clauses: &[Clause]) -> bool {
+        clauses.iter().flatten().all(|t| {
+            self.global_to_local
+                .get(t.0 as usize)
+                .is_some_and(|&l| l != NOT_LOCAL)
+        })
+    }
 }
 
 /// A compiled MVDB split into component-disjoint shards, each with its own
 /// sub-store and MV-index, plus the unsharded [`MvdbEngine`] kept as the
 /// exact oracle (and cross-shard fallback).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardedEngine {
     full: MvdbEngine,
     partition: Partition,
@@ -228,6 +275,285 @@ impl ShardedEngine {
             .session()
             .probabilities(std::slice::from_ref(query))?
             .remove(0))
+    }
+
+    /// Applies an update batch in place, invalidating as few shards as the
+    /// update allows.
+    ///
+    /// Weight-only batches keep the partition and every shard's sub-store
+    /// and compiled diagrams: local weights are re-synced from the full
+    /// store and each shard's index is re-annotated (the
+    /// `bump_weight_epoch` fast path, per shard). Structural batches
+    /// re-translate the full store, then compare each shard's `W`-clause
+    /// set before and after, content-keyed because tuple ids shift across
+    /// re-translation while rows do not: a shard whose clause set is
+    /// unchanged keeps its sub-store and compiled index and only rebinds
+    /// its global-id maps to the new store; only shards whose clause set
+    /// changed recompile. Components that existed before the update stay
+    /// on their old shard, so updates never invalidate unrelated shards.
+    ///
+    /// Reused shards do **not** absorb freshly inserted tuples (appending
+    /// would invalidate their compiled variable orders): a query whose
+    /// routed lineage touches a tuple its home shard does not own falls
+    /// back to the unsharded oracle — exact, just not scaled out — until
+    /// a later structural apply rebuilds that shard.
+    ///
+    /// Like [`MvdbEngine::apply`], a batch failing validation leaves the
+    /// engine untouched. An error *during* a structural apply can leave
+    /// shards behind the full store, so callers needing snapshot semantics
+    /// apply to a clone and publish it on success — what
+    /// [`MvdbServer::submit_update`](crate::MvdbServer::submit_update)
+    /// does.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        match update::classify(self.full.mvdb(), self.full.translated(), batch)? {
+            UpdateKind::NoOp => Ok(UpdateOutcome {
+                kind: UpdateKind::NoOp,
+                version: self.full.version(),
+                tuples_inserted: 0,
+                weights_changed: 0,
+                views_changed: 0,
+                shards_rebuilt: 0,
+                shards_reused: self.shards.len(),
+            }),
+            UpdateKind::WeightOnly => self.apply_weight_only(batch),
+            UpdateKind::Structural => self.apply_structural(batch),
+        }
+    }
+
+    /// Weight-only apply: update the oracle, then re-sync every shard's
+    /// local weights and re-annotate its compiled diagrams in place.
+    fn apply_weight_only(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        let mut outcome = self.full.apply(batch)?;
+        let indb = self.full.translated().indb();
+        for shard in &mut self.shards {
+            let locals: Vec<(u32, u32)> = shard
+                .global_to_local
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l != NOT_LOCAL)
+                .map(|(g, &l)| (g as u32, l))
+                .collect();
+            for (g, l) in locals {
+                let w = indb.weight(TupleId(g));
+                shard.translated.indb_mut().set_weight(TupleId(l), w);
+            }
+            let sub = &shard.translated;
+            shard.index.reweight(|t| sub.indb().probability(t));
+            if !shard.index.is_consistent() {
+                return Err(CoreError::InconsistentViews);
+            }
+        }
+        outcome.shards_reused = self.shards.len();
+        Ok(outcome)
+    }
+
+    /// Structural apply: re-translate the oracle, then rebuild exactly the
+    /// shards whose content-keyed `W`-clause set changed and rebind the
+    /// rest.
+    fn apply_structural(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome> {
+        let num_shards = self.shards.len();
+        let mut content = ContentIds::default();
+
+        // Pre-update capture: per-shard clause fingerprints and per-tuple
+        // homes, content-keyed.
+        let (old_clause_sets, old_home_of, old_schema) = {
+            let w = {
+                let ctx = self.full.context();
+                ctx.w_lineage()?
+                    .cloned()
+                    .unwrap_or_else(Lineage::constant_false)
+            };
+            let indb = self.full.translated().indb();
+            let mut sets: Vec<FxHashSet<Vec<u32>>> =
+                (0..num_shards).map(|_| FxHashSet::default()).collect();
+            let mut homes: FxHashMap<u32, usize> = FxHashMap::default();
+            for clause in w.clauses() {
+                let home = self
+                    .partition
+                    .home_of(clause[0])
+                    .expect("every W-clause member is homed");
+                let mut key: Vec<u32> = clause.iter().map(|&t| content.id_of(indb, t)).collect();
+                key.sort_unstable();
+                for &c in &key {
+                    homes.insert(c, home);
+                }
+                sets[home].insert(key);
+            }
+            (sets, homes, schema_names(indb))
+        };
+
+        // Mutate the retained MVDB, re-translate, recompile the oracle.
+        let mut outcome = self.full.apply(batch)?;
+
+        let new_w = {
+            let ctx = self.full.context();
+            ctx.w_lineage()?
+                .cloned()
+                .unwrap_or_else(Lineage::constant_false)
+        };
+        let translated = self.full.translated();
+        let indb = translated.indb();
+        let num_tuples = indb.num_tuples();
+        let schema_changed = schema_names(indb) != old_schema;
+
+        // Stable home assignment: a component whose members all lived on
+        // one shard before the update stays there; new or changed
+        // components are packed greedily onto the least-loaded shards.
+        let comps = connected_components(num_tuples, new_w.clauses());
+        let mut in_w = vec![false; num_tuples];
+        for clause in new_w.clauses() {
+            for &t in clause {
+                in_w[t.0 as usize] = true;
+            }
+        }
+        let mut homes: Vec<Option<usize>> = vec![None; num_tuples];
+        let mut load = vec![0usize; num_shards];
+        let mut pending: Vec<usize> = Vec::new();
+        for c in 0..comps.len() {
+            let members = comps.members(c);
+            // Clause-induced components are all-W or all-free; free tuples
+            // are replicated and have no home.
+            if !in_w[members[0].0 as usize] {
+                continue;
+            }
+            let mut stable: Option<usize> = None;
+            let ok = !schema_changed
+                && members
+                    .iter()
+                    .all(|&t| match old_home_of.get(&content.id_of(indb, t)) {
+                        Some(&h) => match stable {
+                            None => {
+                                stable = Some(h);
+                                true
+                            }
+                            Some(prev) => prev == h,
+                        },
+                        None => false,
+                    });
+            match (ok, stable) {
+                (true, Some(h)) => {
+                    for &t in members {
+                        homes[t.0 as usize] = Some(h);
+                    }
+                    load[h] += members.len();
+                }
+                _ => pending.push(c),
+            }
+        }
+        // Deterministic greedy fill, largest components first (ties by
+        // component id, which is itself a pure function of the clause set).
+        pending.sort_by_key(|&c| (std::cmp::Reverse(comps.size(c)), c));
+        for c in pending {
+            let s = (0..num_shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect("at least one shard");
+            for &t in comps.members(c) {
+                homes[t.0 as usize] = Some(s);
+            }
+            load[s] += comps.size(c);
+        }
+        let partition = Partition::from_homes(&homes, num_shards, comps.len());
+
+        // Post-update fingerprints; a shard is dirty iff its clause set
+        // changed (or the schema shifted under it).
+        let mut new_clause_sets: Vec<FxHashSet<Vec<u32>>> =
+            (0..num_shards).map(|_| FxHashSet::default()).collect();
+        for clause in new_w.clauses() {
+            let home = homes[clause[0].0 as usize].expect("W-clause members are homed");
+            let mut key: Vec<u32> = clause.iter().map(|&t| content.id_of(indb, t)).collect();
+            key.sort_unstable();
+            new_clause_sets[home].insert(key);
+        }
+        let dirty: Vec<bool> = (0..num_shards)
+            .map(|s| schema_changed || new_clause_sets[s] != old_clause_sets[s])
+            .collect();
+
+        // Rebuild dirty shards in parallel — the same recipe as
+        // `from_engine`, restricted to the shards that need it.
+        let rebuilt: Result<Vec<(usize, Shard)>> = std::thread::scope(|scope| {
+            let partition = &partition;
+            let handles: Vec<_> = (0..num_shards)
+                .filter(|&s| dirty[s])
+                .map(|s| {
+                    scope.spawn(move || -> Result<(usize, Shard)> {
+                        let (sub, local_to_global) =
+                            translated.restrict(|t| partition.home_of(t).is_none_or(|h| h == s));
+                        let index = match sub.w() {
+                            Some(w) => MvIndex::compile(sub.indb(), w)?,
+                            None => MvIndex::empty(sub.indb()),
+                        };
+                        if !index.is_consistent() {
+                            return Err(CoreError::InconsistentViews);
+                        }
+                        let mut global_to_local = vec![NOT_LOCAL; num_tuples];
+                        for (local, g) in local_to_global.iter().enumerate() {
+                            global_to_local[g.0 as usize] = local as u32;
+                        }
+                        let monotone = local_to_global.windows(2).all(|w| w[0] < w[1]);
+                        Ok((
+                            s,
+                            Shard {
+                                translated: sub,
+                                index,
+                                global_to_local,
+                                monotone,
+                            },
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(CoreError::from_panic("shard_compile", p.as_ref())))
+                })
+                .collect()
+        });
+        let rebuilt = rebuilt?;
+        outcome.shards_rebuilt = rebuilt.len();
+        outcome.shards_reused = num_shards - rebuilt.len();
+        for (s, shard) in rebuilt {
+            self.shards[s] = shard;
+        }
+
+        // Rebind clean shards to the new store: remap local→global ids by
+        // content (sound because the deterministic store is append-only
+        // and UCQ view outputs are monotone, so every old row persists;
+        // vanishing NV rows only arise from denial/independence boundary
+        // crossings, which dirty the schema or the home shard's clause
+        // set), then re-sync weights and re-annotate.
+        for (s, _) in dirty.iter().enumerate().filter(|&(_, &d)| !d) {
+            let shard = &mut self.shards[s];
+            let sub_n = shard.translated.indb().num_tuples();
+            let mut local_to_global: Vec<u32> = Vec::with_capacity(sub_n);
+            for l in 0..sub_n {
+                let lid = TupleId(l as u32);
+                let rel = shard.translated.indb().tuple(lid).rel;
+                let row = shard.translated.indb().tuple_row(lid);
+                let g = indb
+                    .tuple_id_by_values(rel, row)
+                    .expect("old rows persist across structural updates");
+                local_to_global.push(g.0);
+            }
+            let mut global_to_local = vec![NOT_LOCAL; num_tuples];
+            for (l, &g) in local_to_global.iter().enumerate() {
+                global_to_local[g as usize] = l as u32;
+            }
+            shard.monotone = local_to_global.windows(2).all(|w| w[0] < w[1]);
+            shard.global_to_local = global_to_local;
+            for (l, &g) in local_to_global.iter().enumerate() {
+                let w = indb.weight(TupleId(g));
+                shard.translated.indb_mut().set_weight(TupleId(l as u32), w);
+            }
+            let sub = &shard.translated;
+            shard.index.reweight(|t| sub.indb().probability(t));
+            if !shard.index.is_consistent() {
+                return Err(CoreError::InconsistentViews);
+            }
+        }
+        self.partition = partition;
+        Ok(outcome)
     }
 }
 
@@ -479,7 +805,11 @@ impl<'e> ShardedSession<'e> {
                                     RoutedLineage::Sharded {
                                         groups,
                                         structural_ok,
-                                    } if lineage_capable || structural_ok => {
+                                    } if (lineage_capable || structural_ok)
+                                        && groups
+                                            .iter()
+                                            .all(|(s, c)| engine.shards[*s].owns(c)) =>
+                                    {
                                         for (shard, clauses) in groups {
                                             let item = if lineage_capable {
                                                 ShardItem::Lineage(
@@ -766,21 +1096,28 @@ impl<'e> ShardedSession<'e> {
                                         RoutedLineage::Sharded {
                                             groups,
                                             structural_ok,
-                                        } if lineage_capable || structural_ok => RoutePlan::Items(
-                                            groups
-                                                .into_iter()
-                                                .map(|(shard, clauses)| {
-                                                    let item = if lineage_capable {
-                                                        ShardItem::Lineage(
-                                                            engine.shards[shard].localize(&clauses),
-                                                        )
-                                                    } else {
-                                                        ShardItem::Structural
-                                                    };
-                                                    (shard, item)
-                                                })
-                                                .collect(),
-                                        ),
+                                        } if (lineage_capable || structural_ok)
+                                            && groups
+                                                .iter()
+                                                .all(|(s, c)| engine.shards[*s].owns(c)) =>
+                                        {
+                                            RoutePlan::Items(
+                                                groups
+                                                    .into_iter()
+                                                    .map(|(shard, clauses)| {
+                                                        let item = if lineage_capable {
+                                                            ShardItem::Lineage(
+                                                                engine.shards[shard]
+                                                                    .localize(&clauses),
+                                                            )
+                                                        } else {
+                                                            ShardItem::Structural
+                                                        };
+                                                        (shard, item)
+                                                    })
+                                                    .collect(),
+                                            )
+                                        }
                                         RoutedLineage::Sharded { .. }
                                         | RoutedLineage::CrossShard => RoutePlan::Oracle,
                                     }
@@ -1360,5 +1697,124 @@ mod tests {
         assert!(outcomes[1].answered(), "{:?}", outcomes[1].fault);
         let reference = engine.full().probability(&queries[1]).unwrap();
         assert!((outcomes[1].probability.unwrap() - reference).abs() < 1e-12);
+    }
+
+    use mv_pdb::Value;
+
+    /// Differential oracle for sharded updates: after a batch, the
+    /// sharded engine answers every workload query exactly like an
+    /// unsharded engine compiled from scratch over the same database.
+    fn assert_sharded_matches_rebuild(engine: &ShardedEngine, queries: &[Ucq]) {
+        let rebuilt = MvdbEngine::compile(engine.full().mvdb()).unwrap();
+        let probs = engine.session().probabilities(queries).unwrap();
+        for (q, p) in queries.iter().zip(&probs) {
+            let reference = rebuilt.probability(q).unwrap();
+            assert!(
+                (p - reference).abs() < 1e-9,
+                "{q}: {p} vs rebuild {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_weight_only_updates_reuse_every_shard() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        for num_shards in [1, 2, 3] {
+            let mut engine = ShardedEngine::compile(&mvdb, num_shards).unwrap();
+            let out = engine
+                .apply(
+                    &UpdateBatch::new()
+                        .set_weight("R", vec![Value::str("a")], 9.0)
+                        .set_weight("S", vec![Value::str("c")], 0.25),
+                )
+                .unwrap();
+            assert_eq!(out.kind, UpdateKind::WeightOnly);
+            assert_eq!(out.shards_rebuilt, 0);
+            assert_eq!(out.shards_reused, num_shards);
+            assert_sharded_matches_rebuild(&engine, &queries);
+        }
+    }
+
+    #[test]
+    fn sharded_structural_updates_rebuild_only_dirty_shards() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        // Three W components over three shards: touching only the "a"
+        // component must leave the "b" and "c" shards' compiled state
+        // untouched.
+        let mut engine = ShardedEngine::compile(&mvdb, 3).unwrap();
+        let out = engine
+            .apply(
+                &UpdateBatch::new()
+                    .insert("R", vec![Value::str("a2")], 2.0)
+                    .insert("S", vec![Value::str("a2")], 2.0),
+            )
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::Structural);
+        assert!(
+            out.shards_rebuilt >= 1,
+            "the new component needs a home: {out:?}"
+        );
+        assert!(
+            out.shards_reused >= 1,
+            "untouched components must keep their shards: {out:?}"
+        );
+        assert_eq!(out.shards_rebuilt + out.shards_reused, 3);
+        assert_sharded_matches_rebuild(&engine, &queries);
+        // The reused shards still answer their own components exactly.
+        let local = vec![
+            parse_ucq("Q() :- R('b'), S('b')").unwrap(),
+            parse_ucq("Q() :- R('c'), S('c')").unwrap(),
+            parse_ucq("Q() :- R('a2'), S('a2')").unwrap(),
+        ];
+        assert_sharded_matches_rebuild(&engine, &local);
+    }
+
+    #[test]
+    fn sharded_view_weight_change_dirties_every_shard_exactly_once() {
+        let mvdb = sample_mvdb();
+        let queries = workload();
+        let mut engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+        // Rescalable view-weight change: weight-only, zero rebuilds.
+        let out = engine
+            .apply(&UpdateBatch::new().set_view_weight("V", 2.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::WeightOnly);
+        assert_eq!(out.shards_rebuilt, 0);
+        assert_sharded_matches_rebuild(&engine, &queries);
+        // Flipping to a denial weight restructures W everywhere.
+        let out = engine
+            .apply(&UpdateBatch::new().set_view_weight("V", 0.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::Structural);
+        assert_sharded_matches_rebuild(&engine, &queries);
+    }
+
+    #[test]
+    fn fresh_w_free_tuples_fall_back_to_the_oracle_exactly() {
+        let mvdb = sample_mvdb();
+        let mut engine = ShardedEngine::compile(&mvdb, 2).unwrap();
+        // `R(z)` has no `S(z)` partner: it joins no view output, so the
+        // W-clause sets (and hence every shard) are unchanged — but the
+        // reused shards' sub-stores predate the tuple. Queries touching
+        // it must route to the unsharded oracle, not answer stale.
+        let out = engine
+            .apply(&UpdateBatch::new().insert("R", vec![Value::str("z")], 5.0))
+            .unwrap();
+        assert_eq!(out.kind, UpdateKind::Structural);
+        assert_eq!(out.shards_reused, 2, "W unchanged: no shard is dirty");
+        let touching = vec![parse_ucq("Q() :- R('z')").unwrap()];
+        let session = engine.session();
+        let probs = session.probabilities(&touching).unwrap();
+        assert!(
+            session.last_fallbacks() > 0,
+            "a tuple unknown to the reused shards must fall back"
+        );
+        let reference = engine.full().probability(&touching[0]).unwrap();
+        assert!((probs[0] - reference).abs() < 1e-12);
+        assert!((probs[0] - (5.0 / 6.0)).abs() < 1e-9, "P(R(z)) = w/(1+w)");
+        // Queries avoiding the fresh tuple still answer sharded.
+        assert_sharded_matches_rebuild(&engine, &workload());
     }
 }

@@ -112,6 +112,13 @@ impl TranslatedIndb {
         &self.indb
     }
 
+    /// Mutable access to the translated store, for the update subsystem's
+    /// in-place weight writes (the tuple set itself is only ever changed by
+    /// re-translation).
+    pub(crate) fn indb_mut(&mut self) -> &mut InDb {
+        &mut self.indb
+    }
+
     /// The helper query `W`, or `None` when the MVDB has no MarkoViews.
     pub fn w(&self) -> Option<&Ucq> {
         self.w.as_ref()

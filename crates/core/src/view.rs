@@ -102,6 +102,20 @@ impl MarkoView {
         MarkoView::new(name, Ucq::from_cq(cq), weight)
     }
 
+    /// Replaces the view's weight expression with a constant — the MLN
+    /// weight-change entry point of the update path. Rejects NaN and
+    /// negative weights, like [`MarkoView::new`].
+    pub fn set_constant_weight(&mut self, weight: f64) -> Result<()> {
+        if weight.is_nan() || weight < 0.0 {
+            return Err(CoreError::InvalidTupleWeight {
+                view: self.name.clone(),
+                weight,
+            });
+        }
+        self.weight = WeightExpr::Constant(weight);
+        Ok(())
+    }
+
     /// The name of the translated `NV` relation of Definition 5.
     pub fn nv_relation_name(&self) -> String {
         format!("NV_{}", self.name)

@@ -245,6 +245,29 @@ impl MvIndex {
         self.prob_not_w
     }
 
+    /// Re-annotates the index after a weight-only update: every block's
+    /// diagram *structure* is untouched (same arena, same roots — the
+    /// expensive ConOBDD synthesis is not repeated), but the per-node
+    /// probability annotations, per-block `P0(¬W_k)` and the index-level
+    /// product are recomputed against the new weights, and the manager's
+    /// weight epoch is bumped so stale probability-cache entries can never
+    /// validate. `prob_of` must be the updated database weight function
+    /// (typically `|t| indb.probability(t)`).
+    pub fn reweight(&mut self, prob_of: impl Fn(TupleId) -> f64 + Copy) {
+        self.manager.bump_weight_epoch();
+        let mut prob_not_w = 1.0;
+        for block in &mut self.blocks {
+            let negated = AugmentedObdd::new(block.negated.obdd().clone(), prob_of);
+            let layout = CcLayout::new(&negated, prob_of);
+            let p = negated.probability();
+            prob_not_w *= p;
+            block.negated = negated;
+            block.layout = layout;
+            block.prob_not_w = p;
+        }
+        self.prob_not_w = prob_not_w;
+    }
+
     /// `true` when no block makes `¬W` impossible. Since blocks constrain
     /// disjoint sets of tuples, `P0(¬W) = 0` exactly when some block has
     /// `P0(¬W_k) = 0`, so this is the numerically robust consistency test.
@@ -590,6 +613,42 @@ mod tests {
         assert!((index.prob_w() - expected).abs() < 1e-9);
         assert!(index.num_blocks() >= 1);
         assert!(index.size() > 0);
+    }
+
+    #[test]
+    fn reweight_matches_a_from_scratch_compile() {
+        let w = w_query();
+        let mut indb = translated_db();
+        let mut index = MvIndex::compile(&indb, &w).unwrap();
+        let blocks_before = index.num_blocks();
+        let epoch_before = index.manager().weight_epoch();
+        // Change base-tuple weights in place (no structural change).
+        let r = indb.schema().relation_id("R").unwrap();
+        let s = indb.schema().relation_id("S").unwrap();
+        let t_r = indb.tuple_id_by_values(r, &row(["a1"])).unwrap();
+        let t_s = indb.tuple_id_by_values(s, &row(["a2", "b3"])).unwrap();
+        indb.set_weight(t_r, Weight::new(0.25));
+        indb.set_weight(t_s, Weight::new(6.0));
+        index.reweight(|t| indb.probability(t));
+        // The diagrams survive (same blocks, no new synthesis), the epoch
+        // moved, and every probability matches a from-scratch compile.
+        assert_eq!(index.num_blocks(), blocks_before);
+        assert!(index.manager().weight_epoch() > epoch_before);
+        let rebuilt = MvIndex::compile(&indb, &w).unwrap();
+        assert!((index.prob_not_w() - rebuilt.prob_not_w()).abs() < 1e-12);
+        let q = parse_ucq("Q() :- R(x), S(x, y)").unwrap();
+        let lin_q = lineage(&q, &indb).unwrap();
+        let qman = index.query_manager();
+        for algo in [
+            IntersectAlgorithm::MvIntersect,
+            IntersectAlgorithm::CcMvIntersect,
+        ] {
+            let p = index
+                .conditional_probability_in(&qman, &lin_q, &indb, algo)
+                .unwrap();
+            let expected = reference_q_and_not_w(&q, &w, &indb) / rebuilt.prob_not_w();
+            assert!((p - expected).abs() < 1e-9, "{algo:?}: {p} vs {expected}");
+        }
     }
 
     #[test]

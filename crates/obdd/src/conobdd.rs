@@ -164,12 +164,12 @@ impl<'a> ConObddBuilder<'a> {
 
     /// Predicate telling probabilistic relations apart from deterministic
     /// ones; separators only need to cover the probabilistic atoms.
-    fn is_probabilistic(&self) -> impl Fn(&str) -> bool + '_ {
+    fn is_probabilistic(&self) -> impl Fn(&str) -> bool + 'a {
+        let indb = self.indb;
         move |name: &str| {
-            self.indb
-                .schema()
+            indb.schema()
                 .relation_id(name)
-                .map(|r| !self.indb.is_deterministic(r))
+                .map(|r| !indb.is_deterministic(r))
                 .unwrap_or(false)
         }
     }

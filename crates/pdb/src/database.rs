@@ -7,20 +7,52 @@
 //! * the instance `I_poss` of *all possible tuples* against which MarkoViews
 //!   are materialised and query lineage is computed (Section 2.4).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::interner::ValueInterner;
 use crate::relation::Relation;
 use crate::schema::{RelId, Schema};
 use crate::value::{Row, Value};
 use crate::{PdbError, Result};
 
+/// Process-wide source of store version stamps. Every mutation of any
+/// [`Database`] draws a fresh stamp, so two databases with different contents
+/// can never share a version — derived caches (compiled plans, CSR indexes,
+/// zone maps) key on the stamp and survive cloning but not mutation.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A deterministic database: a schema plus an instance for every relation,
 /// sharing one database-wide [`ValueInterner`] so that dictionary codes are
 /// comparable across relations (a join key hashes and compares as a `u32`).
-#[derive(Debug, Clone, Default)]
+///
+/// Relations and the interner sit behind [`Arc`]s: cloning a database for a
+/// new snapshot is O(#relations), and a mutation copies only the relation it
+/// touches (copy-on-write). The interner is append-only, so codes taken
+/// against an old snapshot never dangle in a newer one.
+#[derive(Debug, Clone)]
 pub struct Database {
     schema: Schema,
-    relations: Vec<Relation>,
-    interner: ValueInterner,
+    relations: Vec<Arc<Relation>>,
+    interner: Arc<ValueInterner>,
+    /// Store version stamp: equal stamps imply equal content (the converse
+    /// does not hold — clones share a stamp until one side mutates).
+    version: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            schema: Schema::default(),
+            relations: Vec::new(),
+            interner: Arc::new(ValueInterner::new()),
+            version: fresh_version(),
+        }
+    }
 }
 
 impl Database {
@@ -33,13 +65,28 @@ impl Database {
     pub fn with_schema(schema: Schema) -> Self {
         let relations = schema
             .relations()
-            .map(|(id, _)| Relation::new(id))
+            .map(|(id, _)| Arc::new(Relation::new(id)))
             .collect();
         Database {
             schema,
             relations,
-            interner: ValueInterner::new(),
+            interner: Arc::new(ValueInterner::new()),
+            version: fresh_version(),
         }
+    }
+
+    /// The store version stamp. Bumped (to a globally fresh value) by every
+    /// mutation that changes content; stable across clones and reads.
+    /// Derived structures cache against this stamp.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Restamps this database with a globally fresh version. Called by every
+    /// content mutation; public so owners embedding a `Database` in a larger
+    /// versioned store can force invalidation of version-keyed caches.
+    pub fn touch(&mut self) {
+        self.version = fresh_version();
     }
 
     /// The schema of this database.
@@ -57,7 +104,8 @@ impl Database {
     /// Adds a relation to the schema and returns its id.
     pub fn add_relation(&mut self, name: &str, attributes: &[&str]) -> Result<RelId> {
         let id = self.schema.add_relation(name, attributes)?;
-        self.relations.push(Relation::new(id));
+        self.relations.push(Arc::new(Relation::new(id)));
+        self.touch();
         Ok(id)
     }
 
@@ -77,7 +125,15 @@ impl Database {
                 actual: row.len(),
             });
         }
-        Ok(self.relations[rel.index()].insert(row, &mut self.interner))
+        let relation = Arc::make_mut(&mut self.relations[rel.index()]);
+        let before = relation.len();
+        let index = relation.insert(row, Arc::make_mut(&mut self.interner));
+        if relation.len() != before {
+            // Only an actual growth changes content; a duplicate insert must
+            // not invalidate version-keyed caches.
+            self.touch();
+        }
+        Ok(index)
     }
 
     /// Inserts a row into a relation identified by name.
@@ -89,6 +145,12 @@ impl Database {
     /// The instance of a relation.
     pub fn relation(&self, rel: RelId) -> &Relation {
         &self.relations[rel.index()]
+    }
+
+    /// A shared handle on the instance of a relation: cloning it is O(1)
+    /// (copy-on-write snapshots hold these across versions).
+    pub fn relation_arc(&self, rel: RelId) -> Arc<Relation> {
+        Arc::clone(&self.relations[rel.index()])
     }
 
     /// The instance of a relation, by name.
@@ -108,7 +170,7 @@ impl Database {
 
     /// Total number of rows across all relations.
     pub fn total_rows(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// The *ordered active domain*: every constant appearing anywhere in the
@@ -224,5 +286,33 @@ mod tests {
     fn unknown_relation_is_an_error() {
         let db = sample();
         assert!(db.relation_by_name("Nope").is_err());
+    }
+
+    #[test]
+    fn version_survives_clone_and_bumps_on_mutation() {
+        let db = sample();
+        let mut dup = db.clone();
+        assert_eq!(db.version(), dup.version());
+        let r = dup.relation_id("R").unwrap();
+        dup.insert(r, row([7i64])).unwrap();
+        assert_ne!(db.version(), dup.version());
+        // Copy-on-write: the original snapshot is untouched.
+        assert_eq!(db.rows(r).len(), 2);
+        assert_eq!(dup.rows(r).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_version() {
+        let mut db = sample();
+        let r = db.relation_id("R").unwrap();
+        let before = db.version();
+        let idx = db.insert(r, row([1i64])).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(db.version(), before);
+    }
+
+    #[test]
+    fn fresh_databases_never_share_a_version() {
+        assert_ne!(Database::new().version(), Database::new().version());
     }
 }

@@ -188,6 +188,73 @@ impl InDb {
         (builder.build(), local_to_global)
     }
 
+    /// Sets the weight of an existing possible tuple in place. Any weight is
+    /// accepted (the MarkoView translation writes negative `NV` weights);
+    /// callers updating *base* tuples validate with
+    /// [`Weight::is_valid_base_weight`] first. The possible-tuple set — and
+    /// hence every [`TupleId`] and the underlying [`Database`] version — is
+    /// unchanged.
+    pub fn set_weight(&mut self, id: TupleId, weight: Weight) {
+        self.tuples[id.index()].weight = weight;
+    }
+
+    /// Inserts a new possible tuple — or updates the weight of the existing
+    /// one when the row is already present — keeping every invariant of the
+    /// frozen store (dense [`TupleId`]s, `by_row` map, per-relation tuple-id
+    /// columns). Returns the id and whether the tuple is new.
+    ///
+    /// The update subsystem's structural write path: the store stays
+    /// append-only (rows are never removed; deletes are weight-0
+    /// tombstones), so tuple ids taken against an old snapshot remain valid
+    /// in every newer one.
+    pub fn upsert_translated(
+        &mut self,
+        rel: RelId,
+        row: Row,
+        weight: Weight,
+    ) -> Result<(TupleId, bool)> {
+        assert!(
+            !self.deterministic[rel.index()],
+            "weighted tuples must target a probabilistic relation"
+        );
+        let row_index = self.database.insert(rel, row)?;
+        if let Some(&id) = self.by_row.get(&(rel, row_index)) {
+            self.tuples[id.index()].weight = weight;
+            return Ok((id, false));
+        }
+        debug_assert!(
+            (self.tuples.len() as u64) < u64::from(InDb::NO_TUPLE_ID),
+            "tuple-id space exhausted"
+        );
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuples.push(PossibleTuple {
+            rel,
+            row_index,
+            weight,
+        });
+        self.by_row.insert((rel, row_index), id);
+        let col = &mut self.tuple_ids[rel.index()];
+        if col.len() <= row_index {
+            col.resize(row_index + 1, InDb::NO_TUPLE_ID);
+        }
+        col[row_index] = id.0;
+        Ok((id, true))
+    }
+
+    /// [`InDb::upsert_translated`] restricted to valid base weights
+    /// (`[0, +inf]`) — the entry point for user-facing tuple updates.
+    pub fn upsert_weighted(
+        &mut self,
+        rel: RelId,
+        row: Row,
+        weight: Weight,
+    ) -> Result<(TupleId, bool)> {
+        if !weight.is_valid_base_weight() {
+            return Err(PdbError::InvalidWeight(weight.value()));
+        }
+        self.upsert_translated(rel, row, weight)
+    }
+
     /// Enumerates all possible worlds. Fails when there are more than
     /// [`WorldIter::MAX_TUPLES`] probabilistic tuples.
     pub fn possible_worlds(&self) -> Result<WorldIter<'_>> {
@@ -568,6 +635,42 @@ mod tests {
         let world = db.materialize_world_where(|id| id.0 >= 64);
         assert_eq!(world.rows(r).len(), 1);
         assert_eq!(world.rows(r)[0], row([64i64]));
+    }
+
+    #[test]
+    fn upsert_extends_a_frozen_store_consistently() {
+        let mut db = two_tuple_db();
+        let r = db.schema().relation_id("R").unwrap();
+        let version_before = db.database().version();
+        // New row: fresh id, tuple-id column extended, version bumped.
+        let (id, fresh) = db.upsert_weighted(r, row(["b"]), Weight::new(2.0)).unwrap();
+        assert!(fresh);
+        assert_eq!(id, TupleId(2));
+        assert_eq!(db.tuple_id_by_values(r, &row(["b"])), Some(id));
+        assert_eq!(db.tuple_id_column(r), &[0, 2]);
+        assert_ne!(db.database().version(), version_before);
+        // Existing row: weight updated in place, no version bump.
+        let version_mid = db.database().version();
+        let (id2, fresh2) = db.upsert_weighted(r, row(["b"]), Weight::new(5.0)).unwrap();
+        assert!(!fresh2);
+        assert_eq!(id2, id);
+        assert_eq!(db.weight(id).value(), 5.0);
+        assert_eq!(db.database().version(), version_mid);
+        // set_weight is the same no-structural-change path.
+        db.set_weight(id, Weight::new(0.0));
+        assert_eq!(db.weight(id).value(), 0.0);
+        assert_eq!(db.num_tuples(), 3);
+    }
+
+    #[test]
+    fn upsert_rejects_invalid_base_weights() {
+        let mut db = two_tuple_db();
+        let r = db.schema().relation_id("R").unwrap();
+        assert!(matches!(
+            db.upsert_weighted(r, row(["z"]), Weight::new(-1.0)),
+            Err(PdbError::InvalidWeight(_))
+        ));
+        assert_eq!(db.num_tuples(), 2);
     }
 
     #[test]

@@ -67,15 +67,22 @@ type ColumnIndexes = FxHashMap<(RelId, usize), Rc<LegacyIndex>>;
 /// construction; the MV-index compilation and the benchmark harness both
 /// take advantage of it.
 pub struct EvalContext<'a> {
-    db: &'a Database,
+    /// The database snapshot the caches below were built against. Swappable
+    /// via [`EvalContext::rebind`]: derived structures are invalidated by
+    /// comparing the incoming [`Database::version`] against `stamp`.
+    db: Cell<&'a Database>,
+    /// The store version every cached index/zone-map below was built at.
+    stamp: Cell<u64>,
     /// Legacy-path indexes (`Value`-keyed).
     indexes: RefCell<ColumnIndexes>,
     /// Compiled-path indexes (code-keyed), shared across plans.
     code_indexes: RefCell<FxHashMap<(RelId, usize), Rc<CodeIndex>>>,
-    /// Compiled plans, keyed by the query's canonical text.
-    plans: RefCell<FxHashMap<String, Rc<CompiledUcq>>>,
+    /// Compiled plans, keyed by `(store version, canonical query text)`: a
+    /// plan bakes in interned constants and access-path choices, so it is
+    /// only valid against the version it was compiled at.
+    plans: RefCell<FxHashMap<(u64, String), Rc<CompiledUcq>>>,
     /// Vectorized plans lowered from the compiled plans (same cache key).
-    vec_plans: RefCell<FxHashMap<String, Rc<VecCompiledUcq>>>,
+    vec_plans: RefCell<FxHashMap<(u64, String), Rc<VecCompiledUcq>>>,
     /// CSR join indexes of the vectorized executor, shared across plans.
     csr_indexes: RefCell<FxHashMap<(RelId, usize), Rc<CsrIndex>>>,
 
@@ -96,7 +103,8 @@ impl<'a> EvalContext<'a> {
     /// Creates a context for the given database.
     pub fn new(db: &'a Database) -> Self {
         EvalContext {
-            db,
+            db: Cell::new(db),
+            stamp: Cell::new(db.version()),
             indexes: RefCell::new(FxHashMap::default()),
             code_indexes: RefCell::new(FxHashMap::default()),
             plans: RefCell::new(FxHashMap::default()),
@@ -126,16 +134,47 @@ impl<'a> EvalContext<'a> {
 
     /// The underlying database.
     pub fn database(&self) -> &'a Database {
-        self.db
+        self.db.get()
+    }
+
+    /// The store version this context's derived caches were built at.
+    pub fn version_stamp(&self) -> u64 {
+        self.stamp.get()
+    }
+
+    /// Points the context at (a possibly newer snapshot of) its database.
+    /// When the incoming snapshot's [`Database::version`] differs from the
+    /// version the cached structures were built at, every structural cache —
+    /// CSR/pair/code/legacy indexes, zone maps, distinct counts — is
+    /// dropped so it rebuilds lazily against the new snapshot. Compiled
+    /// plans are keyed by version and need no clearing: stale entries are
+    /// simply never hit again (a long-lived context re-compiles per
+    /// version, which is the snapshot-correctness the update path needs).
+    ///
+    /// Rebinding to a snapshot with the *same* version (e.g. a clone) is
+    /// free and keeps every cache.
+    pub fn rebind(&self, db: &'a Database) {
+        self.db.set(db);
+        if db.version() != self.stamp.get() {
+            self.indexes.borrow_mut().clear();
+            self.code_indexes.borrow_mut().clear();
+            self.csr_indexes.borrow_mut().clear();
+            self.pair_indexes.borrow_mut().clear();
+            self.zone_maps.borrow_mut().clear();
+            self.distinct_counts.borrow_mut().clear();
+            self.stamp.set(db.version());
+        }
     }
 
     /// Compiles `ucq` into a physical plan, or returns the cached plan if
-    /// this context has compiled the same query before. The cache key is
-    /// the query's canonical display form, so syntactically identical
-    /// queries share one plan per context regardless of how often callers
-    /// re-parse or re-bind them.
+    /// this context has compiled the same query before *at the current
+    /// store version*. The cache key pairs the version stamp with the
+    /// query's canonical display form: syntactically identical queries
+    /// share one plan per context and per version — a plan compiled against
+    /// version N's interned constants and access paths is never replayed
+    /// against version N+1.
     pub fn compile(&self, ucq: &Ucq) -> Result<Rc<CompiledUcq>> {
-        let key = ucq.to_string();
+        let key = (self.stamp.get(), ucq.to_string());
         if let Some(plan) = self.plans.borrow().get(&key) {
             return Ok(Rc::clone(plan));
         }
@@ -161,7 +200,7 @@ impl<'a> EvalContext<'a> {
     /// Lowers `ucq` into a vectorized plan (compiling it first if needed),
     /// or returns the cached lowering. Shares the compiled-plan cache key.
     pub fn compile_vec(&self, ucq: &Ucq) -> Result<Rc<VecCompiledUcq>> {
-        let key = ucq.to_string();
+        let key = (self.stamp.get(), ucq.to_string());
         if let Some(plan) = self.vec_plans.borrow().get(&key) {
             return Ok(Rc::clone(plan));
         }
@@ -177,7 +216,9 @@ impl<'a> EvalContext<'a> {
         if let Some(index) = self.csr_indexes.borrow().get(&(rel, column)) {
             return Rc::clone(index);
         }
-        let index = Rc::new(CsrIndex::build(self.db.relation(rel).column_codes(column)));
+        let index = Rc::new(CsrIndex::build(
+            self.db.get().relation(rel).column_codes(column),
+        ));
         self.csr_indexes
             .borrow_mut()
             .insert((rel, column), Rc::clone(&index));
@@ -190,7 +231,7 @@ impl<'a> EvalContext<'a> {
         if let Some(index) = self.pair_indexes.borrow().get(&(rel, col_a, col_b)) {
             return Rc::clone(index);
         }
-        let relation = self.db.relation(rel);
+        let relation = self.db.get().relation(rel);
         let index = Rc::new(PairIndex::build(
             relation.column_codes(col_a),
             relation.column_codes(col_b),
@@ -208,7 +249,7 @@ impl<'a> EvalContext<'a> {
         if let Some(&count) = self.distinct_counts.borrow().get(&(rel, column)) {
             return count;
         }
-        let codes = self.db.relation(rel).column_codes(column);
+        let codes = self.db.get().relation(rel).column_codes(column);
         let mut seen: fxhash::FxHashSet<u32> = fxhash::FxHashSet::default();
         seen.reserve(codes.len());
         seen.extend(codes.iter().copied());
@@ -224,7 +265,7 @@ impl<'a> EvalContext<'a> {
         if let Some(zones) = self.zone_maps.borrow().get(&rel) {
             return Rc::clone(zones);
         }
-        let zones = Rc::new(RelationZones::build(self.db.relation(rel)));
+        let zones = Rc::new(RelationZones::build(self.db.get().relation(rel)));
         self.zone_maps.borrow_mut().insert(rel, Rc::clone(&zones));
         zones
     }
@@ -246,7 +287,7 @@ impl<'a> EvalContext<'a> {
         if let Some(index) = self.code_indexes.borrow().get(&(rel, column)) {
             return Rc::clone(index);
         }
-        let codes = self.db.relation(rel).column_codes(column);
+        let codes = self.db.get().relation(rel).column_codes(column);
         let mut map: CodeIndex = FxHashMap::default();
         map.reserve(codes.len());
         for (i, &code) in codes.iter().enumerate() {
@@ -267,7 +308,7 @@ impl<'a> EvalContext<'a> {
             return Rc::clone(index);
         }
         let mut index: LegacyIndex = FxHashMap::default();
-        for (i, row) in self.db.relation(rel).iter() {
+        for (i, row) in self.db.get().relation(rel).iter() {
             index.entry(row[column].clone()).or_default().push(i);
         }
         let index = Rc::new(index);
@@ -884,6 +925,70 @@ mod tests {
         assert_eq!(stats.scan_steps, 1);
         assert_eq!(stats.probe_steps, 1);
         assert_eq!(stats.slots, 2);
+    }
+
+    #[test]
+    fn rebind_refreshes_structural_caches_after_mutation() {
+        // Regression: CSR join indexes, zone maps and code indexes used to
+        // be built once per context and never invalidated, so a mutated
+        // relation silently served stale postings and skipped live blocks.
+        let base = db();
+        let ctx = EvalContext::new(&base);
+        let q = parse_ucq("Q(x, y) :- R(x), S(x, y)").unwrap();
+        // Query once: indexes and zone maps are built for version N.
+        assert_eq!(evaluate_ucq_with(&q, &ctx).unwrap().len(), 3);
+        // Mutate into a new snapshot (copy-on-write leaves `base` intact).
+        let mut v2 = base.clone();
+        let r = v2.relation_id("R").unwrap();
+        let s = v2.relation_id("S").unwrap();
+        v2.insert(r, row([3i64])).unwrap();
+        v2.insert(s, row([3i64, 40])).unwrap();
+        // Re-query through the same context against the new snapshot.
+        ctx.rebind(&v2);
+        let mut answers: Vec<Row> = evaluate_ucq_with(&q, &ctx)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.row)
+            .collect();
+        answers.sort();
+        assert_eq!(
+            answers,
+            vec![
+                row([1i64, 10]),
+                row([1i64, 20]),
+                row([2i64, 30]),
+                row([3i64, 30]),
+                row([3i64, 40]),
+            ]
+        );
+        // The old snapshot still evaluates correctly after rebinding back.
+        ctx.rebind(&base);
+        assert_eq!(evaluate_ucq_with(&q, &ctx).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn plan_cache_is_version_keyed_across_insertions() {
+        // Regression: the compiled-plan cache was keyed by canonical query
+        // text only, so a plan proven empty at version N (constant absent
+        // from the dictionary) was replayed against version N+1 where the
+        // constant exists.
+        let base = db();
+        let ctx = EvalContext::new(&base);
+        let q = parse_ucq("Q(y) :- S(99, y)").unwrap();
+        // 99 appears nowhere: the plan is proven empty at compile time.
+        assert!(evaluate_ucq_with(&q, &ctx).unwrap().is_empty());
+        let mut v2 = base.clone();
+        let s = v2.relation_id("S").unwrap();
+        v2.insert(s, row([99i64, 7])).unwrap();
+        ctx.rebind(&v2);
+        let answers = evaluate_ucq_with(&q, &ctx).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].row, row([7i64]));
+        // Distinct plans exist for the two versions; the old one still hits.
+        assert_eq!(ctx.compiled_plans(), 2);
+        ctx.rebind(&base);
+        assert!(evaluate_ucq_with(&q, &ctx).unwrap().is_empty());
+        assert_eq!(ctx.compiled_plans(), 2);
     }
 
     #[test]

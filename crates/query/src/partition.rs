@@ -147,6 +147,38 @@ pub enum RoutedLineage {
 }
 
 impl Partition {
+    /// Builds a partition from an explicit per-tuple home assignment
+    /// (`None` = W-free / replicated), e.g. the stability-aware
+    /// re-partitioning of the update path, which keeps unchanged components
+    /// on their old shards instead of re-packing from scratch.
+    ///
+    /// `num_shards` is clamped to at least 1; every assigned home must lie
+    /// below it.
+    pub fn from_homes(
+        homes: &[Option<usize>],
+        num_shards: usize,
+        num_components: usize,
+    ) -> Partition {
+        let num_shards = num_shards.max(1);
+        let mut shard_sizes = vec![0usize; num_shards];
+        let mut home_of = vec![FREE; homes.len()];
+        for (i, home) in homes.iter().enumerate() {
+            if let Some(s) = *home {
+                assert!(
+                    s < num_shards,
+                    "home {s} out of range for {num_shards} shards"
+                );
+                shard_sizes[s] += 1;
+                home_of[i] = s as u16;
+            }
+        }
+        Partition {
+            home_of,
+            shard_sizes,
+            num_components,
+        }
+    }
+
     /// Number of shards (including empty ones).
     pub fn num_shards(&self) -> usize {
         self.shard_sizes.len()
